@@ -1,0 +1,29 @@
+"""Ablation A1 -- the classifier's contribution.
+
+Runs ECRIPSE with and without the SVM blockade at equal accuracy targets;
+the simulation-count gap is the classifier's saving (one of the paper's
+two acceleration mechanisms).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.ablations import classifier_ablation
+
+
+def test_classifier_saves_simulations(benchmark, bench_scale):
+    results = run_once(benchmark, classifier_ablation,
+                       target_relative_error=bench_scale["loose_rel_err"],
+                       config=bench_scale["config"])
+
+    with_clf = results["with classifier"]
+    without = results["without"]
+    print()
+    print(f"with classifier:    {with_clf.summary()}")
+    print(f"without classifier: {without.summary()}")
+    print(f"saving: {results['simulation_saving']:.1f}x")
+
+    # The two variants answer the same question...
+    assert with_clf.pfail == pytest.approx(without.pfail, rel=0.4)
+    # ...but the classifier removes most transistor-level simulations.
+    assert results["simulation_saving"] > 2.0

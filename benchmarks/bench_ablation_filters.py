@@ -1,0 +1,34 @@
+"""Ablation A2 -- particle-filter degeneracy.
+
+With a single filter the particle ensemble tends to collapse onto one of
+the two symmetric failure lobes (Section III-B); with two or more filters
+each lobe keeps its own population.  The bench measures how often the
+final particle cloud ends up one-sided.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.experiments.ablations import filter_count_ablation
+
+
+def test_single_filter_degenerates(benchmark, bench_scale):
+    table = run_once(benchmark, filter_count_ablation,
+                     filter_counts=(1, 2),
+                     target_relative_error=bench_scale["loose_rel_err"],
+                     config=bench_scale["config"],
+                     seeds=(1, 2, 3))
+
+    rows = [[count, f"{stats['mean_pfail']:.3e}",
+             f"{stats['spread']:.1e}",
+             f"{stats['collapsed_runs']}/{stats['runs']}"]
+            for count, stats in table.items()]
+    print()
+    print(format_table(
+        ["filters", "mean Pfail", "spread", "collapsed runs"], rows,
+        title="A2: particle-filter degeneracy"))
+
+    # A single filter collapses onto one lobe in most runs; the filter
+    # bank never does (each filter is pinned to its own lobe).
+    assert table[1]["collapsed_runs"] >= 1
+    assert table[2]["collapsed_runs"] == 0

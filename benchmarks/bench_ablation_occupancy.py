@@ -1,0 +1,38 @@
+"""Ablation A4 -- occupancy convention (DESIGN.md "Substitutions").
+
+The paper's printed eq. (10) uses tau_c/(tau_c+tau_e), which under its own
+time-constant definitions is the *empty* fraction; the physical captured
+fraction is tau_e/(tau_c+tau_e).  Only the physical form yields Fig. 8's
+U-shape (failure probability maximal at duty ratios 0 and 1); this bench
+demonstrates the divergence at the curve's endpoints.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.experiments.ablations import occupancy_convention_ablation
+
+
+def test_only_physical_convention_gives_u_shape(benchmark, bench_scale):
+    curves = run_once(benchmark, occupancy_convention_ablation,
+                      alphas=(0.0, 0.5, 1.0),
+                      target_relative_error=bench_scale["loose_rel_err"],
+                      config=bench_scale["config"])
+
+    rows = []
+    for convention, curve in curves.items():
+        for alpha, pfail in curve.items():
+            rows.append([convention, alpha, f"{pfail:.3e}"])
+    print()
+    print(format_table(["convention", "alpha", "Pfail"], rows,
+                       title="A4: occupancy convention at Fig. 8 endpoints"))
+
+    physical = curves["physical"]
+    paper = curves["paper"]
+    # Physical: U-shape -- endpoints worse than the centre.
+    assert physical[0.0] > physical[0.5]
+    assert physical[1.0] > physical[0.5]
+    # Literal eq. (10): trap occupancy (and with it the penalty at the
+    # extremes) is much smaller -- the U-shape flattens or inverts.
+    assert paper[0.0] < physical[0.0]
+    assert paper[1.0] < physical[1.0]

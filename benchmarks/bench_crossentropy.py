@@ -1,0 +1,47 @@
+"""Cross-entropy baseline on the RDF-only cell problem.
+
+A single-Gaussian adaptive-IS method against ECRIPSE's two-mode particle
+mixture: CE must either straddle both failure lobes (inefficient) or
+collapse onto one (biased); either way ECRIPSE reaches the target with
+fewer simulations.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.core.crossentropy import CrossEntropyEstimator
+from repro.core.ecripse import EcripseEstimator
+from repro.experiments.setup import paper_setup
+
+
+def test_crossentropy_vs_ecripse(benchmark, bench_scale):
+    setup = paper_setup()
+    target = bench_scale["loose_rel_err"]
+
+    def run_both():
+        ce = CrossEntropyEstimator(setup.space, setup.indicator,
+                                   seed=5).run(
+            target_relative_error=target,
+            max_simulations=bench_scale["max_conventional_sims"])
+        ecripse = EcripseEstimator(
+            setup.space, setup.indicator, setup.rtn_model,
+            config=bench_scale["config"], seed=6).run(
+            target_relative_error=target)
+        return ce, ecripse
+
+    ce, ecripse = run_once(benchmark, run_both)
+    print()
+    print(format_table(
+        ["method", "Pfail", "rel.err", "simulations"],
+        [["cross-entropy", f"{ce.pfail:.3e}", f"{ce.relative_error:.1%}",
+          ce.n_simulations],
+         ["ecripse", f"{ecripse.pfail:.3e}",
+          f"{ecripse.relative_error:.1%}", ecripse.n_simulations]],
+        title="Cross-entropy vs ECRIPSE (RDF-only, 0.7 V)"))
+    print("CE proposal sigma:", [round(s, 2) for s in
+                                 ce.metadata["proposal_sigma"]])
+
+    # CE answers within a factor ~2 of ECRIPSE (it may cover one lobe)...
+    assert 0.4 * ecripse.pfail < ce.pfail < 1.6 * ecripse.pfail
+    # ...but spends more transistor-level simulations.
+    assert ecripse.n_simulations < ce.n_simulations

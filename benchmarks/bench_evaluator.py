@@ -1,0 +1,57 @@
+"""Microbenchmarks of the simulation substrate.
+
+These are classical pytest-benchmark measurements (repeated rounds): the
+vectorised butterfly evaluator's throughput governs every experiment's
+wall clock, and the MNA reference path is included for scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TABLE_I
+from repro.spice import DcSolver
+from repro.sram.butterfly import ReadButterflySolver
+from repro.sram.cell import SramCell
+from repro.sram.evaluator import CellEvaluator
+from repro.variability.space import VariabilitySpace
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return SramCell()
+
+
+@pytest.fixture(scope="module")
+def space():
+    return VariabilitySpace.from_pelgrom(TABLE_I.avth_mv_nm,
+                                         TABLE_I.geometry)
+
+
+def test_batch_margin_throughput(benchmark, cell, space):
+    """Vectorised margins for 1000 cells (the Monte-Carlo hot path)."""
+    evaluator = CellEvaluator(cell, space)
+    x = np.random.default_rng(0).standard_normal((1000, 6))
+    result = benchmark(evaluator.cell_margin, x)
+    assert result.shape == (1000,)
+    assert np.all(np.isfinite(result))
+
+
+def test_single_butterfly(benchmark, cell):
+    """One full butterfly solve (both VTCs)."""
+    solver = ReadButterflySolver(cell)
+    shifts = np.zeros((1, 6))
+    curves = benchmark(solver.solve, shifts)
+    assert curves.batch_size == 1
+
+
+def test_mna_operating_point(benchmark, cell):
+    """Reference path: one full-cell DC operating point via MNA."""
+    circuit = cell.read_circuit()
+    guess = {"q": 0.0, "qb": 0.7, "vdd": 0.7, "wl": 0.7, "bl": 0.7,
+             "blb": 0.7}
+
+    def solve():
+        return DcSolver(circuit).solve(initial_guess=guess)
+
+    op = benchmark(solve)
+    assert op["qb"] > op["q"]

@@ -1,0 +1,43 @@
+"""Benchmark E5 -- paper Fig. 8.
+
+Failure probability vs duty ratio with RTN at the nominal supply, plus
+the no-RTN floor.  Shape assertions: U-shaped curve with its minimum at
+alpha = 0.5, approximate bilateral symmetry, and a substantial RTN
+penalty over the no-RTN floor (paper: ~6x at the extremes).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_duty_ratio_sweep(benchmark, bench_scale):
+    result = run_once(
+        benchmark, run_fig8,
+        alphas=bench_scale["alphas"],
+        target_relative_error=bench_scale["loose_rel_err"],
+        config=bench_scale["config"])
+
+    print()
+    print(result.table())
+    print(f"RTN penalty: {result.rtn_penalty:.1f}x (paper: ~6x); "
+          f"minimum at {result.minimum_alpha} (paper: 0.5); "
+          f"asymmetry {result.asymmetry():.1%}; "
+          f"total sims {result.sweep.total_simulations}")
+
+    alphas, pfail, _ = result.sweep.pfail_curve()
+
+    # U-shape: the extremes are the worst bias conditions...
+    centre = pfail[np.argmin(np.abs(alphas - 0.5))]
+    assert pfail[0] > centre
+    assert pfail[-1] > centre
+    # ...and the minimum sits at (or next to) alpha = 0.5.
+    assert abs(result.minimum_alpha - 0.5) <= 0.25
+
+    # Bilateral symmetry within the statistical noise of a scaled run.
+    assert result.asymmetry() < 0.5
+
+    # RTN makes things strictly worse than the no-RTN floor; the paper
+    # reports ~6x at the worst bias.
+    assert result.rtn_penalty > 1.5

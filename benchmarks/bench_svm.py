@@ -1,0 +1,53 @@
+"""Microbenchmarks of the classifier stack.
+
+The classifier must be orders of magnitude cheaper than transistor-level
+simulation for the paper's accounting to make sense; these benches measure
+the degree-4 polynomial SVM's training and prediction costs at the sizes
+ECRIPSE actually uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.blockade import ClassifierBlockade
+
+
+def boundary_dataset(n, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 6)) * 2.0
+    labels = np.sum(x * x, axis=1) > 12.0
+    return x, labels
+
+
+@pytest.fixture(scope="module")
+def trained_blockade():
+    x, y = boundary_dataset(4000)
+    blockade = ClassifierBlockade(dim=6, degree=4)
+    blockade.train(x, y)
+    return blockade
+
+
+def test_train_degree4_on_4k_samples(benchmark):
+    x, y = boundary_dataset(4000)
+
+    def train():
+        blockade = ClassifierBlockade(dim=6, degree=4)
+        blockade.train(x, y)
+        return blockade
+
+    blockade = benchmark(train)
+    assert blockade.is_trained
+
+
+def test_predict_10k_points(benchmark, trained_blockade):
+    x, _ = boundary_dataset(10_000, seed=1)
+    prediction = benchmark(trained_blockade.predict, x)
+    assert prediction.labels.shape == (10_000,)
+
+
+def test_incremental_update(benchmark, trained_blockade):
+    x, y = boundary_dataset(500, seed=2)
+    benchmark.pedantic(trained_blockade.update, args=(x, y),
+                       kwargs={"force_retrain": True}, rounds=3,
+                       iterations=1)
+    assert trained_blockade.is_trained

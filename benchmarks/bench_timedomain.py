@@ -1,0 +1,70 @@
+"""Motivation benchmark -- time-domain RTN analysis vs the static path.
+
+The paper's Section I dismisses time-domain RTN methodologies ([2], [3])
+for yield work "due to their very high computational cost".  This bench
+quantifies that cost on our substrate: one pulse-accurate dynamic read
+(with telegraph-driven threshold shifts) against one vectorised butterfly
+evaluation, and checks that the two criteria agree on clear cases.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.config import TABLE_I
+from repro.rtn.transient import RtnTransientDriver
+from repro.sram.cell import SramCell
+from repro.sram.dynamic import DynamicReadSimulator, device_shift_vector
+from repro.sram.evaluator import CellEvaluator
+from repro.variability.space import VariabilitySpace
+
+
+def test_dynamic_read_vs_static_indicator(benchmark):
+    cell = SramCell()
+    space = VariabilitySpace.from_pelgrom(TABLE_I.avth_mv_nm,
+                                          TABLE_I.geometry)
+    simulator = DynamicReadSimulator(cell, pulse_width_s=1e-9, dt_s=5e-11,
+                                     settle_s=1e-9)
+    driver = RtnTransientDriver(TABLE_I, alpha=0.0, duration=10.0,
+                                time_scale=1e9, seed=1)
+
+    outcome = run_once(benchmark, simulator.simulate, rtn_driver=driver)
+    assert not outcome.flipped  # nominal cell survives
+
+    # cost comparison: batch of 1000 static indicator evaluations
+    evaluator = CellEvaluator(cell, space)
+    x = np.random.default_rng(0).standard_normal((1000, 6))
+    start = time.perf_counter()
+    evaluator.cell_margin(x)
+    static_per_cell = (time.perf_counter() - start) / 1000.0
+
+    dynamic_cost = benchmark.stats.stats.mean
+    ratio = dynamic_cost / static_per_cell
+    print(f"\none dynamic read: {dynamic_cost * 1e3:.0f} ms; "
+          f"one static evaluation: {static_per_cell * 1e3:.2f} ms; "
+          f"ratio ~{ratio:.0f}x")
+    # The gap that motivates the paper: time-domain is orders of
+    # magnitude more expensive per sample.
+    assert ratio > 30
+
+
+def test_criteria_agree_on_clear_cases(benchmark):
+    cell = SramCell()
+    space = VariabilitySpace.from_pelgrom(TABLE_I.avth_mv_nm,
+                                          TABLE_I.geometry)
+    simulator = DynamicReadSimulator(cell, pulse_width_s=1e-9, dt_s=5e-11,
+                                     settle_s=1e-9)
+    evaluator = CellEvaluator(cell, space)
+
+    bad = device_shift_vector(D1=250.0, L2=200.0)
+
+    def both():
+        dynamic_flip = simulator.simulate(delta_vth=bad).flipped
+        static_fail = evaluator.lobe0_margin(
+            space.to_whitened(bad)[None, :])[0] < 0
+        return dynamic_flip, static_fail
+
+    dynamic_flip, static_fail = run_once(benchmark, both)
+    assert dynamic_flip
+    assert static_fail

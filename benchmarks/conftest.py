@@ -1,0 +1,55 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure/table of the paper has one benchmark module.  By default the
+benches run *scaled-down* budgets so the whole suite finishes in minutes;
+set ``ECRIPSE_BENCH_FULL=1`` to run paper-scale budgets (tight 1-2 %
+relative errors, 1e6-sample naive MC) -- expect a long run.
+
+The shapes the paper reports (who wins, roughly by what factor, where the
+minima sit) are asserted; absolute wall-clock numbers are reported by
+pytest-benchmark but not asserted.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.ecripse import EcripseConfig
+
+FULL = os.environ.get("ECRIPSE_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    """Budget knobs for the current scale."""
+    if FULL:
+        return {
+            "target_rel_err": 0.01,
+            "loose_rel_err": 0.05,
+            "naive_samples": 1_000_000,
+            "max_conventional_sims": 2_000_000,
+            "alphas": tuple(i / 10 for i in range(11)),
+            "config": EcripseConfig(),
+        }
+    return {
+        "target_rel_err": 0.05,
+        "loose_rel_err": 0.10,
+        "naive_samples": 60_000,
+        "max_conventional_sims": 200_000,
+        "alphas": (0.0, 0.3, 0.5, 0.7, 1.0),
+        "config": EcripseConfig(n_particles=60, n_iterations=8,
+                                k_train=160, stage2_batch=1500,
+                                max_statistical_samples=400_000),
+    }
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Estimator runs are expensive and internally averaged, so repeated
+    benchmark rounds would only burn time.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

@@ -1,0 +1,60 @@
+"""From cell failure probability to cache yield.
+
+Run with::
+
+    python examples/array_yield_study.py
+
+Takes the paper's kind of cell-level numbers (with and without RTN) and
+propagates them to array level for a few cache sizes -- the "tens of mega
+bytes of on-chip cache" motivation of the paper's introduction -- with and
+without the standard protection schemes.
+"""
+
+from repro.analysis.array_yield import (
+    CacheSpec,
+    array_failure_probability,
+    expected_failures,
+    required_cell_pfail,
+)
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    # Cell-level inputs of the kind the estimators produce (see
+    # EXPERIMENTS.md): conventional RDF-only analysis vs RTN-aware.
+    pfail_rdf_only = 1.33e-4 / 1000    # a margin-revised design point
+    pfail_with_rtn = 6 * pfail_rdf_only  # the paper's ~6x RTN penalty
+
+    rows = []
+    for megabytes in (1, 8, 32):
+        cells = megabytes * 2**20 * 8
+        rows.append([
+            f"{megabytes} MiB",
+            f"{expected_failures(pfail_rdf_only, cells):.1f}",
+            f"{expected_failures(pfail_with_rtn, cells):.1f}",
+            f"{array_failure_probability(pfail_with_rtn, cells):.2%}",
+        ])
+    print(format_table(
+        ["cache", "E[fails] (no RTN est.)", "E[fails] (RTN-aware)",
+         "P(any fail), RTN-aware"],
+        rows, title="Why the RTN-blind estimate is dangerous"))
+
+    print()
+    spec = CacheSpec(capacity_bits=8 * 2**20 * 8, rows=8192, spare_rows=8)
+    report = spec.yield_report(pfail_with_rtn)
+    print(format_table(
+        ["protection", "array yield"],
+        [[name, f"{value:.4%}"] for name, value in report.items()],
+        title="8 MiB cache with the RTN-aware cell Pfail"))
+
+    print()
+    for target in (0.99, 0.999):
+        needed = required_cell_pfail(target, 32 * 2**20 * 8)
+        print(f"cell Pfail needed for {target:.1%} yield of an "
+              f"unprotected 32 MiB array: {needed:.1e}")
+    print("\n(naive Monte Carlo at these levels needs >1e10 samples; "
+          "this is the paper's case for importance sampling.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Circuit-level exploration with the built-in DC engine.
+
+Run with::
+
+    python examples/spice_playground.py
+
+Shows the simulation substrate on its own: inverter transfer curves from
+the generic MNA solver, the SRAM butterfly under read bias, and how a
+threshold shift on one driver collapses one lobe of the butterfly (the
+exact mechanism behind every "failure" the estimators count).
+"""
+
+import numpy as np
+
+from repro.config import DEVICE_ORDER
+from repro.spice import (
+    Circuit,
+    Mosfet,
+    MosfetModel,
+    NMOS_PTM16,
+    PMOS_PTM16,
+    VoltageSource,
+    dc_sweep,
+)
+from repro.sram.butterfly import ReadButterflySolver
+from repro.sram.cell import SramCell
+from repro.sram.margins import lobe_margins
+
+
+def ascii_plot(xs, ys, width=61, height=16, title=""):
+    """Minimal terminal scatter plot."""
+    grid = [[" "] * width for _ in range(height)]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = 0.0, max(ys) * 1.05
+    for x, y in zip(xs, ys):
+        col = int((x - x0) / (x1 - x0 + 1e-12) * (width - 1))
+        row = height - 1 - int((y - y0) / (y1 - y0 + 1e-12) * (height - 1))
+        grid[min(max(row, 0), height - 1)][col] = "*"
+    print(title)
+    for row in grid:
+        print("|" + "".join(row))
+    print("+" + "-" * width)
+
+
+def inverter_vtc() -> None:
+    nmos = MosfetModel(NMOS_PTM16, 30.0, 16.0)
+    pmos = MosfetModel(PMOS_PTM16, 60.0, 16.0)
+    ckt = Circuit("inverter")
+    ckt.add(VoltageSource("vdd", "vdd", "0", 0.7))
+    ckt.add(VoltageSource("vin", "in", "0", 0.0))
+    ckt.add(Mosfet("mp", "out", "in", "vdd", pmos))
+    ckt.add(Mosfet("mn", "out", "in", "0", nmos))
+    result = dc_sweep(ckt, "vin", np.linspace(0, 0.7, 41))
+    ascii_plot(result.sweep_values, result.curve("out"),
+               title="Inverter VTC at VDD = 0.7 V (MNA engine)")
+
+
+def butterfly_demo() -> None:
+    cell = SramCell()
+    solver = ReadButterflySolver(cell, grid_points=61)
+
+    nominal = solver.solve(np.zeros((1, 6)))
+    rnm0, rnm1 = lobe_margins(nominal)
+    print(f"\nnominal cell under read bias: "
+          f"RNM lobes = {rnm0[0] * 1e3:.1f} mV / {rnm1[0] * 1e3:.1f} mV")
+
+    # Weaken driver D1 by 150 mV: the stored-"0" lobe collapses.
+    shifts = np.zeros((1, 6))
+    shifts[0, DEVICE_ORDER.index("D1")] = 0.15
+    shifts[0, DEVICE_ORDER.index("L2")] = 0.10
+    defective = solver.solve(shifts)
+    rnm0, rnm1 = lobe_margins(defective)
+    print(f"D1 +150 mV, L2 +100 mV:       "
+          f"RNM lobes = {rnm0[0] * 1e3:.1f} mV / {rnm1[0] * 1e3:.1f} mV")
+    if rnm0[0] < 0:
+        print("  -> the stored-'0' eye has collapsed: reading this cell "
+              "flips it (read failure).")
+
+    ascii_plot(nominal.grid, nominal.vtc_b[0],
+               title="\nHalf-cell read VTC, nominal (Q -> QB)")
+    ascii_plot(defective.grid, defective.vtc_b[0],
+               title="Half-cell read VTC with weakened D2 side input "
+                     "(defective)")
+
+
+def main() -> None:
+    inverter_vtc()
+    butterfly_demo()
+
+
+if __name__ == "__main__":
+    main()

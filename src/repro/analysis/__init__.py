@@ -1,0 +1,60 @@
+"""Statistics, convergence analysis, speedups and report tables."""
+
+from repro.analysis.stats import (
+    wilson_interval,
+    binomial_ci_halfwidth,
+    weighted_mean_ci,
+)
+from repro.analysis.convergence import (
+    relative_error_curve,
+    simulations_to_accuracy,
+    speedup_at_accuracy,
+)
+from repro.analysis.speedup import SpeedupReport, compare_runs
+from repro.analysis.tables import format_table
+from repro.analysis.array_yield import (
+    CacheSpec,
+    array_failure_probability,
+    expected_failures,
+    failures_quantile,
+    required_cell_pfail,
+    yield_with_ecc,
+    yield_with_row_redundancy,
+)
+from repro.analysis.sensitivity import (
+    device_criticality,
+    margin_gradient,
+    rank_devices,
+)
+from repro.analysis.persistence import (
+    estimate_from_dict,
+    estimate_to_dict,
+    load_estimate,
+    save_estimate,
+)
+
+__all__ = [
+    "wilson_interval",
+    "binomial_ci_halfwidth",
+    "weighted_mean_ci",
+    "relative_error_curve",
+    "simulations_to_accuracy",
+    "speedup_at_accuracy",
+    "SpeedupReport",
+    "compare_runs",
+    "format_table",
+    "estimate_from_dict",
+    "estimate_to_dict",
+    "load_estimate",
+    "save_estimate",
+    "CacheSpec",
+    "array_failure_probability",
+    "expected_failures",
+    "failures_quantile",
+    "required_cell_pfail",
+    "yield_with_ecc",
+    "yield_with_row_redundancy",
+    "device_criticality",
+    "margin_gradient",
+    "rank_devices",
+]

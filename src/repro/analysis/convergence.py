@@ -1,0 +1,51 @@
+"""Convergence-trace analysis (the machinery behind Fig. 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimate import FailureEstimate, TracePoint
+
+
+def relative_error_curve(trace: list[TracePoint]
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """``(n_simulations, relative_error)`` arrays from a trace."""
+    if not trace:
+        raise ValueError("empty trace")
+    sims = np.array([p.n_simulations for p in trace], dtype=float)
+    rel = np.array([p.relative_error for p in trace])
+    return sims, rel
+
+
+def simulations_to_accuracy(trace: list[TracePoint], target: float
+                            ) -> int | None:
+    """Simulations needed for the trace to *stay* at or below ``target``.
+
+    Uses the last up-crossing rather than the first touch, so a lucky
+    early dip does not count as convergence.
+    """
+    if target <= 0:
+        raise ValueError(f"target must be positive, got {target}")
+    result = None
+    for point in trace:
+        if point.relative_error <= target:
+            if result is None:
+                result = point.n_simulations
+        else:
+            result = None
+    return result
+
+
+def speedup_at_accuracy(reference: FailureEstimate, fast: FailureEstimate,
+                        target: float) -> float | None:
+    """Simulation-count ratio reference/fast at equal relative error.
+
+    Returns ``None`` when either run never reached the target.  This is
+    the machine-independent version of the paper's "1/36 simulations"
+    claim (Fig. 6b).
+    """
+    n_ref = simulations_to_accuracy(reference.trace, target)
+    n_fast = simulations_to_accuracy(fast.trace, target)
+    if n_ref is None or n_fast is None or n_fast == 0:
+        return None
+    return n_ref / n_fast

@@ -1,0 +1,81 @@
+"""Save/load estimation results as JSON.
+
+Long experiment campaigns (Fig. 8 sweeps at paper-scale budgets) want
+their per-point results on disk; this module round-trips
+:class:`~repro.core.estimate.FailureEstimate` objects, including their
+convergence traces, through plain JSON so results stay tool-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.estimate import FailureEstimate, TracePoint
+
+#: bumped when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def estimate_to_dict(estimate: FailureEstimate) -> dict:
+    """Plain-dict form of an estimate (JSON-serialisable)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "pfail": estimate.pfail,
+        "ci_halfwidth": estimate.ci_halfwidth,
+        "n_simulations": estimate.n_simulations,
+        "n_statistical_samples": estimate.n_statistical_samples,
+        "method": estimate.method,
+        "wall_time_s": estimate.wall_time_s,
+        "metadata": _plain(estimate.metadata),
+        "trace": [
+            {
+                "n_simulations": p.n_simulations,
+                "estimate": p.estimate,
+                "ci_halfwidth": p.ci_halfwidth,
+                "n_statistical_samples": p.n_statistical_samples,
+            }
+            for p in estimate.trace
+        ],
+    }
+
+
+def estimate_from_dict(data: dict) -> FailureEstimate:
+    """Inverse of :func:`estimate_to_dict`."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {data.get('schema')!r}; "
+            f"this build reads version {SCHEMA_VERSION}")
+    trace = [TracePoint(**point) for point in data.get("trace", [])]
+    return FailureEstimate(
+        pfail=data["pfail"], ci_halfwidth=data["ci_halfwidth"],
+        n_simulations=data["n_simulations"],
+        n_statistical_samples=data["n_statistical_samples"],
+        method=data["method"], wall_time_s=data.get("wall_time_s", 0.0),
+        trace=trace, metadata=data.get("metadata", {}))
+
+
+def save_estimate(estimate: FailureEstimate, path) -> None:
+    """Write ``estimate`` to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(estimate_to_dict(estimate), indent=2) + "\n")
+
+
+def load_estimate(path) -> FailureEstimate:
+    """Read an estimate previously written by :func:`save_estimate`."""
+    return estimate_from_dict(json.loads(Path(path).read_text()))
+
+
+def _plain(value):
+    """Recursively coerce numpy scalars/arrays to JSON-native types."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return _plain(value.tolist())
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    return value

@@ -1,0 +1,85 @@
+"""Device-criticality analysis from failure-region geometry.
+
+The particle cloud ECRIPSE builds in stage 1 *is* a map of the failure
+region; its coordinate statistics tell a designer which transistor's
+variability drives failures -- information a plain P_fail number hides.
+
+Two complementary views:
+
+* :func:`device_criticality` -- importance weights from the particle
+  positions (how far along each device axis the failure region sits);
+* :func:`margin_gradient` -- local sensitivities of the margin at a given
+  point by central differences (the classical design-of-experiments
+  view).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def device_criticality(particles: np.ndarray,
+                       names: tuple[str, ...] | None = None) -> dict:
+    """Rank dimensions by the failure cloud's displacement and spread.
+
+    Parameters
+    ----------
+    particles:
+        Failure-region points (N, D), whitened units (e.g.
+        ``estimator.filter_bank.positions()``).
+    names:
+        Optional dimension labels.
+
+    Returns
+    -------
+    dict with per-dimension arrays:
+    ``mean_shift`` (signed mean coordinate), ``rms`` (root-mean-square
+    coordinate) and ``criticality`` (rms normalised to sum to 1) -- the
+    fraction of the failure cloud's squared radius each device axis
+    carries.
+    """
+    particles = np.atleast_2d(np.asarray(particles, dtype=float))
+    if particles.size == 0:
+        raise ValueError("need at least one particle")
+    dim = particles.shape[1]
+    if names is not None and len(names) != dim:
+        raise ValueError(f"{len(names)} names for {dim} dimensions")
+    mean_shift = particles.mean(axis=0)
+    rms = np.sqrt(np.mean(particles ** 2, axis=0))
+    total = np.sum(rms ** 2)
+    criticality = rms ** 2 / total if total > 0 else np.zeros(dim)
+    return {
+        "names": tuple(names) if names is not None else tuple(
+            str(i) for i in range(dim)),
+        "mean_shift": mean_shift,
+        "rms": rms,
+        "criticality": criticality,
+    }
+
+
+def margin_gradient(margin_fn, x: np.ndarray, step: float = 0.05
+                    ) -> np.ndarray:
+    """Central-difference gradient of a margin function at ``x``.
+
+    ``margin_fn`` maps (B, D) points to (B,) margins (e.g.
+    ``evaluator.cell_margin``); the returned gradient is in margin units
+    per whitened sigma, so ``-gradient * sigma_device`` is the margin
+    lost per volt of threshold shift.
+    """
+    x = np.asarray(x, dtype=float).reshape(1, -1)
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    dim = x.shape[1]
+    probes = np.repeat(x, 2 * dim, axis=0)
+    for d in range(dim):
+        probes[2 * d, d] += step
+        probes[2 * d + 1, d] -= step
+    values = np.asarray(margin_fn(probes), dtype=float)
+    return (values[0::2] - values[1::2]) / (2.0 * step)
+
+
+def rank_devices(criticality: dict, top: int | None = None) -> list[tuple]:
+    """Sorted ``(name, criticality)`` list, most critical first."""
+    pairs = sorted(zip(criticality["names"], criticality["criticality"]),
+                   key=lambda item: item[1], reverse=True)
+    return pairs[:top] if top is not None else pairs

@@ -1,0 +1,70 @@
+"""Run-vs-run speedup reports (simulation count and wall clock)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.convergence import simulations_to_accuracy
+from repro.core.estimate import FailureEstimate
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Comparison of two estimator runs at a common accuracy target.
+
+    Attributes
+    ----------
+    target_relative_error:
+        The accuracy at which the runs are compared.
+    reference_sims, fast_sims:
+        Simulations each run needed (``None`` = never converged).
+    simulation_ratio:
+        reference/fast simulation counts (the paper's "1/36 simulations").
+    wall_clock_ratio:
+        Total wall-clock ratio of the two runs (the paper's "15.6x"); note
+        this compares *whole runs*, it is not normalised to the accuracy
+        target.
+    """
+
+    target_relative_error: float
+    reference_sims: int | None
+    fast_sims: int | None
+    simulation_ratio: float | None
+    wall_clock_ratio: float | None
+    estimates_agree: bool
+
+    def summary(self) -> str:
+        if self.simulation_ratio is None:
+            return (f"no speedup measurable at rel. err. "
+                    f"{self.target_relative_error:.1%} "
+                    f"(reference: {self.reference_sims}, "
+                    f"fast: {self.fast_sims})")
+        wall = ("" if self.wall_clock_ratio is None
+                else f", wall-clock ratio {self.wall_clock_ratio:.1f}x")
+        return (f"{self.simulation_ratio:.1f}x fewer simulations at "
+                f"rel. err. {self.target_relative_error:.1%} "
+                f"({self.reference_sims} vs {self.fast_sims}){wall}")
+
+
+def compare_runs(reference: FailureEstimate, fast: FailureEstimate,
+                 target_relative_error: float = 0.01) -> SpeedupReport:
+    """Build a :class:`SpeedupReport` for two completed runs.
+
+    ``estimates_agree`` checks that the two final confidence intervals
+    overlap -- a speedup against a wrong answer is meaningless.
+    """
+    n_ref = simulations_to_accuracy(reference.trace, target_relative_error)
+    n_fast = simulations_to_accuracy(fast.trace, target_relative_error)
+    ratio = None
+    if n_ref is not None and n_fast:
+        ratio = n_ref / n_fast
+    wall = None
+    if fast.wall_time_s > 0 and reference.wall_time_s > 0:
+        wall = reference.wall_time_s / fast.wall_time_s
+    agree = (reference.ci_low <= fast.ci_high
+             and fast.ci_low <= reference.ci_high)
+    return SpeedupReport(
+        target_relative_error=target_relative_error,
+        reference_sims=n_ref, fast_sims=n_fast,
+        simulation_ratio=ratio, wall_clock_ratio=wall,
+        estimates_agree=agree)

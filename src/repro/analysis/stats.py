@@ -1,0 +1,62 @@
+"""Statistical helpers: binomial and weighted-mean confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: two-sided 95 % normal quantile.
+Z95 = 1.959963984540054
+
+
+def wilson_interval(successes: int, trials: int, z: float = Z95
+                    ) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(estimate, ci_halfwidth)`` where the estimate is the plain
+    proportion and the half-width is half the Wilson interval length --
+    well-behaved even with zero successes (unlike the Wald interval, which
+    collapses to width 0 there).
+
+    >>> p, hw = wilson_interval(0, 1000)
+    >>> p == 0.0 and hw > 0.0
+    True
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must lie in [0, {trials}], got {successes}")
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p + z2 / (2 * trials)) / denom
+    spread = (z / denom) * np.sqrt(p * (1 - p) / trials
+                                   + z2 / (4 * trials * trials))
+    return p, float(spread)
+
+
+def binomial_ci_halfwidth(p: float, n: int, z: float = Z95) -> float:
+    """Wald (normal-approximation) half-width; fine for large counts."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    return float(z * np.sqrt(p * (1.0 - p) / n))
+
+
+def weighted_mean_ci(values: np.ndarray, z: float = Z95
+                     ) -> tuple[float, float]:
+    """Mean and CI half-width of i.i.d. contributions (IS estimator terms).
+
+    ``values`` are the per-sample products ``w_k * y_k`` of an importance-
+    sampling sum; the estimator is their plain mean and the CI follows from
+    the sample variance.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("need at least one value")
+    mean = float(values.mean())
+    if values.size == 1:
+        return mean, float("inf")
+    stderr = float(values.std(ddof=1) / np.sqrt(values.size))
+    return mean, z * stderr

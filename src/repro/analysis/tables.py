@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benchmark and experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Cells are stringified with ``str``; numeric alignment is right, text
+    alignment left.
+
+    >>> print(format_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+     a  b
+    --  --
+     1  x
+    22  yy
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells for {len(headers)} "
+                "columns")
+        str_rows.append([_render(cell) for cell in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+
+    numeric = [all(_is_numeric(row[i]) for row in str_rows) if str_rows
+               else False for i in range(len(headers))]
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i]
+                         else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 1))
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _render(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        if abs(cell) < 1e-2 or abs(cell) >= 1e5:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,171 @@
+"""Experimental configuration: the paper's Table I as typed dataclasses.
+
+The six transistors of the 6T cell are identified by the paper's names::
+
+    L1, L2 -- pMOS loads      (W = 60 nm)
+    D1, D2 -- nMOS drivers    (W = 30 nm)
+    A1, A2 -- nMOS access     (W = 30 nm)
+
+all with L = 16 nm.  Throughout the package, per-device vectors follow
+:data:`DEVICE_ORDER`; :data:`MIRROR_PERMUTATION` maps a vector onto the
+electrically mirrored cell (side 1 <-> side 2), which is how the stored-data
+symmetry is exploited (see :mod:`repro.rtn.model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+#: Canonical per-device vector ordering.
+DEVICE_ORDER: tuple[str, ...] = ("L1", "D1", "A1", "L2", "D2", "A2")
+
+#: Index permutation swapping cell side 1 and side 2.
+MIRROR_PERMUTATION: tuple[int, ...] = (3, 4, 5, 0, 1, 2)
+
+#: Device polarity by role: +1 nMOS, -1 pMOS.
+DEVICE_POLARITY: dict[str, int] = {
+    "L1": -1, "L2": -1, "D1": +1, "D2": +1, "A1": +1, "A2": +1,
+}
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Channel geometry of one transistor [nm]."""
+
+    w_nm: float
+    l_nm: float
+
+    def __post_init__(self):
+        if self.w_nm <= 0 or self.l_nm <= 0:
+            raise ValueError(
+                f"geometry must be positive, got W={self.w_nm}, L={self.l_nm}")
+
+    @property
+    def area_nm2(self) -> float:
+        """Gate area W*L [nm^2]."""
+        return self.w_nm * self.l_nm
+
+
+@dataclass(frozen=True)
+class CellGeometry:
+    """Geometry of the 6T cell (paper Table I defaults)."""
+
+    load: DeviceGeometry = DeviceGeometry(w_nm=60.0, l_nm=16.0)
+    driver: DeviceGeometry = DeviceGeometry(w_nm=30.0, l_nm=16.0)
+    access: DeviceGeometry = DeviceGeometry(w_nm=30.0, l_nm=16.0)
+    tox_nm: float = 0.95
+
+    def __post_init__(self):
+        if self.tox_nm <= 0:
+            raise ValueError(f"tox must be positive, got {self.tox_nm}")
+
+    def device(self, name: str) -> DeviceGeometry:
+        """Geometry for device ``name`` (one of :data:`DEVICE_ORDER`)."""
+        role = _role_of(name)
+        return {"L": self.load, "D": self.driver, "A": self.access}[role]
+
+    def geometries(self) -> list[DeviceGeometry]:
+        """Per-device geometry following :data:`DEVICE_ORDER`."""
+        return [self.device(name) for name in DEVICE_ORDER]
+
+
+def _role_of(name: str) -> str:
+    if name not in DEVICE_ORDER:
+        raise KeyError(f"unknown device {name!r}; expected one of {DEVICE_ORDER}")
+    return name[0]
+
+
+@dataclass(frozen=True)
+class RtnTimeConstants:
+    """Capture/emission time constants in the ON and OFF gate states.
+
+    Units are arbitrary-but-consistent (the paper's Table I gives bare
+    numbers); only ratios enter the stationary occupancy.  ``tau_e`` is the
+    mean dwell time in the *captured* (high-|Vth|) state, ``tau_c`` the mean
+    dwell time in the *empty* state (i.e. mean time to capture), following
+    the paper's Section II-D definitions.
+    """
+
+    tau_e_on: float = 1.2
+    tau_e_off: float = 0.1
+    tau_c_on: float = 0.01
+    tau_c_off: float = 0.12
+
+    def __post_init__(self):
+        for label, value in (("tau_e_on", self.tau_e_on),
+                             ("tau_e_off", self.tau_e_off),
+                             ("tau_c_on", self.tau_c_on),
+                             ("tau_c_off", self.tau_c_off)):
+            if value <= 0:
+                raise ValueError(f"{label} must be positive, got {value}")
+
+    def tau_c(self, on_fraction):
+        """Duty-averaged capture time constant, paper eq. (7)."""
+        a = np.asarray(on_fraction, dtype=float)
+        _check_fraction(a, "on_fraction")
+        return a * self.tau_c_on + (1.0 - a) * self.tau_c_off
+
+    def tau_e(self, on_fraction):
+        """Duty-averaged emission time constant, paper eq. (8)."""
+        a = np.asarray(on_fraction, dtype=float)
+        _check_fraction(a, "on_fraction")
+        return a * self.tau_e_on + (1.0 - a) * self.tau_e_off
+
+
+def _check_fraction(a, label: str) -> None:
+    if np.any((a < 0.0) | (a > 1.0)):
+        raise ValueError(f"{label} must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class PaperConditions:
+    """Top-level experimental conditions (Table I plus Section IV text).
+
+    Attributes
+    ----------
+    avth_mv_nm:
+        Pelgrom coefficient A_VTH [mV*nm]; same for nMOS and pMOS.
+    trap_density_per_nm2:
+        Oxide defect density lambda [nm^-2]; the paper notes the smallest
+        transistor then contains 1.92 defects on average.
+    vdd_nominal:
+        Supply for Fig. 6 and Fig. 8 experiments [V].
+    vdd_low:
+        Reduced supply used in Fig. 7 so naive MC converges [V].
+    access_on_fraction:
+        Fraction of time the wordline is high; the paper does not specify
+        it, we default to 0 (access transistors gated off between reads).
+    """
+
+    geometry: CellGeometry = field(default_factory=CellGeometry)
+    time_constants: RtnTimeConstants = field(default_factory=RtnTimeConstants)
+    avth_mv_nm: float = 500.0
+    trap_density_per_nm2: float = 4.0e-3
+    vdd_nominal: float = 0.7
+    vdd_low: float = 0.5
+    access_on_fraction: float = 0.0
+
+    def __post_init__(self):
+        if self.avth_mv_nm <= 0:
+            raise ValueError("A_VTH must be positive")
+        if self.trap_density_per_nm2 < 0:
+            raise ValueError("trap density must be non-negative")
+        if not 0.0 <= self.access_on_fraction <= 1.0:
+            raise ValueError("access_on_fraction must lie in [0, 1]")
+        for vdd in (self.vdd_nominal, self.vdd_low):
+            if vdd <= 0:
+                raise ValueError("supply voltages must be positive")
+
+    def mean_traps(self, device: str) -> float:
+        """Expected trap count lambda * W * L for ``device``."""
+        return self.trap_density_per_nm2 * self.geometry.device(device).area_nm2
+
+    def with_(self, **changes) -> "PaperConditions":
+        """Return a copy with ``changes`` applied (dataclass replace)."""
+        return replace(self, **changes)
+
+
+#: The default, paper-faithful conditions.
+TABLE_I = PaperConditions()

@@ -1,0 +1,55 @@
+"""Physical constants used throughout the library.
+
+All values are CODATA-2018 and expressed in SI units unless a suffix says
+otherwise.  Device geometry in this package is usually given in nanometres;
+helpers here convert to SI where a formula needs it.
+"""
+
+from __future__ import annotations
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Vacuum permittivity [F/m].
+EPSILON_0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2 gate dielectric.
+EPSILON_SIO2 = 3.9
+
+#: Relative permittivity of silicon.
+EPSILON_SI = 11.7
+
+#: Default simulation temperature [K].
+ROOM_TEMPERATURE = 300.0
+
+#: Nanometre in metres.
+NM = 1e-9
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE) -> float:
+    """Return the thermal voltage kT/q [V] at ``temperature_k`` kelvin.
+
+    >>> round(thermal_voltage(300.0), 6)
+    0.025852
+    """
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+
+
+def oxide_capacitance_per_area(tox_nm: float) -> float:
+    """Unit-area gate-oxide capacitance C_ox [F/m^2] for thickness ``tox_nm``.
+
+    C_ox = eps_0 * eps_SiO2 / t_ox.  The paper's Table I uses
+    t_ox = 0.95 nm.
+
+    >>> cox = oxide_capacitance_per_area(0.95)
+    >>> 0.03 < cox < 0.04
+    True
+    """
+    if tox_nm <= 0:
+        raise ValueError(f"oxide thickness must be positive, got {tox_nm}")
+    return EPSILON_0 * EPSILON_SIO2 / (tox_nm * NM)

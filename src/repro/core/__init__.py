@@ -1,0 +1,60 @@
+"""Failure-probability estimators (the paper's core contribution).
+
+Building blocks:
+
+* :mod:`repro.core.indicator` -- indicator protocol and simulation counting;
+* :mod:`repro.core.estimate` -- result/trace containers;
+* :mod:`repro.core.importance` -- Gaussian-mixture alternative
+  distributions and importance-weight algebra;
+* :mod:`repro.core.particles` -- resampling and ensemble diagnostics;
+* :mod:`repro.core.boundary` -- step (1): initial particles on the failure
+  boundary by radial bisection;
+* :mod:`repro.core.filter` -- steps (2)-(4): the particle-filter bank.
+
+Estimators:
+
+* :class:`repro.core.naive.NaiveMonteCarlo` -- the reference;
+* :class:`repro.core.ecripse.EcripseEstimator` -- the proposed method
+  (two-stage particle-filter importance sampling + classifier blockade);
+* :class:`repro.core.conventional.ConventionalSisEstimator` -- the
+  state-of-the-art baseline [8] (no classifier, every sample simulated);
+* :class:`repro.core.meanshift.MeanShiftEstimator` -- mean-shift
+  importance sampling [4]/[6];
+* :class:`repro.core.blockade_mc.StatisticalBlockadeEstimator` -- the
+  classifier-as-blockade Monte Carlo of [12];
+* :class:`repro.core.sweep.BiasSweep` -- duty-ratio sweeps that share
+  initial particles (and optionally the classifier) across bias points.
+"""
+
+from repro.core.indicator import CountingIndicator, SimulationCounter
+from repro.core.estimate import FailureEstimate, TracePoint
+from repro.core.importance import GaussianMixture
+from repro.core.boundary import find_failure_boundary
+from repro.core.filter import ParticleFilter, ParticleFilterBank
+from repro.core.naive import NaiveMonteCarlo
+from repro.core.ecripse import EcripseConfig, EcripseEstimator
+from repro.core.conventional import ConventionalSisEstimator
+from repro.core.meanshift import MeanShiftEstimator
+from repro.core.blockade_mc import StatisticalBlockadeEstimator
+from repro.core.crossentropy import CrossEntropyEstimator
+from repro.core.sweep import BiasSweep, BiasSweepResult
+
+__all__ = [
+    "CountingIndicator",
+    "SimulationCounter",
+    "FailureEstimate",
+    "TracePoint",
+    "GaussianMixture",
+    "find_failure_boundary",
+    "ParticleFilter",
+    "ParticleFilterBank",
+    "NaiveMonteCarlo",
+    "EcripseConfig",
+    "EcripseEstimator",
+    "ConventionalSisEstimator",
+    "MeanShiftEstimator",
+    "StatisticalBlockadeEstimator",
+    "CrossEntropyEstimator",
+    "BiasSweep",
+    "BiasSweepResult",
+]

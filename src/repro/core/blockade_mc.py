@@ -1,0 +1,124 @@
+"""Statistical blockade (Singhee & Rutenbar, the paper's reference [12]).
+
+The original classifier-accelerated Monte Carlo: train a classifier on a
+*variance-broadened* sample of the space, then run plain Monte Carlo where
+only the samples the classifier flags as (possibly) failing are simulated.
+Unlike ECRIPSE there is no importance sampling -- the statistical
+efficiency per sample is naive-MC's, only the per-sample cost drops -- so
+at SRAM-grade failure probabilities it still needs naive-MC-sized sample
+counts.  Included as the second baseline the paper positions itself
+against (Section II-C).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.stats import wilson_interval
+from repro.core.estimate import FailureEstimate, TracePoint
+from repro.core.indicator import CountingIndicator, Indicator, SimulationCounter
+from repro.errors import EstimationError
+from repro.ml.blockade import ClassifierBlockade
+from repro.rng import as_generator, spawn
+from repro.variability.space import VariabilitySpace
+
+
+class StatisticalBlockadeEstimator:
+    """Classifier-blockaded plain Monte Carlo.
+
+    Parameters
+    ----------
+    training_sigma:
+        Broadening factor of the training distribution (samples are drawn
+        from N(0, sigma^2 I) so the rare tail is represented).
+    n_training:
+        Simulated training samples.
+    band_quantile:
+        Uncertainty band for conservative simulation of near-boundary MC
+        samples (the original paper shifts the classification threshold;
+        the band plays the same safety role).
+    """
+
+    method = "statistical-blockade"
+
+    def __init__(self, space: VariabilitySpace, indicator: Indicator,
+                 rtn_model, training_sigma: float = 2.5,
+                 n_training: int = 2000, classifier_degree: int = 4,
+                 band_quantile: float = 0.15, batch_size: int = 5000,
+                 seed=None):
+        if training_sigma < 1.0:
+            raise ValueError("training_sigma must be >= 1")
+        if n_training < 10:
+            raise ValueError("n_training must be >= 10")
+        self.space = space
+        self.rtn_model = rtn_model
+        self.training_sigma = training_sigma
+        self.n_training = n_training
+        self.batch_size = batch_size
+        self.counter = SimulationCounter()
+        self.indicator = CountingIndicator(indicator, self.counter)
+        rng = as_generator(seed)
+        self._rng_train, self._rng_mc, rng_clf = spawn(rng, 3)
+        self.blockade = ClassifierBlockade(
+            dim=space.dim, degree=classifier_degree,
+            band_quantile=band_quantile,
+            seed=int(rng_clf.integers(2**31)))
+
+    # ------------------------------------------------------------------
+    def run(self, n_samples: int,
+            target_relative_error: float | None = None) -> FailureEstimate:
+        """Blockaded Monte Carlo over ``n_samples`` statistical samples."""
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        start = time.perf_counter()
+        self._train()
+        if not self.blockade.is_trained:
+            raise EstimationError(
+                "blockade training produced a single-class set; increase "
+                "training_sigma or n_training")
+
+        fails = 0
+        drawn = 0
+        trace: list[TracePoint] = []
+        while drawn < n_samples:
+            batch = min(self.batch_size, n_samples - drawn)
+            x = self.space.sample(batch, self._rng_mc)
+            shifts, states = self.rtn_model.sample(batch, self._rng_mc)
+            total = self.rtn_model.mirror(x + shifts, states)
+
+            prediction = self.blockade.predict(total)
+            suspicious = prediction.labels | prediction.uncertain
+            if np.any(suspicious):
+                confirmed = self.indicator.evaluate(total[suspicious])
+                fails += int(np.sum(confirmed))
+            drawn += batch
+
+            estimate, halfwidth = wilson_interval(fails, drawn)
+            trace.append(TracePoint(
+                n_simulations=self.counter.count, estimate=estimate,
+                ci_halfwidth=halfwidth, n_statistical_samples=drawn))
+            if (target_relative_error is not None and estimate > 0
+                    and halfwidth / estimate <= target_relative_error):
+                break
+
+        estimate, halfwidth = wilson_interval(fails, drawn)
+        return FailureEstimate(
+            pfail=estimate, ci_halfwidth=halfwidth,
+            n_simulations=self.counter.count, n_statistical_samples=drawn,
+            method=self.method, wall_time_s=time.perf_counter() - start,
+            trace=trace,
+            metadata={"failures": fails,
+                      "training_samples": self.n_training,
+                      "training_sigma": self.training_sigma})
+
+    # ------------------------------------------------------------------
+    def _train(self) -> None:
+        x = self.space.sample(self.n_training, self._rng_train)
+        x = x * self.training_sigma
+        shifts, states = self.rtn_model.sample(self.n_training,
+                                               self._rng_train)
+        total = self.rtn_model.mirror(x + shifts, states)
+        labels = self.indicator.evaluate(total)
+        self.blockade.train(total, labels)

@@ -1,0 +1,106 @@
+"""Step (1): initial particles near the failure boundary.
+
+Random directions on the D-sphere are searched radially with bisection
+until the pass/fail transition is bracketed (paper Fig. 4a).  All
+directions are bisected *together*, so each refinement level costs one
+batched indicator evaluation -- the butterfly evaluator amortises the
+whole level into a single vectorised call.
+
+The returned boundary points are reused across bias conditions (the
+paper's initialisation sharing): the failure boundary of the deterministic
+indicator does not depend on the RTN bias, only the RTN sampling does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.indicator import CountingIndicator
+
+
+def sphere_directions(n: int, dim: int, rng: np.random.Generator
+                      ) -> np.ndarray:
+    """``n`` independent uniform directions on the unit (dim-1)-sphere."""
+    if n < 1 or dim < 1:
+        raise ValueError(f"need n >= 1 and dim >= 1, got n={n}, dim={dim}")
+    raw = rng.standard_normal((n, dim))
+    norms = np.linalg.norm(raw, axis=1, keepdims=True)
+    # Resample the (measure-zero) degenerate rows instead of dividing by 0.
+    while np.any(norms == 0.0):  # pragma: no cover - astronomically rare
+        bad = norms[:, 0] == 0.0
+        raw[bad] = rng.standard_normal((int(bad.sum()), dim))
+        norms = np.linalg.norm(raw, axis=1, keepdims=True)
+    return raw / norms
+
+
+@dataclass
+class BoundarySearchResult:
+    """Outcome of the radial boundary search.
+
+    Attributes
+    ----------
+    points:
+        Boundary points (one per direction that failed at ``r_max``),
+        shape (M, D) with M <= n_directions.
+    radii:
+        Distance of each boundary point from the origin, shape (M,).
+    n_simulations:
+        Simulations spent by the search.
+    n_directions_failed:
+        Directions whose ray hit the failure region at all.
+    """
+
+    points: np.ndarray
+    radii: np.ndarray
+    n_simulations: int
+    n_directions_failed: int
+
+
+def find_failure_boundary(indicator: CountingIndicator, n_directions: int,
+                          rng: np.random.Generator, r_max: float = 8.0,
+                          n_bisections: int = 12) -> BoundarySearchResult:
+    """Locate the failure boundary along random radial directions.
+
+    Directions that do not fail at radius ``r_max`` are dropped (their ray
+    misses the failure region within the searched ball).  For each
+    remaining direction the transition radius is bisected to
+    ``r_max / 2**n_bisections`` resolution and the midpoint of the final
+    bracket is returned.
+
+    Raises
+    ------
+    ValueError
+        If no direction reaches the failure region -- either ``r_max`` is
+        too small or the failure probability is ~0 in the searched ball.
+    """
+    if r_max <= 0:
+        raise ValueError(f"r_max must be positive, got {r_max}")
+    if n_bisections < 1:
+        raise ValueError("n_bisections must be >= 1")
+    start_count = indicator.count
+
+    directions = sphere_directions(n_directions, indicator.dim, rng)
+    fails_at_rmax = indicator.evaluate(directions * r_max)
+    directions = directions[fails_at_rmax]
+    if directions.shape[0] == 0:
+        raise ValueError(
+            f"no failures found at radius {r_max} along {n_directions} "
+            "directions; increase r_max or check the indicator")
+
+    lo = np.zeros(directions.shape[0])
+    hi = np.full(directions.shape[0], r_max)
+    for _ in range(n_bisections):
+        mid = 0.5 * (lo + hi)
+        failing = indicator.evaluate(directions * mid[:, None])
+        hi = np.where(failing, mid, hi)
+        lo = np.where(failing, lo, mid)
+    radii = 0.5 * (lo + hi)
+
+    return BoundarySearchResult(
+        points=directions * radii[:, None],
+        radii=radii,
+        n_simulations=indicator.count - start_count,
+        n_directions_failed=directions.shape[0],
+    )

@@ -1,0 +1,38 @@
+"""The conventional baseline: particle-filter sequential importance
+sampling without a classifier (Katayama et al., ICCAD 2010 -- the paper's
+reference [8]).
+
+Structurally this is the same two-stage flow as ECRIPSE (the paper builds
+on [8]); the differences that make it the *baseline* are:
+
+* every indicator label -- in the particle-filter measurement step and for
+  every stage-2 statistical sample -- comes from a transistor-level
+  simulation;
+* no initialisation sharing across bias conditions (each run performs its
+  own boundary search unless one is passed explicitly).
+
+Those are exactly the two costs the paper's contributions remove, so the
+simulation-count gap between this class and
+:class:`~repro.core.ecripse.EcripseEstimator` is the paper's headline
+speedup (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.ecripse import EcripseConfig, EcripseEstimator
+
+
+class ConventionalSisEstimator(EcripseEstimator):
+    """Particle-filter importance sampling with all labels simulated."""
+
+    method = "conventional-sis"
+
+    def __init__(self, space, indicator, rtn_model,
+                 config: EcripseConfig | None = None, seed=None,
+                 initial_boundary=None):
+        config = replace(config if config is not None else EcripseConfig(),
+                         use_classifier=False)
+        super().__init__(space, indicator, rtn_model, config=config,
+                         seed=seed, initial_boundary=initial_boundary)

@@ -1,0 +1,373 @@
+"""ECRIPSE: the paper's two-stage, classifier-assisted estimator.
+
+Algorithm 1 of the paper:
+
+1. **Initial sample selection** -- particles are placed on the failure
+   boundary found by radial bisection (:mod:`repro.core.boundary`); an
+   existing boundary can be passed in to share initialisation across bias
+   conditions (Fig. 7b / Fig. 8).
+2-4. **Particle filtering** -- a bank of filters tracks the failure lobes;
+   candidate weights are ``P_fail^RTN(x) * P_RDF(x)`` (eq. 16-17) where
+   the inner RTN failure probability is estimated from M RTN draws whose
+   labels come mostly from the classifier: only K randomly chosen draws
+   per iteration are simulated and used as training data (Section III-B,
+   step 3).  Label errors here only perturb the alternative distribution,
+   never the estimate.
+5. **Importance sampling** -- the final particles define a Gaussian-mixture
+   alternative distribution (eq. 18) from which statistical samples are
+   drawn in batches; each batch's RTN draws are labelled by the classifier
+   except inside an uncertainty band around the hyperplane, which is
+   simulated and fed back as incremental training data (eq. 19).
+
+Transistor-level simulations are counted by a
+:class:`~repro.core.indicator.SimulationCounter`; classifier evaluations
+are free, which is the entire point of the method.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.boundary import BoundarySearchResult, find_failure_boundary
+from repro.core.estimate import FailureEstimate, RunningMean, TracePoint
+from repro.core.filter import ParticleFilterBank
+from repro.core.importance import (
+    DefensiveMixture,
+    GaussianMixture,
+    importance_ratios,
+)
+from repro.core.indicator import CountingIndicator, Indicator, SimulationCounter
+from repro.errors import EstimationError
+from repro.ml.blockade import ClassifierBlockade
+from repro.rng import as_generator, spawn
+from repro.variability.space import VariabilitySpace
+
+
+@dataclass(frozen=True)
+class EcripseConfig:
+    """Tuning knobs of :class:`EcripseEstimator`.
+
+    Stage-1 (particle filter) parameters
+    ------------------------------------
+    n_filters:
+        Independent particle filters (paper: several, to cover both
+        symmetric failure lobes; 1 reproduces the degeneracy failure mode).
+    n_particles:
+        Particles per filter.
+    n_iterations:
+        Predict/measure/resample rounds ("ten times of repetition is
+        enough" -- Section III-B).
+    kernel_sigma:
+        Proposal / mixture kernel standard deviation, whitened units.
+    m_rtn:
+        RTN draws per candidate for the eq. (17) inner estimate (forced to
+        1 for the null RTN model).
+    k_train:
+        Simulated (labelled) samples per particle-filter iteration.
+
+    Initialisation parameters
+    -------------------------
+    n_boundary_directions, boundary_r_max, n_bisections:
+        Radial boundary search (step 1).
+
+    Stage-2 (importance sampling) parameters
+    ----------------------------------------
+    stage2_batch:
+        Statistical samples per stage-2 batch.
+    defensive_fraction:
+        Prior mass blended into the stage-2 alternative distribution
+        (bounds importance weights by its reciprocal).
+    is_sigma_scale:
+        Stage-2 kernel sigma relative to the particle-filter kernel; >1
+        widens the mixture so it covers the optimal distribution's spread
+        in the directions the particles under-explore.
+    m_rtn_stage2:
+        RTN draws per statistical sample in stage 2.
+    max_statistical_samples:
+        Hard cap on stage-2 statistical samples.
+    min_stage2_batches:
+        Batches to run before the stopping rule may fire.
+
+    Classifier parameters
+    ---------------------
+    use_classifier:
+        ``False`` simulates every label (the conventional baseline and the
+        A1 ablation).
+    classifier_degree:
+        Polynomial degree of the feature map (paper: 4).
+    classifier_c:
+        SVM cost.
+    band_quantile:
+        Training-|decision| quantile defining the stage-2 uncertainty
+        band.
+    retrain_trigger:
+        Incremental-retrain threshold (new labels).
+    """
+
+    n_filters: int = 2
+    n_particles: int = 100
+    n_iterations: int = 10
+    kernel_sigma: float = 0.35
+    m_rtn: int = 8
+    k_train: int = 256
+    n_boundary_directions: int = 64
+    boundary_r_max: float = 8.0
+    n_bisections: int = 12
+    stage2_batch: int = 2000
+    m_rtn_stage2: int = 4
+    max_statistical_samples: int = 2_000_000
+    min_stage2_batches: int = 4
+    defensive_fraction: float = 0.1
+    is_sigma_scale: float = 2.5
+    use_classifier: bool = True
+    classifier_degree: int = 4
+    classifier_c: float = 10.0
+    band_quantile: float = 0.12
+    retrain_trigger: int = 500
+
+    def __post_init__(self):
+        if self.n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        if self.m_rtn < 1 or self.m_rtn_stage2 < 1:
+            raise ValueError("RTN draw counts must be >= 1")
+        if self.k_train < 2:
+            raise ValueError("k_train must be >= 2")
+        if self.stage2_batch < 2:
+            raise ValueError("stage2_batch must be >= 2")
+        if self.min_stage2_batches < 1:
+            raise ValueError("min_stage2_batches must be >= 1")
+        if not 0.0 < self.defensive_fraction < 1.0:
+            raise ValueError("defensive_fraction must lie in (0, 1)")
+        if self.is_sigma_scale <= 0:
+            raise ValueError("is_sigma_scale must be positive")
+
+    def with_(self, **changes) -> "EcripseConfig":
+        """Return a copy with ``changes`` applied (dataclass replace)."""
+        return replace(self, **changes)
+
+
+class EcripseEstimator:
+    """The proposed failure-probability estimator.
+
+    Parameters
+    ----------
+    space:
+        Whitened RDF variability space.
+    indicator:
+        Deterministic failure indicator in the total-shift space (for RTN
+        runs: the stored-"0" lobe indicator; states are mirrored onto it).
+    rtn_model:
+        RTN sampler (:class:`~repro.rtn.model.RtnModel`) or the null model.
+    config:
+        :class:`EcripseConfig`.
+    initial_boundary:
+        A previous run's :attr:`boundary` to skip step (1) (bias sweeps).
+    classifier:
+        A previous run's :attr:`blockade` to reuse accumulated training
+        data (valid across bias conditions at a fixed supply because the
+        deterministic indicator does not depend on the duty ratio).
+    """
+
+    method = "ecripse"
+
+    def __init__(self, space: VariabilitySpace, indicator: Indicator,
+                 rtn_model, config: EcripseConfig | None = None, seed=None,
+                 initial_boundary: BoundarySearchResult | None = None,
+                 classifier: ClassifierBlockade | None = None):
+        self.space = space
+        self.rtn_model = rtn_model
+        self.config = config if config is not None else EcripseConfig()
+        self.counter = SimulationCounter()
+        self.indicator = CountingIndicator(indicator, self.counter)
+        # The initial boundary search must cover every failure lobe the
+        # (possibly state-mirrored) weight function can reach; indicators
+        # that only score one lobe advertise a wider boundary indicator.
+        boundary_source = getattr(indicator, "boundary_indicator", None)
+        self.boundary_search_indicator = CountingIndicator(
+            boundary_source if boundary_source is not None else indicator,
+            self.counter)
+        rng = as_generator(seed)
+        (self._rng_boundary, self._rng_bank, self._rng_stage1,
+         self._rng_stage2, rng_clf) = spawn(rng, 5)
+        self.boundary = initial_boundary
+        if classifier is not None:
+            self.blockade = classifier
+        else:
+            self.blockade = ClassifierBlockade(
+                dim=space.dim, degree=self.config.classifier_degree,
+                band_quantile=self.config.band_quantile,
+                c=self.config.classifier_c,
+                retrain_trigger=self.config.retrain_trigger,
+                seed=int(rng_clf.integers(2**31)))
+        self.filter_bank: ParticleFilterBank | None = None
+        self.mixture: DefensiveMixture | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, target_relative_error: float = 0.01,
+            max_simulations: int | None = None) -> FailureEstimate:
+        """Estimate P_fail.
+
+        Stops when the 95 % CI relative error drops below the target (after
+        a minimum number of batches), when ``max_simulations`` is exceeded,
+        or when the statistical-sample cap is reached -- whichever first.
+        """
+        if target_relative_error <= 0:
+            raise ValueError("target_relative_error must be positive")
+        start = time.perf_counter()
+        cfg = self.config
+
+        if self.boundary is None:
+            self.boundary = find_failure_boundary(
+                self.boundary_search_indicator, cfg.n_boundary_directions,
+                self._rng_boundary, r_max=cfg.boundary_r_max,
+                n_bisections=cfg.n_bisections)
+        boundary_sims = self.counter.count
+
+        self._run_stage1()
+        stage1_sims = self.counter.count - boundary_sims
+
+        estimate, trace = self._run_stage2(
+            target_relative_error, max_simulations)
+        stage2_sims = self.counter.count - stage1_sims - boundary_sims
+
+        estimate.wall_time_s = time.perf_counter() - start
+        estimate.trace = trace
+        estimate.metadata.update({
+            "boundary_simulations": boundary_sims,
+            "stage1_simulations": stage1_sims,
+            "stage2_simulations": stage2_sims,
+            "classifier_trainings": self.blockade.train_count,
+            "classifier_samples": self.blockade.n_training_samples,
+            "use_classifier": cfg.use_classifier,
+            "n_filters": cfg.n_filters,
+        })
+        return estimate
+
+    # ------------------------------------------------------------------
+    # stage 1: particle filtering
+    # ------------------------------------------------------------------
+    def _run_stage1(self) -> None:
+        cfg = self.config
+        self.filter_bank = ParticleFilterBank(
+            self.boundary.points, cfg.n_filters, cfg.n_particles,
+            cfg.kernel_sigma, self._rng_bank)
+        m = 1 if self.rtn_model.is_null else cfg.m_rtn
+        for _ in range(cfg.n_iterations):
+            candidates = self.filter_bank.predict_all()
+            total = self._total_shift_samples(candidates, m,
+                                              self._rng_stage1)
+            labels = self._labels_stage1(total)
+            p_fail_rtn = labels.reshape(candidates.shape[0], m).mean(axis=1)
+            weights = p_fail_rtn * self.space.pdf(candidates)
+            self.filter_bank.resample_all(candidates, weights)
+        # Filters whose lobe carries no weight under this bias condition
+        # (e.g. the mirrored lobe at duty ratio 0) never resampled; their
+        # kernels would only dilute the mixture, so they are dropped --
+        # the defensive prior still guards anything they might have seen.
+        live = [f.positions for f in self.filter_bank.filters
+                if f.history and f.history[-1].mean_weight > 0.0]
+        positions = (np.vstack(live) if live
+                     else self.filter_bank.positions())
+        kernel = GaussianMixture(positions,
+                                 cfg.kernel_sigma * cfg.is_sigma_scale)
+        self.mixture = DefensiveMixture(self.space, kernel,
+                                        cfg.defensive_fraction)
+
+    def _total_shift_samples(self, x: np.ndarray, m: int,
+                             rng: np.random.Generator) -> np.ndarray:
+        """Combine RDF points with RTN draws, mirrored to the canonical
+        stored-"0" frame; returns (len(x) * m, D)."""
+        shifts, states = self.rtn_model.sample((x.shape[0], m), rng)
+        total = self.rtn_model.mirror(x[:, None, :] + shifts, states)
+        return total.reshape(x.shape[0] * m, self.space.dim)
+
+    def _labels_stage1(self, total: np.ndarray) -> np.ndarray:
+        """Fail labels for stage-1 samples: K simulated, rest classified."""
+        cfg = self.config
+        n = total.shape[0]
+        if not cfg.use_classifier:
+            return self.indicator.evaluate(total)
+        if n <= cfg.k_train:
+            labels = self.indicator.evaluate(total)
+            self.blockade.update(total, labels, force_retrain=True)
+            return labels
+
+        picks = self._rng_stage1.choice(n, size=cfg.k_train, replace=False)
+        simulated = self.indicator.evaluate(total[picks])
+        self.blockade.update(total[picks], simulated, force_retrain=True)
+
+        labels = np.zeros(n, dtype=bool)
+        labels[picks] = simulated
+        rest = np.ones(n, dtype=bool)
+        rest[picks] = False
+        if self.blockade.is_trained:
+            labels[rest] = self.blockade.predict(total[rest]).labels
+        else:
+            # Single-class training data so far: simulate everything.
+            labels[rest] = self.indicator.evaluate(total[rest])
+        return labels
+
+    # ------------------------------------------------------------------
+    # stage 2: importance sampling
+    # ------------------------------------------------------------------
+    def _run_stage2(self, target_relative_error: float,
+                    max_simulations: int | None
+                    ) -> tuple[FailureEstimate, list[TracePoint]]:
+        cfg = self.config
+        if self.mixture is None:
+            raise EstimationError("stage 2 requires a completed stage 1")
+        m = 1 if self.rtn_model.is_null else cfg.m_rtn_stage2
+        accumulator = RunningMean()
+        trace: list[TracePoint] = []
+        batches = 0
+        while accumulator.count < cfg.max_statistical_samples:
+            x = self.mixture.sample(cfg.stage2_batch, self._rng_stage2)
+            ratios = importance_ratios(self.space, self.mixture, x)
+            total = self._total_shift_samples(x, m, self._rng_stage2)
+            labels = self._labels_stage2(total)
+            y = labels.reshape(x.shape[0], m).mean(axis=1)
+            accumulator.update(ratios * y)
+            batches += 1
+
+            trace.append(TracePoint(
+                n_simulations=self.counter.count,
+                estimate=accumulator.mean,
+                ci_halfwidth=accumulator.ci95_halfwidth,
+                n_statistical_samples=accumulator.count))
+            if (batches >= cfg.min_stage2_batches and accumulator.mean > 0
+                    and accumulator.ci95_halfwidth / accumulator.mean
+                    <= target_relative_error):
+                break
+            if (max_simulations is not None
+                    and self.counter.count >= max_simulations):
+                break
+
+        if accumulator.mean <= 0.0:
+            raise EstimationError(
+                "importance sampling found no failing samples; the "
+                "alternative distribution missed the failure region")
+        estimate = FailureEstimate(
+            pfail=accumulator.mean,
+            ci_halfwidth=accumulator.ci95_halfwidth,
+            n_simulations=self.counter.count,
+            n_statistical_samples=accumulator.count,
+            method=self.method)
+        return estimate, trace
+
+    def _labels_stage2(self, total: np.ndarray) -> np.ndarray:
+        """Fail labels for stage-2 samples: classifier everywhere except
+        the uncertainty band, which is simulated and fed back."""
+        cfg = self.config
+        if not cfg.use_classifier or not self.blockade.is_trained:
+            return self.indicator.evaluate(total)
+        prediction = self.blockade.predict(total)
+        labels = prediction.labels.copy()
+        uncertain = prediction.uncertain
+        if np.any(uncertain):
+            simulated = self.indicator.evaluate(total[uncertain])
+            labels[uncertain] = simulated
+            self.blockade.update(total[uncertain], simulated)
+        return labels

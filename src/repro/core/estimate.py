@@ -1,0 +1,150 @@
+"""Result containers: failure estimates and convergence traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One point of a convergence trace.
+
+    Attributes
+    ----------
+    n_simulations:
+        Cumulative transistor-level simulations when the point was logged.
+    estimate:
+        Failure-probability estimate at that moment.
+    ci_halfwidth:
+        Half-width of the 95 % confidence interval.
+    n_statistical_samples:
+        Cumulative statistical samples (classifier-evaluated ones
+        included); for classifier-free methods this equals
+        ``n_simulations`` up to initialisation overhead.
+    """
+
+    n_simulations: int
+    estimate: float
+    ci_halfwidth: float
+    n_statistical_samples: int = 0
+
+    @property
+    def relative_error(self) -> float:
+        """The paper's Fig. 6(b) metric: CI95 half-width / estimate."""
+        if self.estimate <= 0.0:
+            return float("inf")
+        return self.ci_halfwidth / self.estimate
+
+
+@dataclass
+class FailureEstimate:
+    """A completed failure-probability estimation run.
+
+    Attributes
+    ----------
+    pfail:
+        The estimate of P_fail.
+    ci_halfwidth:
+        95 % confidence half-width (statistical only; classifier bias, if
+        any, is not included -- same caveat as the paper).
+    n_simulations:
+        Total transistor-level simulations spent, including initialisation
+        and classifier training labels.
+    n_statistical_samples:
+        Total Monte-Carlo samples contributing to the estimate.
+    method:
+        Human-readable estimator name.
+    wall_time_s:
+        Wall-clock duration of the run.
+    trace:
+        Convergence history.
+    metadata:
+        Estimator-specific extras (stage budgets, classifier stats, ...).
+    """
+
+    pfail: float
+    ci_halfwidth: float
+    n_simulations: int
+    n_statistical_samples: int
+    method: str
+    wall_time_s: float = 0.0
+    trace: list[TracePoint] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def ci_low(self) -> float:
+        return max(self.pfail - self.ci_halfwidth, 0.0)
+
+    @property
+    def ci_high(self) -> float:
+        return self.pfail + self.ci_halfwidth
+
+    @property
+    def relative_error(self) -> float:
+        if self.pfail <= 0.0:
+            return float("inf")
+        return self.ci_halfwidth / self.pfail
+
+    def simulations_to_accuracy(self, target_relative_error: float) -> int | None:
+        """First simulation count at which the trace reached the target
+        relative error, or ``None`` if it never did."""
+        if target_relative_error <= 0:
+            raise ValueError("target relative error must be positive")
+        for point in self.trace:
+            if point.relative_error <= target_relative_error:
+                return point.n_simulations
+        return None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.method}: Pfail = {self.pfail:.3e} "
+                f"+/- {self.ci_halfwidth:.1e} "
+                f"(rel. err. {self.relative_error:.1%}, "
+                f"{self.n_simulations} simulations, "
+                f"{self.wall_time_s:.1f} s)")
+
+
+class RunningMean:
+    """Streaming mean/variance accumulator (Welford) for batched updates."""
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        batch_count = values.size
+        batch_mean = float(values.mean())
+        batch_m2 = float(np.sum((values - batch_mean) ** 2))
+        total = self.count + batch_count
+        delta = batch_mean - self._mean
+        self._mean += delta * batch_count / total
+        self._m2 += batch_m2 + delta * delta * self.count * batch_count / total
+        self.count = total
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 before two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 1:
+            return float("inf")
+        return float(np.sqrt(self.variance / self.count))
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        return 1.96 * self.std_error

@@ -1,0 +1,118 @@
+"""Indicator protocol and transistor-level-simulation accounting.
+
+An *indicator* maps a batch of points in the whitened variability space to
+boolean failure labels (paper eq. 1).  Every evaluation stands for one
+transistor-level simulation -- the quantity all of the paper's x-axes
+count -- so estimators never call an indicator directly; they wrap it in a
+:class:`CountingIndicator` tied to a :class:`SimulationCounter`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Indicator(Protocol):
+    """Anything that can label whitened points as fail/pass."""
+
+    dim: int
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Boolean failure labels for points ``x`` of shape (B, dim)."""
+        ...
+
+
+class SimulationCounter:
+    """Counts transistor-level simulations (indicator evaluations).
+
+    An optional hard ``budget`` turns the counter into a circuit breaker:
+    exceeding it raises
+    :class:`~repro.errors.BudgetExceededError`, which is the safe way to
+    bound the cost of an exploratory run whose convergence behaviour is
+    unknown (estimator-level ``max_simulations`` stops only at batch
+    boundaries).
+    """
+
+    def __init__(self, budget: int | None = None):
+        if budget is not None and budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        self.count = 0
+        self.budget = budget
+
+    def add(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"cannot add {n} simulations")
+        self.count += int(n)
+        if self.budget is not None and self.count > self.budget:
+            from repro.errors import BudgetExceededError
+
+            raise BudgetExceededError(
+                f"simulation budget exhausted: {self.count} > "
+                f"{self.budget}", spent=self.count, budget=self.budget)
+
+    @property
+    def remaining(self) -> int | None:
+        """Simulations left before the budget trips (None = unlimited)."""
+        if self.budget is None:
+            return None
+        return max(self.budget - self.count, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulationCounter(count={self.count})"
+
+
+class CountingIndicator:
+    """Wrap an indicator so each evaluated point increments a counter.
+
+    Also forwards ``margin`` when the wrapped indicator provides one (the
+    SRAM indicators do); margin queries count as simulations too, since
+    they require the same butterfly evaluation.
+    """
+
+    def __init__(self, indicator: Indicator,
+                 counter: SimulationCounter | None = None):
+        self.indicator = indicator
+        self.counter = counter if counter is not None else SimulationCounter()
+        self.dim = indicator.dim
+
+    @property
+    def count(self) -> int:
+        return self.counter.count
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.counter.add(x.shape[0])
+        return self.indicator.evaluate(x)
+
+    def margin(self, x: np.ndarray) -> np.ndarray:
+        if not hasattr(self.indicator, "margin"):
+            raise AttributeError(
+                f"{type(self.indicator).__name__} provides no margin()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.counter.add(x.shape[0])
+        return self.indicator.margin(x)
+
+
+class FunctionIndicator:
+    """Adapt a plain callable ``f(x) -> bool array`` to the protocol.
+
+    Handy for synthetic test problems with known failure probability.
+    """
+
+    def __init__(self, func, dim: int):
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self._func = func
+        self.dim = dim
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        labels = np.asarray(self._func(x), dtype=bool)
+        if labels.shape != (x.shape[0],):
+            raise ValueError(
+                f"indicator function returned shape {labels.shape} for "
+                f"{x.shape[0]} points")
+        return labels

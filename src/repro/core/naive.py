@@ -1,0 +1,86 @@
+"""Naive Monte Carlo over the joint (RDF, RTN) space.
+
+The reference method (paper eq. 2 and the black curves of Fig. 7): draw
+process variability from the prior, RTN shifts and the stored state from
+the RTN model, simulate every sample.  Confidence intervals use the Wilson
+score, which stays sensible at small failure counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.stats import wilson_interval
+from repro.core.estimate import FailureEstimate, TracePoint
+from repro.core.indicator import CountingIndicator, Indicator, SimulationCounter
+from repro.rng import as_generator
+from repro.variability.space import VariabilitySpace
+
+
+class NaiveMonteCarlo:
+    """Plain Monte-Carlo failure-probability estimator.
+
+    Parameters
+    ----------
+    space:
+        The whitened RDF space.
+    indicator:
+        Failure indicator in the *total-shift* space.  For RTN runs pass
+        the stored-"0" lobe indicator (the sampler mirrors states onto it);
+        for RDF-only runs pass the cell-level indicator and a
+        :class:`~repro.rtn.model.ZeroRtnModel`.
+    rtn_model:
+        RTN sampler (or the null model).
+    batch_size:
+        Samples per vectorised batch.
+    """
+
+    def __init__(self, space: VariabilitySpace, indicator: Indicator,
+                 rtn_model, batch_size: int = 5000, seed=None):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.space = space
+        self.rtn_model = rtn_model
+        self.batch_size = batch_size
+        self.rng = as_generator(seed)
+        self.counter = SimulationCounter()
+        self.indicator = CountingIndicator(indicator, self.counter)
+
+    # ------------------------------------------------------------------
+    def run(self, n_samples: int,
+            target_relative_error: float | None = None) -> FailureEstimate:
+        """Estimate P_fail from up to ``n_samples`` simulations.
+
+        Stops early if ``target_relative_error`` (CI95 half-width over
+        estimate) is reached.
+        """
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        start = time.perf_counter()
+        fails = 0
+        drawn = 0
+        trace: list[TracePoint] = []
+        while drawn < n_samples:
+            batch = min(self.batch_size, n_samples - drawn)
+            x = self.space.sample(batch, self.rng)
+            shifts, states = self.rtn_model.sample(batch, self.rng)
+            total = self.rtn_model.mirror(x + shifts, states)
+            fails += int(np.sum(self.indicator.evaluate(total)))
+            drawn += batch
+
+            estimate, halfwidth = wilson_interval(fails, drawn)
+            trace.append(TracePoint(
+                n_simulations=self.counter.count, estimate=estimate,
+                ci_halfwidth=halfwidth, n_statistical_samples=drawn))
+            if (target_relative_error is not None and estimate > 0.0
+                    and halfwidth / estimate <= target_relative_error):
+                break
+
+        estimate, halfwidth = wilson_interval(fails, drawn)
+        return FailureEstimate(
+            pfail=estimate, ci_halfwidth=halfwidth,
+            n_simulations=self.counter.count, n_statistical_samples=drawn,
+            method="naive-mc", wall_time_s=time.perf_counter() - start,
+            trace=trace, metadata={"failures": fails})

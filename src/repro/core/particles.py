@@ -1,0 +1,96 @@
+"""Particle ensembles: resampling schemes and diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def multinomial_resample(weights: np.ndarray, n: int,
+                         rng: np.random.Generator) -> np.ndarray:
+    """Indices of ``n`` particles drawn i.i.d. proportional to ``weights``."""
+    p = _normalised(weights)
+    return rng.choice(p.size, size=n, p=p)
+
+
+def systematic_resample(weights: np.ndarray, n: int,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Systematic (low-variance) resampling.
+
+    A single uniform offset stratifies the cumulative weight axis; this is
+    the standard choice for particle filters because it minimises
+    resampling noise while staying unbiased.
+    """
+    p = _normalised(weights)
+    positions = (rng.random() + np.arange(n)) / n
+    return np.searchsorted(np.cumsum(p), positions).clip(0, p.size - 1)
+
+
+def _normalised(weights: np.ndarray) -> np.ndarray:
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ValueError("weights must be finite and non-negative")
+    total = weights.sum()
+    if total <= 0.0:
+        raise ValueError("at least one weight must be positive")
+    return weights / total
+
+
+def unique_fraction(indices: np.ndarray) -> float:
+    """Fraction of distinct ancestors after resampling (degeneracy
+    diagnostic: 1.0 = no collapse, ~0 = full collapse)."""
+    indices = np.asarray(indices)
+    if indices.size == 0:
+        return 0.0
+    return np.unique(indices).size / indices.size
+
+
+def ensemble_spread(positions: np.ndarray) -> float:
+    """RMS distance of particles from their centroid."""
+    positions = np.atleast_2d(np.asarray(positions, dtype=float))
+    centred = positions - positions.mean(axis=0)
+    return float(np.sqrt(np.mean(np.sum(centred * centred, axis=1))))
+
+
+def kmeans_directions(points: np.ndarray, k: int, rng: np.random.Generator,
+                      n_iterations: int = 25) -> np.ndarray:
+    """Cluster points by *direction* (cosine k-means).
+
+    Used to split boundary points between particle filters so that each
+    filter starts on one failure lobe.  Returns integer labels (M,).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    norms = np.linalg.norm(points, axis=1, keepdims=True)
+    if np.any(norms == 0):
+        raise ValueError("cannot cluster zero vectors by direction")
+    unit = points / norms
+    if k == 1 or points.shape[0] <= k:
+        return np.arange(points.shape[0]) % k
+
+    # k-means++ style init on the sphere.
+    centres = [unit[rng.integers(points.shape[0])]]
+    for _ in range(k - 1):
+        sims = np.max(np.stack([unit @ c for c in centres]), axis=0)
+        dist = np.maximum(1.0 - sims, 1e-12)
+        centres.append(unit[rng.choice(points.shape[0], p=dist / dist.sum())])
+    centres = np.stack(centres)
+
+    labels = np.zeros(points.shape[0], dtype=int)
+    for _ in range(n_iterations):
+        sims = unit @ centres.T
+        new_labels = np.argmax(sims, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = unit[labels == j]
+            if members.shape[0] == 0:
+                continue
+            mean = members.mean(axis=0)
+            norm = np.linalg.norm(mean)
+            if norm > 0:
+                centres[j] = mean / norm
+    return labels

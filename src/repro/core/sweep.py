@@ -1,0 +1,127 @@
+"""Bias-condition sweeps (the machinery behind Fig. 7b and Fig. 8).
+
+A :class:`BiasSweep` runs the ECRIPSE estimator across a list of duty
+ratios, sharing the expensive pieces the paper shares:
+
+* the **initial boundary** (step 1 runs once -- "The same initial samples
+  are shared among the other calculations with different gate bias
+  conditions");
+* optionally the **classifier**: at a fixed supply the deterministic
+  indicator does not depend on the duty ratio, so labelled samples remain
+  valid and later bias points start with a well-trained blockade.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.boundary import BoundarySearchResult
+from repro.core.ecripse import EcripseConfig, EcripseEstimator
+from repro.core.estimate import FailureEstimate
+from repro.ml.blockade import ClassifierBlockade
+from repro.rng import stable_seed
+from repro.rtn.model import RtnModel
+from repro.variability.space import VariabilitySpace
+
+
+@dataclass
+class BiasSweepResult:
+    """Per-duty-ratio estimates plus sharing diagnostics.
+
+    Attributes
+    ----------
+    alphas:
+        The swept duty ratios.
+    estimates:
+        One :class:`FailureEstimate` per duty ratio.
+    total_simulations:
+        Simulations across the whole sweep (the paper reports ~2e5 for
+        the eleven bias points of Fig. 8).
+    """
+
+    alphas: list[float]
+    estimates: list[FailureEstimate]
+    total_simulations: int
+    wall_time_s: float
+    metadata: dict = field(default_factory=dict)
+
+    def pfail_curve(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(alphas, pfail, ci_halfwidth)`` arrays for plotting Fig. 8."""
+        return (np.array(self.alphas),
+                np.array([e.pfail for e in self.estimates]),
+                np.array([e.ci_halfwidth for e in self.estimates]))
+
+    def worst_case(self) -> tuple[float, FailureEstimate]:
+        """Duty ratio with the highest estimated failure probability."""
+        index = int(np.argmax([e.pfail for e in self.estimates]))
+        return self.alphas[index], self.estimates[index]
+
+
+class BiasSweep:
+    """Run ECRIPSE over a set of duty ratios with shared initialisation.
+
+    Parameters
+    ----------
+    space, indicator:
+        As for :class:`~repro.core.ecripse.EcripseEstimator`; the
+        indicator must be the stored-"0" lobe indicator (states are
+        mirrored onto it).
+    conditions:
+        :class:`~repro.config.PaperConditions` used to build the per-alpha
+        RTN models.
+    share_classifier:
+        Reuse the trained blockade across bias points (valid at fixed
+        supply; disable to reproduce per-point training costs).
+    convention:
+        RTN occupancy convention (see :mod:`repro.rtn.traps`).
+    """
+
+    def __init__(self, space: VariabilitySpace, indicator, conditions,
+                 config: EcripseConfig | None = None,
+                 share_classifier: bool = True,
+                 convention: str = "physical", seed=None):
+        self.space = space
+        self.indicator = indicator
+        self.conditions = conditions
+        self.config = config if config is not None else EcripseConfig()
+        self.share_classifier = share_classifier
+        self.convention = convention
+        self._seed_root = seed if seed is not None else stable_seed("sweep")
+
+    # ------------------------------------------------------------------
+    def run(self, alphas, target_relative_error: float = 0.05,
+            max_simulations_per_point: int | None = None) -> BiasSweepResult:
+        """Estimate P_fail at every duty ratio in ``alphas``."""
+        alphas = [float(a) for a in alphas]
+        if not alphas:
+            raise ValueError("need at least one duty ratio")
+        start = time.perf_counter()
+        boundary: BoundarySearchResult | None = None
+        classifier: ClassifierBlockade | None = None
+        estimates: list[FailureEstimate] = []
+        total_sims = 0
+        for index, alpha in enumerate(alphas):
+            rtn = RtnModel(self.conditions, self.space, alpha,
+                           convention=self.convention)
+            estimator = EcripseEstimator(
+                self.space, self.indicator, rtn, config=self.config,
+                seed=stable_seed(self._seed_root, index, alpha),
+                initial_boundary=boundary, classifier=classifier)
+            estimate = estimator.run(
+                target_relative_error=target_relative_error,
+                max_simulations=max_simulations_per_point)
+            estimate.metadata["alpha"] = alpha
+            estimates.append(estimate)
+            total_sims += estimator.counter.count
+            boundary = estimator.boundary
+            if self.share_classifier:
+                classifier = estimator.blockade
+        return BiasSweepResult(
+            alphas=alphas, estimates=estimates,
+            total_simulations=total_sims,
+            wall_time_s=time.perf_counter() - start,
+            metadata={"share_classifier": self.share_classifier,
+                      "convention": self.convention})

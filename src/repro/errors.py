@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed circuit descriptions (unknown nodes, duplicate
+    element names, missing ground, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when a nonlinear solve fails to converge.
+
+    Carries the residual of the best iterate so callers can decide whether
+    the partial answer is usable.
+    """
+
+    def __init__(self, message: str, residual: float | None = None):
+        super().__init__(message)
+        self.residual = residual
+
+
+class CalibrationError(ReproError):
+    """Raised when a model cannot be calibrated to the requested target."""
+
+
+class EstimationError(ReproError):
+    """Raised when a failure-probability estimator cannot produce a valid
+    estimate (e.g. zero failure samples after exhausting its budget)."""
+
+
+class ClassifierError(ReproError):
+    """Raised for invalid classifier usage (predicting before training,
+    inconsistent feature dimensions, degenerate training sets)."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a simulation budget is exhausted mid-run."""
+
+    def __init__(self, message: str, spent: int, budget: int):
+        super().__init__(message)
+        self.spent = spent
+        self.budget = budget

@@ -1,0 +1,16 @@
+"""Runnable reproductions of the paper's figures.
+
+Each module regenerates one figure/table as printable tables of the same
+series the paper plots:
+
+* :mod:`repro.experiments.fig6` -- proposed vs conventional convergence;
+* :mod:`repro.experiments.fig7` -- proposed vs naive MC with RTN;
+* :mod:`repro.experiments.fig8` -- failure probability vs duty ratio;
+* :mod:`repro.experiments.ablations` -- classifier / filter-count /
+  polynomial-degree / occupancy-convention ablations;
+* :mod:`repro.experiments.runner` -- the ``ecripse`` CLI entry point.
+"""
+
+from repro.experiments.setup import ExperimentSetup, paper_setup
+
+__all__ = ["ExperimentSetup", "paper_setup"]

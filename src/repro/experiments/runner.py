@@ -1,0 +1,141 @@
+"""``ecripse`` command-line entry point.
+
+Regenerates the paper's experiments from the shell::
+
+    ecripse fig6            # proposed vs conventional (Fig. 6)
+    ecripse fig7            # proposed vs naive MC with RTN (Fig. 7)
+    ecripse fig8            # failure probability vs duty ratio (Fig. 8)
+    ecripse ablations       # A1/A3 ablation summaries
+    ecripse estimate --vdd 0.7 --alpha 0.3   # one-off estimation
+
+All experiments accept ``--quick`` to run with reduced budgets (useful for
+a smoke test; the printed numbers then carry wider error bars).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.ecripse import EcripseConfig, EcripseEstimator
+from repro.experiments import ablations, fig6, fig7, fig8
+from repro.experiments.setup import paper_setup
+
+QUICK = EcripseConfig(n_particles=60, n_iterations=6, k_train=128,
+                      stage2_batch=1500, max_statistical_samples=300_000)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ecripse",
+        description="Reproduce the experiments of the ECRIPSE paper "
+                    "(DATE 2015).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("fig6", "fig7", "fig8", "ablations"):
+        cmd = sub.add_parser(name, help=f"run the {name} experiment")
+        cmd.add_argument("--quick", action="store_true",
+                         help="reduced budgets for a fast smoke run")
+        cmd.add_argument("--seed", type=int, default=2015)
+
+    camp = sub.add_parser("campaign", help="run all figure experiments "
+                                           "and write a markdown report")
+    camp.add_argument("--out", default="results",
+                      help="output directory (JSON + report.md)")
+    camp.add_argument("--quick", action="store_true")
+    camp.add_argument("--seed", type=int, default=2015)
+
+    vmin = sub.add_parser("vmin", help="minimum-supply search for a "
+                                       "failure-probability budget")
+    vmin.add_argument("--budget", type=float, required=True,
+                      help="cell Pfail budget, e.g. 1e-3")
+    vmin.add_argument("--alpha", type=float, default=None,
+                      help="duty ratio; omit for RDF-only")
+    vmin.add_argument("--low", type=float, default=0.45)
+    vmin.add_argument("--high", type=float, default=0.8)
+    vmin.add_argument("--resolution", type=float, default=0.02)
+    vmin.add_argument("--quick", action="store_true")
+    vmin.add_argument("--seed", type=int, default=2015)
+
+    est = sub.add_parser("estimate",
+                         help="one failure-probability estimation")
+    est.add_argument("--vdd", type=float, default=None,
+                     help="supply voltage [V] (default: 0.7)")
+    est.add_argument("--alpha", type=float, default=None,
+                     help="duty ratio; omit for RDF-only")
+    est.add_argument("--target", type=float, default=0.05,
+                     help="target relative error")
+    est.add_argument("--quick", action="store_true")
+    est.add_argument("--seed", type=int, default=2015)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = QUICK if args.quick else None
+
+    if args.command == "fig6":
+        result = fig6.run_fig6(config=config, seed=args.seed,
+                               target_relative_error=0.05 if args.quick
+                               else 0.02)
+        print(result.proposed.summary())
+        print(result.conventional.summary())
+        print()
+        print(result.table())
+        print()
+        print("speedup:", result.report.summary())
+    elif args.command == "fig7":
+        result = fig7.run_fig7(
+            config=config, seed=args.seed,
+            naive_samples=50_000 if args.quick else 300_000,
+            target_relative_error=0.10 if args.quick else 0.05)
+        print(result.table())
+        print(f"\nnaive/proposed ratio: {result.simulation_saving:.1f}x; "
+              f"shared-init cost: {result.shared_init_saving:.2f}; "
+              f"agree: {result.agreement}")
+    elif args.command == "fig8":
+        result = fig8.run_fig8(
+            config=config, seed=args.seed,
+            alphas=(0.0, 0.25, 0.5, 0.75, 1.0) if args.quick
+            else fig8.DEFAULT_ALPHAS,
+            target_relative_error=0.10 if args.quick else 0.05)
+        print(result.table())
+        print(f"\nRTN penalty {result.rtn_penalty:.1f}x; "
+              f"minimum at {result.minimum_alpha}; "
+              f"asymmetry {result.asymmetry():.1%}")
+    elif args.command == "ablations":
+        ablations.main()
+    elif args.command == "campaign":
+        from repro.experiments.campaign import run_campaign
+
+        report = run_campaign(
+            args.out, config=config,
+            target_relative_error=0.08 if args.quick else 0.02,
+            naive_samples=40_000 if args.quick else 300_000,
+            seed=args.seed)
+        print(f"report written to {report}")
+    elif args.command == "vmin":
+        from repro.analysis.tables import format_table
+        from repro.experiments.vmin import find_vmin
+
+        result = find_vmin(args.budget, vdd_low=args.low,
+                           vdd_high=args.high, alpha=args.alpha,
+                           resolution=args.resolution, config=config,
+                           seed=args.seed)
+        rows = [[f"{vdd:.3f}", f"{e.pfail:.3e}", e.n_simulations]
+                for vdd, e in result.probes]
+        print(format_table(["VDD [V]", "Pfail", "simulations"], rows,
+                           title="Vmin search probes"))
+        print(f"\nVmin = {result.vmin} V for budget {args.budget:.1e} "
+              f"({result.total_simulations} simulations total)")
+    elif args.command == "estimate":
+        setup = paper_setup(vdd=args.vdd, alpha=args.alpha)
+        estimator = EcripseEstimator(setup.space, setup.indicator,
+                                     setup.rtn_model, config=config,
+                                     seed=args.seed)
+        result = estimator.run(target_relative_error=args.target)
+        print(result.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Minimal, dependency-free machine-learning stack for the classifier.
+
+The paper's classifier is a *linear* SVM over an explicit degree-4
+polynomial feature map (Sections II-C and III-B).  scikit-learn is not a
+dependency of this package; the pieces are implemented here:
+
+* :mod:`repro.ml.features` -- polynomial feature expansion;
+* :mod:`repro.ml.scaler` -- feature standardisation;
+* :mod:`repro.ml.svm` -- L2-regularised hinge-loss SVM trained by dual
+  coordinate descent (LIBLINEAR-style), warm-startable for the paper's
+  incremental training;
+* :mod:`repro.ml.blockade` -- the simulation-skipping wrapper: classify
+  cheaply, simulate only inside an uncertainty band near the hyperplane.
+"""
+
+from repro.ml.features import PolynomialFeatures
+from repro.ml.scaler import StandardScaler
+from repro.ml.svm import LinearSvm
+from repro.ml.blockade import ClassifierBlockade
+
+__all__ = [
+    "PolynomialFeatures",
+    "StandardScaler",
+    "LinearSvm",
+    "ClassifierBlockade",
+]

@@ -1,0 +1,79 @@
+"""Feature standardisation (zero mean, unit variance).
+
+Polynomial features of modest-norm inputs span several orders of magnitude
+(``x^4`` vs ``1``); the dual coordinate-descent SVM converges poorly on
+such raw features, so the blockade standardises them first.  Supports
+incremental refitting via accumulated sufficient statistics so the scaler
+stays consistent when the training set grows (the paper's incremental
+training in stage 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClassifierError
+
+
+class StandardScaler:
+    """Column-wise standardiser with running sufficient statistics."""
+
+    def __init__(self):
+        self._count = 0
+        self._sum: np.ndarray | None = None
+        self._sum_sq: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    # ------------------------------------------------------------------
+    def partial_fit(self, x) -> "StandardScaler":
+        """Accumulate statistics from a new batch and refresh the scaling."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if self._sum is None:
+            self._sum = np.zeros(x.shape[1])
+            self._sum_sq = np.zeros(x.shape[1])
+        elif x.shape[1] != self._sum.size:
+            raise ClassifierError(
+                f"feature count changed: {self._sum.size} -> {x.shape[1]}")
+        self._count += x.shape[0]
+        self._sum += x.sum(axis=0)
+        self._sum_sq += np.square(x).sum(axis=0)
+
+        mean = self._sum / self._count
+        var = self._sum_sq / self._count - np.square(mean)
+        var = np.maximum(var, 0.0)
+        scale = np.sqrt(var)
+        # Constant columns pass through completely untouched (no centring,
+        # no scaling).  Centring them would zero out the polynomial bias
+        # feature and rob the SVM of its intercept -- the separating
+        # surface would be forced through the feature centroid.
+        constant = scale <= 1e-12
+        self.mean_ = np.where(constant, 0.0, mean)
+        self.scale_ = np.where(constant, 1.0, scale)
+        return self
+
+    def fit(self, x) -> "StandardScaler":
+        """Fit from scratch on ``x`` (resets accumulated statistics)."""
+        self._count = 0
+        self._sum = None
+        self._sum_sq = None
+        self.mean_ = None
+        self.scale_ = None
+        return self.partial_fit(x)
+
+    # ------------------------------------------------------------------
+    def transform(self, x) -> np.ndarray:
+        if not self.is_fitted:
+            raise ClassifierError("scaler used before fitting")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.mean_.size:
+            raise ClassifierError(
+                f"expected {self.mean_.size} features, got {x.shape[1]}")
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x) -> np.ndarray:
+        return self.fit(x).transform(x)

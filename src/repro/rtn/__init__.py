@@ -1,0 +1,27 @@
+"""Random-telegraph-noise models.
+
+:mod:`repro.rtn.duty` maps the cell's stored-data duty ratio alpha onto
+per-transistor gate-ON fractions; :mod:`repro.rtn.traps` computes duty-
+averaged time constants and stationary trap occupancy;
+:mod:`repro.rtn.model` draws Poissonian threshold shifts (paper eq. 9-10);
+:mod:`repro.rtn.telegraph` generates time-domain two-state telegraph
+waveforms used to validate the stationary statistics.
+"""
+
+from repro.rtn.duty import device_on_fractions
+from repro.rtn.traps import stationary_occupancy, per_trap_shift_v, TrapEnsemble
+from repro.rtn.model import RtnModel, ZeroRtnModel
+from repro.rtn.telegraph import TelegraphProcess, simulate_switched_telegraph
+from repro.rtn.transient import RtnTransientDriver
+
+__all__ = [
+    "device_on_fractions",
+    "stationary_occupancy",
+    "per_trap_shift_v",
+    "TrapEnsemble",
+    "RtnModel",
+    "ZeroRtnModel",
+    "TelegraphProcess",
+    "simulate_switched_telegraph",
+    "RtnTransientDriver",
+]

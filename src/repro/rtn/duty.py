@@ -1,0 +1,49 @@
+"""Stored-data duty ratio -> per-transistor gate-ON fractions.
+
+The duty ratio ``alpha`` is the fraction of time the cell stores "1"
+(node Q high, node QB low).  Each transistor's gate bias follows one of the
+internal nodes, so its ON fraction is a simple function of alpha:
+
+==========  =========  ==========================  ============
+device      gate node  ON condition                ON fraction
+==========  =========  ==========================  ============
+L1 (pMOS)   QB         gate low  <=> storing "1"   alpha
+D1 (nMOS)   QB         gate high <=> storing "0"   1 - alpha
+L2 (pMOS)   Q          gate low  <=> storing "0"   1 - alpha
+D2 (nMOS)   Q          gate high <=> storing "1"   alpha
+A1, A2      WL         wordline high               access duty
+==========  =========  ==========================  ============
+
+The access duty (read activity) is not specified in the paper; it is a
+configuration knob (:attr:`repro.config.PaperConditions.access_on_fraction`)
+defaulting to 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEVICE_ORDER
+
+
+def device_on_fractions(alpha: float, access_on_fraction: float = 0.0
+                        ) -> np.ndarray:
+    """Per-device ON fractions following :data:`repro.config.DEVICE_ORDER`.
+
+    >>> device_on_fractions(0.0).tolist()   # always storing "0"
+    [0.0, 1.0, 0.0, 1.0, 0.0, 0.0]
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"duty ratio must lie in [0, 1], got {alpha}")
+    if not 0.0 <= access_on_fraction <= 1.0:
+        raise ValueError(
+            f"access ON fraction must lie in [0, 1], got {access_on_fraction}")
+    table = {
+        "L1": alpha,
+        "D1": 1.0 - alpha,
+        "A1": access_on_fraction,
+        "L2": 1.0 - alpha,
+        "D2": alpha,
+        "A2": access_on_fraction,
+    }
+    return np.array([table[name] for name in DEVICE_ORDER])

@@ -1,0 +1,136 @@
+"""RTN sampling model used inside the failure-probability estimators.
+
+:class:`RtnModel` draws, for a batch of cells, the per-device RTN threshold
+shifts (Poissonian occupied-trap counts times the single-trap shift, paper
+eq. 9-10) *and* the stored state at read time (Bernoulli with the duty
+ratio alpha).  Shifts are returned in the **whitened** variability space
+(divided by the per-device Pelgrom sigma) so they can be added directly to
+RDF samples before evaluating the cell indicator.
+
+:class:`ZeroRtnModel` is the no-RTN null model with the same interface,
+used for the RDF-only experiments (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import MIRROR_PERMUTATION, PaperConditions
+from repro.rtn.duty import device_on_fractions
+from repro.rtn.traps import TrapEnsemble
+from repro.variability.space import VariabilitySpace
+
+_MIRROR = np.array(MIRROR_PERMUTATION)
+
+
+class RtnModel:
+    """Stationary RTN sampler for one duty-ratio bias condition.
+
+    Parameters
+    ----------
+    conditions:
+        Experimental conditions (geometry, trap density, time constants).
+    space:
+        The whitened RDF space (provides per-device sigmas).
+    alpha:
+        Stored-data duty ratio: fraction of time the cell holds "1".
+    convention:
+        Occupancy convention, see :mod:`repro.rtn.traps`.
+    """
+
+    def __init__(self, conditions: PaperConditions, space: VariabilitySpace,
+                 alpha: float, convention: str = "physical"):
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"duty ratio must lie in [0, 1], got {alpha}")
+        self.conditions = conditions
+        self.space = space
+        self.alpha = float(alpha)
+        self.convention = convention
+        self.on_fractions = device_on_fractions(
+            alpha, conditions.access_on_fraction)
+        self.ensemble = TrapEnsemble.for_conditions(
+            conditions, self.on_fractions, convention)
+        #: per-device single-trap shift expressed in whitened units.
+        self.unit_shift_whitened = (
+            self.ensemble.shift_per_trap_v / space.sigmas)
+
+    # ------------------------------------------------------------------
+    def sample_shifts(self, shape, rng: np.random.Generator) -> np.ndarray:
+        """Draw whitened RTN shifts of shape ``(*shape, D)``.
+
+        Shifts are non-negative: an occupied trap always increases the
+        threshold magnitude, weakening the device.
+        """
+        shape = tuple(np.atleast_1d(shape))
+        rates = np.broadcast_to(self.ensemble.poisson_rates,
+                                shape + (self.space.dim,))
+        n_eff = rng.poisson(rates)
+        return n_eff * self.unit_shift_whitened
+
+    def sample_states(self, shape, rng: np.random.Generator) -> np.ndarray:
+        """Draw stored states (1 with probability alpha), shape ``shape``."""
+        shape = tuple(np.atleast_1d(shape))
+        return (rng.random(shape) < self.alpha).astype(np.int8)
+
+    def sample(self, shape, rng: np.random.Generator
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``(shifts, states)`` together; see the two samplers."""
+        return self.sample_shifts(shape, rng), self.sample_states(shape, rng)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def mirror(x: np.ndarray, states: np.ndarray) -> np.ndarray:
+        """Map samples into the canonical stored-"0" frame.
+
+        The 6T cell is mirror symmetric: the read margin when storing "1"
+        with shifts ``x`` equals the margin when storing "0" with the
+        side-swapped shifts ``x[MIRROR_PERMUTATION]``.  Folding every
+        sample into the stored-"0" frame lets a *single* classifier (and a
+        single lobe margin) serve both states.
+        """
+        x = np.asarray(x, dtype=float)
+        states = np.asarray(states)
+        mirrored = x[..., _MIRROR]
+        return np.where(states[..., None] == 1, mirrored, x)
+
+    @property
+    def is_null(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RtnModel(alpha={self.alpha}, convention={self.convention!r}, "
+                f"rates={np.round(self.ensemble.poisson_rates, 3)})")
+
+
+class ZeroRtnModel:
+    """Null RTN model: zero shifts, state irrelevant.
+
+    Used by the RDF-only experiments; the indicator then scores a cell as
+    failing if *either* lobe of the butterfly collapses.
+    """
+
+    def __init__(self, space: VariabilitySpace):
+        self.space = space
+        self.alpha = 0.0
+
+    def sample_shifts(self, shape, rng) -> np.ndarray:
+        shape = tuple(np.atleast_1d(shape))
+        return np.zeros(shape + (self.space.dim,))
+
+    def sample_states(self, shape, rng) -> np.ndarray:
+        shape = tuple(np.atleast_1d(shape))
+        return np.zeros(shape, dtype=np.int8)
+
+    def sample(self, shape, rng) -> tuple[np.ndarray, np.ndarray]:
+        return self.sample_shifts(shape, rng), self.sample_states(shape, rng)
+
+    @staticmethod
+    def mirror(x: np.ndarray, states: np.ndarray) -> np.ndarray:
+        """Identity: the null model never samples stored-"1" states, and
+        it must work for arbitrary-dimension spaces (the cell mirror
+        permutation is 6-D specific)."""
+        return np.asarray(x, dtype=float)
+
+    @property
+    def is_null(self) -> bool:
+        return True

@@ -1,0 +1,114 @@
+"""Time-domain RTN driving for transient simulation.
+
+This is the *expensive reference methodology* the paper positions itself
+against (its references [2] Ye et al. and [3] MUSTARD simulate RTN in the
+time domain): every trap in every transistor is simulated as an explicit
+telegraph process, and the instantaneous threshold shifts feed a
+transistor-level transient run.
+
+:class:`RtnTransientDriver` pre-simulates one telegraph trajectory per
+trap (trap counts drawn Poissonian from the device's mean count) and, used
+as a :class:`~repro.spice.transient.TransientSolver` ``update_hook``,
+moves each MOSFET's ``delta_vth`` along those trajectories.
+
+Note the simplification relative to a fully bias-coupled simulation: the
+trajectories use the duty-averaged time constants (paper eq. 7-8) rather
+than re-reading each device's instantaneous gate voltage -- consistent
+with the stationary model the estimators use, and sufficient for the
+cost/agreement studies in ``examples/transient_read.py`` and
+``bench_timedomain.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEVICE_ORDER, PaperConditions
+from repro.rng import as_generator, spawn
+from repro.rtn.duty import device_on_fractions
+from repro.rtn.telegraph import TelegraphProcess, TelegraphTrace
+from repro.rtn.traps import TrapEnsemble
+from repro.spice.netlist import Circuit
+
+
+class RtnTransientDriver:
+    """Telegraph-noise driver for the six devices of a cell netlist.
+
+    Parameters
+    ----------
+    conditions:
+        Experimental conditions (trap density, time constants, geometry).
+    alpha:
+        Stored-data duty ratio (sets the duty-averaged time constants).
+    duration:
+        Length of the pre-simulated trajectories (same arbitrary time
+        unit as the time constants).
+    time_scale:
+        Circuit seconds per RTN time unit.  RTN dwell times are orders of
+        magnitude longer than read pulses; this factor maps the slow RTN
+        clock onto circuit time (default 1.0 = same unit).
+    """
+
+    def __init__(self, conditions: PaperConditions, alpha: float,
+                 duration: float, time_scale: float = 1.0, seed=None):
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        self.conditions = conditions
+        self.alpha = float(alpha)
+        self.duration = float(duration)
+        self.time_scale = float(time_scale)
+
+        rng = as_generator(seed)
+        on_fractions = device_on_fractions(alpha,
+                                           conditions.access_on_fraction)
+        ensemble = TrapEnsemble.for_conditions(conditions, on_fractions)
+        tau_c = conditions.time_constants.tau_c(on_fractions)
+        tau_e = conditions.time_constants.tau_e(on_fractions)
+
+        #: device name -> list of per-trap telegraph traces.
+        self.traces: dict[str, list[TelegraphTrace]] = {}
+        #: device name -> single-trap shift [V].
+        self.shift_per_trap = dict(zip(DEVICE_ORDER,
+                                       ensemble.shift_per_trap_v))
+        for i, name in enumerate(DEVICE_ORDER):
+            n_traps = int(rng.poisson(ensemble.mean_traps[i]))
+            process = TelegraphProcess(float(tau_c[i]), float(tau_e[i]))
+            child_rngs = spawn(rng, n_traps)
+            self.traces[name] = [
+                process.simulate(self.duration, seed=child)
+                for child in child_rngs
+            ]
+
+    # ------------------------------------------------------------------
+    def trap_counts(self) -> dict[str, int]:
+        """Number of simulated traps per device."""
+        return {name: len(traces) for name, traces in self.traces.items()}
+
+    def shifts_at(self, t_circuit: float) -> dict[str, float]:
+        """Per-device threshold shift [V] at circuit time ``t_circuit``."""
+        t_rtn = (t_circuit / self.time_scale) % self.duration
+        shifts = {}
+        for name, traces in self.traces.items():
+            occupied = sum(int(trace.state_at(t_rtn)) for trace in traces)
+            shifts[name] = occupied * self.shift_per_trap[name]
+        return shifts
+
+    def bind(self, circuit: Circuit, static_shifts=None):
+        """Build an ``update_hook`` applying RTN (plus optional static RDF
+        shifts, a 6-vector in volts) to the circuit's MOSFETs."""
+        static = (np.zeros(len(DEVICE_ORDER)) if static_shifts is None
+                  else np.asarray(static_shifts, dtype=float))
+        if static.shape != (len(DEVICE_ORDER),):
+            raise ValueError(
+                f"static_shifts must have shape ({len(DEVICE_ORDER)},)")
+
+        def hook(t: float) -> None:
+            rtn = self.shifts_at(t)
+            circuit.set_delta_vth({
+                name: rtn[name] + static[i]
+                for i, name in enumerate(DEVICE_ORDER)
+            })
+
+        return hook

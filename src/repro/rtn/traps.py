@@ -1,0 +1,127 @@
+"""Trap statistics: occupancy, per-trap shift, per-device trap ensembles.
+
+Occupancy convention
+--------------------
+With the paper's Section II-D definitions (``tau_e`` = mean dwell in the
+captured / high-|Vth| state, ``tau_c`` = mean time to capture, i.e. dwell in
+the empty state), the stationary probability that a trap holds a carrier is
+
+.. math:: p = \\frac{\\tau_e}{\\tau_c + \\tau_e}.
+
+The paper's printed eq. (10) instead uses ``tau_c / (tau_c + tau_e)``, which
+under those definitions is the *empty* fraction.  Only the physical form
+reproduces Fig. 8's U-shape (worst failure probability at duty ratio 0 or 1),
+so ``"physical"`` is the default; ``"paper"`` evaluates the literal formula
+for the A4 ablation (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import (
+    DEVICE_ORDER,
+    CellGeometry,
+    PaperConditions,
+    RtnTimeConstants,
+)
+from repro.constants import ELEMENTARY_CHARGE, NM, oxide_capacitance_per_area
+
+#: Valid occupancy conventions.
+OCCUPANCY_CONVENTIONS = ("physical", "paper")
+
+
+def stationary_occupancy(time_constants: RtnTimeConstants, on_fraction,
+                         convention: str = "physical") -> np.ndarray:
+    """Stationary captured probability for traps in a device whose gate is
+    ON for a fraction ``on_fraction`` of the time.
+
+    Uses the duty-averaged time constants of paper eq. (7)-(8).
+    """
+    if convention not in OCCUPANCY_CONVENTIONS:
+        raise ValueError(
+            f"convention must be one of {OCCUPANCY_CONVENTIONS}, "
+            f"got {convention!r}")
+    tau_c = time_constants.tau_c(on_fraction)
+    tau_e = time_constants.tau_e(on_fraction)
+    if convention == "physical":
+        return tau_e / (tau_c + tau_e)
+    return tau_c / (tau_c + tau_e)
+
+
+def per_trap_shift_v(w_nm: float, l_nm: float, tox_nm: float) -> float:
+    """Threshold shift of a single occupied trap [V], paper eq. (9).
+
+    Delta V_TH = q / (C_ox * L * W) per trap (N_eff = 1).
+
+    >>> shift = per_trap_shift_v(30.0, 16.0, 0.95)   # paper's driver
+    >>> 0.008 < shift < 0.011
+    True
+    """
+    if w_nm <= 0 or l_nm <= 0:
+        raise ValueError(f"geometry must be positive, got W={w_nm}, L={l_nm}")
+    cox = oxide_capacitance_per_area(tox_nm)
+    area_m2 = (w_nm * NM) * (l_nm * NM)
+    return ELEMENTARY_CHARGE / (cox * area_m2)
+
+
+@dataclass(frozen=True)
+class TrapEnsemble:
+    """Aggregate trap statistics for the six cell devices at one bias.
+
+    Attributes
+    ----------
+    occupancy:
+        Per-device stationary captured probability, shape (6,).
+    mean_traps:
+        Per-device expected trap count ``lambda * W * L``, shape (6,).
+    shift_per_trap_v:
+        Per-device single-trap threshold shift [V], shape (6,).
+    """
+
+    occupancy: np.ndarray
+    mean_traps: np.ndarray
+    shift_per_trap_v: np.ndarray
+
+    def __post_init__(self):
+        n = len(DEVICE_ORDER)
+        for label, arr in (("occupancy", self.occupancy),
+                           ("mean_traps", self.mean_traps),
+                           ("shift_per_trap_v", self.shift_per_trap_v)):
+            if np.asarray(arr).shape != (n,):
+                raise ValueError(f"{label} must have shape ({n},)")
+        if np.any((self.occupancy < 0) | (self.occupancy > 1)):
+            raise ValueError("occupancy must lie in [0, 1]")
+
+    @property
+    def poisson_rates(self) -> np.ndarray:
+        """Per-device Poisson rate of occupied traps (paper eq. 10)."""
+        return self.occupancy * self.mean_traps
+
+    @property
+    def mean_shift_v(self) -> np.ndarray:
+        """Per-device expected RTN threshold shift [V]."""
+        return self.poisson_rates * self.shift_per_trap_v
+
+    @classmethod
+    def for_conditions(cls, conditions: PaperConditions, on_fractions,
+                       convention: str = "physical") -> "TrapEnsemble":
+        """Build the ensemble for given per-device ON fractions."""
+        on_fractions = np.asarray(on_fractions, dtype=float)
+        if on_fractions.shape != (len(DEVICE_ORDER),):
+            raise ValueError(
+                f"on_fractions must have shape ({len(DEVICE_ORDER)},)")
+        geometry: CellGeometry = conditions.geometry
+        occupancy = stationary_occupancy(
+            conditions.time_constants, on_fractions, convention)
+        mean_traps = np.array(
+            [conditions.mean_traps(name) for name in DEVICE_ORDER])
+        shifts = np.array([
+            per_trap_shift_v(geometry.device(name).w_nm,
+                             geometry.device(name).l_nm, geometry.tox_nm)
+            for name in DEVICE_ORDER
+        ])
+        return cls(occupancy=occupancy, mean_traps=mean_traps,
+                   shift_per_trap_v=shifts)

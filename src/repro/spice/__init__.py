@@ -1,0 +1,47 @@
+"""A small transistor-level DC circuit simulator.
+
+This subpackage is the "transistor-level simulation" substrate of the paper:
+a netlist representation (:mod:`repro.spice.netlist`), an EKV-style MOSFET
+compact model approximating the PTM 16 nm HP node
+(:mod:`repro.spice.model`), modified-nodal-analysis stamping
+(:mod:`repro.spice.mna`), a Newton--Raphson DC operating-point solver with
+gmin/source stepping (:mod:`repro.spice.solver`) and DC sweeps
+(:mod:`repro.spice.sweep`).
+
+The Monte-Carlo hot path does *not* go through the generic solver -- the
+vectorised evaluator in :mod:`repro.sram.butterfly` is used instead -- but
+the generic engine validates that fast path and supports arbitrary circuits
+in examples and tests.
+"""
+
+from repro.spice.model import MosfetParams, MosfetModel, NMOS_PTM16, PMOS_PTM16
+from repro.spice.netlist import Circuit
+from repro.spice.transient import TransientSolver, TransientResult, pulse
+from repro.spice.elements import (
+    Resistor,
+    Capacitor,
+    CurrentSource,
+    VoltageSource,
+    Mosfet,
+)
+from repro.spice.solver import DcSolver, OperatingPoint
+from repro.spice.sweep import dc_sweep
+
+__all__ = [
+    "MosfetParams",
+    "MosfetModel",
+    "NMOS_PTM16",
+    "PMOS_PTM16",
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "CurrentSource",
+    "VoltageSource",
+    "Mosfet",
+    "DcSolver",
+    "OperatingPoint",
+    "dc_sweep",
+    "TransientSolver",
+    "TransientResult",
+    "pulse",
+]

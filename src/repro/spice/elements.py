@@ -1,0 +1,174 @@
+"""Circuit elements for the DC simulator.
+
+Each element knows how to *stamp* its linearised companion model into an
+MNA system (:class:`repro.spice.mna.MnaSystem`) around a given candidate
+solution.  Linear elements ignore the candidate; nonlinear ones (the
+MOSFET) re-linearise every Newton iteration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.spice.model import MosfetModel
+
+
+class Element(ABC):
+    """Base class for all circuit elements.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a circuit.
+    nodes:
+        Node names this element connects to, in element-specific order.
+    """
+
+    #: number of auxiliary MNA unknowns (e.g. branch currents) the element
+    #: contributes; voltage sources use 1, most elements 0.
+    n_aux = 0
+
+    def __init__(self, name: str, nodes: tuple[str, ...]):
+        if not name:
+            raise ValueError("element name must be non-empty")
+        self.name = name
+        self.nodes = tuple(nodes)
+
+    @abstractmethod
+    def stamp(self, system, x: np.ndarray) -> None:
+        """Stamp the element linearised around solution vector ``x``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes})"
+
+
+class Resistor(Element):
+    """Two-terminal linear resistor."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, resistance: float):
+        if resistance <= 0:
+            raise ValueError(f"resistance must be positive, got {resistance}")
+        super().__init__(name, (node_a, node_b))
+        self.resistance = float(resistance)
+
+    def stamp(self, system, x):
+        a, b = (system.node_index(n) for n in self.nodes)
+        g = 1.0 / self.resistance
+        system.add_conductance(a, b, g)
+
+
+class Capacitor(Element):
+    """Two-terminal linear capacitor.
+
+    In DC analysis a capacitor is an open circuit and stamps nothing; in
+    transient analysis (:mod:`repro.spice.transient`) it stamps its
+    backward-Euler companion model -- a conductance ``C/dt`` in parallel
+    with a history current source -- using the time-step context the
+    transient solver places on the MNA system.
+    """
+
+    def __init__(self, name: str, node_a: str, node_b: str,
+                 capacitance: float):
+        if capacitance <= 0:
+            raise ValueError(
+                f"capacitance must be positive, got {capacitance}")
+        super().__init__(name, (node_a, node_b))
+        self.capacitance = float(capacitance)
+
+    def stamp(self, system, x):
+        context = system.transient_context
+        if context is None:
+            return  # DC: open circuit
+        dt, x_prev = context
+        a, b = (system.node_index(n) for n in self.nodes)
+        g = self.capacitance / dt
+        v_prev = ((x_prev[a] if a >= 0 else 0.0)
+                  - (x_prev[b] if b >= 0 else 0.0))
+        system.add_conductance(a, b, g)
+        history = g * v_prev
+        system.add_rhs(a, history)
+        system.add_rhs(b, -history)
+
+
+class CurrentSource(Element):
+    """DC current source pushing ``current`` amperes from ``node_a`` to
+    ``node_b`` through the external circuit (i.e. out of ``node_b``)."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, current: float):
+        super().__init__(name, (node_a, node_b))
+        self.current = float(current)
+
+    def stamp(self, system, x):
+        a, b = (system.node_index(n) for n in self.nodes)
+        system.add_rhs(a, -self.current)
+        system.add_rhs(b, +self.current)
+
+
+class VoltageSource(Element):
+    """Ideal DC voltage source; contributes one branch-current unknown."""
+
+    n_aux = 1
+
+    def __init__(self, name: str, node_plus: str, node_minus: str, voltage: float):
+        super().__init__(name, (node_plus, node_minus))
+        self.voltage = float(voltage)
+
+    def stamp(self, system, x):
+        p, m = (system.node_index(n) for n in self.nodes)
+        k = system.aux_index(self.name)
+        if p >= 0:
+            system.matrix[p, k] += 1.0
+            system.matrix[k, p] += 1.0
+        if m >= 0:
+            system.matrix[m, k] -= 1.0
+            system.matrix[k, m] -= 1.0
+        system.rhs[k] += self.voltage * system.source_scale
+
+
+class Mosfet(Element):
+    """Three-terminal MOSFET (bulk tied to source rail implicitly).
+
+    Node order is ``(drain, gate, source)``.  ``delta_vth`` is the
+    threshold-shift magnitude applied to this instance (RDF + RTN); positive
+    shifts weaken the device for both polarities.
+    """
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 model: MosfetModel, delta_vth: float = 0.0):
+        super().__init__(name, (drain, gate, source))
+        self.model = model
+        self.delta_vth = float(delta_vth)
+
+    def stamp(self, system, x):
+        d, g, s = (system.node_index(n) for n in self.nodes)
+        vd = x[d] if d >= 0 else 0.0
+        vg = x[g] if g >= 0 else 0.0
+        vs = x[s] if s >= 0 else 0.0
+
+        ids, gm, gds, gms = self.model.conductances(vg, vd, vs, self.delta_vth)
+        ids, gm, gds, gms = float(ids), float(gm), float(gds), float(gms)
+
+        # Current flowing into the drain node is +ids, into source -ids.
+        # Linearised: i(v) ~= ieq + gm*vg + gds*vd + gms*vs.
+        ieq = ids - gm * vg - gds * vd - gms * vs
+
+        for node, sign in ((d, +1.0), (s, -1.0)):
+            if node < 0:
+                continue
+            if g >= 0:
+                system.matrix[node, g] += sign * gm
+            if d >= 0:
+                system.matrix[node, d] += sign * gds
+            if s >= 0:
+                system.matrix[node, s] += sign * gms
+            system.rhs[node] -= sign * ieq
+
+    def current(self, x, system) -> float:
+        """Drain current at solution ``x`` (diagnostics)."""
+        d, g, s = (system.node_index(n) for n in self.nodes)
+        vd = x[d] if d >= 0 else 0.0
+        vg = x[g] if g >= 0 else 0.0
+        vs = x[s] if s >= 0 else 0.0
+        return float(self.model.ids(vg, vd, vs, self.delta_vth))

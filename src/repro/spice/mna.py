@@ -1,0 +1,111 @@
+"""Modified nodal analysis (MNA) system assembly.
+
+A dense formulation is used: the circuits in this package have a handful of
+nodes (a 6T SRAM cell has four), so sparse machinery would only add
+overhead.  The system is rebuilt and re-linearised around the candidate
+solution on every Newton iteration by calling :meth:`MnaSystem.assemble`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.spice.netlist import GROUND_NAMES, Circuit
+
+
+class MnaSystem:
+    """Dense MNA matrix/RHS for a circuit.
+
+    The unknown vector is ``[node voltages..., aux currents...]``; ground is
+    index ``-1`` and is never stamped.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to assemble.  Node/aux ordering is frozen at
+        construction; element *values* may change between assemblies
+        (sweeps, Monte-Carlo threshold shifts).
+    """
+
+    def __init__(self, circuit: Circuit):
+        circuit.validate()
+        self.circuit = circuit
+        self._node_order = {name: i for i, name in enumerate(circuit.nodes)}
+        self.n_nodes = len(self._node_order)
+
+        self._aux_order: dict[str, int] = {}
+        offset = self.n_nodes
+        for element in circuit.elements:
+            if element.n_aux:
+                self._aux_order[element.name] = offset
+                offset += element.n_aux
+        self.size = offset
+
+        self.matrix = np.zeros((self.size, self.size))
+        self.rhs = np.zeros(self.size)
+        #: multiplier applied to independent sources (source stepping).
+        self.source_scale = 1.0
+        #: conductance added from every node to ground (gmin stepping).
+        self.gmin = 0.0
+        #: ``(dt, x_prev)`` during a transient step, ``None`` in DC;
+        #: reactive elements read this to stamp companion models.
+        self.transient_context: tuple[float, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    def node_index(self, name: str) -> int:
+        """Index of node ``name`` in the unknown vector; -1 for ground."""
+        if name in GROUND_NAMES:
+            return -1
+        try:
+            return self._node_order[name]
+        except KeyError:
+            raise NetlistError(f"unknown node {name!r}") from None
+
+    def aux_index(self, element_name: str) -> int:
+        try:
+            return self._aux_order[element_name]
+        except KeyError:
+            raise NetlistError(
+                f"element {element_name!r} has no auxiliary unknown") from None
+
+    def voltage(self, x: np.ndarray, node: str) -> float:
+        """Voltage of ``node`` in solution ``x`` (0.0 for ground)."""
+        idx = self.node_index(node)
+        return 0.0 if idx < 0 else float(x[idx])
+
+    # ------------------------------------------------------------------
+    def add_conductance(self, a: int, b: int, g: float) -> None:
+        """Stamp a two-terminal conductance between node indices a and b."""
+        if a >= 0:
+            self.matrix[a, a] += g
+        if b >= 0:
+            self.matrix[b, b] += g
+        if a >= 0 and b >= 0:
+            self.matrix[a, b] -= g
+            self.matrix[b, a] -= g
+
+    def add_rhs(self, node: int, value: float) -> None:
+        if node >= 0:
+            self.rhs[node] += value
+
+    # ------------------------------------------------------------------
+    def assemble(self, x: np.ndarray) -> None:
+        """(Re)build matrix and RHS linearised around ``x``."""
+        self.matrix[:] = 0.0
+        self.rhs[:] = 0.0
+        for element in self.circuit.elements:
+            element.stamp(self, x)
+        if self.gmin > 0.0:
+            idx = np.arange(self.n_nodes)
+            self.matrix[idx, idx] += self.gmin
+
+    def solve_linearised(self, x: np.ndarray) -> np.ndarray:
+        """Assemble around ``x`` and return the linear-system solution."""
+        self.assemble(x)
+        return np.linalg.solve(self.matrix, self.rhs)
+
+    def residual(self, x: np.ndarray) -> float:
+        """KCL residual norm at ``x`` (amps; max over node equations)."""
+        self.assemble(x)
+        return float(np.max(np.abs(self.matrix @ x - self.rhs)))

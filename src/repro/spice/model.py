@@ -1,0 +1,238 @@
+"""EKV-style MOSFET compact model.
+
+The model is a single-piece, infinitely differentiable I--V description that
+covers subthreshold, triode and saturation without regional switching:
+
+.. math::
+
+    I_D = I_S \\left[ F(v_p - v_s) - F(v_p - v_d) \\right],
+    \\qquad F(u) = \\ln^2\\!\\left(1 + e^{u/2}\\right)
+
+with all voltages normalised by the thermal voltage, the pinch-off voltage
+``v_p = (V_G - V_{TH})/n`` and the specific current
+``I_S = 2 n \\beta V_t^2 (W/L)``.  Three second-order effects relevant at the
+16 nm node are layered on top:
+
+* **DIBL** -- the effective threshold drops by ``dibl * |V_DS|``;
+* **mobility reduction / velocity saturation** -- the gain degrades as
+  ``beta / (1 + theta * V_{ov})`` with overdrive ``V_ov``;
+* **channel-length modulation** -- the saturated current grows as
+  ``1 + lambda_clm * |V_DS|``.
+
+Because the source/drain of a MOSFET are interchangeable, negative
+``V_DS`` is handled by swapping the terminals, which keeps the model exactly
+antisymmetric in drain--source reversal (required for pass-gate/access
+transistors whose current direction flips during SRAM reads).
+
+Terminal voltages are absolute node potentials; the slope-factor division
+``(V_G - V_TH)/n`` is referenced to the global rail, which acts as an
+implicit bulk terminal.  Consequently the model is *not* invariant under a
+common shift of gate/drain/source -- a deliberate, crude body effect that
+penalises source-elevated devices such as the SRAM access transistor
+during reads.
+
+Parameters named ``*_PTM16`` approximate the predictive technology model
+16 nm high-performance node used in the paper: they were tuned so that a 6T
+cell built per the paper's Table I shows a realistic read-noise-margin
+(~80 mV) at ``V_DD = 0.7 V`` and a failure probability of the order of
+1e-4 under the paper's Pelgrom mismatch.  See DESIGN.md, "Substitutions".
+
+Everything in this module is numpy-vectorised: terminal voltages and
+threshold shifts may be arrays of any broadcastable shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.constants import thermal_voltage
+
+
+def softplus(x):
+    """Overflow-safe ``log(1 + exp(x))`` for scalars or arrays."""
+    x = np.asarray(x, dtype=float)
+    return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+
+
+def sigmoid(x):
+    """Overflow-safe logistic function for scalars or arrays."""
+    x = np.asarray(x, dtype=float)
+    t = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + t), t / (1.0 + t))
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Parameter card for :class:`MosfetModel`.
+
+    Attributes
+    ----------
+    polarity:
+        ``+1`` for nMOS, ``-1`` for pMOS.
+    vth0:
+        Zero-bias threshold voltage magnitude [V] (positive for both
+        polarities; the polarity flip is applied inside the model).
+    n:
+        Subthreshold slope factor (dimensionless, >= 1).
+    beta:
+        Process transconductance ``mu * C_ox`` [A/V^2] for a square device;
+        scaled by W/L inside the model.
+    theta:
+        Mobility-reduction coefficient [1/V].
+    dibl:
+        Drain-induced barrier lowering [V/V].
+    lambda_clm:
+        Channel-length modulation [1/V].
+    temperature:
+        Device temperature [K].
+    """
+
+    polarity: int
+    vth0: float
+    n: float = 1.35
+    beta: float = 3.0e-4
+    theta: float = 1.2
+    dibl: float = 0.08
+    lambda_clm: float = 0.15
+    temperature: float = 300.0
+
+    def __post_init__(self):
+        if self.polarity not in (+1, -1):
+            raise ValueError(f"polarity must be +1 or -1, got {self.polarity}")
+        if self.vth0 <= 0:
+            raise ValueError(f"vth0 is a magnitude and must be > 0, got {self.vth0}")
+        if self.n < 1.0:
+            raise ValueError(f"subthreshold factor n must be >= 1, got {self.n}")
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+        if min(self.theta, self.dibl, self.lambda_clm) < 0:
+            raise ValueError("theta, dibl and lambda_clm must be non-negative")
+
+    @property
+    def is_nmos(self) -> bool:
+        return self.polarity > 0
+
+    def with_(self, **changes) -> "MosfetParams":
+        """Return a copy with ``changes`` applied (dataclass ``replace``)."""
+        return replace(self, **changes)
+
+
+#: nMOS parameters behaviourally calibrated to the paper's operating point:
+#: a Table-I cell built from these cards has a read-noise-margin
+#: distribution whose RDF-only failure probability is ~1.5e-4 at
+#: V_DD = 0.7 V and ~1.7e-3 at 0.5 V, matching the paper's reported
+#: magnitudes (see DESIGN.md, "Substitutions", and
+#: tests/integration/test_calibration.py).
+NMOS_PTM16 = MosfetParams(polarity=+1, vth0=0.42, n=1.70, beta=3.2e-4,
+                          theta=1.6, dibl=0.53, lambda_clm=0.55)
+
+#: pMOS counterpart of :data:`NMOS_PTM16`.
+PMOS_PTM16 = MosfetParams(polarity=-1, vth0=0.60, n=1.75, beta=0.30e-4,
+                          theta=1.4, dibl=0.32, lambda_clm=0.55)
+
+
+class MosfetModel:
+    """Evaluate drain current for a given parameter card and geometry.
+
+    Parameters
+    ----------
+    params:
+        The :class:`MosfetParams` card.
+    w_nm, l_nm:
+        Channel width and length in nanometres.
+
+    The model is stateless; a single instance can be shared between every
+    device of the same geometry.
+    """
+
+    def __init__(self, params: MosfetParams, w_nm: float, l_nm: float):
+        if w_nm <= 0 or l_nm <= 0:
+            raise ValueError(f"geometry must be positive, got W={w_nm}, L={l_nm}")
+        self.params = params
+        self.w_nm = float(w_nm)
+        self.l_nm = float(l_nm)
+        self._vt = thermal_voltage(params.temperature)
+        self._aspect = self.w_nm / self.l_nm
+
+    # ------------------------------------------------------------------
+    def ids(self, vg, vd, vs, delta_vth=0.0):
+        """Drain current [A], positive flowing drain->source for nMOS.
+
+        ``vg``, ``vd``, ``vs`` are node voltages referred to ground;
+        ``delta_vth`` is an additional threshold shift *magnitude* (positive
+        values weaken the device for both polarities, matching the RDF/RTN
+        convention used in the rest of the package).  All arguments
+        broadcast together.
+        """
+        p = self.params
+        vg = np.asarray(vg, dtype=float)
+        vd = np.asarray(vd, dtype=float)
+        vs = np.asarray(vs, dtype=float)
+        dvth = np.asarray(delta_vth, dtype=float)
+
+        # Mirror voltages for pMOS so that the core works in nMOS
+        # convention; mirror the current back at the end.
+        sign = float(p.polarity)
+        vg, vd, vs = sign * vg, sign * vd, sign * vs
+
+        # Source/drain swap for negative Vds (model must be antisymmetric).
+        swap = vd < vs
+        vlo = np.where(swap, vd, vs)
+        vhi = np.where(swap, vs, vd)
+        vds = vhi - vlo
+
+        vth = p.vth0 + dvth - p.dibl * vds
+        vt = self._vt
+        n = p.n
+
+        vp = (vg - vth) / n
+        forward = np.square(softplus((vp - vlo) / (2.0 * vt)))
+        reverse = np.square(softplus((vp - vhi) / (2.0 * vt)))
+
+        # Mobility reduction with overdrive (smooth max against 0).
+        vov = vt * 2.0 * softplus((vg - vlo - vth) / (2.0 * vt))
+        gain = p.beta / (1.0 + p.theta * vov)
+
+        ispec = 2.0 * n * gain * vt * vt * self._aspect
+        current = ispec * (forward - reverse) * (1.0 + p.lambda_clm * vds)
+
+        current = np.where(swap, -current, current)
+        return sign * current
+
+    # ------------------------------------------------------------------
+    def conductances(self, vg, vd, vs, delta_vth=0.0, step: float = 1e-6):
+        """Return ``(ids, gm, gds, gms)`` by central finite differences.
+
+        ``gm = dI/dVg``, ``gds = dI/dVd`` and ``gms = dI/dVs``; used by the
+        MNA solver to build the Jacobian.  The model is smooth so central
+        differences with a 1 uV step are accurate to ~1e-9 relative.
+        """
+        i0 = self.ids(vg, vd, vs, delta_vth)
+        gm = (self.ids(vg + step, vd, vs, delta_vth)
+              - self.ids(vg - step, vd, vs, delta_vth)) / (2.0 * step)
+        gds = (self.ids(vg, vd + step, vs, delta_vth)
+               - self.ids(vg, vd - step, vs, delta_vth)) / (2.0 * step)
+        gms = (self.ids(vg, vd, vs + step, delta_vth)
+               - self.ids(vg, vd, vs - step, delta_vth)) / (2.0 * step)
+        return i0, gm, gds, gms
+
+    # ------------------------------------------------------------------
+    def on_current(self, vdd: float, delta_vth=0.0):
+        """Saturated on-current at Vgs=Vds=vdd (nMOS) or -vdd (pMOS)."""
+        p = self.params
+        if p.is_nmos:
+            return self.ids(vdd, vdd, 0.0, delta_vth)
+        return -self.ids(0.0, 0.0, vdd, delta_vth)
+
+    def off_current(self, vdd: float, delta_vth=0.0):
+        """Leakage at Vgs=0, Vds=vdd (magnitude)."""
+        p = self.params
+        if p.is_nmos:
+            return self.ids(0.0, vdd, 0.0, delta_vth)
+        return -self.ids(vdd, 0.0, vdd, delta_vth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "nmos" if self.params.is_nmos else "pmos"
+        return f"MosfetModel({kind}, W={self.w_nm}nm, L={self.l_nm}nm)"

@@ -1,0 +1,112 @@
+"""Netlist container: nodes, elements and consistency checks."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import NetlistError
+from repro.spice.elements import Element, Mosfet, VoltageSource
+
+#: Names accepted as the ground node.
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "vss", "VSS"})
+
+
+class Circuit:
+    """A flat netlist.
+
+    Nodes are referred to by name; the ground node (any alias in
+    ``GROUND_NAMES``) is fixed at 0 V and carries no MNA unknown.
+
+    >>> from repro.spice import Circuit, VoltageSource, Resistor
+    >>> ckt = Circuit("divider")
+    >>> _ = ckt.add(VoltageSource("vdd", "top", "0", 1.0))
+    >>> _ = ckt.add(Resistor("r1", "top", "mid", 1e3))
+    >>> _ = ckt.add(Resistor("r2", "mid", "0", 1e3))
+    >>> sorted(ckt.nodes)
+    ['mid', 'top']
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._elements: dict[str, Element] = {}
+        self._nodes: list[str] = []
+        self._node_set: set[str] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        """Non-ground node names in insertion order."""
+        return list(self._nodes)
+
+    @property
+    def elements(self) -> list[Element]:
+        return list(self._elements.values())
+
+    def element(self, name: str) -> Element:
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise NetlistError(f"no element named {name!r} in {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add ``element``; returns it for chaining."""
+        if element.name in self._elements:
+            raise NetlistError(
+                f"duplicate element name {element.name!r} in {self.name!r}")
+        for node in element.nodes:
+            if node not in GROUND_NAMES and node not in self._node_set:
+                self._node_set.add(node)
+                self._nodes.append(node)
+        self._elements[element.name] = element
+        return element
+
+    def add_all(self, elements: Iterable[Element]) -> None:
+        for element in elements:
+            self.add(element)
+
+    # ------------------------------------------------------------------
+    def voltage_sources(self) -> list[VoltageSource]:
+        return [e for e in self._elements.values() if isinstance(e, VoltageSource)]
+
+    def mosfets(self) -> list[Mosfet]:
+        return [e for e in self._elements.values() if isinstance(e, Mosfet)]
+
+    def set_source(self, name: str, voltage: float) -> None:
+        """Set the value of voltage source ``name`` (used by sweeps)."""
+        element = self.element(name)
+        if not isinstance(element, VoltageSource):
+            raise NetlistError(f"{name!r} is not a voltage source")
+        element.voltage = float(voltage)
+
+    def set_delta_vth(self, shifts: dict[str, float]) -> None:
+        """Apply threshold shifts to MOSFETs by element name."""
+        for name, shift in shifts.items():
+            element = self.element(name)
+            if not isinstance(element, Mosfet):
+                raise NetlistError(f"{name!r} is not a MOSFET")
+            element.delta_vth = float(shift)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` for structurally broken circuits."""
+        if not self._elements:
+            raise NetlistError(f"circuit {self.name!r} is empty")
+        touches_ground = any(
+            node in GROUND_NAMES
+            for element in self._elements.values()
+            for node in element.nodes)
+        if not touches_ground:
+            raise NetlistError(
+                f"circuit {self.name!r} has no ground reference; "
+                f"connect at least one element to one of {sorted(GROUND_NAMES)}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Circuit({self.name!r}, {len(self._elements)} elements, "
+                f"{len(self._nodes)} nodes)")

@@ -1,0 +1,83 @@
+"""DC sweeps: vary a source, warm-starting each point from the last.
+
+Used for butterfly curves through the reference (full-MNA) path and for
+characterisation examples; the Monte-Carlo hot path uses the vectorised
+evaluator in :mod:`repro.sram.butterfly` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConvergenceError, NetlistError
+from repro.spice.netlist import Circuit
+from repro.spice.solver import DcSolver
+
+
+@dataclass
+class SweepResult:
+    """Result of a DC sweep.
+
+    Attributes
+    ----------
+    sweep_values:
+        The swept source voltages, shape ``(n_points,)``.
+    voltages:
+        Node name -> array of node voltages, each shape ``(n_points,)``.
+    failed_points:
+        Indices of sweep points whose solve failed (their entries are NaN).
+    """
+
+    sweep_values: np.ndarray
+    voltages: dict[str, np.ndarray]
+    failed_points: list[int]
+
+    def curve(self, node: str) -> np.ndarray:
+        return self.voltages[node]
+
+
+def dc_sweep(circuit: Circuit, source_name: str, values,
+             solver: DcSolver | None = None,
+             initial_guess=None) -> SweepResult:
+    """Sweep voltage source ``source_name`` over ``values``.
+
+    Each point warm-starts from the previous converged solution, which both
+    speeds up the solve and keeps the solver on the same branch for
+    bistable circuits (essential when tracing SRAM butterfly curves).
+
+    Points that fail to converge are recorded in ``failed_points`` and
+    yield NaN voltages rather than aborting the sweep.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("sweep values must be a non-empty 1-D sequence")
+    solver = solver or DcSolver(circuit)
+
+    matches = [s for s in circuit.voltage_sources() if s.name == source_name]
+    if not matches:
+        raise NetlistError(
+            f"no voltage source named {source_name!r} in {circuit.name!r}")
+    original = matches[0].voltage
+
+    voltages = {node: np.full(values.size, np.nan) for node in circuit.nodes}
+    failed: list[int] = []
+    guess = initial_guess
+    try:
+        for i, value in enumerate(values):
+            circuit.set_source(source_name, float(value))
+            try:
+                op = solver.solve(initial_guess=guess)
+            except ConvergenceError:
+                failed.append(i)
+                guess = None
+                continue
+            guess = op.x
+            for node in circuit.nodes:
+                voltages[node][i] = op.voltages[node]
+    finally:
+        circuit.set_source(source_name, original)
+
+    return SweepResult(sweep_values=values, voltages=voltages,
+                       failed_points=failed)

@@ -1,0 +1,158 @@
+"""Transient (time-domain) simulation.
+
+Backward-Euler integration on top of the DC Newton solver: each time step
+re-solves the nonlinear circuit with reactive elements replaced by their
+companion models (see :class:`repro.spice.elements.Capacitor`), warm-
+started from the previous step.  Backward Euler is unconditionally stable
+and first-order accurate -- entirely adequate for the qualitative
+time-domain RTN studies this package uses it for (the paper's references
+[2], [3] analyse RTN in the time domain; the cost comparison against them
+is exactly the point of the ECRIPSE approach).
+
+Two hooks make the engine programmable per step:
+
+* ``stimuli`` -- voltage-source name -> ``f(t) -> volts`` (wordline
+  pulses, bitline precharge, ...);
+* ``update_hook`` -- called with the current time *before* each solve;
+  used by :class:`repro.rtn.transient.RtnTransientDriver` to move
+  per-device threshold shifts along their telegraph trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.netlist import Circuit
+from repro.spice.solver import DcSolver
+
+
+@dataclass
+class TransientResult:
+    """Waveforms from a transient run.
+
+    Attributes
+    ----------
+    times:
+        Solved time points (the initial operating point is t = times[0]).
+    voltages:
+        Node name -> waveform array, one entry per time point.
+    failed_points:
+        Indices of steps whose Newton solve failed (values NaN there).
+    """
+
+    times: np.ndarray
+    voltages: dict[str, np.ndarray]
+    failed_points: list[int]
+
+    def waveform(self, node: str) -> np.ndarray:
+        return self.voltages[node]
+
+    def at(self, node: str, t: float) -> float:
+        """Linearly interpolated node voltage at time ``t``."""
+        return float(np.interp(t, self.times, self.voltages[node]))
+
+
+class TransientSolver:
+    """Backward-Euler transient engine for a :class:`Circuit`.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist; reactive elements participate via their companion
+        models.
+    stimuli:
+        Optional map of voltage-source name -> ``f(t)`` waveform.
+    update_hook:
+        Optional ``f(t)`` called before each step (RTN drivers, etc.).
+    """
+
+    def __init__(self, circuit: Circuit,
+                 stimuli: dict[str, Callable[[float], float]] | None = None,
+                 update_hook: Callable[[float], None] | None = None):
+        self.circuit = circuit
+        self.stimuli = dict(stimuli) if stimuli else {}
+        self.update_hook = update_hook
+        self.solver = DcSolver(circuit)
+        for name in self.stimuli:
+            circuit.set_source(name, self.stimuli[name](0.0))
+
+    # ------------------------------------------------------------------
+    def run(self, t_stop: float, dt: float,
+            initial_op=None) -> TransientResult:
+        """Integrate from 0 to ``t_stop`` with fixed step ``dt``.
+
+        ``initial_op`` may be a previously solved
+        :class:`~repro.spice.solver.OperatingPoint`; otherwise the DC
+        operating point at t = 0 is solved first.
+        """
+        if t_stop <= 0 or dt <= 0:
+            raise ValueError(
+                f"need positive t_stop and dt, got {t_stop}, {dt}")
+        if dt > t_stop:
+            raise ValueError("dt must not exceed t_stop")
+
+        if self.update_hook is not None:
+            self.update_hook(0.0)
+        op = initial_op if initial_op is not None else self.solver.solve()
+        x = op.x.copy()
+
+        times = np.arange(0.0, t_stop + 0.5 * dt, dt)
+        voltages = {node: np.full(times.size, np.nan)
+                    for node in self.circuit.nodes}
+        self._record(voltages, x, 0)
+
+        failed: list[int] = []
+        system = self.solver.system
+        try:
+            for i, t in enumerate(times[1:], start=1):
+                for name, waveform in self.stimuli.items():
+                    self.circuit.set_source(name, waveform(float(t)))
+                if self.update_hook is not None:
+                    self.update_hook(float(t))
+                system.transient_context = (dt, x)
+                try:
+                    op = self.solver.solve(initial_guess=x)
+                except ConvergenceError:
+                    failed.append(i)
+                    continue
+                x = op.x.copy()
+                self._record(voltages, x, i)
+        finally:
+            system.transient_context = None
+
+        return TransientResult(times=times, voltages=voltages,
+                               failed_points=failed)
+
+    def _record(self, voltages, x, index: int) -> None:
+        for node in self.circuit.nodes:
+            voltages[node][index] = x[self.solver.system.node_index(node)]
+
+
+def pulse(low: float, high: float, t_rise_start: float, t_fall_start: float,
+          transition: float = 0.0) -> Callable[[float], float]:
+    """Build a single-pulse waveform ``low -> high -> low``.
+
+    Linear ramps of duration ``transition`` are applied at both edges
+    (0 = ideal step).
+    """
+    if transition < 0:
+        raise ValueError("transition must be non-negative")
+    if t_fall_start < t_rise_start + transition:
+        raise ValueError("pulse must finish rising before it falls")
+
+    def waveform(t: float) -> float:
+        if t < t_rise_start:
+            return low
+        if transition > 0.0 and t < t_rise_start + transition:
+            return low + (high - low) * (t - t_rise_start) / transition
+        if t < t_fall_start:
+            return high
+        if transition > 0.0 and t < t_fall_start + transition:
+            return high - (high - low) * (t - t_fall_start) / transition
+        return low
+
+    return waveform

@@ -1,0 +1,40 @@
+"""6T SRAM cell: topology, butterfly curves, noise margins, indicators.
+
+:mod:`repro.sram.cell` describes the cell and builds reference netlists for
+the generic MNA engine; :mod:`repro.sram.butterfly` computes read-condition
+voltage transfer curves for whole batches of mismatched cells at once
+(vectorised bisection); :mod:`repro.sram.margins` extracts the Seevinck
+maximum-embedded-square noise margin from the curves;
+:mod:`repro.sram.evaluator` packages all of it into the indicator functions
+consumed by the Monte-Carlo estimators in :mod:`repro.core`.
+"""
+
+from repro.sram.cell import SramCell
+from repro.sram.butterfly import ButterflyCurves, ReadButterflySolver
+from repro.sram.margins import lobe_margins, static_noise_margin
+from repro.sram.static import StaticCellAnalysis
+from repro.sram.dynamic import DynamicReadSimulator, DynamicReadOutcome, device_shift_vector
+from repro.sram.evaluator import (
+    CellEvaluator,
+    CellReadFailure,
+    Lobe0ReadFailure,
+    SpiceCellEvaluator,
+    WriteFailure,
+)
+
+__all__ = [
+    "SramCell",
+    "ButterflyCurves",
+    "ReadButterflySolver",
+    "lobe_margins",
+    "static_noise_margin",
+    "CellEvaluator",
+    "CellReadFailure",
+    "Lobe0ReadFailure",
+    "WriteFailure",
+    "SpiceCellEvaluator",
+    "StaticCellAnalysis",
+    "DynamicReadSimulator",
+    "DynamicReadOutcome",
+    "device_shift_vector",
+]

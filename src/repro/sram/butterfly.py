@@ -1,0 +1,166 @@
+"""Vectorised read-condition butterfly curves.
+
+This is the Monte-Carlo hot path.  For a batch of mismatched cells it
+computes both half-cell voltage transfer curves (VTCs) under read bias
+(wordline high, both bitlines precharged to VDD) by bisection on the output
+node's current balance, which is strictly monotone in the node voltage
+because every device conducts more toward its own rail as the node moves
+away from it.  All arithmetic is numpy-broadcast over
+``(batch, grid)`` arrays; no Python-level loop over samples.
+
+One full butterfly (two VTCs) for a batch of B cells costs
+``2 * n_bisection * grid`` vectorised device-model evaluations, giving
+~1e4-1e5 cell evaluations per second -- enough to run the naive-Monte-Carlo
+reference experiments of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sram.cell import SramCell
+
+
+@dataclass
+class ButterflyCurves:
+    """Butterfly curves for a batch of cells.
+
+    Attributes
+    ----------
+    grid:
+        Shared input-voltage grid, shape (G,).
+    vtc_a:
+        Inverter A output: Q as a function of QB = ``grid``; shape (B, G).
+    vtc_b:
+        Inverter B output: QB as a function of Q = ``grid``; shape (B, G).
+    vdd:
+        Supply voltage the curves were computed at.
+    """
+
+    grid: np.ndarray
+    vtc_a: np.ndarray
+    vtc_b: np.ndarray
+    vdd: float
+
+    @property
+    def batch_size(self) -> int:
+        return self.vtc_a.shape[0]
+
+
+class ReadButterflySolver:
+    """Batch butterfly solver for one cell design at one supply voltage.
+
+    Parameters
+    ----------
+    cell:
+        The :class:`~repro.sram.cell.SramCell` (device models + geometry).
+    vdd:
+        Supply voltage [V]; defaults to the cell's.
+    grid_points:
+        Number of input-voltage samples per VTC.
+    bisection_iterations:
+        Bisection refinement steps; 40 gives ~1e-12 V node accuracy.
+    """
+
+    def __init__(self, cell: SramCell, vdd: float | None = None,
+                 grid_points: int = 101, bisection_iterations: int = 40):
+        if grid_points < 8:
+            raise ValueError(f"grid_points must be >= 8, got {grid_points}")
+        if bisection_iterations < 8:
+            raise ValueError("bisection_iterations must be >= 8")
+        self.cell = cell
+        self.vdd = float(cell.vdd if vdd is None else vdd)
+        if self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+        self.grid = np.linspace(0.0, self.vdd, grid_points)
+        self.bisection_iterations = bisection_iterations
+        # device index triplets (load, driver, access) in DEVICE_ORDER
+        self._sides = ((0, 1, 2), (3, 4, 5))
+        self._side_names = (("L1", "D1", "A1"), ("L2", "D2", "A2"))
+
+    # ------------------------------------------------------------------
+    def solve(self, delta_vth: np.ndarray) -> ButterflyCurves:
+        """Compute both VTCs for a batch of shift vectors.
+
+        Parameters
+        ----------
+        delta_vth:
+            Per-device threshold shifts [V], shape (B, 6) following
+            :data:`repro.config.DEVICE_ORDER`.
+        """
+        delta_vth = self._check_shifts(delta_vth)
+        vtc_a = self._solve_side(0, delta_vth)
+        vtc_b = self._solve_side(1, delta_vth)
+        return ButterflyCurves(grid=self.grid, vtc_a=vtc_a, vtc_b=vtc_b,
+                               vdd=self.vdd)
+
+    def solve_side(self, side: int, delta_vth: np.ndarray,
+                   bl_voltage: float | None = None,
+                   wl_voltage: float | None = None) -> np.ndarray:
+        """VTC of one half cell only; shape (B, G).
+
+        ``bl_voltage``/``wl_voltage`` override the read-condition defaults
+        (both at VDD); this is how the hold and write analyses in
+        :mod:`repro.sram.static` reuse the solver:
+
+        * hold: ``wl_voltage = 0`` (access gated off);
+        * write: ``bl_voltage = 0`` on the driven side.
+        """
+        if side not in (0, 1):
+            raise ValueError(f"side must be 0 or 1, got {side}")
+        return self._solve_side(side, self._check_shifts(delta_vth),
+                                bl_voltage=bl_voltage,
+                                wl_voltage=wl_voltage)
+
+    # ------------------------------------------------------------------
+    def _check_shifts(self, delta_vth) -> np.ndarray:
+        delta_vth = np.atleast_2d(np.asarray(delta_vth, dtype=float))
+        if delta_vth.ndim != 2 or delta_vth.shape[1] != 6:
+            raise ValueError(
+                f"delta_vth must have shape (B, 6), got {delta_vth.shape}")
+        return delta_vth
+
+    def _node_current(self, side_names, vin, vout, dv_load, dv_driver,
+                      dv_access, bl, wl):
+        """Net current *into* the half-cell output node.
+
+        Monotone decreasing in ``vout``: the pull-up contributions shrink
+        and the pull-down grows as the node rises.
+        """
+        load, driver, access = (self.cell.model(n) for n in side_names)
+        vdd = self.vdd
+        # pMOS load: drain at the node; current into node = -Ids.
+        i_load = -load.ids(vin, vout, vdd, dv_load)
+        # nMOS driver: drain at the node; current into node = -Ids.
+        i_driver = -driver.ids(vin, vout, 0.0, dv_driver)
+        # access nMOS between the bitline and the node; gate at WL.  The
+        # model handles either current direction (source/drain swap), so a
+        # low bitline correctly discharges the node during writes.
+        i_access = access.ids(wl, bl, vout, dv_access)
+        return i_load + i_driver + i_access
+
+    def _solve_side(self, side: int, delta_vth: np.ndarray,
+                    bl_voltage: float | None = None,
+                    wl_voltage: float | None = None) -> np.ndarray:
+        names = self._side_names[side]
+        idx = self._sides[side]
+        dv_load = delta_vth[:, idx[0], None]
+        dv_driver = delta_vth[:, idx[1], None]
+        dv_access = delta_vth[:, idx[2], None]
+        bl = self.vdd if bl_voltage is None else float(bl_voltage)
+        wl = self.vdd if wl_voltage is None else float(wl_voltage)
+
+        batch = delta_vth.shape[0]
+        vin = self.grid[None, :]
+        lo = np.zeros((batch, self.grid.size))
+        hi = np.full((batch, self.grid.size), self.vdd)
+        for _ in range(self.bisection_iterations):
+            mid = 0.5 * (lo + hi)
+            f = self._node_current(names, vin, mid, dv_load, dv_driver,
+                                   dv_access, bl, wl)
+            above = f > 0.0
+            lo = np.where(above, mid, lo)
+            hi = np.where(above, hi, mid)
+        return 0.5 * (lo + hi)

@@ -1,0 +1,156 @@
+"""Dynamic (time-domain) read-disturb simulation.
+
+The reference methodology the paper contrasts against ([2], [3]): apply a
+real wordline pulse to a cell with storage-node capacitances and watch
+whether the state survives.  Used to
+
+* cross-validate the static RNM failure criterion (the two agree away
+  from the marginal boundary region), and
+* measure the cost gap that motivates ECRIPSE: one dynamic read costs
+  hundreds of Newton solves vs one vectorised butterfly evaluation
+  (``benchmarks/bench_timedomain.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DEVICE_ORDER
+from repro.spice.elements import Capacitor
+from repro.spice.solver import DcSolver
+from repro.spice.transient import TransientResult, TransientSolver, pulse
+from repro.sram.cell import SramCell
+
+
+@dataclass
+class DynamicReadOutcome:
+    """Result of one dynamic read of a cell storing "0".
+
+    Attributes
+    ----------
+    flipped:
+        True if the read destroyed the stored value.
+    result:
+        Full waveforms for inspection.
+    peak_disturb:
+        Highest voltage reached on the (nominally low) Q node during the
+        wordline pulse.
+    """
+
+    flipped: bool
+    result: TransientResult
+    peak_disturb: float
+
+
+class DynamicReadSimulator:
+    """Pulse-accurate read-disturb simulation of a stored-"0" cell.
+
+    Parameters
+    ----------
+    cell:
+        The cell design.
+    node_capacitance_f:
+        Storage-node capacitance [F]; sets the disturb time constant.
+    pulse_width_s:
+        Wordline high time.
+    dt_s:
+        Integration step.
+    settle_s:
+        Time simulated after the wordline falls (the latch must resolve).
+    """
+
+    def __init__(self, cell: SramCell, node_capacitance_f: float = 5e-17,
+                 pulse_width_s: float = 2e-9, dt_s: float = 2e-11,
+                 settle_s: float = 2e-9):
+        if node_capacitance_f <= 0:
+            raise ValueError("node capacitance must be positive")
+        if min(pulse_width_s, dt_s, settle_s) <= 0:
+            raise ValueError("time parameters must be positive")
+        self.cell = cell
+        self.node_capacitance_f = node_capacitance_f
+        self.pulse_width_s = pulse_width_s
+        self.dt_s = dt_s
+        self.settle_s = settle_s
+
+    # ------------------------------------------------------------------
+    def simulate(self, delta_vth=None, rtn_driver=None
+                 ) -> DynamicReadOutcome:
+        """Run one read of a cell storing "0" (Q low / QB high).
+
+        ``delta_vth`` is a per-device static shift vector [V];
+        ``rtn_driver`` (an
+        :class:`~repro.rtn.transient.RtnTransientDriver`) additionally
+        moves the shifts along telegraph trajectories during the read.
+        """
+        vdd = self.cell.vdd
+        circuit = self.cell.read_circuit(delta_vth=delta_vth)
+        circuit.add(Capacitor("cq", "q", "0", self.node_capacitance_f))
+        circuit.add(Capacitor("cqb", "qb", "0", self.node_capacitance_f))
+        update_hook = None
+        if rtn_driver is not None:
+            update_hook = rtn_driver.bind(circuit, static_shifts=delta_vth)
+
+        t_start = 2 * self.dt_s
+        wordline = pulse(0.0, vdd, t_rise_start=t_start,
+                         t_fall_start=t_start + self.pulse_width_s)
+        solver = TransientSolver(circuit, stimuli={"vwl": wordline},
+                                 update_hook=update_hook)
+
+        # initial state: wordline low, cell storing "0".
+        circuit.set_source("vwl", 0.0)
+        if update_hook is not None:
+            update_hook(0.0)
+        initial = DcSolver(circuit).solve(initial_guess={
+            "q": 0.0, "qb": vdd, "vdd": vdd, "bl": vdd, "blb": vdd})
+
+        t_stop = t_start + self.pulse_width_s + self.settle_s
+        result = solver.run(t_stop=t_stop, dt=self.dt_s,
+                            initial_op=initial)
+
+        in_pulse = ((result.times >= t_start)
+                    & (result.times <= t_start + self.pulse_width_s))
+        q_wave = result.waveform("q")
+        peak = float(np.nanmax(q_wave[in_pulse])) if np.any(in_pulse) else 0.0
+        flipped = bool(q_wave[-1] > result.waveform("qb")[-1])
+        return DynamicReadOutcome(flipped=flipped, result=result,
+                                  peak_disturb=peak)
+
+    # ------------------------------------------------------------------
+    def monte_carlo_pfail(self, space, n_samples: int, rng,
+                          rtn_driver_factory=None) -> tuple[float, int]:
+        """Small-scale time-domain Monte Carlo (the expensive reference).
+
+        Returns ``(pfail, n_newton_solves_estimate)``.  This is
+        deliberately usable only at tiny sample counts -- each sample
+        costs a full transient -- which is exactly the paper's argument
+        for avoiding time-domain methods in yield estimation.
+        """
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        flips = 0
+        steps = 0
+        for i in range(n_samples):
+            x = space.sample(1, rng)[0]
+            shifts = space.to_physical(x)
+            driver = (rtn_driver_factory(i) if rtn_driver_factory is not None
+                      else None)
+            outcome = self.simulate(delta_vth=shifts, rtn_driver=driver)
+            flips += int(outcome.flipped)
+            steps += outcome.result.times.size
+        return flips / n_samples, steps
+
+
+def device_shift_vector(**shifts_mv: float) -> np.ndarray:
+    """Convenience: build a delta-Vth vector [V] from mV keyword args.
+
+    >>> device_shift_vector(D1=50.0)[1]
+    0.05
+    """
+    vector = np.zeros(len(DEVICE_ORDER))
+    for name, value in shifts_mv.items():
+        if name not in DEVICE_ORDER:
+            raise KeyError(f"unknown device {name!r}")
+        vector[DEVICE_ORDER.index(name)] = value * 1e-3
+    return vector

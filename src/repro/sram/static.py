@@ -1,0 +1,78 @@
+"""Hold and write static analyses (extensions beyond the paper).
+
+The paper evaluates *read* stability only; a cell design flow also needs
+the hold margin (wordline low -- how robust is retention?) and the write
+margin (can the bitline overpower the cell?).  Both reuse the vectorised
+butterfly machinery:
+
+* **hold SNM** -- the classic butterfly with the access transistors gated
+  off (``wl = 0``); hold margins are much larger than read margins because
+  the read bump disappears.
+* **write margin** -- to write a "1" into a cell holding "0", the low
+  bitline must destroy the stored state's eye: the write margin is the
+  *negative* of the stored-state lobe margin under write bias, so positive
+  values mean the write succeeds, and the margin magnitude says by how
+  much.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sram.butterfly import ButterflyCurves, ReadButterflySolver
+from repro.sram.margins import lobe_margins
+
+
+class StaticCellAnalysis:
+    """Hold/write analyses for batches of mismatched cells.
+
+    Parameters
+    ----------
+    solver:
+        A :class:`~repro.sram.butterfly.ReadButterflySolver` for the cell
+        and supply of interest (its grid and bisection settings are
+        reused).
+    """
+
+    def __init__(self, solver: ReadButterflySolver):
+        self.solver = solver
+
+    # ------------------------------------------------------------------
+    def hold_curves(self, delta_vth: np.ndarray) -> ButterflyCurves:
+        """Butterfly curves with the wordline low (retention bias)."""
+        vtc_a = self.solver.solve_side(0, delta_vth, wl_voltage=0.0)
+        vtc_b = self.solver.solve_side(1, delta_vth, wl_voltage=0.0)
+        return ButterflyCurves(grid=self.solver.grid, vtc_a=vtc_a,
+                               vtc_b=vtc_b, vdd=self.solver.vdd)
+
+    def hold_margins(self, delta_vth: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Hold (retention) noise margins of both lobes, (B,) each."""
+        return lobe_margins(self.hold_curves(delta_vth))
+
+    def hold_snm(self, delta_vth: np.ndarray) -> np.ndarray:
+        """Worse-lobe hold margin, (B,)."""
+        rnm0, rnm1 = self.hold_margins(delta_vth)
+        return np.minimum(rnm0, rnm1)
+
+    # ------------------------------------------------------------------
+    def write_margin(self, delta_vth: np.ndarray) -> np.ndarray:
+        """Write-"1" margin for cells holding "0", shape (B,).
+
+        Bias: BLB (side 1, the node storing the high level) pulled low,
+        BL (side 0) held high, wordline high -- an nMOS access transistor
+        overwrites a cell by discharging its *high* node.  The returned
+        value is the negative of the stored-"0" eye's margin under this
+        bias: positive means the old state is no longer stable and the
+        write succeeds.
+        """
+        vtc_a = self.solver.solve_side(0, delta_vth)
+        vtc_b = self.solver.solve_side(1, delta_vth, bl_voltage=0.0)
+        curves = ButterflyCurves(grid=self.solver.grid, vtc_a=vtc_a,
+                                 vtc_b=vtc_b, vdd=self.solver.vdd)
+        stored0_margin, _ = lobe_margins(curves)
+        return -stored0_margin
+
+    def write_failure(self, delta_vth: np.ndarray) -> np.ndarray:
+        """Boolean write-failure labels (margin <= 0), shape (B,)."""
+        return self.write_margin(delta_vth) <= 0.0

@@ -1,0 +1,25 @@
+"""Fabrication-process variability models.
+
+The paper models threshold-voltage mismatch with the Pelgrom law
+(:mod:`repro.variability.pelgrom`) and works in a *whitened* space where the
+six per-device shifts are i.i.d. standard normal
+(:mod:`repro.variability.space`).  General covariance whitening for
+correlated extensions lives in :mod:`repro.variability.whitening`.
+"""
+
+from repro.variability.pelgrom import pelgrom_sigma_v, pelgrom_sigmas
+from repro.variability.space import VariabilitySpace
+from repro.variability.whitening import WhiteningTransform
+from repro.variability.correlated import (
+    CorrelatedVariabilitySpace,
+    common_mode_correlation,
+)
+
+__all__ = [
+    "pelgrom_sigma_v",
+    "pelgrom_sigmas",
+    "VariabilitySpace",
+    "WhiteningTransform",
+    "CorrelatedVariabilitySpace",
+    "common_mode_correlation",
+]

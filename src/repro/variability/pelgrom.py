@@ -1,0 +1,39 @@
+"""Pelgrom mismatch law.
+
+Paper eq. (20): the RDF-induced threshold shift of a device with channel
+area ``W*L`` is Gaussian with standard deviation ``A_VTH / sqrt(L*W)``.
+With the paper's A_VTH = 5e2 mV*nm, a 30x16 nm driver has a sigma of
+~22.8 mV and a 60x16 nm load ~16.1 mV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEVICE_ORDER, CellGeometry
+
+
+def pelgrom_sigma_v(avth_mv_nm: float, w_nm: float, l_nm: float) -> float:
+    """Sigma of the RDF threshold shift in **volts**.
+
+    >>> round(pelgrom_sigma_v(500.0, 30.0, 16.0), 4)
+    0.0228
+    """
+    if avth_mv_nm <= 0:
+        raise ValueError(f"A_VTH must be positive, got {avth_mv_nm}")
+    if w_nm <= 0 or l_nm <= 0:
+        raise ValueError(f"geometry must be positive, got W={w_nm}, L={l_nm}")
+    sigma_mv = avth_mv_nm / np.sqrt(w_nm * l_nm)
+    return float(sigma_mv) * 1e-3
+
+
+def pelgrom_sigmas(avth_mv_nm: float, geometry: CellGeometry) -> np.ndarray:
+    """Per-device sigma vector [V] following :data:`repro.config.DEVICE_ORDER`.
+
+    The paper assumes the same Pelgrom coefficient for pMOS and nMOS.
+    """
+    return np.array([
+        pelgrom_sigma_v(avth_mv_nm, geometry.device(name).w_nm,
+                        geometry.device(name).l_nm)
+        for name in DEVICE_ORDER
+    ])

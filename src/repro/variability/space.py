@@ -1,0 +1,88 @@
+"""The whitened process-variability space.
+
+All Monte-Carlo machinery in :mod:`repro.core` operates on points ``x`` in a
+D-dimensional space where the prior is the standard normal (paper eq. 14).
+:class:`VariabilitySpace` owns the mapping between that space and physical
+per-device threshold shifts (volts), i.e. ``dvth = x * sigmas``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEVICE_ORDER, CellGeometry
+from repro.variability.pelgrom import pelgrom_sigmas
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class VariabilitySpace:
+    """Whitened N(0, I) space over per-device threshold shifts.
+
+    Parameters
+    ----------
+    sigmas:
+        Per-dimension physical standard deviations [V].  For the paper's
+        setup use :meth:`from_pelgrom`.
+    names:
+        Optional dimension labels (defaults to indices).
+    """
+
+    def __init__(self, sigmas, names: tuple[str, ...] | None = None):
+        sigmas = np.asarray(sigmas, dtype=float)
+        if sigmas.ndim != 1 or sigmas.size == 0:
+            raise ValueError("sigmas must be a non-empty 1-D array")
+        if np.any(sigmas <= 0):
+            raise ValueError("all sigmas must be positive")
+        self.sigmas = sigmas
+        self.dim = sigmas.size
+        if names is not None and len(names) != self.dim:
+            raise ValueError(
+                f"{len(names)} names for {self.dim} dimensions")
+        self.names = tuple(names) if names is not None else tuple(
+            str(i) for i in range(self.dim))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pelgrom(cls, avth_mv_nm: float, geometry: CellGeometry
+                     ) -> "VariabilitySpace":
+        """Build the 6-D cell space from the Pelgrom law (paper eq. 20)."""
+        return cls(pelgrom_sigmas(avth_mv_nm, geometry), names=DEVICE_ORDER)
+
+    # ------------------------------------------------------------------
+    def to_physical(self, x) -> np.ndarray:
+        """Map whitened points ``x`` (..., D) to threshold shifts [V]."""
+        x = self._check(x)
+        return x * self.sigmas
+
+    def to_whitened(self, dvth) -> np.ndarray:
+        """Inverse of :meth:`to_physical`."""
+        dvth = self._check(dvth)
+        return dvth / self.sigmas
+
+    # ------------------------------------------------------------------
+    def log_pdf(self, x) -> np.ndarray:
+        """Log density of the standard-normal prior at ``x`` (..., D)."""
+        x = self._check(x)
+        return -0.5 * (self.dim * _LOG_2PI + np.sum(x * x, axis=-1))
+
+    def pdf(self, x) -> np.ndarray:
+        """Density of the standard-normal prior (paper eq. 14)."""
+        return np.exp(self.log_pdf(x))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` prior samples, shape (n, D)."""
+        if n < 0:
+            raise ValueError(f"cannot draw {n} samples")
+        return rng.standard_normal((n, self.dim))
+
+    # ------------------------------------------------------------------
+    def _check(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"expected trailing dimension {self.dim}, got shape {x.shape}")
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VariabilitySpace(dim={self.dim}, names={self.names})"

@@ -1,0 +1,77 @@
+"""Covariance whitening.
+
+The paper assumes the variability components "can be uncorrelated using a
+transformation called whitening" (Section II-A).  This module provides that
+transformation for the general correlated-Gaussian case so users can feed
+correlated mismatch data (e.g. with a common-mode process component) into
+the whitened machinery of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WhiteningTransform:
+    """Bijective map between a correlated Gaussian and the white space.
+
+    Given a covariance ``C = L L^T`` (Cholesky), ``whiten`` maps physical
+    deviations to i.i.d. standard-normal coordinates ``x = L^-1 (v - mean)``
+    and ``unwhiten`` maps back.
+
+    Parameters
+    ----------
+    covariance:
+        Symmetric positive-definite (D, D) covariance matrix.
+    mean:
+        Optional (D,) mean vector; defaults to zero.
+    """
+
+    def __init__(self, covariance, mean=None):
+        cov = np.asarray(covariance, dtype=float)
+        if cov.ndim != 2 or cov.shape[0] != cov.shape[1]:
+            raise ValueError(f"covariance must be square, got {cov.shape}")
+        if not np.allclose(cov, cov.T, atol=1e-12):
+            raise ValueError("covariance must be symmetric")
+        try:
+            self._chol = np.linalg.cholesky(cov)
+        except np.linalg.LinAlgError as exc:
+            raise ValueError("covariance must be positive definite") from exc
+        self.covariance = cov
+        self.dim = cov.shape[0]
+        self.mean = (np.zeros(self.dim) if mean is None
+                     else np.asarray(mean, dtype=float))
+        if self.mean.shape != (self.dim,):
+            raise ValueError(
+                f"mean shape {self.mean.shape} does not match dim {self.dim}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sigmas(cls, sigmas, correlation=None) -> "WhiteningTransform":
+        """Build from per-dimension sigmas and an optional correlation
+        matrix (identity if omitted)."""
+        sigmas = np.asarray(sigmas, dtype=float)
+        if np.any(sigmas <= 0):
+            raise ValueError("sigmas must be positive")
+        corr = np.eye(sigmas.size) if correlation is None else np.asarray(
+            correlation, dtype=float)
+        cov = corr * np.outer(sigmas, sigmas)
+        return cls(cov)
+
+    # ------------------------------------------------------------------
+    def whiten(self, v) -> np.ndarray:
+        """Physical deviations (..., D) -> white coordinates (..., D)."""
+        v = np.asarray(v, dtype=float)
+        centred = v - self.mean
+        # solve L x = centred^T for each point
+        return np.linalg.solve(
+            self._chol, centred[..., None])[..., 0] if v.ndim == 1 else (
+            np.linalg.solve(self._chol, centred.T).T)
+
+    def unwhiten(self, x) -> np.ndarray:
+        """White coordinates (..., D) -> physical deviations (..., D)."""
+        x = np.asarray(x, dtype=float)
+        return x @ self._chol.T + self.mean
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WhiteningTransform(dim={self.dim})"

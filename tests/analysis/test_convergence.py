@@ -1,0 +1,66 @@
+"""Tests for convergence-trace analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    relative_error_curve,
+    simulations_to_accuracy,
+    speedup_at_accuracy,
+)
+from repro.core.estimate import FailureEstimate, TracePoint
+
+
+def trace_from(pairs):
+    return [TracePoint(n_simulations=n, estimate=1.0, ci_halfwidth=err)
+            for n, err in pairs]
+
+
+def estimate_from(pairs):
+    trace = trace_from(pairs)
+    return FailureEstimate(pfail=1.0, ci_halfwidth=trace[-1].ci_halfwidth,
+                           n_simulations=trace[-1].n_simulations,
+                           n_statistical_samples=0, method="t", trace=trace)
+
+
+class TestCurves:
+    def test_relative_error_curve(self):
+        sims, rel = relative_error_curve(trace_from([(10, 0.5), (20, 0.1)]))
+        assert sims.tolist() == [10.0, 20.0]
+        assert rel.tolist() == [0.5, 0.1]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error_curve([])
+
+
+class TestSimsToAccuracy:
+    def test_simple_crossing(self):
+        trace = trace_from([(10, 0.5), (20, 0.05), (30, 0.01)])
+        assert simulations_to_accuracy(trace, 0.06) == 20
+
+    def test_lucky_dip_does_not_count(self):
+        """An early dip below target followed by a rise must not be
+        reported as convergence."""
+        trace = trace_from([(10, 0.05), (20, 0.5), (30, 0.04)])
+        assert simulations_to_accuracy(trace, 0.06) == 30
+
+    def test_never_converges(self):
+        trace = trace_from([(10, 0.5), (20, 0.4)])
+        assert simulations_to_accuracy(trace, 0.01) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulations_to_accuracy([], 0.0)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        slow = estimate_from([(1000, 0.5), (36_000, 0.01)])
+        fast = estimate_from([(500, 0.5), (1000, 0.01)])
+        assert speedup_at_accuracy(slow, fast, 0.01) == pytest.approx(36.0)
+
+    def test_none_when_unreached(self):
+        slow = estimate_from([(1000, 0.5)])
+        fast = estimate_from([(1000, 0.005)])
+        assert speedup_at_accuracy(slow, fast, 0.01) is None

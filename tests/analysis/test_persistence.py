@@ -1,0 +1,63 @@
+"""Tests for JSON persistence of results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.persistence import (
+    estimate_from_dict,
+    estimate_to_dict,
+    load_estimate,
+    save_estimate,
+)
+from repro.core.estimate import FailureEstimate, TracePoint
+
+
+@pytest.fixture()
+def estimate():
+    return FailureEstimate(
+        pfail=1.33e-4, ci_halfwidth=2e-6, n_simulations=2800,
+        n_statistical_samples=100_000, method="ecripse", wall_time_s=12.5,
+        trace=[TracePoint(1000, 1.5e-4, 3e-5, 10_000),
+               TracePoint(2800, 1.33e-4, 2e-6, 100_000)],
+        metadata={"alpha": np.float64(0.3),
+                  "counts": np.array([1, 2, 3]),
+                  "flag": np.bool_(True)})
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, estimate, tmp_path):
+        path = tmp_path / "result.json"
+        save_estimate(estimate, path)
+        loaded = load_estimate(path)
+        assert loaded.pfail == estimate.pfail
+        assert loaded.method == estimate.method
+        assert len(loaded.trace) == 2
+        assert loaded.trace[1].n_simulations == 2800
+        assert loaded.metadata["alpha"] == 0.3
+
+    def test_numpy_metadata_becomes_json_native(self, estimate):
+        data = estimate_to_dict(estimate)
+        text = json.dumps(data)  # must not raise
+        assert '"counts": [1, 2, 3]' in text
+        assert isinstance(data["metadata"]["flag"], bool)
+
+    def test_schema_checked(self, estimate):
+        data = estimate_to_dict(estimate)
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            estimate_from_dict(data)
+
+    def test_missing_trace_tolerated(self, estimate):
+        data = estimate_to_dict(estimate)
+        del data["trace"]
+        loaded = estimate_from_dict(data)
+        assert loaded.trace == []
+
+    def test_relative_error_preserved(self, estimate, tmp_path):
+        path = tmp_path / "result.json"
+        save_estimate(estimate, path)
+        loaded = load_estimate(path)
+        assert loaded.relative_error == pytest.approx(
+            estimate.relative_error)

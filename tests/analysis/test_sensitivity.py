@@ -1,0 +1,75 @@
+"""Tests for device-criticality analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    device_criticality,
+    margin_gradient,
+    rank_devices,
+)
+
+
+class TestCriticality:
+    def test_dominant_axis_identified(self, rng):
+        """Particles displaced along axis 0 make it the critical one."""
+        particles = rng.normal(size=(500, 3)) * 0.3
+        particles[:, 0] += 4.0
+        result = device_criticality(particles, names=("a", "b", "c"))
+        assert result["criticality"][0] > 0.9
+        assert rank_devices(result)[0][0] == "a"
+
+    def test_criticality_sums_to_one(self, rng):
+        particles = rng.normal(size=(100, 4))
+        result = device_criticality(particles)
+        assert np.sum(result["criticality"]) == pytest.approx(1.0)
+
+    def test_signed_mean_shift(self):
+        particles = np.array([[-3.0, 0.0], [-3.0, 0.0]])
+        result = device_criticality(particles)
+        assert result["mean_shift"][0] == pytest.approx(-3.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            device_criticality(np.zeros((0, 3)))
+        with pytest.raises(ValueError, match="names"):
+            device_criticality(np.ones((2, 3)), names=("a",))
+
+    def test_rank_top(self, rng):
+        particles = rng.normal(size=(50, 5))
+        result = device_criticality(particles)
+        assert len(rank_devices(result, top=2)) == 2
+
+
+class TestMarginGradient:
+    def test_linear_function_gradient_exact(self):
+        weights = np.array([1.0, -2.0, 0.5])
+
+        def margin(x):
+            return np.atleast_2d(x) @ weights
+
+        grad = margin_gradient(margin, np.zeros(3))
+        assert np.allclose(grad, weights)
+
+    def test_quadratic_gradient(self):
+        def margin(x):
+            x = np.atleast_2d(x)
+            return 1.0 - np.sum(x * x, axis=1)
+
+        grad = margin_gradient(margin, np.array([1.0, 0.0]))
+        assert grad[0] == pytest.approx(-2.0, rel=1e-2)
+        assert grad[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            margin_gradient(lambda x: np.zeros(len(x)), np.zeros(2),
+                            step=0.0)
+
+    def test_on_real_cell(self, paper_evaluator):
+        """The read margin falls when the lobe-critical driver weakens."""
+        grad = margin_gradient(paper_evaluator.lobe0_margin, np.zeros(6),
+                               step=0.25)
+        from repro.config import DEVICE_ORDER
+
+        d1 = DEVICE_ORDER.index("D1")
+        assert grad[d1] < 0.0  # weakening D1 costs lobe-0 margin

@@ -1,0 +1,39 @@
+"""Tests for run comparison reports."""
+
+import pytest
+
+from repro.analysis.speedup import compare_runs
+from repro.core.estimate import FailureEstimate, TracePoint
+
+
+def run(pfail, ci, sims_to_1pct, wall):
+    trace = [TracePoint(n_simulations=sims_to_1pct, estimate=pfail,
+                        ci_halfwidth=pfail * 0.009)]
+    return FailureEstimate(pfail=pfail, ci_halfwidth=ci,
+                           n_simulations=sims_to_1pct,
+                           n_statistical_samples=0, method="x",
+                           wall_time_s=wall, trace=trace)
+
+
+class TestCompare:
+    def test_simulation_and_wall_ratios(self):
+        reference = run(1e-4, 1e-6, 360_000, 97.0)
+        fast = run(1.01e-4, 1e-6, 10_000, 6.2)
+        report = compare_runs(reference, fast, 0.01)
+        assert report.simulation_ratio == pytest.approx(36.0)
+        assert report.wall_clock_ratio == pytest.approx(97.0 / 6.2)
+        assert report.estimates_agree
+        assert "36.0x" in report.summary()
+
+    def test_disagreement_flagged(self):
+        reference = run(1e-4, 1e-7, 100, 1.0)
+        fast = run(5e-4, 1e-7, 100, 1.0)
+        assert not compare_runs(reference, fast).estimates_agree
+
+    def test_unmeasurable_speedup(self):
+        reference = run(1e-4, 1e-6, 100, 1.0)
+        reference.trace = []  # never reached the target
+        fast = run(1e-4, 1e-6, 100, 1.0)
+        report = compare_runs(reference, fast)
+        assert report.simulation_ratio is None
+        assert "no speedup" in report.summary()

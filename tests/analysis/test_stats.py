@@ -1,0 +1,72 @@
+"""Tests for statistical helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    binomial_ci_halfwidth,
+    weighted_mean_ci,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_zero_successes_has_positive_width(self):
+        p, halfwidth = wilson_interval(0, 1000)
+        assert p == 0.0
+        assert halfwidth > 0.0
+
+    def test_half_and_half(self):
+        p, halfwidth = wilson_interval(500, 1000)
+        assert p == 0.5
+        assert halfwidth == pytest.approx(1.96 * np.sqrt(0.25 / 1000),
+                                          rel=0.01)
+
+    @given(st.integers(1, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=100)
+    def test_interval_within_unit_range(self, trials, successes):
+        successes = min(successes, trials)
+        p, halfwidth = wilson_interval(successes, trials)
+        centre_low = p - halfwidth
+        assert halfwidth >= 0.0
+        # Wilson half-width never exceeds 1
+        assert halfwidth <= 1.0
+        assert 0.0 <= p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+
+
+class TestWald:
+    def test_matches_formula(self):
+        halfwidth = binomial_ci_halfwidth(0.1, 100)
+        assert halfwidth == pytest.approx(1.96 * np.sqrt(0.09 / 100),
+                                          rel=0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_ci_halfwidth(0.5, 0)
+        with pytest.raises(ValueError):
+            binomial_ci_halfwidth(1.5, 10)
+
+
+class TestWeightedMean:
+    def test_mean_and_ci(self, rng):
+        values = rng.normal(loc=2.0, size=10_000)
+        mean, halfwidth = weighted_mean_ci(values)
+        assert mean == pytest.approx(2.0, abs=0.05)
+        assert halfwidth == pytest.approx(1.96 / 100.0, rel=0.05)
+
+    def test_single_value(self):
+        mean, halfwidth = weighted_mean_ci(np.array([5.0]))
+        assert mean == 5.0
+        assert halfwidth == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean_ci(np.array([]))

@@ -1,0 +1,38 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_numeric_right_text_left(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.0], ["bb", 22.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[-1].endswith("22")
+
+    def test_title_and_rule(self):
+        text = format_table(["a"], [[1]], title="Results")
+        assert text.splitlines()[0] == "Results"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_scientific_rendering_for_small_floats(self):
+        text = format_table(["p"], [[1.33e-4]])
+        assert "1.330e-04" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_zero_renders_compactly(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+    def test_doctest_example(self):
+        out = format_table(["a", "b"], [[1, "x"], [22, "yy"]])
+        assert out.splitlines()[0].rstrip() == " a  b"

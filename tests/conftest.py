@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TABLE_I
+from repro.sram.cell import SramCell
+from repro.sram.evaluator import CellEvaluator
+from repro.variability.space import VariabilitySpace
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running statistical test (several seconds)")
+
+
+@pytest.fixture(scope="session")
+def paper_space() -> VariabilitySpace:
+    """The whitened 6-D Pelgrom space of the paper's Table I."""
+    return VariabilitySpace.from_pelgrom(TABLE_I.avth_mv_nm, TABLE_I.geometry)
+
+
+@pytest.fixture(scope="session")
+def paper_cell() -> SramCell:
+    """The calibrated Table-I cell."""
+    return SramCell()
+
+
+@pytest.fixture(scope="session")
+def paper_evaluator(paper_cell, paper_space) -> CellEvaluator:
+    """Vectorised evaluator at the nominal 0.7 V supply."""
+    return CellEvaluator(paper_cell, paper_space)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,113 @@
+"""Tests for the baseline estimators (conventional SIS, mean-shift,
+statistical blockade)."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.blockade_mc import StatisticalBlockadeEstimator
+from repro.core.conventional import ConventionalSisEstimator
+from repro.core.ecripse import EcripseConfig
+from repro.core.indicator import FunctionIndicator
+from repro.core.meanshift import MeanShiftEstimator
+from repro.errors import EstimationError
+from repro.rtn.model import ZeroRtnModel
+from repro.variability.space import VariabilitySpace
+
+DIM = 3
+SPACE = VariabilitySpace(np.ones(DIM))
+NULL = ZeroRtnModel(SPACE)
+TWO_LOBES = FunctionIndicator(lambda x: np.abs(x[:, 0]) > 3.0, dim=DIM)
+EXACT = 2 * norm.sf(3.0)
+
+FAST = EcripseConfig(n_particles=50, n_iterations=6, stage2_batch=1500,
+                     max_statistical_samples=300_000)
+
+
+class TestConventional:
+    def test_classifier_forcibly_disabled(self):
+        estimator = ConventionalSisEstimator(SPACE, TWO_LOBES, NULL,
+                                             config=FAST, seed=0)
+        assert estimator.config.use_classifier is False
+
+    @pytest.mark.slow
+    def test_recovers_probability_without_classifier(self):
+        estimator = ConventionalSisEstimator(SPACE, TWO_LOBES, NULL,
+                                             config=FAST, seed=0)
+        result = estimator.run(target_relative_error=0.05,
+                               max_simulations=400_000)
+        assert result.pfail == pytest.approx(EXACT, rel=0.12)
+        assert result.metadata["classifier_trainings"] == 0
+        assert result.method == "conventional-sis"
+
+    def test_every_statistical_sample_is_simulated(self):
+        estimator = ConventionalSisEstimator(SPACE, TWO_LOBES, NULL,
+                                             config=FAST, seed=0)
+        result = estimator.run(target_relative_error=0.3)
+        overhead = (result.metadata["boundary_simulations"]
+                    + result.metadata["stage1_simulations"])
+        assert result.n_simulations == overhead + result.n_statistical_samples
+
+
+class TestMeanShift:
+    @pytest.mark.slow
+    def test_recovers_two_lobe_probability(self):
+        estimator = MeanShiftEstimator(SPACE, TWO_LOBES, NULL,
+                                       n_shift_points=2, seed=3)
+        result = estimator.run(target_relative_error=0.05,
+                               max_simulations=600_000)
+        assert result.pfail == pytest.approx(EXACT, rel=0.12)
+
+    def test_shift_points_land_on_each_lobe(self):
+        estimator = MeanShiftEstimator(SPACE, TWO_LOBES, NULL,
+                                       n_shift_points=2, seed=3)
+        estimator.run(target_relative_error=0.5, max_simulations=20_000)
+        centres = np.array(estimator.mixture.means)
+        signs = set(np.sign(centres[:, 0]).tolist())
+        assert signs == {-1.0, 1.0}
+        # minimum-norm points sit near the boundary radius 3
+        assert np.allclose(np.abs(centres[:, 0]), 3.0, atol=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeanShiftEstimator(SPACE, TWO_LOBES, NULL, n_shift_points=0)
+        with pytest.raises(ValueError):
+            MeanShiftEstimator(SPACE, TWO_LOBES, NULL, shift_sigma=0.0)
+
+
+class TestStatisticalBlockade:
+    def test_recovers_moderate_probability(self):
+        """Blockade is a naive-MC accelerator, so test at an accessible
+        failure level (threshold 2.2 -> p ~ 1.4e-2)."""
+        indicator = FunctionIndicator(lambda x: np.abs(x[:, 0]) > 2.2, DIM)
+        estimator = StatisticalBlockadeEstimator(SPACE, indicator, NULL,
+                                                 seed=1)
+        result = estimator.run(n_samples=150_000)
+        exact = 2 * norm.sf(2.2)
+        assert result.pfail == pytest.approx(exact, rel=0.10)
+
+    def test_simulates_fewer_than_naive(self):
+        indicator = FunctionIndicator(lambda x: np.abs(x[:, 0]) > 2.2, DIM)
+        estimator = StatisticalBlockadeEstimator(SPACE, indicator, NULL,
+                                                 seed=1)
+        result = estimator.run(n_samples=100_000)
+        assert result.n_simulations < 60_000
+        assert result.n_statistical_samples == 100_000
+
+    def test_training_failure_raises(self):
+        nothing = FunctionIndicator(lambda x: np.zeros(len(x), bool), DIM)
+        estimator = StatisticalBlockadeEstimator(SPACE, nothing, NULL,
+                                                 seed=1)
+        with pytest.raises(EstimationError, match="single-class"):
+            estimator.run(n_samples=1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StatisticalBlockadeEstimator(SPACE, TWO_LOBES, NULL,
+                                         training_sigma=0.5)
+        with pytest.raises(ValueError):
+            StatisticalBlockadeEstimator(SPACE, TWO_LOBES, NULL,
+                                         n_training=5)
+        estimator = StatisticalBlockadeEstimator(SPACE, TWO_LOBES, NULL)
+        with pytest.raises(ValueError):
+            estimator.run(n_samples=0)

@@ -1,0 +1,64 @@
+"""Tests for the radial failure-boundary search."""
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import find_failure_boundary, sphere_directions
+from repro.core.indicator import CountingIndicator, FunctionIndicator
+
+
+def spherical_indicator(radius=3.0, dim=4):
+    return CountingIndicator(FunctionIndicator(
+        lambda x: np.linalg.norm(x, axis=1) > radius, dim=dim))
+
+
+class TestSphereDirections:
+    def test_unit_norm(self, rng):
+        directions = sphere_directions(100, 5, rng)
+        assert np.allclose(np.linalg.norm(directions, axis=1), 1.0)
+
+    def test_mean_near_zero(self, rng):
+        directions = sphere_directions(20_000, 3, rng)
+        assert np.allclose(directions.mean(axis=0), 0.0, atol=0.02)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sphere_directions(0, 3, rng)
+
+
+class TestBoundarySearch:
+    def test_finds_spherical_boundary(self, rng):
+        indicator = spherical_indicator(radius=3.0)
+        result = find_failure_boundary(indicator, 32, rng, r_max=8.0,
+                                       n_bisections=16)
+        assert result.n_directions_failed == 32  # every ray hits a sphere
+        assert np.allclose(result.radii, 3.0, atol=1e-3)
+        assert np.allclose(np.linalg.norm(result.points, axis=1),
+                           result.radii)
+
+    def test_simulation_accounting(self, rng):
+        indicator = spherical_indicator()
+        result = find_failure_boundary(indicator, 16, rng, n_bisections=10)
+        # 16 at r_max + 16 per bisection level
+        assert result.n_simulations == 16 + 16 * 10
+        assert indicator.count == result.n_simulations
+
+    def test_half_space_keeps_only_hitting_directions(self, rng):
+        indicator = CountingIndicator(FunctionIndicator(
+            lambda x: x[:, 0] > 4.0, dim=3))
+        result = find_failure_boundary(indicator, 64, rng, r_max=8.0)
+        assert 0 < result.n_directions_failed < 64
+        assert np.all(result.points[:, 0] > 3.9)
+
+    def test_no_failure_raises(self, rng):
+        indicator = CountingIndicator(FunctionIndicator(
+            lambda x: np.zeros(len(x), dtype=bool), dim=3))
+        with pytest.raises(ValueError, match="no failures"):
+            find_failure_boundary(indicator, 8, rng)
+
+    def test_parameter_validation(self, rng):
+        indicator = spherical_indicator()
+        with pytest.raises(ValueError):
+            find_failure_boundary(indicator, 8, rng, r_max=0.0)
+        with pytest.raises(ValueError):
+            find_failure_boundary(indicator, 8, rng, n_bisections=0)

@@ -1,0 +1,86 @@
+"""Regression tests for the both-lobe boundary search used by RTN runs.
+
+The mirror trick maps stored-"1" samples onto the mirrored lobe-0 region,
+so the initial particles must cover *both* lobes regardless of the duty
+ratio; indicators that only score one lobe advertise a wider
+``boundary_indicator`` for exactly this purpose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ecripse import EcripseConfig, EcripseEstimator
+from repro.core.indicator import FunctionIndicator
+from repro.rtn.model import ZeroRtnModel
+from repro.variability.space import VariabilitySpace
+
+DIM = 4
+SPACE = VariabilitySpace(np.ones(DIM))
+NULL = ZeroRtnModel(SPACE)
+
+
+class OneLobeWithAdvertisedBoundary:
+    """Scores only x1 > 3.5 but advertises the two-lobe region for the
+    boundary search (the shape of :class:`Lobe0ReadFailure`)."""
+
+    dim = DIM
+
+    def __init__(self):
+        self.boundary_indicator = FunctionIndicator(
+            lambda x: np.abs(x[:, 0]) > 3.5, DIM)
+
+    def evaluate(self, x):
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return x[:, 0] > 3.5
+
+
+class TestBoundaryIndicator:
+    def test_sram_lobe0_indicator_advertises_cell_boundary(self,
+                                                           paper_evaluator):
+        from repro.sram.evaluator import CellReadFailure, Lobe0ReadFailure
+
+        lobe0 = Lobe0ReadFailure(paper_evaluator)
+        assert isinstance(lobe0.boundary_indicator, CellReadFailure)
+        # plain indicators have no boundary indicator
+        assert not hasattr(CellReadFailure(paper_evaluator),
+                           "boundary_indicator")
+
+    def test_estimator_uses_advertised_boundary(self):
+        indicator = OneLobeWithAdvertisedBoundary()
+        estimator = EcripseEstimator(
+            SPACE, indicator, NULL,
+            config=EcripseConfig(n_particles=40, n_iterations=5,
+                                 k_train=96, stage2_batch=1000,
+                                 max_statistical_samples=60_000),
+            seed=1)
+        estimator.run(target_relative_error=0.5)
+        # the boundary covers BOTH half-spaces even though the scored
+        # indicator only fails on the positive side
+        points = estimator.boundary.points
+        assert np.any(points[:, 0] > 3.0)
+        assert np.any(points[:, 0] < -3.0)
+
+    def test_boundary_simulations_counted_in_shared_counter(self):
+        indicator = OneLobeWithAdvertisedBoundary()
+        estimator = EcripseEstimator(
+            SPACE, indicator, NULL,
+            config=EcripseConfig(n_particles=40, n_iterations=5,
+                                 k_train=96, stage2_batch=1000,
+                                 max_statistical_samples=30_000),
+            seed=1)
+        result = estimator.run(target_relative_error=0.5)
+        assert result.metadata["boundary_simulations"] > 0
+
+    def test_dead_lobe_kernels_dropped_from_mixture(self):
+        """With the one-sided scored indicator, the filter on the negative
+        lobe never resamples, and its kernels are excluded from Q."""
+        indicator = OneLobeWithAdvertisedBoundary()
+        estimator = EcripseEstimator(
+            SPACE, indicator, NULL,
+            config=EcripseConfig(n_particles=40, n_iterations=5,
+                                 k_train=96, stage2_batch=1000,
+                                 max_statistical_samples=30_000),
+            seed=1)
+        estimator.run(target_relative_error=0.5)
+        kernel_means = estimator.mixture.mixture.means
+        assert np.all(kernel_means[:, 0] > 0.0)

@@ -1,0 +1,86 @@
+"""Tests for result containers and the running accumulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.estimate import FailureEstimate, RunningMean, TracePoint
+
+
+class TestTracePoint:
+    def test_relative_error(self):
+        point = TracePoint(n_simulations=10, estimate=0.5, ci_halfwidth=0.05)
+        assert point.relative_error == pytest.approx(0.1)
+
+    def test_zero_estimate_gives_infinite_error(self):
+        point = TracePoint(n_simulations=10, estimate=0.0, ci_halfwidth=0.1)
+        assert point.relative_error == float("inf")
+
+
+def make_estimate(trace):
+    return FailureEstimate(pfail=1e-4, ci_halfwidth=1e-5, n_simulations=100,
+                           n_statistical_samples=100, method="test",
+                           trace=trace)
+
+
+class TestFailureEstimate:
+    def test_ci_bounds(self):
+        estimate = make_estimate([])
+        assert estimate.ci_low == pytest.approx(9e-5)
+        assert estimate.ci_high == pytest.approx(1.1e-4)
+
+    def test_ci_low_clamped_at_zero(self):
+        estimate = FailureEstimate(pfail=1e-6, ci_halfwidth=1e-5,
+                                   n_simulations=1, n_statistical_samples=1,
+                                   method="t")
+        assert estimate.ci_low == 0.0
+
+    def test_simulations_to_accuracy(self):
+        trace = [TracePoint(10, 1.0, 0.5), TracePoint(20, 1.0, 0.05),
+                 TracePoint(30, 1.0, 0.01)]
+        estimate = make_estimate(trace)
+        assert estimate.simulations_to_accuracy(0.06) == 20
+        assert estimate.simulations_to_accuracy(0.001) is None
+
+    def test_simulations_to_accuracy_validates(self):
+        with pytest.raises(ValueError):
+            make_estimate([]).simulations_to_accuracy(0.0)
+
+    def test_summary_contains_method_and_value(self):
+        text = make_estimate([]).summary()
+        assert "test" in text
+        assert "1.000e-04" in text
+
+
+class TestRunningMean:
+    @given(arrays(np.float64, st.integers(2, 60),
+                  elements=st.floats(min_value=-1e3, max_value=1e3)))
+    @settings(max_examples=50)
+    def test_matches_numpy(self, values):
+        acc = RunningMean()
+        acc.update(values[:len(values) // 2])
+        acc.update(values[len(values) // 2:])
+        assert acc.count == values.size
+        assert acc.mean == pytest.approx(values.mean(), rel=1e-9, abs=1e-9)
+        assert acc.variance == pytest.approx(values.var(ddof=1), rel=1e-6,
+                                             abs=1e-9)
+
+    def test_empty_update_is_noop(self):
+        acc = RunningMean()
+        acc.update(np.array([]))
+        assert acc.count == 0
+
+    def test_ci_shrinks_with_samples(self, rng):
+        acc = RunningMean()
+        acc.update(rng.normal(size=100))
+        early = acc.ci95_halfwidth
+        acc.update(rng.normal(size=10_000))
+        assert acc.ci95_halfwidth < early
+
+    def test_single_value_has_zero_variance(self):
+        acc = RunningMean()
+        acc.update(np.array([3.0]))
+        assert acc.variance == 0.0
+        assert acc.mean == 3.0

@@ -1,0 +1,92 @@
+"""Tests for the particle filter bank."""
+
+import numpy as np
+import pytest
+
+from repro.core.filter import ParticleFilter, ParticleFilterBank
+
+
+@pytest.fixture()
+def boundary_points(rng):
+    """Two opposite boundary lobes at +/- 4 along the first axis."""
+    a = rng.normal(loc=[4, 0], scale=0.1, size=(20, 2))
+    b = rng.normal(loc=[-4, 0], scale=0.1, size=(20, 2))
+    return np.vstack([a, b])
+
+
+class TestParticleFilter:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ParticleFilter(np.zeros((0, 2)), 0.3, rng)
+        with pytest.raises(ValueError):
+            ParticleFilter(np.zeros((3, 2)), 0.0, rng)
+
+    def test_predict_jitters_around_parents(self, rng):
+        positions = np.full((50, 2), 5.0)
+        flt = ParticleFilter(positions, 0.3, rng)
+        candidates = flt.predict()
+        assert candidates.shape == (50, 2)
+        assert np.allclose(candidates.mean(axis=0), 5.0, atol=0.2)
+        assert candidates.std() > 0.1
+
+    def test_resample_follows_weights(self, rng):
+        flt = ParticleFilter(np.zeros((100, 2)), 0.3, rng)
+        candidates = np.vstack([np.full((50, 2), 1.0), np.full((50, 2), 9.0)])
+        weights = np.concatenate([np.zeros(50), np.ones(50)])
+        flt.resample(candidates, weights)
+        assert np.allclose(flt.positions, 9.0)
+
+    def test_zero_weights_keep_previous_positions(self, rng):
+        original = np.full((10, 2), 3.0)
+        flt = ParticleFilter(original.copy(), 0.3, rng)
+        flt.resample(np.random.default_rng(0).normal(size=(10, 2)),
+                     np.zeros(10))
+        assert np.allclose(flt.positions, original)
+        assert flt.history[-1].mean_weight == 0.0
+
+    def test_weight_shape_validated(self, rng):
+        flt = ParticleFilter(np.zeros((10, 2)), 0.3, rng)
+        with pytest.raises(ValueError, match="weights"):
+            flt.resample(np.zeros((10, 2)), np.zeros(5))
+
+    def test_history_grows(self, rng):
+        flt = ParticleFilter(np.zeros((10, 2)), 0.3, rng)
+        for _ in range(3):
+            flt.resample(flt.predict(), np.ones(10))
+        assert [h.iteration for h in flt.history] == [1, 2, 3]
+
+
+class TestBank:
+    def test_filters_split_lobes(self, boundary_points, rng):
+        bank = ParticleFilterBank(boundary_points, n_filters=2,
+                                  n_particles=30, kernel_sigma=0.3, rng=rng)
+        centroids = sorted(f.positions.mean(axis=0)[0] for f in bank.filters)
+        assert centroids[0] == pytest.approx(-4.0, abs=0.3)
+        assert centroids[1] == pytest.approx(+4.0, abs=0.3)
+
+    def test_positions_stacked(self, boundary_points, rng):
+        bank = ParticleFilterBank(boundary_points, 2, 30, 0.3, rng)
+        assert bank.positions().shape == (60, 2)
+        assert bank.predict_all().shape == (60, 2)
+
+    def test_resample_all_routes_to_filters(self, boundary_points, rng):
+        bank = ParticleFilterBank(boundary_points, 2, 10, 0.3, rng)
+        candidates = np.vstack([np.full((10, 2), 1.0), np.full((10, 2), 2.0)])
+        bank.resample_all(candidates, np.ones(20))
+        assert np.allclose(bank.filters[0].positions, 1.0)
+        assert np.allclose(bank.filters[1].positions, 2.0)
+
+    def test_resample_all_shape_check(self, boundary_points, rng):
+        bank = ParticleFilterBank(boundary_points, 2, 10, 0.3, rng)
+        with pytest.raises(ValueError, match="stacked"):
+            bank.resample_all(np.zeros((5, 2)), np.zeros(5))
+
+    def test_validation(self, boundary_points, rng):
+        with pytest.raises(ValueError):
+            ParticleFilterBank(boundary_points, 0, 10, 0.3, rng)
+        with pytest.raises(ValueError):
+            ParticleFilterBank(boundary_points, 2, 1, 0.3, rng)
+
+    def test_single_filter_covers_everything(self, boundary_points, rng):
+        bank = ParticleFilterBank(boundary_points, 1, 40, 0.3, rng)
+        assert bank.positions().shape == (40, 2)

@@ -1,0 +1,100 @@
+"""Tests for indicator protocol and simulation counting."""
+
+import numpy as np
+import pytest
+
+from repro.core.indicator import (
+    CountingIndicator,
+    FunctionIndicator,
+    SimulationCounter,
+)
+
+
+def norm_indicator(threshold=2.0):
+    return FunctionIndicator(
+        lambda x: np.linalg.norm(x, axis=1) > threshold, dim=3)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert SimulationCounter().count == 0
+
+    def test_accumulates(self):
+        counter = SimulationCounter()
+        counter.add(5)
+        counter.add(7)
+        assert counter.count == 12
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationCounter().add(-1)
+
+
+class TestCountingIndicator:
+    def test_counts_evaluated_points(self):
+        counting = CountingIndicator(norm_indicator())
+        counting.evaluate(np.zeros((4, 3)))
+        counting.evaluate(np.zeros((6, 3)))
+        assert counting.count == 10
+
+    def test_shared_counter(self):
+        counter = SimulationCounter()
+        a = CountingIndicator(norm_indicator(), counter)
+        b = CountingIndicator(norm_indicator(), counter)
+        a.evaluate(np.zeros((3, 3)))
+        b.evaluate(np.zeros((2, 3)))
+        assert counter.count == 5
+
+    def test_labels_forwarded(self):
+        counting = CountingIndicator(norm_indicator(2.0))
+        x = np.array([[0.0, 0.0, 0.0], [3.0, 0.0, 0.0]])
+        assert counting.evaluate(x).tolist() == [False, True]
+
+    def test_margin_missing_raises(self):
+        counting = CountingIndicator(norm_indicator())
+        with pytest.raises(AttributeError, match="margin"):
+            counting.margin(np.zeros((1, 3)))
+
+    def test_margin_forwarded_and_counted(self, paper_evaluator):
+        from repro.sram.evaluator import CellReadFailure
+
+        counting = CountingIndicator(CellReadFailure(paper_evaluator))
+        counting.margin(np.zeros((2, 6)))
+        assert counting.count == 2
+
+    def test_dim_propagated(self):
+        assert CountingIndicator(norm_indicator()).dim == 3
+
+
+class TestFunctionIndicator:
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            FunctionIndicator(lambda x: x, dim=0)
+
+    def test_bad_return_shape_rejected(self):
+        indicator = FunctionIndicator(lambda x: np.zeros((2, 2)), dim=3)
+        with pytest.raises(ValueError, match="shape"):
+            indicator.evaluate(np.zeros((2, 3)))
+
+
+class TestBudget:
+    def test_budget_trips(self):
+        from repro.errors import BudgetExceededError
+
+        counter = SimulationCounter(budget=10)
+        counting = CountingIndicator(norm_indicator(), counter)
+        counting.evaluate(np.zeros((8, 3)))
+        with pytest.raises(BudgetExceededError) as info:
+            counting.evaluate(np.zeros((5, 3)))
+        assert info.value.spent == 13
+        assert info.value.budget == 10
+
+    def test_remaining(self):
+        counter = SimulationCounter(budget=10)
+        counter.add(4)
+        assert counter.remaining == 6
+        assert SimulationCounter().remaining is None
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            SimulationCounter(budget=0)

@@ -1,0 +1,64 @@
+"""Tests for naive Monte Carlo."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.indicator import FunctionIndicator
+from repro.core.naive import NaiveMonteCarlo
+from repro.rtn.model import ZeroRtnModel
+from repro.variability.space import VariabilitySpace
+
+SPACE = VariabilitySpace(np.ones(2))
+NULL = ZeroRtnModel(SPACE)
+
+
+def tail_indicator(threshold):
+    return FunctionIndicator(lambda x: x[:, 0] > threshold, dim=2)
+
+
+class TestEstimation:
+    def test_recovers_known_probability(self):
+        mc = NaiveMonteCarlo(SPACE, tail_indicator(1.0), NULL, seed=0)
+        result = mc.run(n_samples=200_000)
+        assert result.pfail == pytest.approx(norm.sf(1.0), rel=0.02)
+        assert result.ci_low < norm.sf(1.0) < result.ci_high
+
+    def test_counts_equal_samples(self):
+        mc = NaiveMonteCarlo(SPACE, tail_indicator(1.0), NULL, seed=0)
+        result = mc.run(n_samples=10_000)
+        assert result.n_simulations == 10_000
+        assert result.n_statistical_samples == 10_000
+
+    def test_zero_failures_still_has_ci(self):
+        mc = NaiveMonteCarlo(SPACE, tail_indicator(50.0), NULL, seed=0)
+        result = mc.run(n_samples=1000)
+        assert result.pfail == 0.0
+        assert result.ci_halfwidth > 0.0
+
+    def test_early_stop_on_target(self):
+        mc = NaiveMonteCarlo(SPACE, tail_indicator(0.0), NULL,
+                             batch_size=1000, seed=0)
+        result = mc.run(n_samples=1_000_000, target_relative_error=0.2)
+        assert result.n_simulations < 1_000_000
+        assert result.relative_error <= 0.2
+
+    def test_trace_is_monotone_in_simulations(self):
+        mc = NaiveMonteCarlo(SPACE, tail_indicator(1.0), NULL,
+                             batch_size=500, seed=0)
+        result = mc.run(n_samples=5000)
+        sims = [p.n_simulations for p in result.trace]
+        assert sims == sorted(sims)
+        assert len(result.trace) == 10
+
+    def test_reproducible_with_seed(self):
+        a = NaiveMonteCarlo(SPACE, tail_indicator(1.0), NULL, seed=7).run(5000)
+        b = NaiveMonteCarlo(SPACE, tail_indicator(1.0), NULL, seed=7).run(5000)
+        assert a.pfail == b.pfail
+
+    def test_validation(self):
+        mc = NaiveMonteCarlo(SPACE, tail_indicator(1.0), NULL)
+        with pytest.raises(ValueError):
+            mc.run(n_samples=0)
+        with pytest.raises(ValueError):
+            NaiveMonteCarlo(SPACE, tail_indicator(1.0), NULL, batch_size=0)

@@ -1,0 +1,90 @@
+"""Tests for resampling and ensemble utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.particles import (
+    ensemble_spread,
+    kmeans_directions,
+    multinomial_resample,
+    systematic_resample,
+    unique_fraction,
+)
+
+
+class TestResampling:
+    @pytest.mark.parametrize("resample", [multinomial_resample,
+                                          systematic_resample])
+    def test_proportional_representation(self, resample, rng):
+        weights = np.array([0.1, 0.0, 0.9])
+        indices = resample(weights, 10_000, rng)
+        counts = np.bincount(indices, minlength=3) / 10_000
+        assert counts[1] == 0.0
+        assert counts[2] == pytest.approx(0.9, abs=0.02)
+
+    @pytest.mark.parametrize("resample", [multinomial_resample,
+                                          systematic_resample])
+    def test_invalid_weights(self, resample, rng):
+        with pytest.raises(ValueError):
+            resample(np.array([-1.0, 1.0]), 5, rng)
+        with pytest.raises(ValueError):
+            resample(np.zeros(3), 5, rng)
+        with pytest.raises(ValueError):
+            resample(np.array([np.inf, 1.0]), 5, rng)
+        with pytest.raises(ValueError):
+            resample(np.array([]), 5, rng)
+
+    def test_systematic_has_lower_variance(self, rng):
+        """Count variance of a mid-weight particle across repetitions."""
+        weights = np.full(10, 0.1)
+        sys_counts, multi_counts = [], []
+        for _ in range(200):
+            sys_counts.append(np.sum(systematic_resample(weights, 10, rng) == 0))
+            multi_counts.append(np.sum(multinomial_resample(weights, 10, rng) == 0))
+        assert np.var(sys_counts) <= np.var(multi_counts)
+
+    def test_systematic_exact_for_uniform_weights(self, rng):
+        indices = systematic_resample(np.ones(8), 8, rng)
+        assert sorted(indices.tolist()) == list(range(8))
+
+
+class TestDiagnostics:
+    def test_unique_fraction(self):
+        assert unique_fraction(np.array([0, 1, 2, 3])) == 1.0
+        assert unique_fraction(np.array([5, 5, 5, 5])) == 0.25
+        assert unique_fraction(np.array([])) == 0.0
+
+    def test_ensemble_spread(self):
+        tight = np.zeros((10, 3))
+        loose = np.vstack([np.eye(3), -np.eye(3)])
+        assert ensemble_spread(tight) == 0.0
+        assert ensemble_spread(loose) > 0.0
+
+
+class TestKmeansDirections:
+    def test_two_opposite_clusters_split(self, rng):
+        cluster_a = rng.normal(loc=[5, 0], scale=0.2, size=(30, 2))
+        cluster_b = rng.normal(loc=[-5, 0], scale=0.2, size=(30, 2))
+        points = np.vstack([cluster_a, cluster_b])
+        labels = kmeans_directions(points, 2, rng)
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[30]
+
+    def test_single_cluster(self, rng):
+        points = rng.normal(size=(10, 3)) + 5
+        labels = kmeans_directions(points, 1, rng)
+        assert np.all(labels == 0)
+
+    def test_more_clusters_than_points(self, rng):
+        points = rng.normal(size=(2, 3))
+        labels = kmeans_directions(points, 5, rng)
+        assert labels.shape == (2,)
+
+    def test_zero_vector_rejected(self, rng):
+        with pytest.raises(ValueError, match="zero"):
+            kmeans_directions(np.zeros((3, 2)), 2, rng)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_directions(np.ones((3, 2)), 0, rng)

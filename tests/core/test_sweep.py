@@ -1,0 +1,66 @@
+"""Tests for bias-condition sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.ecripse import EcripseConfig
+from repro.core.estimate import FailureEstimate
+from repro.core.sweep import BiasSweep, BiasSweepResult
+
+
+def fake_estimate(pfail):
+    return FailureEstimate(pfail=pfail, ci_halfwidth=pfail / 10,
+                           n_simulations=100, n_statistical_samples=100,
+                           method="fake")
+
+
+class TestResultContainer:
+    def test_pfail_curve(self):
+        result = BiasSweepResult(
+            alphas=[0.0, 0.5, 1.0],
+            estimates=[fake_estimate(p) for p in (3e-4, 1e-4, 3e-4)],
+            total_simulations=300, wall_time_s=1.0)
+        alphas, pfail, ci = result.pfail_curve()
+        assert alphas.tolist() == [0.0, 0.5, 1.0]
+        assert pfail.tolist() == [3e-4, 1e-4, 3e-4]
+        assert np.allclose(ci, pfail / 10)
+
+    def test_worst_case(self):
+        result = BiasSweepResult(
+            alphas=[0.0, 0.5], estimates=[fake_estimate(5e-4),
+                                          fake_estimate(1e-4)],
+            total_simulations=200, wall_time_s=1.0)
+        alpha, worst = result.worst_case()
+        assert alpha == 0.0
+        assert worst.pfail == 5e-4
+
+
+@pytest.mark.slow
+class TestSweepRuns:
+    def test_sweep_shares_boundary(self, paper_space):
+        """A two-point sweep on the real cell: the second point reports
+        zero boundary simulations."""
+        from repro.config import TABLE_I
+        from repro.experiments.setup import paper_setup
+
+        setup = paper_setup(alpha=0.5)
+        config = EcripseConfig(n_particles=40, n_iterations=5, k_train=96,
+                               stage2_batch=1000,
+                               max_statistical_samples=60_000)
+        sweep = BiasSweep(setup.space, setup.indicator, TABLE_I,
+                          config=config, seed=0)
+        result = sweep.run([0.3, 0.5], target_relative_error=0.5)
+        assert len(result.estimates) == 2
+        assert result.estimates[0].metadata["boundary_simulations"] > 0
+        assert result.estimates[1].metadata["boundary_simulations"] == 0
+        assert result.total_simulations > 0
+        assert result.estimates[0].metadata["alpha"] == 0.3
+
+    def test_empty_alphas_rejected(self, paper_space):
+        from repro.config import TABLE_I
+        from repro.experiments.setup import paper_setup
+
+        setup = paper_setup(alpha=0.5)
+        sweep = BiasSweep(setup.space, setup.indicator, TABLE_I)
+        with pytest.raises(ValueError, match="duty ratio"):
+            sweep.run([])

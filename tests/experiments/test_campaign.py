@@ -1,0 +1,33 @@
+"""Tests for the campaign driver (report generation; fig6-only with tiny
+budgets to keep the runtime unit-test-sized)."""
+
+import pytest
+
+from repro.core.ecripse import EcripseConfig
+from repro.experiments.campaign import run_campaign
+
+TINY = EcripseConfig(n_particles=40, n_iterations=5, k_train=96,
+                     stage2_batch=1000, max_statistical_samples=80_000)
+
+
+@pytest.mark.slow
+class TestCampaign:
+    def test_fig6_only_campaign_writes_report_and_json(self, tmp_path):
+        report = run_campaign(tmp_path, config=TINY,
+                              target_relative_error=0.3,
+                              include=("fig6",), seed=5)
+        assert report.exists()
+        text = report.read_text()
+        assert "Fig. 6" in text
+        assert "speedup" in text
+        assert (tmp_path / "fig6_proposed.json").exists()
+        assert (tmp_path / "fig6_conventional.json").exists()
+
+    def test_saved_estimates_reload(self, tmp_path):
+        from repro.analysis.persistence import load_estimate
+
+        run_campaign(tmp_path, config=TINY, target_relative_error=0.3,
+                     include=("fig6",), seed=5)
+        loaded = load_estimate(tmp_path / "fig6_proposed.json")
+        assert loaded.method == "ecripse"
+        assert loaded.pfail > 0

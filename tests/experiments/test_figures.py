@@ -1,0 +1,88 @@
+"""Tests for the figure-harness result containers (synthetic inputs;
+the full experiments run in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.speedup import compare_runs
+from repro.core.estimate import FailureEstimate, TracePoint
+from repro.core.sweep import BiasSweepResult
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.fig8 import DEFAULT_ALPHAS, Fig8Result
+
+
+def estimate(pfail, sims=1000, rel=0.01):
+    return FailureEstimate(
+        pfail=pfail, ci_halfwidth=pfail * rel, n_simulations=sims,
+        n_statistical_samples=sims, method="t",
+        trace=[TracePoint(sims // 2, pfail, pfail * rel * 2, sims // 2),
+               TracePoint(sims, pfail, pfail * rel, sims)])
+
+
+class TestFig6Result:
+    def test_table_contains_targets_and_ratio(self):
+        proposed = estimate(1e-4, sims=1000)
+        conventional = estimate(1.02e-4, sims=36_000)
+        result = Fig6Result(
+            proposed=proposed, conventional=conventional,
+            report=compare_runs(conventional, proposed, 0.02))
+        table = result.table(targets=(0.05, 0.02))
+        assert "5%" in table
+        assert "36" in table  # the conventional sims column
+        assert result.report.estimates_agree
+
+
+class TestFig7Result:
+    def make(self):
+        return Fig7Result(naive_a=estimate(7e-3, sims=300_000),
+                          proposed_a=estimate(7.1e-3, sims=9000),
+                          proposed_b=estimate(6.5e-3, sims=5000),
+                          alpha_a=0.3, alpha_b=0.5)
+
+    def test_savings(self):
+        result = self.make()
+        assert result.simulation_saving == pytest.approx(300_000 / 9000)
+        assert result.shared_init_saving == pytest.approx(5000 / 9000)
+
+    def test_agreement(self):
+        assert self.make().agreement
+        disagree = Fig7Result(naive_a=estimate(7e-3),
+                              proposed_a=estimate(2e-3),
+                              proposed_b=estimate(2e-3),
+                              alpha_a=0.3, alpha_b=0.5)
+        assert not disagree.agreement
+
+    def test_table_lists_all_three_runs(self):
+        table = self.make().table()
+        assert table.count("proposed") == 2
+        assert "naive" in table
+
+
+class TestFig8Result:
+    def make(self, values=(9e-4, 6e-4, 5e-4, 6.2e-4, 8.8e-4)):
+        alphas = [0.0, 0.25, 0.5, 0.75, 1.0]
+        sweep = BiasSweepResult(
+            alphas=alphas,
+            estimates=[estimate(v) for v in values],
+            total_simulations=50_000, wall_time_s=10.0)
+        return Fig8Result(sweep=sweep, no_rtn=estimate(1.4e-4))
+
+    def test_penalty_and_minimum(self):
+        result = self.make()
+        assert result.rtn_penalty == pytest.approx(9e-4 / 1.4e-4)
+        assert result.minimum_alpha == 0.5
+
+    def test_asymmetry_metric(self):
+        symmetric = self.make(values=(9e-4, 6e-4, 5e-4, 6e-4, 9e-4))
+        assert symmetric.asymmetry() == pytest.approx(0.0)
+        skewed = self.make(values=(9e-4, 6e-4, 5e-4, 6e-4, 2e-3))
+        assert skewed.asymmetry() > 0.1
+
+    def test_table_has_reference_row(self):
+        assert "no RTN" in self.make().table()
+
+    def test_default_alphas_cover_unit_interval(self):
+        assert DEFAULT_ALPHAS[0] == 0.0
+        assert DEFAULT_ALPHAS[-1] == 1.0
+        assert len(DEFAULT_ALPHAS) == 11

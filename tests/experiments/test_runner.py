@@ -1,0 +1,38 @@
+"""Tests for the CLI entry point (argument plumbing only; the heavy
+experiments run in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.runner import _build_parser, main
+
+
+class TestParser:
+    def test_commands_available(self):
+        parser = _build_parser()
+        for command in ("fig6", "fig7", "fig8", "ablations", "estimate"):
+            args = parser.parse_args([command] if command != "estimate"
+                                     else [command])
+            assert args.command == command
+
+    def test_estimate_options(self):
+        args = _build_parser().parse_args(
+            ["estimate", "--vdd", "0.5", "--alpha", "0.3",
+             "--target", "0.1", "--quick"])
+        assert args.vdd == 0.5
+        assert args.alpha == 0.3
+        assert args.target == 0.1
+        assert args.quick
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args([])
+
+
+@pytest.mark.slow
+class TestEstimateCommand:
+    def test_quick_estimate_runs(self, capsys):
+        code = main(["estimate", "--quick", "--target", "0.5", "--seed",
+                     "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pfail" in out

@@ -1,0 +1,43 @@
+"""Tests for the experiment setup factory."""
+
+import pytest
+
+from repro.experiments.setup import paper_setup
+from repro.rtn.model import RtnModel, ZeroRtnModel
+from repro.sram.evaluator import CellReadFailure, Lobe0ReadFailure
+
+
+class TestPaperSetup:
+    def test_rdf_only_wiring(self):
+        setup = paper_setup()
+        assert isinstance(setup.indicator, CellReadFailure)
+        assert isinstance(setup.rtn_model, ZeroRtnModel)
+        assert setup.alpha is None
+        assert setup.vdd == 0.7
+
+    def test_rtn_wiring(self):
+        setup = paper_setup(vdd=0.5, alpha=0.3)
+        assert isinstance(setup.indicator, Lobe0ReadFailure)
+        assert isinstance(setup.rtn_model, RtnModel)
+        assert setup.rtn_model.alpha == 0.3
+        assert setup.vdd == 0.5
+        assert setup.evaluator.vdd == 0.5
+
+    def test_with_alpha_shares_evaluator(self):
+        setup = paper_setup(alpha=0.3)
+        other = setup.with_alpha(0.7)
+        assert other.evaluator is setup.evaluator
+        assert other.rtn_model.alpha == 0.7
+
+    def test_with_alpha_to_rdf_only(self):
+        setup = paper_setup(alpha=0.3)
+        rdf = setup.with_alpha(None)
+        assert isinstance(rdf.rtn_model, ZeroRtnModel)
+        assert isinstance(rdf.indicator, CellReadFailure)
+
+    def test_convention_propagates(self):
+        setup = paper_setup(alpha=0.5, convention="paper")
+        assert setup.rtn_model.convention == "paper"
+
+    def test_space_is_six_dimensional(self):
+        assert paper_setup().space.dim == 6

@@ -1,0 +1,69 @@
+"""Tests for the Vmin search."""
+
+import pytest
+
+from repro.core.ecripse import EcripseConfig
+from repro.experiments.vmin import VminResult, find_vmin
+
+
+class TestValidation:
+    def test_budget_range(self):
+        with pytest.raises(ValueError):
+            find_vmin(0.0)
+        with pytest.raises(ValueError):
+            find_vmin(1.0)
+
+    def test_bracket_order(self):
+        with pytest.raises(ValueError):
+            find_vmin(1e-4, vdd_low=0.8, vdd_high=0.5)
+
+    def test_resolution(self):
+        with pytest.raises(ValueError):
+            find_vmin(1e-4, resolution=0.0)
+
+
+class TestResultContainer:
+    def test_total_simulations_sums_probes(self):
+        from repro.core.estimate import FailureEstimate
+
+        def fake(n):
+            return FailureEstimate(pfail=1e-4, ci_halfwidth=1e-5,
+                                   n_simulations=n,
+                                   n_statistical_samples=n, method="x")
+
+        result = VminResult(vmin=0.6, probes=[(0.7, fake(100)),
+                                              (0.6, fake(200))],
+                            budget=1e-3)
+        assert result.total_simulations == 300
+
+
+@pytest.mark.slow
+class TestSearch:
+    CONFIG = EcripseConfig(n_particles=50, n_iterations=6, k_train=128,
+                           stage2_batch=1200,
+                           max_statistical_samples=150_000)
+
+    def test_finds_a_voltage_between_known_points(self):
+        """The cell meets 1e-2 at 0.7 V (P ~ 2e-4) but not at 0.45 V, so
+        Vmin must land strictly inside the bracket."""
+        result = find_vmin(1e-3, vdd_low=0.45, vdd_high=0.7,
+                           resolution=0.05, target_relative_error=0.2,
+                           config=self.CONFIG)
+        assert result.vmin is not None
+        assert 0.45 < result.vmin <= 0.7
+        assert result.total_simulations > 0
+        # probes bracket the answer
+        voltages = [v for v, _ in result.probes]
+        assert max(voltages) == 0.7
+
+    def test_budget_met_everywhere_returns_low_bracket(self):
+        result = find_vmin(0.5, vdd_low=0.6, vdd_high=0.7,
+                           resolution=0.05, target_relative_error=0.3,
+                           config=self.CONFIG)
+        assert result.vmin == 0.6
+
+    def test_budget_unreachable_returns_none(self):
+        result = find_vmin(1e-9, vdd_low=0.5, vdd_high=0.55,
+                           resolution=0.05, target_relative_error=0.3,
+                           config=self.CONFIG)
+        assert result.vmin is None

@@ -1,0 +1,52 @@
+"""Integration: the calibrated cell reproduces the paper's magnitudes.
+
+These tests tie the whole substrate together (device model -> butterfly
+-> margins -> Pelgrom space) and pin the behavioural calibration
+documented in DESIGN.md.  They use Gaussian tail estimates from a modest
+Monte-Carlo margin sample, which testing showed to track the true tail
+within ~1.5x for this cell.
+"""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.sram.evaluator import CellEvaluator
+
+
+@pytest.mark.slow
+class TestCalibration:
+    def sample_margins(self, cell, space, vdd, n=4000):
+        evaluator = CellEvaluator(cell, space, vdd=vdd)
+        rng = np.random.default_rng(99)
+        x = rng.standard_normal((n, 6))
+        return evaluator.margins(x)
+
+    def test_rdf_only_pfail_at_nominal_supply(self, paper_cell,
+                                              paper_space):
+        """Paper: 1.33e-4 without RTN at the nominal supply; the
+        calibration targets the same order of magnitude."""
+        rnm0, rnm1 = self.sample_margins(paper_cell, paper_space, vdd=0.7)
+        z0 = rnm0.mean() / rnm0.std()
+        z1 = rnm1.mean() / rnm1.std()
+        pfail = norm.sf(z0) + norm.sf(z1)
+        assert 3e-5 < pfail < 1e-3
+
+    def test_low_supply_pfail(self, paper_cell, paper_space):
+        """At 0.5 V the cell is roughly a decade less stable (the paper
+        drops the supply exactly so naive MC converges)."""
+        rnm0, rnm1 = self.sample_margins(paper_cell, paper_space, vdd=0.5)
+        pfail = (norm.sf(rnm0.mean() / rnm0.std())
+                 + norm.sf(rnm1.mean() / rnm1.std()))
+        assert 3e-4 < pfail < 1e-2
+
+    def test_margins_degrade_with_supply(self, paper_cell, paper_space):
+        high = self.sample_margins(paper_cell, paper_space, vdd=0.7)[0]
+        low = self.sample_margins(paper_cell, paper_space, vdd=0.5)[0]
+        assert low.mean() < high.mean()
+
+    def test_nominal_margin_is_realistic(self, paper_evaluator):
+        """The nominal read margin sits in the tens of millivolts at
+        0.7 V -- an aggressively sized (beta ratio 1) 16 nm cell."""
+        margin = paper_evaluator.cell_margin(np.zeros((1, 6)))[0]
+        assert 0.02 < margin < 0.12

@@ -1,0 +1,69 @@
+"""Integration: ECRIPSE cross-validated against naive MC on the real cell.
+
+The decisive correctness check of the whole stack: at the reduced supply,
+where naive Monte Carlo converges, the accelerated estimator must land in
+the same confidence band (paper Fig. 7's validation logic, applied to the
+RDF-only problem where the naive reference is cheapest).
+"""
+
+import pytest
+
+from repro.core.ecripse import EcripseConfig, EcripseEstimator
+from repro.core.naive import NaiveMonteCarlo
+from repro.experiments.setup import paper_setup
+
+SCALED = EcripseConfig(n_particles=60, n_iterations=8, k_train=160,
+                       stage2_batch=1500, max_statistical_samples=500_000)
+
+
+@pytest.mark.slow
+class TestCrossCheck:
+    def test_ecripse_matches_naive_at_low_supply(self):
+        setup = paper_setup(vdd=0.5)
+        naive = NaiveMonteCarlo(setup.space, setup.indicator,
+                                setup.rtn_model, seed=11).run(
+            n_samples=80_000)
+        fast = EcripseEstimator(setup.space, setup.indicator,
+                                setup.rtn_model, config=SCALED,
+                                seed=12).run(target_relative_error=0.05)
+        # overlapping confidence intervals
+        assert fast.ci_low <= naive.ci_high
+        assert naive.ci_low <= fast.ci_high
+        # and a decisive simulation saving
+        assert fast.n_simulations < naive.n_simulations / 5
+
+    def test_rtn_symmetry_alpha_zero_equals_alpha_one(self):
+        """The cell is mirror symmetric, so P_fail(alpha=0) = P_fail(1).
+        Regression guard for the mirror trick + both-lobe boundary +
+        classifier trust envelope acting together."""
+        base = paper_setup(alpha=0.5)
+        estimates = {}
+        boundary = None
+        for alpha in (0.0, 1.0):
+            setup = base.with_alpha(alpha)
+            estimator = EcripseEstimator(
+                setup.space, setup.indicator, setup.rtn_model,
+                config=SCALED, seed=13, initial_boundary=boundary)
+            estimates[alpha] = estimator.run(target_relative_error=0.07)
+            boundary = estimator.boundary
+        low, high = estimates[0.0], estimates[1.0]
+        assert low.pfail == pytest.approx(high.pfail, rel=0.25)
+
+    def test_shared_classifier_is_unbiased_across_alpha(self):
+        """Sharing the trained classifier across bias points must give the
+        same answer as training fresh (the trust envelope at work)."""
+        base = paper_setup(alpha=0.5)
+        anchor = EcripseEstimator(base.space, base.indicator,
+                                  base.rtn_model, config=SCALED, seed=14)
+        anchor.run(target_relative_error=0.10)
+
+        setup = base.with_alpha(0.0)
+        shared = EcripseEstimator(
+            setup.space, setup.indicator, setup.rtn_model, config=SCALED,
+            seed=15, initial_boundary=anchor.boundary,
+            classifier=anchor.blockade).run(target_relative_error=0.07)
+        fresh = EcripseEstimator(
+            setup.space, setup.indicator, setup.rtn_model, config=SCALED,
+            seed=16, initial_boundary=anchor.boundary).run(
+            target_relative_error=0.07)
+        assert shared.pfail == pytest.approx(fresh.pfail, rel=0.25)

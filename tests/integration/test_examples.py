@@ -1,0 +1,44 @@
+"""Smoke tests for the runnable examples (the cheap ones run end-to-end;
+estimator-heavy ones are exercised through the benchmark suite)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)], capture_output=True,
+        text=True, timeout=900)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestCheapExamples:
+    def test_spice_playground(self):
+        out = run_example("spice_playground.py")
+        assert "Inverter VTC" in out
+        assert "RNM lobes" in out
+        assert "collapsed" in out
+
+    def test_rtn_waveforms(self):
+        out = run_example("rtn_waveforms.py")
+        assert "telegraph waveform" in out
+        assert "closed form" in out
+        assert "duty ratio alpha = 1.0" in out
+
+    def test_array_yield_study(self):
+        out = run_example("array_yield_study.py")
+        assert "array yield" in out
+        assert "importance sampling" in out
+
+    def test_transient_read(self):
+        out = run_example("transient_read.py")
+        assert "flipped: False" in out
+        assert "flipped: True" in out
+        assert "ratio" in out

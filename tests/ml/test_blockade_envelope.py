@@ -1,0 +1,84 @@
+"""Tests for the blockade's radius trust envelope and capacity cap."""
+
+import numpy as np
+import pytest
+
+from repro.ml.blockade import ClassifierBlockade
+
+
+def ring_labels(x):
+    return np.sum(x * x, axis=1) > 4.0
+
+
+@pytest.fixture()
+def trained(rng):
+    blockade = ClassifierBlockade(dim=2, degree=2, band_quantile=0.1)
+    x = rng.normal(scale=1.5, size=(600, 2))
+    blockade.train(x, ring_labels(x))
+    return blockade
+
+
+class TestEnvelope:
+    def test_core_points_auto_pass(self, trained):
+        """Points well inside the smallest failing radius are passed
+        without trusting the polynomial."""
+        prediction = trained.predict(np.zeros((1, 2)))
+        assert not prediction.labels[0]
+        assert not prediction.uncertain[0]
+
+    def test_far_points_are_uncertain(self, trained):
+        """Beyond the training radius the polynomial extrapolates, so the
+        blockade demands simulation."""
+        far = np.array([[50.0, 50.0]])
+        assert trained.predict(far).uncertain[0]
+
+    def test_envelope_expands_with_training_data(self, trained, rng):
+        far = np.array([[8.0, 8.0]])
+        assert trained.predict(far).uncertain[0]
+        shell = rng.normal(scale=8.0, size=(400, 2))
+        trained.update(shell, ring_labels(shell), force_retrain=True)
+        assert not trained.predict(far).uncertain[0]
+
+    def test_fail_norm_tracked(self, trained):
+        # the ring boundary is at radius 2: no failing training point can
+        # be inside it
+        assert trained._fail_norm_min >= 2.0
+
+
+class TestCapacity:
+    def test_training_set_capped(self, rng):
+        blockade = ClassifierBlockade(dim=2, degree=2, retrain_trigger=50,
+                                      max_training_samples=500)
+        x = rng.normal(scale=2.0, size=(400, 2))
+        blockade.train(x, ring_labels(x))
+        for _ in range(5):
+            batch = rng.normal(scale=2.0, size=(200, 2))
+            blockade.update(batch, ring_labels(batch))
+        assert blockade.n_training_samples <= 500
+
+    def test_capped_blockade_still_accurate(self, rng):
+        blockade = ClassifierBlockade(dim=2, degree=2, retrain_trigger=50,
+                                      max_training_samples=400)
+        x = rng.normal(scale=2.0, size=(1200, 2))
+        blockade.update(x, ring_labels(x), force_retrain=True)
+        test = rng.normal(scale=1.8, size=(1000, 2))
+        prediction = blockade.predict(test)
+        trusted = ~prediction.uncertain
+        accuracy = np.mean(prediction.labels[trusted]
+                           == ring_labels(test)[trusted])
+        assert accuracy > 0.93
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClassifierBlockade(dim=2, max_training_samples=5)
+
+    def test_adaptive_trigger_scales_with_set_size(self, rng):
+        """Once the set is large, small updates stop forcing refits."""
+        blockade = ClassifierBlockade(dim=2, degree=2, retrain_trigger=50,
+                                      max_training_samples=100_000)
+        x = rng.normal(scale=2.0, size=(8000, 2))
+        blockade.train(x, ring_labels(x))
+        count = blockade.train_count
+        small = rng.normal(scale=2.0, size=(60, 2))
+        blockade.update(small, ring_labels(small))  # 60 < 8000/10
+        assert blockade.train_count == count

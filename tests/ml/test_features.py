@@ -1,0 +1,72 @@
+"""Tests for the polynomial feature map."""
+
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.features import PolynomialFeatures
+
+
+class TestStructure:
+    def test_paper_example(self):
+        """[x1, x2] at degree 2 -> [1, x1, x2, x1x2, x1^2, x2^2]."""
+        pf = PolynomialFeatures(dim=2, degree=2)
+        out = pf.transform([[2.0, 3.0]])[0]
+        assert sorted(out.tolist()) == sorted([1.0, 2.0, 3.0, 6.0, 4.0, 9.0])
+
+    @pytest.mark.parametrize("dim,degree", [(2, 2), (6, 4), (3, 5), (1, 7)])
+    def test_feature_count_is_binomial(self, dim, degree):
+        pf = PolynomialFeatures(dim=dim, degree=degree)
+        assert pf.n_features == comb(dim + degree, degree)
+
+    def test_first_feature_is_constant(self):
+        pf = PolynomialFeatures(dim=3, degree=2)
+        out = pf.transform(np.random.default_rng(0).normal(size=(5, 3)))
+        assert np.all(out[:, 0] == 1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            PolynomialFeatures(dim=0, degree=2)
+        with pytest.raises(ValueError):
+            PolynomialFeatures(dim=2, degree=0)
+
+    def test_wrong_input_dim_rejected(self):
+        pf = PolynomialFeatures(dim=3, degree=2)
+        with pytest.raises(ValueError, match="dimension"):
+            pf.transform(np.zeros((2, 4)))
+
+
+class TestValues:
+    @given(arrays(np.float64, (3, 4),
+                  elements=st.floats(min_value=-3, max_value=3)))
+    @settings(max_examples=30)
+    def test_recurrence_matches_direct_monomials(self, x):
+        """Each output column equals the product of the declared powers."""
+        pf = PolynomialFeatures(dim=4, degree=3)
+        out = pf.transform(x)
+        for k, exps in enumerate(pf.exponents):
+            direct = np.prod(x ** np.array(exps), axis=1)
+            assert np.allclose(out[:, k], direct, rtol=1e-10, atol=1e-12)
+
+    def test_single_row_input(self):
+        pf = PolynomialFeatures(dim=2, degree=4)
+        out = pf.transform([1.0, 2.0])
+        assert out.shape == (1, pf.n_features)
+
+
+class TestNames:
+    def test_names_match_exponents(self):
+        pf = PolynomialFeatures(dim=2, degree=2)
+        names = pf.feature_names(("a", "b"))
+        assert names[0] == "1"
+        assert "a^2" in names
+        assert "a*b" in names
+
+    def test_name_count_checked(self):
+        pf = PolynomialFeatures(dim=2, degree=2)
+        with pytest.raises(ValueError):
+            pf.feature_names(("only-one",))

@@ -1,0 +1,59 @@
+"""Tests for the standard scaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClassifierError
+from repro.ml.scaler import StandardScaler
+
+
+class TestFit:
+    def test_transform_standardises(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(1000, 4))
+        out = StandardScaler().fit_transform(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_passes_through_untouched(self):
+        """Constant columns keep their raw value: centring them would
+        destroy the polynomial bias feature (the SVM's intercept)."""
+        x = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        scaler = StandardScaler().fit(x)
+        out = scaler.transform(x)
+        assert np.allclose(out[:, 0], 1.0)
+        assert np.all(np.isfinite(out))
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(ClassifierError, match="before fitting"):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch_rejected(self):
+        scaler = StandardScaler().fit(np.ones((4, 3)))
+        with pytest.raises(ClassifierError, match="features"):
+            scaler.transform(np.ones((2, 5)))
+
+
+class TestPartialFit:
+    @given(st.integers(1, 50))
+    @settings(max_examples=20)
+    def test_incremental_equals_batch(self, split):
+        rng = np.random.default_rng(split)
+        x = rng.normal(size=(60, 3))
+        split = min(split, 59)
+        incremental = StandardScaler()
+        incremental.partial_fit(x[:split]).partial_fit(x[split:])
+        batch = StandardScaler().fit(x)
+        assert np.allclose(incremental.mean_, batch.mean_)
+        assert np.allclose(incremental.scale_, batch.scale_)
+
+    def test_partial_fit_dim_change_rejected(self):
+        scaler = StandardScaler().partial_fit(np.ones((3, 2)))
+        with pytest.raises(ClassifierError, match="feature count"):
+            scaler.partial_fit(np.ones((3, 4)))
+
+    def test_refit_resets_statistics(self):
+        scaler = StandardScaler().fit(np.full((5, 1), 100.0))
+        scaler.fit(np.zeros((5, 1)))
+        assert scaler.mean_[0] == pytest.approx(0.0)

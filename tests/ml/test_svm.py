@@ -1,0 +1,106 @@
+"""Tests for the linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClassifierError
+from repro.ml.svm import LinearSvm
+
+
+def separable_set(rng, n=200, gap=1.0):
+    """Two Gaussian blobs separated along the first axis; a constant
+    feature is appended (the SVM keeps no intercept)."""
+    x_pos = rng.normal(loc=+gap, scale=0.3, size=(n, 2))
+    x_neg = rng.normal(loc=-gap, scale=0.3, size=(n, 2))
+    x = np.vstack([x_pos, x_neg])
+    x = np.column_stack([np.ones(2 * n), x])
+    y = np.concatenate([np.ones(n), -np.ones(n)])
+    return x, y
+
+
+class TestFit:
+    def test_perfectly_separable_data(self, rng):
+        x, y = separable_set(rng)
+        svm = LinearSvm(c=1.0).fit(x, y)
+        assert np.mean(svm.predict(x) == y) > 0.99
+
+    def test_decision_sign_matches_labels(self, rng):
+        x, y = separable_set(rng)
+        svm = LinearSvm().fit(x, y)
+        decision = svm.decision_function(x)
+        assert np.mean(np.sign(decision) == y) > 0.99
+
+    def test_single_class_rejected(self):
+        x = np.ones((5, 2))
+        with pytest.raises(ClassifierError, match="both classes"):
+            LinearSvm().fit(x, np.ones(5))
+
+    def test_label_shape_mismatch_rejected(self):
+        with pytest.raises(ClassifierError, match="labels"):
+            LinearSvm().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_boolean_labels_accepted(self, rng):
+        x, y = separable_set(rng)
+        svm = LinearSvm().fit(x, y > 0)
+        assert np.mean((svm.predict(x) > 0) == (y > 0)) > 0.99
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LinearSvm(c=0.0)
+        with pytest.raises(ValueError):
+            LinearSvm(max_iterations=0)
+        with pytest.raises(ValueError):
+            LinearSvm(tolerance=0.0)
+
+
+class TestWarmStart:
+    def test_warm_start_converges_fast(self, rng):
+        x, y = separable_set(rng, n=500)
+        svm = LinearSvm().fit(x, y)
+        cold_iters = svm.iterations_run_
+        # append a small batch and refit warm
+        extra_x, extra_y = separable_set(rng, n=10)
+        svm.fit(np.vstack([x, extra_x]), np.concatenate([y, extra_y]),
+                warm_start=True)
+        assert svm.iterations_run_ <= max(cold_iters, 15)
+        assert np.mean(svm.predict(x) == y) > 0.99
+
+
+class TestClassWeights:
+    def test_balanced_handles_imbalance(self, rng):
+        """With 10:1 imbalance, balanced weights must still recover the
+        minority class."""
+        x_pos = rng.normal(loc=+1.0, scale=0.3, size=(30, 2))
+        x_neg = rng.normal(loc=-1.0, scale=0.3, size=(300, 2))
+        x = np.column_stack([np.ones(330), np.vstack([x_pos, x_neg])])
+        y = np.concatenate([np.ones(30), -np.ones(300)])
+        svm = LinearSvm(class_weight="balanced").fit(x, y)
+        minority_recall = np.mean(svm.predict(x[:30]) == 1.0)
+        assert minority_recall > 0.9
+
+    def test_explicit_weights(self, rng):
+        x, y = separable_set(rng)
+        svm = LinearSvm(class_weight={+1: 2.0, -1: 1.0}).fit(x, y)
+        assert np.mean(svm.predict(x) == y) > 0.99
+
+    def test_missing_weight_rejected(self, rng):
+        x, y = separable_set(rng)
+        with pytest.raises(ClassifierError, match="missing"):
+            LinearSvm(class_weight={+1: 2.0}).fit(x, y)
+
+    def test_unsupported_weight_spec_rejected(self, rng):
+        x, y = separable_set(rng)
+        with pytest.raises(ClassifierError, match="unsupported"):
+            LinearSvm(class_weight="bogus").fit(x, y)
+
+
+class TestPredictErrors:
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ClassifierError, match="before fitting"):
+            LinearSvm().predict(np.ones((1, 2)))
+
+    def test_feature_mismatch_rejected(self, rng):
+        x, y = separable_set(rng)
+        svm = LinearSvm().fit(x, y)
+        with pytest.raises(ClassifierError, match="features"):
+            svm.decision_function(np.ones((1, 99)))

@@ -1,0 +1,57 @@
+"""Tests for the duty-ratio -> device ON-fraction mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import DEVICE_ORDER, MIRROR_PERMUTATION
+from repro.rtn.duty import device_on_fractions
+
+
+class TestTable:
+    def test_always_storing_zero(self):
+        fractions = dict(zip(DEVICE_ORDER, device_on_fractions(0.0)))
+        # storing "0": QB high -> D1 on, L1 off; Q low -> L2 on, D2 off
+        assert fractions["D1"] == 1.0
+        assert fractions["L1"] == 0.0
+        assert fractions["L2"] == 1.0
+        assert fractions["D2"] == 0.0
+
+    def test_always_storing_one(self):
+        fractions = dict(zip(DEVICE_ORDER, device_on_fractions(1.0)))
+        assert fractions["D1"] == 0.0
+        assert fractions["L1"] == 1.0
+        assert fractions["L2"] == 0.0
+        assert fractions["D2"] == 1.0
+
+    def test_access_duty_passthrough(self):
+        fractions = dict(zip(DEVICE_ORDER,
+                             device_on_fractions(0.5, access_on_fraction=0.25)))
+        assert fractions["A1"] == 0.25
+        assert fractions["A2"] == 0.25
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError, match="duty ratio"):
+            device_on_fractions(1.5)
+        with pytest.raises(ValueError, match="duty ratio"):
+            device_on_fractions(-0.1)
+
+    def test_invalid_access_rejected(self):
+        with pytest.raises(ValueError, match="access"):
+            device_on_fractions(0.5, access_on_fraction=2.0)
+
+
+class TestSymmetry:
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_mirror_symmetry(self, alpha):
+        """Swapping the cell sides is the same as flipping the stored bit."""
+        direct = device_on_fractions(alpha)
+        flipped = device_on_fractions(1.0 - alpha)
+        assert np.allclose(direct[list(MIRROR_PERMUTATION)], flipped)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_complementary_pairs(self, alpha):
+        fractions = dict(zip(DEVICE_ORDER, device_on_fractions(alpha)))
+        assert fractions["L1"] + fractions["D1"] == pytest.approx(1.0)
+        assert fractions["L2"] + fractions["D2"] == pytest.approx(1.0)

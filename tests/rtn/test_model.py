@@ -1,0 +1,111 @@
+"""Tests for the RTN sampling model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MIRROR_PERMUTATION, TABLE_I
+from repro.rtn.model import RtnModel, ZeroRtnModel
+from repro.variability.space import VariabilitySpace
+
+SPACE = VariabilitySpace.from_pelgrom(TABLE_I.avth_mv_nm, TABLE_I.geometry)
+
+
+class TestSampling:
+    def test_shift_shapes(self, rng):
+        model = RtnModel(TABLE_I, SPACE, alpha=0.3)
+        assert model.sample_shifts(10, rng).shape == (10, 6)
+        assert model.sample_shifts((4, 5), rng).shape == (4, 5, 6)
+
+    def test_shifts_are_non_negative(self, rng):
+        model = RtnModel(TABLE_I, SPACE, alpha=0.3)
+        shifts = model.sample_shifts(1000, rng)
+        assert np.all(shifts >= 0.0)
+
+    def test_shift_mean_matches_poisson_rate(self, rng):
+        model = RtnModel(TABLE_I, SPACE, alpha=0.5)
+        shifts = model.sample_shifts(200_000, rng)
+        expected = model.ensemble.poisson_rates * model.unit_shift_whitened
+        assert np.allclose(shifts.mean(axis=0), expected, rtol=0.05)
+
+    def test_states_bernoulli(self, rng):
+        model = RtnModel(TABLE_I, SPACE, alpha=0.3)
+        states = model.sample_states(100_000, rng)
+        assert set(np.unique(states)) <= {0, 1}
+        assert states.mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError, match="duty ratio"):
+            RtnModel(TABLE_I, SPACE, alpha=-0.1)
+
+    def test_sample_returns_both(self, rng):
+        model = RtnModel(TABLE_I, SPACE, alpha=0.5)
+        shifts, states = model.sample(8, rng)
+        assert shifts.shape == (8, 6)
+        assert states.shape == (8,)
+
+    def test_alpha_zero_gives_no_stored_ones(self, rng):
+        model = RtnModel(TABLE_I, SPACE, alpha=0.0)
+        assert not np.any(model.sample_states(1000, rng))
+
+
+class TestOccupancyEffect:
+    def test_higher_occupancy_for_off_devices(self):
+        """At alpha=0, D1 is always ON (occupancy ~0.99) and D2 always
+        OFF (~0.45) under the physical convention."""
+        model = RtnModel(TABLE_I, SPACE, alpha=0.0)
+        occ = dict(zip(SPACE.names, model.ensemble.occupancy))
+        assert occ["D1"] > 0.95
+        assert occ["D2"] < 0.55
+
+    def test_paper_convention_flips_the_ordering(self):
+        model = RtnModel(TABLE_I, SPACE, alpha=0.0, convention="paper")
+        occ = dict(zip(SPACE.names, model.ensemble.occupancy))
+        assert occ["D1"] < 0.05
+        assert occ["D2"] > 0.45
+
+
+class TestMirror:
+    def test_mirror_is_an_involution(self, rng):
+        x = rng.standard_normal((20, 6))
+        ones = np.ones(20, dtype=np.int8)
+        assert np.allclose(RtnModel.mirror(RtnModel.mirror(x, ones), ones), x)
+
+    def test_state_zero_is_identity(self, rng):
+        x = rng.standard_normal((20, 6))
+        zeros = np.zeros(20, dtype=np.int8)
+        assert np.allclose(RtnModel.mirror(x, zeros), x)
+
+    def test_state_one_swaps_sides(self):
+        x = np.arange(6, dtype=float)[None, :]
+        mirrored = RtnModel.mirror(x, np.ones(1, dtype=np.int8))
+        assert np.allclose(mirrored[0], x[0][list(MIRROR_PERMUTATION)])
+
+    def test_mixed_states(self, rng):
+        x = rng.standard_normal((2, 6))
+        states = np.array([0, 1], dtype=np.int8)
+        out = RtnModel.mirror(x, states)
+        assert np.allclose(out[0], x[0])
+        assert np.allclose(out[1], x[1][list(MIRROR_PERMUTATION)])
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20)
+    def test_mirror_preserves_norm(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((5, 6))
+        states = rng.integers(0, 2, size=5).astype(np.int8)
+        assert np.allclose(np.linalg.norm(RtnModel.mirror(x, states), axis=1),
+                           np.linalg.norm(x, axis=1))
+
+
+class TestZeroModel:
+    def test_zero_shifts_and_states(self, rng):
+        model = ZeroRtnModel(SPACE)
+        shifts, states = model.sample(12, rng)
+        assert not np.any(shifts)
+        assert not np.any(states)
+        assert model.is_null
+
+    def test_real_model_is_not_null(self):
+        assert not RtnModel(TABLE_I, SPACE, alpha=0.5).is_null

@@ -1,0 +1,84 @@
+"""Tests for the time-domain telegraph process."""
+
+import numpy as np
+import pytest
+
+from repro.config import RtnTimeConstants
+from repro.rtn.telegraph import TelegraphProcess, simulate_switched_telegraph
+from repro.rtn.traps import stationary_occupancy
+
+
+class TestTelegraphProcess:
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ValueError):
+            TelegraphProcess(0.0, 1.0)
+
+    def test_stationary_occupancy_formula(self):
+        proc = TelegraphProcess(tau_c=1.0, tau_e=3.0)
+        assert proc.stationary_occupancy == pytest.approx(0.75)
+
+    @pytest.mark.slow
+    def test_simulated_occupancy_matches_stationary(self):
+        proc = TelegraphProcess(tau_c=1.0, tau_e=2.0)
+        trace = proc.simulate(duration=20_000.0, seed=3)
+        assert trace.occupancy() == pytest.approx(
+            proc.stationary_occupancy, abs=0.02)
+
+    def test_initial_state_respected(self):
+        proc = TelegraphProcess(tau_c=5.0, tau_e=5.0)
+        trace = proc.simulate(duration=1.0, seed=0, initial_state=1)
+        assert trace.states[0] == 1
+
+    def test_invalid_initial_state(self):
+        with pytest.raises(ValueError, match="initial_state"):
+            TelegraphProcess(1.0, 1.0).simulate(1.0, initial_state=2)
+
+    def test_state_at_piecewise_constant(self):
+        proc = TelegraphProcess(tau_c=1.0, tau_e=1.0)
+        trace = proc.simulate(duration=50.0, seed=7)
+        # state at a transition instant equals the newly entered state
+        if len(trace.times) > 1:
+            t1 = trace.times[1]
+            assert trace.state_at(t1) == trace.states[1]
+
+    def test_state_at_out_of_window_rejected(self):
+        trace = TelegraphProcess(1.0, 1.0).simulate(10.0, seed=1)
+        with pytest.raises(ValueError, match="window"):
+            trace.state_at(11.0)
+
+    def test_dwell_times_have_expected_mean(self):
+        proc = TelegraphProcess(tau_c=2.0, tau_e=0.5)
+        trace = proc.simulate(duration=5_000.0, seed=11)
+        edges = np.append(trace.times, trace.duration)
+        dwells = np.diff(edges)
+        captured = trace.states == 1
+        assert dwells[captured].mean() == pytest.approx(0.5, rel=0.15)
+        assert dwells[~captured].mean() == pytest.approx(2.0, rel=0.15)
+
+
+class TestSwitchedTelegraph:
+    def test_input_validation(self):
+        tc = RtnTimeConstants()
+        with pytest.raises(ValueError):
+            simulate_switched_telegraph(tc, 1.5, 1.0, 10)
+        with pytest.raises(ValueError):
+            simulate_switched_telegraph(tc, 0.5, -1.0, 10)
+
+    @pytest.mark.slow
+    def test_fast_switching_matches_duty_averaged_occupancy(self):
+        """With a period much shorter than the dwell times, the occupancy
+        approaches the duty-averaged stationary value (validates the
+        paper's eq. 7-8 time-constant averaging)."""
+        tc = RtnTimeConstants()
+        alpha = 0.3
+        trace = simulate_switched_telegraph(
+            tc, on_fraction=alpha, period=2e-3, n_periods=400_000, seed=5)
+        expected = stationary_occupancy(tc, alpha)
+        assert trace.occupancy() == pytest.approx(expected, abs=0.04)
+
+    def test_extreme_duties_run(self):
+        tc = RtnTimeConstants()
+        for duty in (0.0, 1.0):
+            trace = simulate_switched_telegraph(tc, duty, period=0.01,
+                                                n_periods=100, seed=2)
+            assert trace.duration == pytest.approx(1.0)

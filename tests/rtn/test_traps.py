@@ -1,0 +1,113 @@
+"""Tests for trap statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import DEVICE_ORDER, TABLE_I, RtnTimeConstants
+from repro.rtn.duty import device_on_fractions
+from repro.rtn.traps import (
+    TrapEnsemble,
+    per_trap_shift_v,
+    stationary_occupancy,
+)
+
+TC = RtnTimeConstants()  # paper Table I values
+
+
+class TestTimeConstants:
+    def test_duty_averaging_endpoints(self):
+        assert TC.tau_c(1.0) == pytest.approx(TC.tau_c_on)
+        assert TC.tau_c(0.0) == pytest.approx(TC.tau_c_off)
+        assert TC.tau_e(1.0) == pytest.approx(TC.tau_e_on)
+        assert TC.tau_e(0.0) == pytest.approx(TC.tau_e_off)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_duty_averaging_is_linear(self, a):
+        expected_c = a * TC.tau_c_on + (1 - a) * TC.tau_c_off
+        assert TC.tau_c(a) == pytest.approx(expected_c)
+
+    def test_out_of_range_duty_rejected(self):
+        with pytest.raises(ValueError):
+            TC.tau_c(1.2)
+
+    def test_nonpositive_constants_rejected(self):
+        with pytest.raises(ValueError):
+            RtnTimeConstants(tau_e_on=0.0)
+
+
+class TestOccupancy:
+    def test_physical_convention_values(self):
+        """ON devices are nearly always captured with the paper's taus."""
+        on = stationary_occupancy(TC, 1.0)
+        off = stationary_occupancy(TC, 0.0)
+        assert on == pytest.approx(1.2 / 1.21, rel=1e-6)
+        assert off == pytest.approx(0.1 / 0.22, rel=1e-6)
+
+    def test_paper_convention_is_the_complement(self):
+        on_phys = stationary_occupancy(TC, 1.0, "physical")
+        on_paper = stationary_occupancy(TC, 1.0, "paper")
+        assert on_phys + on_paper == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_occupancy_in_unit_interval(self, a):
+        for convention in ("physical", "paper"):
+            occ = stationary_occupancy(TC, a, convention)
+            assert 0.0 <= occ <= 1.0
+
+    def test_physical_occupancy_monotone_in_duty(self):
+        grid = np.linspace(0, 1, 21)
+        occ = stationary_occupancy(TC, grid)
+        assert np.all(np.diff(occ) > 0.0)
+
+    def test_unknown_convention_rejected(self):
+        with pytest.raises(ValueError, match="convention"):
+            stationary_occupancy(TC, 0.5, "wrong")
+
+
+class TestPerTrapShift:
+    def test_paper_driver_magnitude(self):
+        """q / (Cox * 30nm * 16nm) with tox 0.95 nm is ~9 mV."""
+        shift = per_trap_shift_v(30.0, 16.0, 0.95)
+        assert shift == pytest.approx(9.2e-3, rel=0.05)
+
+    def test_larger_device_smaller_shift(self):
+        small = per_trap_shift_v(30.0, 16.0, 0.95)
+        large = per_trap_shift_v(60.0, 16.0, 0.95)
+        assert large == pytest.approx(small / 2.0)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            per_trap_shift_v(-30.0, 16.0, 0.95)
+
+
+class TestEnsemble:
+    def test_paper_mean_trap_count(self):
+        """lambda = 4e-3 /nm^2 -> 1.92 traps in the smallest transistor."""
+        ensemble = TrapEnsemble.for_conditions(
+            TABLE_I, device_on_fractions(0.5))
+        by_name = dict(zip(DEVICE_ORDER, ensemble.mean_traps))
+        assert by_name["D1"] == pytest.approx(1.92)
+        assert by_name["L1"] == pytest.approx(3.84)
+
+    def test_poisson_rates_bounded_by_mean_traps(self):
+        ensemble = TrapEnsemble.for_conditions(
+            TABLE_I, device_on_fractions(0.3))
+        assert np.all(ensemble.poisson_rates <= ensemble.mean_traps)
+        assert np.all(ensemble.poisson_rates >= 0.0)
+
+    def test_mean_shift_consistency(self):
+        ensemble = TrapEnsemble.for_conditions(
+            TABLE_I, device_on_fractions(0.5))
+        assert np.allclose(ensemble.mean_shift_v,
+                           ensemble.poisson_rates * ensemble.shift_per_trap_v)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="on_fractions"):
+            TrapEnsemble.for_conditions(TABLE_I, np.zeros(4))
+
+    def test_invalid_occupancy_rejected(self):
+        with pytest.raises(ValueError, match="occupancy"):
+            TrapEnsemble(occupancy=np.full(6, 1.5), mean_traps=np.ones(6),
+                         shift_per_trap_v=np.ones(6))

@@ -1,0 +1,89 @@
+"""Direct element-level stamping tests."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    CurrentSource,
+    DcSolver,
+    Mosfet,
+    MosfetModel,
+    NMOS_PTM16,
+    Resistor,
+    VoltageSource,
+)
+
+NMOS = MosfetModel(NMOS_PTM16, 30.0, 16.0)
+
+
+class TestVoltageSource:
+    def test_floating_source_between_two_nodes(self):
+        """A source between two non-ground nodes enforces the difference."""
+        ckt = Circuit()
+        ckt.add(VoltageSource("vref", "a", "0", 1.0))
+        ckt.add(VoltageSource("vdiff", "b", "a", 0.25))
+        ckt.add(Resistor("r", "b", "0", 1e3))
+        op = DcSolver(ckt).solve()
+        assert op["b"] - op["a"] == pytest.approx(0.25)
+
+    def test_series_sources(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("v1", "a", "0", 1.0))
+        ckt.add(VoltageSource("v2", "b", "a", 1.0))
+        ckt.add(Resistor("r", "b", "0", 1e3))
+        op = DcSolver(ckt).solve()
+        assert op["b"] == pytest.approx(2.0)
+
+
+class TestCurrentSource:
+    def test_direction_convention(self):
+        """Current flows from node_a to node_b through the external
+        circuit: pushing into 'a' raises the grounded-resistor voltage."""
+        ckt = Circuit()
+        ckt.add(CurrentSource("i", "0", "a", 2e-3))
+        ckt.add(Resistor("r", "a", "0", 500.0))
+        op = DcSolver(ckt).solve()
+        assert op["a"] == pytest.approx(1.0)
+
+    def test_reversed_sign(self):
+        ckt = Circuit()
+        ckt.add(CurrentSource("i", "a", "0", 2e-3))
+        ckt.add(Resistor("r", "a", "0", 500.0))
+        op = DcSolver(ckt).solve()
+        assert op["a"] == pytest.approx(-1.0)
+
+
+class TestMosfetElement:
+    def test_current_diagnostic_matches_model(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("vdd", "d", "0", 0.7))
+        ckt.add(VoltageSource("vg", "g", "0", 0.7))
+        ckt.add(Mosfet("m", "d", "g", "0", NMOS))
+        solver = DcSolver(ckt)
+        op = solver.solve()
+        element_current = ckt.element("m").current(op.x, solver.system)
+        assert element_current == pytest.approx(
+            float(NMOS.ids(0.7, 0.7, 0.0)), rel=1e-9)
+
+    def test_delta_vth_affects_solution(self):
+        def drain_voltage(shift):
+            ckt = Circuit()
+            ckt.add(VoltageSource("vdd", "vdd", "0", 0.7))
+            ckt.add(VoltageSource("vg", "g", "0", 0.7))
+            ckt.add(Resistor("rl", "vdd", "d", 2e4))
+            ckt.add(Mosfet("m", "d", "g", "0", NMOS, delta_vth=shift))
+            return DcSolver(ckt).solve()["d"]
+
+        assert drain_voltage(0.1) > drain_voltage(0.0)  # weaker pulldown
+
+
+class TestGroundedTerminals:
+    def test_mosfet_with_grounded_gate(self):
+        """Elements must stamp correctly when a terminal is ground."""
+        ckt = Circuit()
+        ckt.add(VoltageSource("vdd", "d", "0", 0.7))
+        ckt.add(Mosfet("m", "d", "0", "0", NMOS))
+        op = DcSolver(ckt).solve()
+        assert op.aux_currents["vdd"] == pytest.approx(
+            -float(NMOS.ids(0.0, 0.7, 0.0)), rel=1e-6)

@@ -1,0 +1,85 @@
+"""Tests for MNA assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import Circuit, CurrentSource, Resistor, VoltageSource
+from repro.spice.mna import MnaSystem
+
+
+def simple_circuit() -> Circuit:
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("v1", "a", "0", 2.0))
+    ckt.add(Resistor("r1", "a", "b", 1.0))
+    ckt.add(Resistor("r2", "b", "0", 1.0))
+    return ckt
+
+
+class TestIndexing:
+    def test_ground_is_negative_one(self):
+        system = MnaSystem(simple_circuit())
+        assert system.node_index("0") == -1
+        assert system.node_index("gnd") == -1
+
+    def test_nodes_are_ordered(self):
+        system = MnaSystem(simple_circuit())
+        assert system.node_index("a") == 0
+        assert system.node_index("b") == 1
+
+    def test_unknown_node_raises(self):
+        system = MnaSystem(simple_circuit())
+        with pytest.raises(NetlistError, match="unknown node"):
+            system.node_index("zz")
+
+    def test_aux_index_for_source(self):
+        system = MnaSystem(simple_circuit())
+        assert system.aux_index("v1") == 2
+        assert system.size == 3
+
+    def test_aux_index_missing(self):
+        system = MnaSystem(simple_circuit())
+        with pytest.raises(NetlistError, match="auxiliary"):
+            system.aux_index("r1")
+
+
+class TestAssembly:
+    def test_linear_solution(self):
+        system = MnaSystem(simple_circuit())
+        x = system.solve_linearised(np.zeros(system.size))
+        assert system.voltage(x, "a") == pytest.approx(2.0)
+        assert system.voltage(x, "b") == pytest.approx(1.0)
+        # branch current through the source: 2V over 2 ohms = 1A
+        assert x[system.aux_index("v1")] == pytest.approx(-1.0)
+
+    def test_residual_zero_at_solution(self):
+        system = MnaSystem(simple_circuit())
+        x = system.solve_linearised(np.zeros(system.size))
+        assert system.residual(x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_current_source(self):
+        ckt = Circuit()
+        ckt.add(CurrentSource("i1", "0", "a", 1e-3))
+        ckt.add(Resistor("r1", "a", "0", 1e3))
+        system = MnaSystem(ckt)
+        x = system.solve_linearised(np.zeros(system.size))
+        assert system.voltage(x, "a") == pytest.approx(1.0)
+
+    def test_gmin_changes_diagonal(self):
+        system = MnaSystem(simple_circuit())
+        system.assemble(np.zeros(system.size))
+        base = system.matrix[1, 1]
+        system.gmin = 1e-3
+        system.assemble(np.zeros(system.size))
+        assert system.matrix[1, 1] == pytest.approx(base + 1e-3)
+
+    def test_conductance_stamp_symmetry(self):
+        system = MnaSystem(simple_circuit())
+        system.assemble(np.zeros(system.size))
+        g_block = system.matrix[:2, :2]
+        assert np.allclose(g_block, g_block.T)
+
+    def test_voltage_of_ground_is_zero(self):
+        system = MnaSystem(simple_circuit())
+        x = np.ones(system.size)
+        assert system.voltage(x, "0") == 0.0

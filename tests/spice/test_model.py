@@ -1,0 +1,192 @@
+"""Tests for the EKV-style MOSFET compact model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.model import (
+    NMOS_PTM16,
+    PMOS_PTM16,
+    MosfetModel,
+    MosfetParams,
+    sigmoid,
+    softplus,
+)
+
+NMOS = MosfetModel(NMOS_PTM16, w_nm=30.0, l_nm=16.0)
+PMOS = MosfetModel(PMOS_PTM16, w_nm=60.0, l_nm=16.0)
+
+voltages = st.floats(min_value=-1.0, max_value=1.0)
+
+
+class TestHelpers:
+    @given(st.floats(min_value=-700, max_value=700))
+    def test_softplus_positive_and_monotone_vs_reference(self, x):
+        value = softplus(x)
+        assert value >= 0.0
+        reference = np.log1p(np.exp(-abs(x))) + max(x, 0.0)
+        assert np.isclose(value, reference)
+
+    @given(st.floats(min_value=-700, max_value=700))
+    def test_sigmoid_in_unit_interval(self, x):
+        s = sigmoid(x)
+        assert 0.0 <= s <= 1.0
+
+    @given(st.floats(min_value=-30, max_value=30))
+    def test_sigmoid_symmetry(self, x):
+        assert np.isclose(sigmoid(x) + sigmoid(-x), 1.0)
+
+    def test_softplus_no_overflow_on_large_arrays(self):
+        x = np.array([-1e4, 0.0, 1e4])
+        out = softplus(x)
+        assert np.all(np.isfinite(out))
+        assert out[2] == pytest.approx(1e4)
+
+
+class TestParams:
+    def test_invalid_polarity_rejected(self):
+        with pytest.raises(ValueError, match="polarity"):
+            MosfetParams(polarity=0, vth0=0.4)
+
+    def test_negative_vth_rejected(self):
+        with pytest.raises(ValueError, match="vth0"):
+            MosfetParams(polarity=1, vth0=-0.1)
+
+    def test_subunity_slope_factor_rejected(self):
+        with pytest.raises(ValueError, match="n must be"):
+            MosfetParams(polarity=1, vth0=0.4, n=0.9)
+
+    def test_negative_second_order_terms_rejected(self):
+        with pytest.raises(ValueError):
+            MosfetParams(polarity=1, vth0=0.4, dibl=-0.1)
+
+    def test_with_returns_modified_copy(self):
+        modified = NMOS_PTM16.with_(vth0=0.5)
+        assert modified.vth0 == 0.5
+        assert modified.beta == NMOS_PTM16.beta
+        assert NMOS_PTM16.vth0 != 0.5
+
+    def test_is_nmos(self):
+        assert NMOS_PTM16.is_nmos
+        assert not PMOS_PTM16.is_nmos
+
+
+class TestGeometry:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError, match="geometry"):
+            MosfetModel(NMOS_PTM16, w_nm=0.0, l_nm=16.0)
+
+    def test_current_scales_with_width(self):
+        wide = MosfetModel(NMOS_PTM16, w_nm=60.0, l_nm=16.0)
+        narrow = MosfetModel(NMOS_PTM16, w_nm=30.0, l_nm=16.0)
+        ratio = wide.ids(0.7, 0.7, 0.0) / narrow.ids(0.7, 0.7, 0.0)
+        assert ratio == pytest.approx(2.0)
+
+
+class TestNmosCurrents:
+    def test_zero_vds_zero_current(self):
+        assert NMOS.ids(0.7, 0.3, 0.3) == pytest.approx(0.0, abs=1e-18)
+
+    def test_positive_in_forward_operation(self):
+        assert NMOS.ids(0.7, 0.7, 0.0) > 0.0
+
+    def test_drain_source_antisymmetry(self):
+        forward = NMOS.ids(0.5, 0.6, 0.2)
+        reverse = NMOS.ids(0.5, 0.2, 0.6)
+        assert forward == pytest.approx(-reverse, rel=1e-12)
+
+    def test_monotone_in_gate_voltage(self):
+        gates = np.linspace(0.0, 0.9, 50)
+        currents = NMOS.ids(gates, 0.7, 0.0)
+        assert np.all(np.diff(currents) > 0.0)
+
+    def test_monotone_in_drain_voltage(self):
+        drains = np.linspace(0.0, 0.9, 50)
+        currents = NMOS.ids(0.7, drains, 0.0)
+        assert np.all(np.diff(currents) > 0.0)
+
+    def test_subthreshold_current_much_smaller_than_on(self):
+        # The behaviourally calibrated cards carry a large DIBL, so the
+        # on/off ratio is poor by real-silicon standards; it still must be
+        # clearly an off state.
+        on = NMOS.on_current(0.7)
+        off = NMOS.off_current(0.7)
+        assert off > 0.0
+        assert on / off > 50
+
+    def test_vth_shift_weakens_device(self):
+        strong = NMOS.ids(0.7, 0.7, 0.0, delta_vth=0.0)
+        weak = NMOS.ids(0.7, 0.7, 0.0, delta_vth=0.05)
+        assert weak < strong
+
+    def test_negative_vth_shift_strengthens_device(self):
+        base = NMOS.ids(0.7, 0.7, 0.0)
+        stronger = NMOS.ids(0.7, 0.7, 0.0, delta_vth=-0.05)
+        assert stronger > base
+
+    @given(vg=voltages, vd=voltages, vs=voltages)
+    @settings(max_examples=200)
+    def test_current_is_finite_everywhere(self, vg, vd, vs):
+        assert np.isfinite(NMOS.ids(vg, vd, vs))
+
+    @given(vg=voltages, vd=voltages, vs=voltages)
+    @settings(max_examples=100)
+    def test_antisymmetry_property(self, vg, vd, vs):
+        assert np.isclose(NMOS.ids(vg, vd, vs), -NMOS.ids(vg, vs, vd),
+                          rtol=1e-9, atol=1e-20)
+
+
+class TestPmosCurrents:
+    def test_polarity_mirror(self):
+        """pMOS current equals the mirrored nMOS current with the same
+        parameter magnitudes."""
+        nmos_like = MosfetModel(PMOS_PTM16.with_(polarity=+1), 60.0, 16.0)
+        vg, vd, vs = 0.2, 0.1, 0.7
+        assert PMOS.ids(vg, vd, vs) == pytest.approx(
+            -nmos_like.ids(-vg, -vd, -vs), rel=1e-12)
+
+    def test_conducts_when_gate_low(self):
+        # source at vdd, gate low -> strong conduction, current out of drain
+        assert PMOS.ids(0.0, 0.0, 0.7) < 0.0
+
+    def test_off_when_gate_high(self):
+        on = abs(PMOS.ids(0.0, 0.0, 0.7))
+        off = abs(PMOS.ids(0.7, 0.0, 0.7))
+        assert on / off > 5
+
+    def test_vth_shift_weakens_pmos_too(self):
+        strong = abs(PMOS.ids(0.0, 0.0, 0.7))
+        weak = abs(PMOS.ids(0.0, 0.0, 0.7, delta_vth=0.05))
+        assert weak < strong
+
+    def test_on_current_helper_positive(self):
+        assert PMOS.on_current(0.7) > 0.0
+        assert NMOS.on_current(0.7) > 0.0
+
+
+class TestConductances:
+    def test_conductances_match_manual_finite_differences(self):
+        vg, vd, vs = 0.5, 0.4, 0.1
+        ids, gm, gds, gms = NMOS.conductances(vg, vd, vs)
+        h = 1e-7
+        gm_ref = (NMOS.ids(vg + h, vd, vs) - NMOS.ids(vg - h, vd, vs)) / (2 * h)
+        assert ids == pytest.approx(NMOS.ids(vg, vd, vs))
+        assert gm == pytest.approx(gm_ref, rel=1e-4)
+        assert gm > 0.0
+        assert gds > 0.0
+
+    def test_source_conductance_is_negative(self):
+        """Raising the source starves the device: gms < 0.
+
+        Note gm + gds + gms != 0 here: the slope-factor division is
+        referenced to the global rail (an implicit bulk terminal), so the
+        model is *not* invariant under a common shift of g/d/s -- that is
+        the crude body effect documented in the model module."""
+        _, gm, gds, gms = NMOS.conductances(0.5, 0.4, 0.1)
+        assert gms < 0.0
+
+    def test_broadcasting(self):
+        vg = np.linspace(0, 0.7, 5)
+        ids, gm, gds, gms = NMOS.conductances(vg, 0.7, 0.0)
+        assert ids.shape == gm.shape == (5,)

@@ -1,0 +1,109 @@
+"""Tests for the netlist container."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import (
+    Circuit,
+    Mosfet,
+    MosfetModel,
+    NMOS_PTM16,
+    Resistor,
+    VoltageSource,
+)
+
+NMOS = MosfetModel(NMOS_PTM16, 30.0, 16.0)
+
+
+def divider() -> Circuit:
+    ckt = Circuit("divider")
+    ckt.add(VoltageSource("vdd", "top", "0", 1.0))
+    ckt.add(Resistor("r1", "top", "mid", 1e3))
+    ckt.add(Resistor("r2", "mid", "0", 1e3))
+    return ckt
+
+
+class TestConstruction:
+    def test_nodes_exclude_ground_aliases(self):
+        ckt = divider()
+        assert sorted(ckt.nodes) == ["mid", "top"]
+
+    def test_all_ground_aliases_recognised(self):
+        for alias in ("0", "gnd", "GND", "vss", "VSS"):
+            ckt = Circuit()
+            ckt.add(Resistor("r", "a", alias, 1.0))
+            assert ckt.nodes == ["a"]
+
+    def test_duplicate_name_rejected(self):
+        ckt = divider()
+        with pytest.raises(NetlistError, match="duplicate"):
+            ckt.add(Resistor("r1", "x", "y", 1.0))
+
+    def test_len_and_contains(self):
+        ckt = divider()
+        assert len(ckt) == 3
+        assert "r1" in ckt
+        assert "nope" not in ckt
+
+    def test_element_lookup_error(self):
+        with pytest.raises(NetlistError, match="no element"):
+            divider().element("ghost")
+
+    def test_add_all(self):
+        ckt = Circuit()
+        ckt.add_all([Resistor("a", "x", "0", 1.0),
+                     Resistor("b", "x", "0", 2.0)])
+        assert len(ckt) == 2
+
+    def test_empty_element_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Resistor("", "a", "b", 1.0)
+
+
+class TestValidation:
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetlistError, match="empty"):
+            Circuit().validate()
+
+    def test_floating_circuit_rejected(self):
+        ckt = Circuit()
+        ckt.add(Resistor("r", "a", "b", 1.0))
+        with pytest.raises(NetlistError, match="ground"):
+            ckt.validate()
+
+    def test_grounded_circuit_passes(self):
+        divider().validate()
+
+
+class TestMutation:
+    def test_set_source(self):
+        ckt = divider()
+        ckt.set_source("vdd", 0.5)
+        assert ckt.element("vdd").voltage == 0.5
+
+    def test_set_source_on_resistor_rejected(self):
+        with pytest.raises(NetlistError, match="not a voltage source"):
+            divider().set_source("r1", 0.5)
+
+    def test_set_delta_vth(self):
+        ckt = Circuit()
+        ckt.add(Mosfet("m1", "d", "g", "0", NMOS))
+        ckt.set_delta_vth({"m1": 0.02})
+        assert ckt.element("m1").delta_vth == 0.02
+
+    def test_set_delta_vth_on_non_mosfet_rejected(self):
+        ckt = divider()
+        with pytest.raises(NetlistError, match="not a MOSFET"):
+            ckt.set_delta_vth({"r1": 0.02})
+
+    def test_element_collections(self):
+        ckt = divider()
+        ckt.add(Mosfet("m1", "mid", "top", "0", NMOS))
+        assert [e.name for e in ckt.voltage_sources()] == ["vdd"]
+        assert [e.name for e in ckt.mosfets()] == ["m1"]
+
+
+class TestElementValidation:
+    def test_nonpositive_resistance_rejected(self):
+        with pytest.raises(ValueError, match="resistance"):
+            Resistor("r", "a", "b", 0.0)

@@ -1,0 +1,115 @@
+"""Tests for the Newton DC solver."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    DcSolver,
+    Mosfet,
+    MosfetModel,
+    NMOS_PTM16,
+    PMOS_PTM16,
+    Resistor,
+    VoltageSource,
+)
+
+NMOS = MosfetModel(NMOS_PTM16, 30.0, 16.0)
+PMOS = MosfetModel(PMOS_PTM16, 60.0, 16.0)
+
+
+def inverter(vin: float, vdd: float = 0.7) -> Circuit:
+    ckt = Circuit("inv")
+    ckt.add(VoltageSource("vdd", "vdd", "0", vdd))
+    ckt.add(VoltageSource("vin", "in", "0", vin))
+    ckt.add(Mosfet("mp", "out", "in", "vdd", PMOS))
+    ckt.add(Mosfet("mn", "out", "in", "0", NMOS))
+    return ckt
+
+
+class TestLinear:
+    def test_divider(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("v", "a", "0", 1.0))
+        ckt.add(Resistor("r1", "a", "b", 2e3))
+        ckt.add(Resistor("r2", "b", "0", 1e3))
+        op = DcSolver(ckt).solve()
+        assert op["b"] == pytest.approx(1.0 / 3.0)
+        assert op.strategy == "newton"
+
+    def test_source_current_reported(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("v", "a", "0", 1.0))
+        ckt.add(Resistor("r", "a", "0", 1e3))
+        op = DcSolver(ckt).solve()
+        assert op.aux_currents["v"] == pytest.approx(-1e-3)
+
+
+class TestNonlinear:
+    def test_inverter_output_high_for_low_input(self):
+        op = DcSolver(inverter(0.0)).solve()
+        assert op["out"] == pytest.approx(0.7, abs=0.01)
+
+    def test_inverter_output_low_for_high_input(self):
+        op = DcSolver(inverter(0.7)).solve()
+        assert op["out"] == pytest.approx(0.0, abs=0.02)
+
+    def test_diode_connected_nmos(self):
+        """Diode-connected device fed by a resistor settles between rails."""
+        ckt = Circuit()
+        ckt.add(VoltageSource("vdd", "vdd", "0", 0.7))
+        ckt.add(Resistor("r", "vdd", "d", 1e4))
+        ckt.add(Mosfet("m", "d", "d", "0", NMOS))
+        op = DcSolver(ckt).solve()
+        assert 0.0 < op["d"] < 0.7
+
+    def test_warm_start_converges_faster(self):
+        ckt = inverter(0.35)
+        solver = DcSolver(ckt)
+        cold = solver.solve()
+        warm = solver.solve(initial_guess=cold.x)
+        assert warm.iterations <= cold.iterations
+        assert warm["out"] == pytest.approx(cold["out"], abs=1e-6)
+
+    def test_dict_initial_guess(self):
+        ckt = inverter(0.0)
+        op = DcSolver(ckt).solve(initial_guess={"out": 0.7})
+        assert op["out"] == pytest.approx(0.7, abs=0.01)
+
+    def test_kcl_holds_at_solution(self):
+        ckt = inverter(0.3)
+        solver = DcSolver(ckt)
+        op = solver.solve()
+        mp, mn = ckt.element("mp"), ckt.element("mn")
+        i_p = mp.current(op.x, solver.system)
+        i_n = mn.current(op.x, solver.system)
+        # current into node from pmos (-i_p) equals current out via nmos
+        assert -i_p == pytest.approx(i_n, rel=1e-6)
+
+
+class TestValidationAndEdges:
+    def test_bad_constructor_args(self):
+        ckt = inverter(0.0)
+        with pytest.raises(ValueError):
+            DcSolver(ckt, max_iterations=0)
+        with pytest.raises(ValueError):
+            DcSolver(ckt, tolerance=0.0)
+        with pytest.raises(ValueError):
+            DcSolver(ckt, damping=0.0)
+
+    def test_wrong_guess_shape_rejected(self):
+        solver = DcSolver(inverter(0.0))
+        with pytest.raises(ValueError, match="shape"):
+            solver.solve(initial_guess=np.zeros(99))
+
+    def test_cross_coupled_pair_resolves_to_a_stable_state(self):
+        """A bistable latch must converge to one of its stable states."""
+        ckt = Circuit("latch")
+        ckt.add(VoltageSource("vdd", "vdd", "0", 0.7))
+        ckt.add(Mosfet("p1", "q", "qb", "vdd", PMOS))
+        ckt.add(Mosfet("n1", "q", "qb", "0", NMOS))
+        ckt.add(Mosfet("p2", "qb", "q", "vdd", PMOS))
+        ckt.add(Mosfet("n2", "qb", "q", "0", NMOS))
+        op = DcSolver(ckt).solve(initial_guess={"q": 0.7, "qb": 0.0})
+        assert op["q"] > 0.6
+        assert op["qb"] < 0.1

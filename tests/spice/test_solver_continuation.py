@@ -1,0 +1,63 @@
+"""Tests for the solver's continuation fallbacks and failure reporting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.spice import (
+    Circuit,
+    DcSolver,
+    Mosfet,
+    MosfetModel,
+    NMOS_PTM16,
+    PMOS_PTM16,
+    VoltageSource,
+)
+
+NMOS = MosfetModel(NMOS_PTM16, 30.0, 16.0)
+PMOS = MosfetModel(PMOS_PTM16, 60.0, 16.0)
+
+
+def inverter(vin=0.35):
+    ckt = Circuit("inv")
+    ckt.add(VoltageSource("vdd", "vdd", "0", 0.7))
+    ckt.add(VoltageSource("vin", "in", "0", vin))
+    ckt.add(Mosfet("mp", "out", "in", "vdd", PMOS))
+    ckt.add(Mosfet("mn", "out", "in", "0", NMOS))
+    return ckt
+
+
+class TestFailurePath:
+    def test_impossible_budget_raises_with_residual(self):
+        solver = DcSolver(inverter(), max_iterations=1, damping=1e-4)
+        with pytest.raises(ConvergenceError) as info:
+            solver.solve()
+        assert info.value.residual is not None
+        assert np.isfinite(info.value.residual)
+
+    def test_state_restored_after_failure(self):
+        """gmin and source_scale must be reset even when all stages fail,
+        so the solver object remains reusable."""
+        solver = DcSolver(inverter(), max_iterations=1, damping=1e-4)
+        with pytest.raises(ConvergenceError):
+            solver.solve()
+        assert solver.system.gmin == 0.0
+        assert solver.system.source_scale == 1.0
+        # a healthy retry with the same system succeeds
+        recovered = DcSolver(inverter())
+        assert recovered.solve().strategy == "newton"
+
+
+class TestContinuationStages:
+    def test_tight_damping_falls_back_to_continuation(self):
+        """With a crippled Newton budget the solver still finds the
+        operating point through one of its continuation stages."""
+        solver = DcSolver(inverter(0.0), max_iterations=12, damping=0.02)
+        op = solver.solve()
+        assert op["out"] == pytest.approx(0.7, abs=0.02)
+        assert op.strategy in ("newton", "gmin", "source")
+
+    def test_strategy_reported(self):
+        op = DcSolver(inverter(0.0)).solve()
+        assert op.strategy == "newton"
+        assert op.iterations >= 1

@@ -1,0 +1,76 @@
+"""Tests for DC sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import (
+    Circuit,
+    DcSolver,
+    Mosfet,
+    MosfetModel,
+    NMOS_PTM16,
+    PMOS_PTM16,
+    Resistor,
+    VoltageSource,
+    dc_sweep,
+)
+
+NMOS = MosfetModel(NMOS_PTM16, 30.0, 16.0)
+PMOS = MosfetModel(PMOS_PTM16, 60.0, 16.0)
+
+
+def inverter() -> Circuit:
+    ckt = Circuit("inv")
+    ckt.add(VoltageSource("vdd", "vdd", "0", 0.7))
+    ckt.add(VoltageSource("vin", "in", "0", 0.0))
+    ckt.add(Mosfet("mp", "out", "in", "vdd", PMOS))
+    ckt.add(Mosfet("mn", "out", "in", "0", NMOS))
+    return ckt
+
+
+class TestSweep:
+    def test_vtc_is_monotone_decreasing(self):
+        result = dc_sweep(inverter(), "vin", np.linspace(0, 0.7, 21))
+        out = result.curve("out")
+        assert result.failed_points == []
+        assert np.all(np.diff(out) <= 1e-9)
+
+    def test_vtc_endpoints(self):
+        result = dc_sweep(inverter(), "vin", np.linspace(0, 0.7, 11))
+        out = result.curve("out")
+        assert out[0] == pytest.approx(0.7, abs=0.01)
+        assert out[-1] == pytest.approx(0.0, abs=0.02)
+
+    def test_source_value_restored_after_sweep(self):
+        ckt = inverter()
+        dc_sweep(ckt, "vin", np.linspace(0, 0.7, 5))
+        assert ckt.element("vin").voltage == 0.0
+
+    def test_linear_sweep_matches_analytic(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("v", "a", "0", 0.0))
+        ckt.add(Resistor("r1", "a", "b", 1e3))
+        ckt.add(Resistor("r2", "b", "0", 1e3))
+        values = np.linspace(0, 2, 9)
+        result = dc_sweep(ckt, "v", values)
+        assert np.allclose(result.curve("b"), values / 2)
+
+    def test_sweep_values_recorded(self):
+        values = np.linspace(0, 0.7, 5)
+        result = dc_sweep(inverter(), "vin", values)
+        assert np.array_equal(result.sweep_values, values)
+
+    def test_explicit_solver_reused(self):
+        ckt = inverter()
+        solver = DcSolver(ckt)
+        result = dc_sweep(ckt, "vin", np.linspace(0, 0.7, 5), solver=solver)
+        assert result.failed_points == []
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            dc_sweep(inverter(), "vin", [])
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(NetlistError, match="no voltage source"):
+            dc_sweep(inverter(), "nope", [0.0])

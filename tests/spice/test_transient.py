@@ -1,0 +1,117 @@
+"""Tests for transient simulation."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Resistor,
+    TransientSolver,
+    VoltageSource,
+    pulse,
+)
+
+
+def rc_circuit(r=1e3, c=1e-9):
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("vin", "a", "0", 1.0))
+    ckt.add(Resistor("r", "a", "b", r))
+    ckt.add(Capacitor("c", "b", "0", c))
+    return ckt
+
+
+class TestCapacitor:
+    def test_invalid_capacitance(self):
+        with pytest.raises(ValueError):
+            Capacitor("c", "a", "0", 0.0)
+
+    def test_open_circuit_in_dc(self):
+        """In DC the capacitor contributes nothing: the divider output is
+        set by the resistors alone."""
+        from repro.spice import DcSolver
+
+        ckt = Circuit()
+        ckt.add(VoltageSource("v", "a", "0", 1.0))
+        ckt.add(Resistor("r1", "a", "b", 1e3))
+        ckt.add(Resistor("r2", "b", "0", 1e3))
+        ckt.add(Capacitor("c", "b", "0", 1e-9))
+        assert DcSolver(ckt).solve()["b"] == pytest.approx(0.5)
+
+
+class TestRcStep:
+    def test_exponential_charge(self):
+        """RC step response matches 1 - exp(-t/RC) within backward-Euler
+        first-order accuracy."""
+        tau = 1e-6
+        ckt = rc_circuit(r=1e3, c=1e-9)
+        # start discharged: source at 0 until t > 0
+        ckt.set_source("vin", 0.0)
+        solver = TransientSolver(ckt, stimuli={
+            "vin": lambda t: 1.0 if t > 0 else 0.0})
+        result = solver.run(t_stop=5 * tau, dt=tau / 100)
+        expected = 1.0 - np.exp(-result.times / tau)
+        assert np.allclose(result.waveform("b"), expected, atol=0.02)
+        assert result.failed_points == []
+
+    def test_final_value(self):
+        ckt = rc_circuit()
+        ckt.set_source("vin", 0.0)
+        solver = TransientSolver(ckt, stimuli={
+            "vin": lambda t: 1.0 if t > 0 else 0.0})
+        result = solver.run(t_stop=1e-5, dt=1e-8)
+        assert result.waveform("b")[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_at_interpolates(self):
+        ckt = rc_circuit()
+        solver = TransientSolver(ckt)
+        result = solver.run(t_stop=1e-6, dt=1e-8)
+        assert result.at("b", 0.5e-6) == pytest.approx(
+            np.interp(0.5e-6, result.times, result.waveform("b")))
+
+    def test_validation(self):
+        solver = TransientSolver(rc_circuit())
+        with pytest.raises(ValueError):
+            solver.run(t_stop=0.0, dt=1e-9)
+        with pytest.raises(ValueError):
+            solver.run(t_stop=1e-9, dt=1e-6)
+
+
+class TestHooks:
+    def test_update_hook_called_every_step(self):
+        calls = []
+        solver = TransientSolver(rc_circuit(),
+                                 update_hook=lambda t: calls.append(t))
+        solver.run(t_stop=1e-8, dt=1e-9)
+        # once at t=0 before the operating point, then once per step
+        assert len(calls) == 11
+        assert calls[0] == 0.0
+        assert calls[-1] == pytest.approx(1e-8, rel=1e-6)
+
+    def test_stimulus_applied(self):
+        ckt = rc_circuit(r=10.0, c=1e-12)  # fast RC: follows the source
+        waveform = pulse(0.0, 1.0, t_rise_start=4e-9, t_fall_start=8e-9)
+        solver = TransientSolver(ckt, stimuli={"vin": waveform})
+        result = solver.run(t_stop=12e-9, dt=1e-10)
+        assert result.at("b", 6e-9) == pytest.approx(1.0, abs=0.01)
+        assert result.at("b", 11.5e-9) == pytest.approx(0.0, abs=0.01)
+
+
+class TestPulse:
+    def test_levels(self):
+        w = pulse(0.0, 0.7, t_rise_start=1.0, t_fall_start=2.0)
+        assert w(0.5) == 0.0
+        assert w(1.5) == 0.7
+        assert w(2.5) == 0.0
+
+    def test_transitions(self):
+        w = pulse(0.0, 1.0, t_rise_start=1.0, t_fall_start=3.0,
+                  transition=1.0)
+        assert w(1.5) == pytest.approx(0.5)
+        assert w(3.5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pulse(0.0, 1.0, t_rise_start=2.0, t_fall_start=1.0)
+        with pytest.raises(ValueError):
+            pulse(0.0, 1.0, 0.0, 1.0, transition=-0.1)

@@ -1,0 +1,71 @@
+"""Tests for the dynamic read-disturb simulator."""
+
+import numpy as np
+import pytest
+
+from repro.config import TABLE_I
+from repro.rtn.transient import RtnTransientDriver
+from repro.sram.dynamic import DynamicReadSimulator, device_shift_vector
+
+
+@pytest.fixture(scope="module")
+def simulator(paper_cell):
+    # coarse settings keep each transient affordable in unit tests
+    return DynamicReadSimulator(paper_cell, pulse_width_s=1e-9,
+                                dt_s=5e-11, settle_s=1e-9)
+
+
+class TestShiftVector:
+    def test_named_construction(self):
+        vector = device_shift_vector(D1=50.0, L2=-20.0)
+        assert vector[1] == pytest.approx(0.05)
+        assert vector[3] == pytest.approx(-0.02)
+        assert vector[0] == 0.0
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            device_shift_vector(X9=1.0)
+
+
+@pytest.mark.slow
+class TestDynamicRead:
+    def test_nominal_cell_survives_read(self, simulator):
+        outcome = simulator.simulate()
+        assert not outcome.flipped
+        assert 0.0 < outcome.peak_disturb < simulator.cell.vdd / 2
+
+    def test_heavily_skewed_cell_flips(self, simulator):
+        shifts = device_shift_vector(D1=250.0, L2=200.0)
+        outcome = simulator.simulate(delta_vth=shifts)
+        assert outcome.flipped
+
+    def test_dynamic_agrees_with_static_criterion_away_from_boundary(
+            self, simulator, paper_space, paper_evaluator):
+        """Clearly-good and clearly-bad cells get the same verdict from
+        the static RNM and the pulse-accurate transient."""
+        good = np.zeros((1, 6))
+        bad = paper_space.to_whitened(
+            device_shift_vector(D1=250.0, L2=200.0))[None, :]
+        static_good = paper_evaluator.lobe0_margin(good)[0] > 0
+        static_bad = paper_evaluator.lobe0_margin(bad)[0] > 0
+        assert static_good and not static_bad
+        assert not simulator.simulate().flipped
+        assert simulator.simulate(
+            delta_vth=paper_space.to_physical(bad[0])).flipped
+
+    def test_rtn_driver_integeration(self, simulator):
+        driver = RtnTransientDriver(TABLE_I, alpha=0.0, duration=10.0,
+                                    time_scale=1e9, seed=3)
+        outcome = simulator.simulate(rtn_driver=driver)
+        assert outcome.result.failed_points == []
+
+    def test_monte_carlo_interface(self, simulator, paper_space, rng):
+        pfail, steps = simulator.monte_carlo_pfail(paper_space, 3, rng)
+        assert 0.0 <= pfail <= 1.0
+        assert steps >= 3 * 40
+
+    def test_validation(self, paper_cell):
+        with pytest.raises(ValueError):
+            DynamicReadSimulator(paper_cell, node_capacitance_f=0.0)
+        with pytest.raises(ValueError):
+            DynamicReadSimulator(paper_cell, dt_s=-1.0)

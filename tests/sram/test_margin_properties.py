@@ -1,0 +1,75 @@
+"""Property-based tests for noise-margin extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sram.butterfly import ButterflyCurves
+from repro.sram.margins import lobe_margins
+
+
+def random_vtc(rng, points=81, vdd=1.0):
+    """A random monotone-decreasing rail-to-something curve."""
+    drops = rng.random(points - 1)
+    drops = drops / drops.sum() * rng.uniform(0.6, 1.0) * vdd
+    curve = vdd - np.concatenate([[0.0], np.cumsum(drops)])
+    return np.clip(curve, 0.0, vdd)
+
+
+class TestSwapSymmetry:
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_swapping_inverters_swaps_lobes(self, seed):
+        """Exchanging the two inverters reflects the butterfly across the
+        diagonal, so the lobe margins must swap exactly."""
+        rng = np.random.default_rng(seed)
+        grid = np.linspace(0.0, 1.0, 81)
+        vtc_a = random_vtc(rng)[None, :]
+        vtc_b = random_vtc(rng)[None, :]
+        direct = lobe_margins(ButterflyCurves(grid=grid, vtc_a=vtc_a,
+                                              vtc_b=vtc_b, vdd=1.0))
+        swapped = lobe_margins(ButterflyCurves(grid=grid, vtc_a=vtc_b,
+                                               vtc_b=vtc_a, vdd=1.0))
+        assert direct[0][0] == pytest.approx(swapped[1][0], abs=1e-9)
+        assert direct[1][0] == pytest.approx(swapped[0][0], abs=1e-9)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_margins_bounded_by_supply(self, seed):
+        """No embedded square can exceed the supply square."""
+        rng = np.random.default_rng(seed)
+        grid = np.linspace(0.0, 1.0, 81)
+        curves = ButterflyCurves(grid=grid,
+                                 vtc_a=random_vtc(rng)[None, :],
+                                 vtc_b=random_vtc(rng)[None, :], vdd=1.0)
+        rnm0, rnm1 = lobe_margins(curves)
+        assert abs(rnm0[0]) <= 1.0 + 1e-9
+        assert abs(rnm1[0]) <= 1.0 + 1e-9
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_identical_inverters_give_equal_lobes(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = np.linspace(0.0, 1.0, 81)
+        vtc = random_vtc(rng)[None, :]
+        rnm0, rnm1 = lobe_margins(ButterflyCurves(
+            grid=grid, vtc_a=vtc, vtc_b=vtc, vdd=1.0))
+        assert rnm0[0] == pytest.approx(rnm1[0], abs=1e-9)
+
+
+class TestLevelsConvergence:
+    def test_more_levels_refine_the_margin(self, paper_evaluator):
+        """The level scan only ever under-estimates the true maximum, so
+        refining levels must not decrease the margin by more than the
+        discretisation step."""
+        from repro.sram.butterfly import ReadButterflySolver
+
+        solver = paper_evaluator.solver
+        curves = solver.solve(np.zeros((1, 6)))
+        coarse = lobe_margins(curves, levels=16)[0][0]
+        fine = lobe_margins(curves, levels=512)[0][0]
+        assert fine == pytest.approx(coarse, abs=0.02)
+        # piecewise-linear interpolation noise is sub-0.1 mV; beyond that
+        # refinement must not lose margin
+        assert fine >= coarse - 1e-4

@@ -1,0 +1,70 @@
+"""Tests for hold/write static analyses."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEVICE_ORDER
+from repro.sram.butterfly import ReadButterflySolver
+from repro.sram.margins import static_noise_margin
+from repro.sram.static import StaticCellAnalysis
+
+ZERO = np.zeros((1, 6))
+
+
+@pytest.fixture(scope="module")
+def static(paper_cell):
+    return StaticCellAnalysis(ReadButterflySolver(paper_cell,
+                                                  grid_points=61))
+
+
+class TestHold:
+    def test_hold_margin_exceeds_read_margin(self, static):
+        """Without the read disturb the eye is much larger."""
+        hold = static.hold_snm(ZERO)[0]
+        read = static_noise_margin(static.solver.solve(ZERO))[0]
+        assert hold > read * 1.5
+
+    def test_hold_curves_reach_both_rails(self, static):
+        curves = static.hold_curves(ZERO)
+        vdd = static.solver.vdd
+        assert curves.vtc_b[0, 0] == pytest.approx(vdd, abs=0.01)
+        # No access pull-up: the low level approaches ground.  The
+        # behaviourally calibrated cards leak heavily (large DIBL), so
+        # "nearly" means within 5 % of the rail rather than microvolts.
+        assert curves.vtc_b[0, -1] < 0.05 * vdd
+
+    def test_hold_lobes_symmetric_for_nominal_cell(self, static):
+        h0, h1 = static.hold_margins(ZERO)
+        assert h0[0] == pytest.approx(h1[0], abs=1e-6)
+
+    def test_mismatch_degrades_hold_margin(self, static):
+        x = np.zeros((1, 6))
+        x[0, DEVICE_ORDER.index("D1")] = 0.15   # volts, large shift
+        degraded = static.hold_snm(x)[0]
+        assert degraded < static.hold_snm(ZERO)[0]
+
+
+class TestWrite:
+    def test_nominal_cell_is_writable(self, static):
+        assert static.write_margin(ZERO)[0] > 0.0
+        assert not static.write_failure(ZERO)[0]
+
+    def test_weak_pullup_writes_more_easily(self, static):
+        x = np.zeros((1, 6))
+        x[0, DEVICE_ORDER.index("L2")] = 0.2
+        assert static.write_margin(x)[0] > static.write_margin(ZERO)[0]
+
+    def test_strong_pullup_fights_the_write(self, static):
+        x = np.zeros((1, 6))
+        x[0, DEVICE_ORDER.index("L2")] = -0.2   # stronger load
+        assert static.write_margin(x)[0] < static.write_margin(ZERO)[0]
+
+    def test_weak_access_hurts_writability(self, static):
+        x = np.zeros((1, 6))
+        x[0, DEVICE_ORDER.index("A2")] = 0.3    # the writing transistor
+        assert static.write_margin(x)[0] < static.write_margin(ZERO)[0]
+
+    def test_batch_shapes(self, static, rng):
+        x = rng.normal(scale=0.02, size=(7, 6))
+        assert static.write_margin(x).shape == (7,)
+        assert static.write_failure(x).dtype == bool

@@ -1,0 +1,59 @@
+"""Tests for the write-failure indicator."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEVICE_ORDER
+from repro.sram.evaluator import CellEvaluator, WriteFailure
+
+
+@pytest.fixture(scope="module")
+def write_indicator(paper_cell, paper_space):
+    evaluator = CellEvaluator(paper_cell, paper_space, vdd=0.5,
+                              grid_points=41)
+    return WriteFailure(evaluator)
+
+
+class TestWriteFailure:
+    def test_nominal_cell_is_writable(self, write_indicator):
+        x = np.zeros((1, 6))
+        assert write_indicator.margin(x)[0] > 0.0
+        assert not write_indicator.evaluate(x)[0]
+
+    def test_margin_matches_static_analysis(self, write_indicator,
+                                            paper_space, rng):
+        from repro.sram.static import StaticCellAnalysis
+
+        x = rng.normal(size=(5, 6))
+        static = StaticCellAnalysis(write_indicator.evaluator.solver)
+        expected = static.write_margin(paper_space.to_physical(x))
+        assert np.allclose(write_indicator.margin(x), expected)
+
+    def test_strong_pullup_and_weak_access_fail_the_write(
+            self, write_indicator, paper_space):
+        """Drive L2 strong and A2 weak far enough and the write fails."""
+        x = np.zeros((1, 6))
+        x[0, DEVICE_ORDER.index("L2")] = -9.0   # much stronger pull-up
+        x[0, DEVICE_ORDER.index("A2")] = +9.0   # much weaker writer
+        assert write_indicator.margin(x)[0] < \
+            write_indicator.margin(np.zeros((1, 6)))[0]
+
+    def test_write_failures_are_rarer_than_read_failures(
+            self, write_indicator, paper_space, rng):
+        """At matched supply the write margin distribution sits much
+        farther from zero than the read margin distribution."""
+        from repro.sram.margins import static_noise_margin
+
+        x = rng.normal(size=(800, 6))
+        write_margin = write_indicator.margin(x)
+        read = static_noise_margin(write_indicator.evaluator.solver.solve(
+            paper_space.to_physical(x)))
+        z_write = write_margin.mean() / write_margin.std()
+        z_read = read.mean() / read.std()
+        assert z_write > z_read
+
+    def test_dim_and_chunking(self, write_indicator, rng):
+        assert write_indicator.dim == 6
+        write_indicator.evaluator.max_batch = 3
+        x = rng.normal(size=(7, 6))
+        assert write_indicator.margin(x).shape == (7,)

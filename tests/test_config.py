@@ -1,0 +1,98 @@
+"""Tests for the Table-I configuration (experiment E6)."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DEVICE_ORDER,
+    DEVICE_POLARITY,
+    MIRROR_PERMUTATION,
+    TABLE_I,
+    CellGeometry,
+    DeviceGeometry,
+    PaperConditions,
+    RtnTimeConstants,
+)
+
+
+class TestTableI:
+    """Each assertion checks one row of the paper's Table I."""
+
+    def test_avth(self):
+        assert TABLE_I.avth_mv_nm == 500.0  # 5 x 10^2 mV nm
+
+    def test_channel_length(self):
+        for name in DEVICE_ORDER:
+            assert TABLE_I.geometry.device(name).l_nm == 16.0
+
+    def test_channel_widths(self):
+        assert TABLE_I.geometry.load.w_nm == 60.0
+        assert TABLE_I.geometry.driver.w_nm == 30.0
+        assert TABLE_I.geometry.access.w_nm == 30.0
+
+    def test_tox(self):
+        assert TABLE_I.geometry.tox_nm == 0.95
+
+    def test_trap_density(self):
+        assert TABLE_I.trap_density_per_nm2 == 4.0e-3
+
+    def test_time_constants(self):
+        tc = TABLE_I.time_constants
+        assert tc.tau_e_on == 1.2
+        assert tc.tau_e_off == 0.1
+        assert tc.tau_c_on == 0.01
+        assert tc.tau_c_off == 0.12
+
+    def test_smallest_transistor_has_paper_trap_count(self):
+        """Section IV-A: '1.92 defects on average' in a 30x16 device."""
+        assert TABLE_I.mean_traps("D1") == pytest.approx(1.92)
+
+    def test_supplies(self):
+        assert TABLE_I.vdd_nominal == 0.7
+        assert TABLE_I.vdd_low == 0.5
+
+
+class TestStructure:
+    def test_mirror_permutation_is_involution(self):
+        perm = np.array(MIRROR_PERMUTATION)
+        assert np.array_equal(perm[perm], np.arange(6))
+
+    def test_mirror_permutation_swaps_sides(self):
+        for i, j in enumerate(MIRROR_PERMUTATION):
+            assert DEVICE_ORDER[i][0] == DEVICE_ORDER[j][0]  # same role
+            assert DEVICE_ORDER[i][1] != DEVICE_ORDER[j][1]  # other side
+
+    def test_polarity_table(self):
+        assert DEVICE_POLARITY["L1"] == -1
+        assert DEVICE_POLARITY["D1"] == +1
+        assert DEVICE_POLARITY["A2"] == +1
+
+
+class TestValidation:
+    def test_device_geometry(self):
+        with pytest.raises(ValueError):
+            DeviceGeometry(w_nm=0.0, l_nm=16.0)
+        assert DeviceGeometry(30.0, 16.0).area_nm2 == 480.0
+
+    def test_cell_geometry(self):
+        with pytest.raises(ValueError):
+            CellGeometry(tox_nm=0.0)
+        with pytest.raises(KeyError):
+            CellGeometry().device("X1")
+
+    def test_time_constants(self):
+        with pytest.raises(ValueError):
+            RtnTimeConstants(tau_c_on=-1.0)
+
+    def test_conditions(self):
+        with pytest.raises(ValueError):
+            PaperConditions(avth_mv_nm=0.0)
+        with pytest.raises(ValueError):
+            PaperConditions(access_on_fraction=1.5)
+        with pytest.raises(ValueError):
+            PaperConditions(vdd_nominal=-0.7)
+
+    def test_with_override(self):
+        modified = TABLE_I.with_(vdd_nominal=0.8)
+        assert modified.vdd_nominal == 0.8
+        assert TABLE_I.vdd_nominal == 0.7

@@ -1,0 +1,35 @@
+"""Tests for physical constants."""
+
+import pytest
+
+from repro.constants import (
+    oxide_capacitance_per_area,
+    thermal_voltage,
+)
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_scales_linearly(self):
+        assert thermal_voltage(600.0) == pytest.approx(
+            2 * thermal_voltage(300.0))
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+
+
+class TestOxideCapacitance:
+    def test_paper_tox(self):
+        """tox = 0.95 nm -> Cox ~ 3.6e-2 F/m^2."""
+        cox = oxide_capacitance_per_area(0.95)
+        assert cox == pytest.approx(3.63e-2, rel=0.01)
+
+    def test_thinner_oxide_more_capacitance(self):
+        assert oxide_capacitance_per_area(0.5) > oxide_capacitance_per_area(1.0)
+
+    def test_invalid_tox(self):
+        with pytest.raises(ValueError):
+            oxide_capacitance_per_area(-1.0)

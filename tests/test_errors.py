@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    CalibrationError,
+    ClassifierError,
+    ConvergenceError,
+    EstimationError,
+    NetlistError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        NetlistError, ConvergenceError, CalibrationError, EstimationError,
+        ClassifierError, BudgetExceededError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_convergence_error_carries_residual(self):
+        error = ConvergenceError("failed", residual=1.5e-9)
+        assert error.residual == 1.5e-9
+        assert "failed" in str(error)
+
+    def test_budget_error_carries_counts(self):
+        error = BudgetExceededError("over", spent=120, budget=100)
+        assert error.spent == 120
+        assert error.budget == 100
+
+    def test_catching_base_class_catches_all(self):
+        with pytest.raises(ReproError):
+            raise NetlistError("x")

@@ -1,0 +1,56 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import as_generator, spawn, stable_seed
+
+
+class TestAsGenerator:
+    def test_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_from_int(self):
+        a = as_generator(42)
+        b = as_generator(42)
+        assert a.integers(1000) == b.integers(1000)
+
+    def test_from_seed_sequence(self):
+        rng = as_generator(np.random.SeedSequence(7))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_none_allowed(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        children = spawn(np.random.default_rng(0), 3)
+        draws = [c.integers(2**32) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_deterministic(self):
+        a = spawn(np.random.default_rng(0), 2)
+        b = spawn(np.random.default_rng(0), 2)
+        assert a[0].integers(2**32) == b[0].integers(2**32)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(np.random.default_rng(0), -1)
+
+    def test_zero_children(self):
+        assert spawn(np.random.default_rng(0), 0) == []
+
+
+class TestStableSeed:
+    def test_deterministic_and_distinct(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+
+    def test_fits_in_63_bits(self):
+        assert 0 <= stable_seed("anything", 123, 4.5) < 2**63

@@ -1,0 +1,62 @@
+"""Tests for correlated variability spaces."""
+
+import numpy as np
+import pytest
+
+from repro.config import CellGeometry
+from repro.variability.correlated import (
+    CorrelatedVariabilitySpace,
+    common_mode_correlation,
+)
+
+
+class TestCorrelationMatrix:
+    def test_structure(self):
+        corr = common_mode_correlation(3, 0.4)
+        assert np.allclose(np.diag(corr), 1.0)
+        assert corr[0, 1] == pytest.approx(0.4)
+
+    def test_positive_definite_bounds(self):
+        with pytest.raises(ValueError, match="rho"):
+            common_mode_correlation(3, 1.0)
+        with pytest.raises(ValueError, match="rho"):
+            common_mode_correlation(3, -0.6)
+
+    def test_zero_rho_is_identity(self):
+        assert np.allclose(common_mode_correlation(4, 0.0), np.eye(4))
+
+
+class TestCorrelatedSpace:
+    @pytest.fixture()
+    def space(self):
+        corr = common_mode_correlation(6, 0.5)
+        return CorrelatedVariabilitySpace.from_pelgrom_correlated(
+            500.0, CellGeometry(), corr)
+
+    def test_prior_is_still_standard_normal(self, space, rng):
+        x = space.sample(50_000, rng)
+        assert np.allclose(x.std(axis=0), 1.0, atol=0.03)
+        assert np.allclose(np.corrcoef(x.T) - np.eye(6), 0.0, atol=0.03)
+
+    def test_physical_shifts_are_correlated(self, space, rng):
+        x = space.sample(100_000, rng)
+        dvth = space.to_physical(x)
+        corr = np.corrcoef(dvth.T)
+        assert corr[0, 3] == pytest.approx(0.5, abs=0.03)
+
+    def test_marginal_sigmas_match_pelgrom(self, space):
+        dvth = space.to_physical(np.eye(6) * 0.0 + 1.0)  # not a stat test
+        # marginal sigma property is stored on the base class
+        assert space.sigmas[1] == pytest.approx(22.8e-3, rel=0.01)
+
+    def test_roundtrip(self, space, rng):
+        x = rng.standard_normal((20, 6))
+        assert np.allclose(space.to_whitened(space.to_physical(x)), x,
+                           atol=1e-10)
+
+    def test_works_with_the_cell_evaluator(self, space, paper_cell):
+        from repro.sram.evaluator import CellEvaluator
+
+        evaluator = CellEvaluator(paper_cell, space, grid_points=41)
+        margins = evaluator.cell_margin(np.zeros((1, 6)))
+        assert np.isfinite(margins[0])

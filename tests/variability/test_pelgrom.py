@@ -1,0 +1,39 @@
+"""Tests for the Pelgrom mismatch law."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEVICE_ORDER, CellGeometry
+from repro.variability.pelgrom import pelgrom_sigma_v, pelgrom_sigmas
+
+
+class TestSigma:
+    def test_paper_driver_value(self):
+        """A_VTH = 500 mV*nm over 30x16 nm -> ~22.8 mV."""
+        sigma = pelgrom_sigma_v(500.0, 30.0, 16.0)
+        assert sigma == pytest.approx(22.8e-3, rel=0.01)
+
+    def test_paper_load_value(self):
+        sigma = pelgrom_sigma_v(500.0, 60.0, 16.0)
+        assert sigma == pytest.approx(16.1e-3, rel=0.01)
+
+    def test_larger_area_means_less_mismatch(self):
+        small = pelgrom_sigma_v(500.0, 30.0, 16.0)
+        large = pelgrom_sigma_v(500.0, 120.0, 16.0)
+        assert large == pytest.approx(small / 2.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            pelgrom_sigma_v(0.0, 30.0, 16.0)
+        with pytest.raises(ValueError):
+            pelgrom_sigma_v(500.0, -30.0, 16.0)
+
+
+class TestVector:
+    def test_order_and_symmetry(self):
+        sigmas = pelgrom_sigmas(500.0, CellGeometry())
+        assert sigmas.shape == (6,)
+        by_name = dict(zip(DEVICE_ORDER, sigmas))
+        assert by_name["L1"] == by_name["L2"]
+        assert by_name["D1"] == by_name["D2"] == by_name["A1"] == by_name["A2"]
+        assert by_name["L1"] < by_name["D1"]  # loads are wider -> less sigma

@@ -1,0 +1,81 @@
+"""Tests for the whitened variability space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy.stats import multivariate_normal
+
+from repro.config import TABLE_I
+from repro.variability.space import VariabilitySpace
+
+SPACE = VariabilitySpace(np.array([0.01, 0.02, 0.03]))
+
+points = arrays(np.float64, (3,),
+                elements=st.floats(min_value=-5, max_value=5))
+
+
+class TestConstruction:
+    def test_dim_and_names(self):
+        assert SPACE.dim == 3
+        assert SPACE.names == ("0", "1", "2")
+
+    def test_from_pelgrom_matches_device_order(self, paper_space):
+        assert paper_space.dim == 6
+        assert paper_space.names == ("L1", "D1", "A1", "L2", "D2", "A2")
+
+    def test_invalid_sigmas_rejected(self):
+        with pytest.raises(ValueError):
+            VariabilitySpace(np.array([0.01, -0.02]))
+        with pytest.raises(ValueError):
+            VariabilitySpace(np.array([]))
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="names"):
+            VariabilitySpace(np.ones(3), names=("a", "b"))
+
+
+class TestMapping:
+    @given(points)
+    def test_roundtrip(self, x):
+        physical = SPACE.to_physical(x)
+        assert np.allclose(SPACE.to_whitened(physical), x)
+
+    def test_scaling(self):
+        dvth = SPACE.to_physical(np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(dvth, SPACE.sigmas)
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ValueError, match="trailing dimension"):
+            SPACE.to_physical(np.zeros(4))
+
+
+class TestDensity:
+    @given(points)
+    @settings(max_examples=50)
+    def test_log_pdf_matches_scipy(self, x):
+        reference = multivariate_normal(mean=np.zeros(3)).logpdf(x)
+        assert np.isclose(SPACE.log_pdf(x), reference)
+
+    def test_pdf_peak_at_origin(self):
+        assert SPACE.pdf(np.zeros(3)) == pytest.approx(
+            (2 * np.pi) ** -1.5)
+
+    def test_batch_shape(self):
+        xs = np.zeros((7, 3))
+        assert SPACE.log_pdf(xs).shape == (7,)
+
+
+class TestSampling:
+    def test_sample_shape(self, rng):
+        assert SPACE.sample(100, rng).shape == (100, 3)
+
+    def test_sample_moments(self, rng):
+        xs = SPACE.sample(50_000, rng)
+        assert np.allclose(xs.mean(axis=0), 0.0, atol=0.03)
+        assert np.allclose(xs.std(axis=0), 1.0, atol=0.03)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SPACE.sample(-1, rng)

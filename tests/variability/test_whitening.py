@@ -1,0 +1,75 @@
+"""Tests for covariance whitening."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.variability.whitening import WhiteningTransform
+
+
+def random_spd(dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((dim, dim))
+    return a @ a.T + dim * np.eye(dim)
+
+
+class TestConstruction:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            WhiteningTransform(np.ones((2, 3)))
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            WhiteningTransform(np.array([[1.0, 0.5], [0.0, 1.0]]))
+
+    def test_indefinite_rejected(self):
+        with pytest.raises(ValueError, match="positive definite"):
+            WhiteningTransform(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_mean_shape_checked(self):
+        with pytest.raises(ValueError, match="mean"):
+            WhiteningTransform(np.eye(2), mean=np.zeros(3))
+
+    def test_from_sigmas_diagonal(self):
+        wt = WhiteningTransform.from_sigmas([0.1, 0.2])
+        assert np.allclose(wt.covariance, np.diag([0.01, 0.04]))
+
+    def test_from_sigmas_invalid(self):
+        with pytest.raises(ValueError):
+            WhiteningTransform.from_sigmas([0.1, -0.2])
+
+
+class TestRoundtrip:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20)
+    def test_whiten_unwhiten_roundtrip(self, seed):
+        cov = random_spd(4, seed)
+        wt = WhiteningTransform(cov)
+        rng = np.random.default_rng(seed + 1)
+        v = rng.standard_normal((10, 4))
+        assert np.allclose(wt.unwhiten(wt.whiten(v)), v)
+
+    def test_single_point_roundtrip(self):
+        wt = WhiteningTransform(random_spd(3, 7), mean=np.array([1., 2., 3.]))
+        v = np.array([0.5, -0.5, 2.0])
+        assert np.allclose(wt.unwhiten(wt.whiten(v)), v)
+
+
+class TestStatistics:
+    def test_whitened_samples_have_identity_covariance(self):
+        cov = random_spd(3, 42)
+        wt = WhiteningTransform(cov)
+        rng = np.random.default_rng(0)
+        v = rng.multivariate_normal(np.zeros(3), cov, size=100_000)
+        x = wt.whiten(v)
+        empirical = np.cov(x.T)
+        assert np.allclose(empirical, np.eye(3), atol=0.05)
+
+    def test_unwhiten_reproduces_covariance(self):
+        cov = random_spd(3, 11)
+        wt = WhiteningTransform(cov)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((100_000, 3))
+        v = wt.unwhiten(x)
+        assert np.allclose(np.cov(v.T), cov, rtol=0.08, atol=0.1)
