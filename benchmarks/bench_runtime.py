@@ -1,0 +1,117 @@
+"""Benchmark the repro.runtime execution engine.
+
+Compares the ``serial``, ``thread`` and ``process`` backends on the two
+workloads the runtime serves -- a naive-MC sample block and one full
+ECRIPSE estimate -- on the paper's 0.5 V cell (the pure-Python SPICE
+solver is the unit of work, so the process backend is the one that can
+actually scale: threads serialise on the GIL).
+
+Estimates must be bit-identical across backends (the runtime's core
+contract); the >=2x process-backend speedup is asserted only when the
+host has >= 4 usable cores -- a 1-core CI box cannot speed anything up,
+but the numbers are still measured and written to
+``bench_runtime.json`` next to this file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import FULL
+
+from repro.core.naive import NaiveMonteCarlo
+from repro.experiments.setup import paper_setup
+from repro.core.ecripse import EcripseEstimator
+from repro.runtime import ExecutionConfig
+
+BACKENDS = ("serial", "thread", "process")
+WORKERS = 4
+JSON_PATH = Path(__file__).with_name("bench_runtime.json")
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _execution(backend: str, chunk: int) -> ExecutionConfig:
+    return ExecutionConfig(backend=backend, workers=WORKERS,
+                           chunk_size=chunk)
+
+
+def _save(section: str, payload: dict) -> None:
+    data = json.loads(JSON_PATH.read_text()) if JSON_PATH.exists() else {}
+    data[section] = payload
+    data["cores"] = _cores()
+    data["workers"] = WORKERS
+    JSON_PATH.write_text(json.dumps(data, indent=2))
+
+
+def _report(section: str, rows: dict[str, dict]) -> None:
+    print()
+    print(f"{section}: {_cores()} core(s), {WORKERS} workers")
+    serial_t = rows["serial"]["wall_time_s"]
+    for backend, row in rows.items():
+        row["speedup_vs_serial"] = serial_t / row["wall_time_s"]
+        print(f"  {backend:8s} {row['wall_time_s']:8.2f} s  "
+              f"speedup {row['speedup_vs_serial']:.2f}x")
+    _save(section, rows)
+
+
+def test_naive_mc_backends():
+    setup = paper_setup(vdd=0.5, alpha=0.3)
+    n_samples = 100_000 if FULL else 4000
+    chunk = 500
+
+    rows: dict[str, dict] = {}
+    for backend in BACKENDS:
+        mc = NaiveMonteCarlo(setup.space, setup.indicator, setup.rtn_model,
+                             seed=0, execution=_execution(backend, chunk))
+        t0 = time.perf_counter()
+        result = mc.run(n_samples)
+        rows[backend] = {
+            "wall_time_s": time.perf_counter() - t0,
+            "pfail": result.pfail,
+            "n_simulations": result.n_simulations,
+            "n_fallbacks": result.metadata["execution"]["n_fallbacks"],
+        }
+    _report("naive-mc", rows)
+
+    # the determinism contract: every backend, the exact same estimate
+    assert rows["thread"]["pfail"] == rows["serial"]["pfail"]
+    assert rows["process"]["pfail"] == rows["serial"]["pfail"]
+    assert len({r["n_simulations"] for r in rows.values()}) == 1
+
+    # the ISSUE acceptance number, only meaningful with real parallelism
+    if _cores() >= WORKERS:
+        assert rows["process"]["speedup_vs_serial"] >= 2.0
+
+
+def test_ecripse_backends(bench_scale):
+    setup = paper_setup(vdd=0.5, alpha=0.3)
+    config = bench_scale["config"]
+
+    rows: dict[str, dict] = {}
+    for backend in BACKENDS:
+        estimator = EcripseEstimator(
+            setup.space, setup.indicator, setup.rtn_model, seed=0,
+            config=config.with_(execution=_execution(backend, 250)))
+        t0 = time.perf_counter()
+        result = estimator.run(
+            target_relative_error=bench_scale["loose_rel_err"])
+        rows[backend] = {
+            "wall_time_s": time.perf_counter() - t0,
+            "pfail": result.pfail,
+            "n_simulations": result.n_simulations,
+            "n_fallbacks": result.metadata["execution"]["n_fallbacks"],
+        }
+    _report("ecripse", rows)
+
+    assert rows["thread"]["pfail"] == rows["serial"]["pfail"]
+    assert rows["process"]["pfail"] == rows["serial"]["pfail"]
+    assert len({r["n_simulations"] for r in rows.values()}) == 1

@@ -21,6 +21,7 @@ Packages:
 * :mod:`repro.rtn` -- RTN trap statistics and samplers;
 * :mod:`repro.ml` -- polynomial-feature linear SVM and blockade;
 * :mod:`repro.core` -- the estimators (ECRIPSE + baselines);
+* :mod:`repro.runtime` -- parallel execution engine (serial/thread/process);
 * :mod:`repro.analysis` -- convergence/speedup analysis, tables;
 * :mod:`repro.experiments` -- the paper's figures as runnable harnesses.
 """
@@ -46,6 +47,7 @@ from repro.core import (
 )
 from repro.experiments.setup import ExperimentSetup, paper_setup
 from repro.rtn import RtnModel, ZeroRtnModel
+from repro.runtime import ExecutionConfig, Executor, RunMetrics
 from repro.sram import CellEvaluator, SramCell
 from repro.variability import VariabilitySpace
 
@@ -67,6 +69,9 @@ __all__ = [
     "MeanShiftEstimator",
     "NaiveMonteCarlo",
     "StatisticalBlockadeEstimator",
+    "ExecutionConfig",
+    "Executor",
+    "RunMetrics",
     "ExperimentSetup",
     "paper_setup",
     "RtnModel",

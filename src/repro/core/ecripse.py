@@ -27,7 +27,7 @@ are free, which is the entire point of the method.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -43,6 +43,7 @@ from repro.core.indicator import CountingIndicator, Indicator, SimulationCounter
 from repro.errors import EstimationError
 from repro.ml.blockade import ClassifierBlockade
 from repro.rng import as_generator, spawn
+from repro.runtime import ExecutionConfig, Executor, evaluate_indicator
 from repro.variability.space import VariabilitySpace
 
 
@@ -105,6 +106,15 @@ class EcripseConfig:
         band.
     retrain_trigger:
         Incremental-retrain threshold (new labels).
+
+    Execution parameters
+    --------------------
+    execution:
+        :class:`~repro.runtime.config.ExecutionConfig` selecting the
+        backend / worker count / chunking of the transistor-level
+        simulation batches and the particle-filter prediction tasks.
+        The default (serial) reproduces the single-core behaviour; for a
+        fixed seed every backend returns the bit-identical estimate.
     """
 
     n_filters: int = 2
@@ -127,6 +137,7 @@ class EcripseConfig:
     classifier_c: float = 10.0
     band_quantile: float = 0.12
     retrain_trigger: int = 500
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self):
         if self.n_iterations < 1:
@@ -189,6 +200,8 @@ class EcripseEstimator:
         self.boundary_search_indicator = CountingIndicator(
             boundary_source if boundary_source is not None else indicator,
             self.counter)
+        self.executor = Executor(self.config.execution,
+                                 counter=self.counter)
         rng = as_generator(seed)
         (self._rng_boundary, self._rng_bank, self._rng_stage1,
          self._rng_stage2, rng_clf) = spawn(rng, 5)
@@ -219,19 +232,23 @@ class EcripseEstimator:
         start = time.perf_counter()
         cfg = self.config
 
-        if self.boundary is None:
-            self.boundary = find_failure_boundary(
-                self.boundary_search_indicator, cfg.n_boundary_directions,
-                self._rng_boundary, r_max=cfg.boundary_r_max,
-                n_bisections=cfg.n_bisections)
-        boundary_sims = self.counter.count
+        try:
+            if self.boundary is None:
+                self.boundary = find_failure_boundary(
+                    self.boundary_search_indicator,
+                    cfg.n_boundary_directions,
+                    self._rng_boundary, r_max=cfg.boundary_r_max,
+                    n_bisections=cfg.n_bisections)
+            boundary_sims = self.counter.count
 
-        self._run_stage1()
-        stage1_sims = self.counter.count - boundary_sims
+            self._run_stage1()
+            stage1_sims = self.counter.count - boundary_sims
 
-        estimate, trace = self._run_stage2(
-            target_relative_error, max_simulations)
-        stage2_sims = self.counter.count - stage1_sims - boundary_sims
+            estimate, trace = self._run_stage2(
+                target_relative_error, max_simulations)
+            stage2_sims = self.counter.count - stage1_sims - boundary_sims
+        finally:
+            self.executor.close()
 
         estimate.wall_time_s = time.perf_counter() - start
         estimate.trace = trace
@@ -243,6 +260,7 @@ class EcripseEstimator:
             "classifier_samples": self.blockade.n_training_samples,
             "use_classifier": cfg.use_classifier,
             "n_filters": cfg.n_filters,
+            "execution": self.executor.aggregate().as_dict(),
         })
         return estimate
 
@@ -256,7 +274,7 @@ class EcripseEstimator:
             cfg.kernel_sigma, self._rng_bank)
         m = 1 if self.rtn_model.is_null else cfg.m_rtn
         for _ in range(cfg.n_iterations):
-            candidates = self.filter_bank.predict_all()
+            candidates = self.filter_bank.predict_all(self.executor)
             total = self._total_shift_samples(candidates, m,
                                               self._rng_stage1)
             labels = self._labels_stage1(total)
@@ -284,19 +302,33 @@ class EcripseEstimator:
         total = self.rtn_model.mirror(x[:, None, :] + shifts, states)
         return total.reshape(x.shape[0] * m, self.space.dim)
 
+    def _simulate_labels(self, total: np.ndarray) -> np.ndarray:
+        """Transistor-level labels for ``total``, chunk-parallel.
+
+        Counts every row as a simulation *before* dispatch (preserving
+        the budget circuit-breaker semantics of
+        :class:`~repro.core.indicator.CountingIndicator`) and labels the
+        chunks through the executor.  Labelling is pure per row, so the
+        result is independent of both the chunking and the backend.
+        """
+        total = np.atleast_2d(np.asarray(total, dtype=float))
+        return self.executor.map_chunks(
+            evaluate_indicator, total, self.indicator.indicator,
+            simulations=total.shape[0], label="simulate-labels")
+
     def _labels_stage1(self, total: np.ndarray) -> np.ndarray:
         """Fail labels for stage-1 samples: K simulated, rest classified."""
         cfg = self.config
         n = total.shape[0]
         if not cfg.use_classifier:
-            return self.indicator.evaluate(total)
+            return self._simulate_labels(total)
         if n <= cfg.k_train:
-            labels = self.indicator.evaluate(total)
+            labels = self._simulate_labels(total)
             self.blockade.update(total, labels, force_retrain=True)
             return labels
 
         picks = self._rng_stage1.choice(n, size=cfg.k_train, replace=False)
-        simulated = self.indicator.evaluate(total[picks])
+        simulated = self._simulate_labels(total[picks])
         self.blockade.update(total[picks], simulated, force_retrain=True)
 
         labels = np.zeros(n, dtype=bool)
@@ -307,7 +339,7 @@ class EcripseEstimator:
             labels[rest] = self.blockade.predict(total[rest]).labels
         else:
             # Single-class training data so far: simulate everything.
-            labels[rest] = self.indicator.evaluate(total[rest])
+            labels[rest] = self._simulate_labels(total[rest])
         return labels
 
     # ------------------------------------------------------------------
@@ -362,12 +394,12 @@ class EcripseEstimator:
         the uncertainty band, which is simulated and fed back."""
         cfg = self.config
         if not cfg.use_classifier or not self.blockade.is_trained:
-            return self.indicator.evaluate(total)
+            return self._simulate_labels(total)
         prediction = self.blockade.predict(total)
         labels = prediction.labels.copy()
         uncertain = prediction.uncertain
         if np.any(uncertain):
-            simulated = self.indicator.evaluate(total[uncertain])
+            simulated = self._simulate_labels(total[uncertain])
             labels[uncertain] = simulated
             self.blockade.update(total[uncertain], simulated)
         return labels

@@ -4,6 +4,15 @@ The reference method (paper eq. 2 and the black curves of Fig. 7): draw
 process variability from the prior, RTN shifts and the stored state from
 the RTN model, simulate every sample.  Confidence intervals use the Wilson
 score, which stays sensible at small failure counts.
+
+With an :class:`~repro.runtime.config.ExecutionConfig` the sample block
+is split into chunks, each drawn from its own child generator and
+simulated as one runtime task.  The chunk decomposition is
+backend-independent, so for a fixed seed the ``serial``, ``thread`` and
+``process`` backends produce the bit-identical estimate; it is however a
+*different* (equally valid) stream decomposition than the legacy
+single-stream loop, which remains the default when no execution config is
+given.
 """
 
 from __future__ import annotations
@@ -15,8 +24,24 @@ import numpy as np
 from repro.analysis.stats import wilson_interval
 from repro.core.estimate import FailureEstimate, TracePoint
 from repro.core.indicator import CountingIndicator, Indicator, SimulationCounter
-from repro.rng import as_generator
+from repro.rng import as_generator, spawn
+from repro.runtime import ExecutionConfig, Executor
+from repro.runtime.chunking import chunk_sizes
 from repro.variability.space import VariabilitySpace
+
+
+def sample_and_label_chunk(n: int, rng: np.random.Generator,
+                           space, indicator, rtn_model) -> tuple[int, int]:
+    """Draw and simulate one naive-MC chunk; returns (failures, samples).
+
+    Module-level so the process backend can pickle it.  The indicator is
+    the raw (non-counting) one -- the parent accounts for simulations as
+    it consumes chunk results.
+    """
+    x = space.sample(n, rng)
+    shifts, states = rtn_model.sample(n, rng)
+    total = rtn_model.mirror(x + shifts, states)
+    return int(np.sum(indicator.evaluate(total))), n
 
 
 class NaiveMonteCarlo:
@@ -34,11 +59,18 @@ class NaiveMonteCarlo:
     rtn_model:
         RTN sampler (or the null model).
     batch_size:
-        Samples per vectorised batch.
+        Samples per vectorised batch (also the default chunk size of the
+        parallel path).
+    execution:
+        Optional :class:`~repro.runtime.config.ExecutionConfig`; when
+        given, the run executes through the parallel runtime (one task
+        per chunk, one child RNG per chunk).  ``None`` keeps the legacy
+        single-stream loop bit-identical to previous releases.
     """
 
     def __init__(self, space: VariabilitySpace, indicator: Indicator,
-                 rtn_model, batch_size: int = 5000, seed=None):
+                 rtn_model, batch_size: int = 5000, seed=None,
+                 execution: ExecutionConfig | None = None):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.space = space
@@ -47,6 +79,9 @@ class NaiveMonteCarlo:
         self.rng = as_generator(seed)
         self.counter = SimulationCounter()
         self.indicator = CountingIndicator(indicator, self.counter)
+        self.execution = execution
+        self.executor = (Executor(execution, counter=self.counter)
+                         if execution is not None else None)
 
     # ------------------------------------------------------------------
     def run(self, n_samples: int,
@@ -58,6 +93,8 @@ class NaiveMonteCarlo:
         """
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        if self.executor is not None:
+            return self._run_chunked(n_samples, target_relative_error)
         start = time.perf_counter()
         fails = 0
         drawn = 0
@@ -84,3 +121,52 @@ class NaiveMonteCarlo:
             n_simulations=self.counter.count, n_statistical_samples=drawn,
             method="naive-mc", wall_time_s=time.perf_counter() - start,
             trace=trace, metadata={"failures": fails})
+
+    # ------------------------------------------------------------------
+    def _run_chunked(self, n_samples: int,
+                     target_relative_error: float | None) -> FailureEstimate:
+        """Parallel path: one runtime task per chunk, one child RNG each.
+
+        The stopping rule is evaluated on the ordered chunk prefix, so
+        the consumed sample count -- and therefore the estimate -- does
+        not depend on the backend or on out-of-order completion (chunks
+        speculatively computed past an early stop are discarded and not
+        counted).
+        """
+        start = time.perf_counter()
+        chunk = (self.execution.chunk_size if self.execution.chunk_size
+                 is not None else self.batch_size)
+        sizes = chunk_sizes(n_samples, chunk)
+        rngs = spawn(self.rng, len(sizes))
+        tasks = [(n, rng, self.space, self.indicator.indicator,
+                  self.rtn_model) for n, rng in zip(sizes, rngs)]
+
+        fails = 0
+        drawn = 0
+        trace: list[TracePoint] = []
+        results = self.executor.iter_tasks(
+            sample_and_label_chunk, tasks, sizes=sizes, label="naive-mc")
+        try:
+            for n_fail, n in results:
+                self.counter.add(n)
+                fails += n_fail
+                drawn += n
+                estimate, halfwidth = wilson_interval(fails, drawn)
+                trace.append(TracePoint(
+                    n_simulations=self.counter.count, estimate=estimate,
+                    ci_halfwidth=halfwidth, n_statistical_samples=drawn))
+                if (target_relative_error is not None and estimate > 0.0
+                        and halfwidth / estimate <= target_relative_error):
+                    break
+        finally:
+            results.close()
+            self.executor.close()
+
+        estimate, halfwidth = wilson_interval(fails, drawn)
+        return FailureEstimate(
+            pfail=estimate, ci_halfwidth=halfwidth,
+            n_simulations=self.counter.count, n_statistical_samples=drawn,
+            method="naive-mc", wall_time_s=time.perf_counter() - start,
+            trace=trace,
+            metadata={"failures": fails,
+                      "execution": self.executor.aggregate().as_dict()})

@@ -50,3 +50,17 @@ class BudgetExceededError(ReproError):
         super().__init__(message)
         self.spent = spent
         self.budget = budget
+
+
+class ExecutionError(ReproError):
+    """Raised when the parallel runtime cannot complete a task: the chunk
+    failed on the backend, exhausted its retries *and* failed the final
+    in-process fallback attempt (or fallback was disabled).
+
+    Carries the index of the offending chunk so callers can correlate it
+    with the :class:`~repro.runtime.metrics.RunMetrics` chunk records.
+    """
+
+    def __init__(self, message: str, chunk_index: int | None = None):
+        super().__init__(message)
+        self.chunk_index = chunk_index

@@ -137,9 +137,10 @@ def occupancy_convention_ablation(alphas=(0.0, 0.5, 1.0),
     return curves
 
 
-def main() -> None:  # pragma: no cover - exercised via the CLI
+def main(config: EcripseConfig | None = None
+         ) -> None:  # pragma: no cover - exercised via the CLI
     print("A1: classifier ablation")
-    a1 = classifier_ablation()
+    a1 = classifier_ablation(config=config)
     print(format_table(
         ["variant", "Pfail", "simulations"],
         [[k, f"{v.pfail:.3e}", v.n_simulations]

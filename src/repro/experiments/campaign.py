@@ -15,24 +15,36 @@ from pathlib import Path
 from repro.analysis.persistence import save_estimate
 from repro.core.ecripse import EcripseConfig
 from repro.experiments import fig6, fig7, fig8
+from repro.runtime import ExecutionConfig
 
 
 def run_campaign(out_dir, config: EcripseConfig | None = None,
                  target_relative_error: float = 0.05,
                  naive_samples: int = 100_000,
                  alphas=(0.0, 0.25, 0.5, 0.75, 1.0),
-                 seed: int = 2015, include=("fig6", "fig7", "fig8")
-                 ) -> Path:
+                 seed: int = 2015, include=("fig6", "fig7", "fig8"),
+                 execution: ExecutionConfig | None = None) -> Path:
     """Run the selected experiments and write ``report.md`` plus per-run
-    JSON files into ``out_dir``.  Returns the report path."""
+    JSON files into ``out_dir``.  Returns the report path.
+
+    ``execution`` overrides the runtime backend/worker settings of
+    ``config`` for every experiment in the campaign (the naive baseline
+    included); estimates are backend-invariant for a fixed seed.
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    config = config if config is not None else EcripseConfig()
+    if execution is not None:
+        config = config.with_(execution=execution)
+    runtime = config.execution
     sections: list[str] = [
         "# ECRIPSE experiment campaign",
         "",
         f"generated: {time.strftime('%Y-%m-%d %H:%M:%S')}",
         f"budgets: target rel. err. {target_relative_error:.0%}, "
         f"naive samples {naive_samples}, alphas {list(alphas)}",
+        f"execution: backend {runtime.backend}, "
+        f"{runtime.effective_workers} worker(s)",
         "",
     ]
 

@@ -19,9 +19,32 @@ import argparse
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.experiments import ablations, fig6, fig7, fig8
 from repro.experiments.setup import paper_setup
+from repro.runtime import BACKENDS, ExecutionConfig
 
 QUICK = EcripseConfig(n_particles=60, n_iterations=6, k_train=128,
                       stage2_batch=1500, max_statistical_samples=300_000)
+
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
+def _add_common_args(cmd: argparse.ArgumentParser) -> None:
+    """Budget/seed/execution flags shared by every subcommand."""
+    cmd.add_argument("--quick", action="store_true",
+                     help="reduced budgets for a fast smoke run")
+    cmd.add_argument("--seed", type=int, default=2015)
+    cmd.add_argument("--backend", choices=BACKENDS, default="serial",
+                     help="execution backend for the simulation "
+                          "workloads (default: serial; estimates are "
+                          "bit-identical across backends for a fixed "
+                          "seed)")
+    cmd.add_argument("--workers", type=_positive_int, default=None,
+                     help="worker-pool size for the thread/process "
+                          "backends (default: all cores)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -33,16 +56,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     for name in ("fig6", "fig7", "fig8", "ablations"):
         cmd = sub.add_parser(name, help=f"run the {name} experiment")
-        cmd.add_argument("--quick", action="store_true",
-                         help="reduced budgets for a fast smoke run")
-        cmd.add_argument("--seed", type=int, default=2015)
+        _add_common_args(cmd)
 
     camp = sub.add_parser("campaign", help="run all figure experiments "
                                            "and write a markdown report")
     camp.add_argument("--out", default="results",
                       help="output directory (JSON + report.md)")
-    camp.add_argument("--quick", action="store_true")
-    camp.add_argument("--seed", type=int, default=2015)
+    _add_common_args(camp)
 
     vmin = sub.add_parser("vmin", help="minimum-supply search for a "
                                        "failure-probability budget")
@@ -53,8 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
     vmin.add_argument("--low", type=float, default=0.45)
     vmin.add_argument("--high", type=float, default=0.8)
     vmin.add_argument("--resolution", type=float, default=0.02)
-    vmin.add_argument("--quick", action="store_true")
-    vmin.add_argument("--seed", type=int, default=2015)
+    _add_common_args(vmin)
 
     est = sub.add_parser("estimate",
                          help="one failure-probability estimation")
@@ -64,14 +83,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="duty ratio; omit for RDF-only")
     est.add_argument("--target", type=float, default=0.05,
                      help="target relative error")
-    est.add_argument("--quick", action="store_true")
-    est.add_argument("--seed", type=int, default=2015)
+    _add_common_args(est)
     return parser
 
 
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
-    config = QUICK if args.quick else None
+    execution = ExecutionConfig(backend=args.backend, workers=args.workers)
+    config = (QUICK if args.quick else EcripseConfig()).with_(
+        execution=execution)
 
     if args.command == "fig6":
         result = fig6.run_fig6(config=config, seed=args.seed,
@@ -103,7 +123,7 @@ def main(argv=None) -> int:
               f"minimum at {result.minimum_alpha}; "
               f"asymmetry {result.asymmetry():.1%}")
     elif args.command == "ablations":
-        ablations.main()
+        ablations.main(config=config)
     elif args.command == "campaign":
         from repro.experiments.campaign import run_campaign
 
@@ -134,6 +154,9 @@ def main(argv=None) -> int:
                                      seed=args.seed)
         result = estimator.run(target_relative_error=args.target)
         print(result.summary())
+        if execution.is_parallel:
+            print()
+            print(estimator.executor.aggregate().report())
     return 0
 
 

@@ -1,0 +1,34 @@
+"""repro.runtime -- a pluggable parallel execution engine.
+
+One :class:`Executor` API, three backends (``serial``, ``thread``,
+``process``), bit-identical results across all of them for a fixed seed
+(chunk plans and per-chunk RNG spawning are backend-independent), bounded
+retries with serial fallback, and per-chunk :class:`RunMetrics`
+telemetry.  This is the seam the estimator hot paths
+(:class:`~repro.core.ecripse.EcripseEstimator`,
+:class:`~repro.core.filter.ParticleFilterBank`,
+:class:`~repro.core.naive.NaiveMonteCarlo`) execute through; later
+sharding / async / multi-host work plugs in behind the same
+:class:`ExecutionConfig`.
+"""
+
+from repro.runtime.backends import ProcessBackend, ThreadBackend, make_backend
+from repro.runtime.chunking import chunk_sizes, plan_chunks
+from repro.runtime.config import BACKENDS, ExecutionConfig
+from repro.runtime.executor import Executor
+from repro.runtime.metrics import ChunkRecord, RunMetrics
+from repro.runtime.tasks import evaluate_indicator
+
+__all__ = [
+    "BACKENDS",
+    "ChunkRecord",
+    "ExecutionConfig",
+    "Executor",
+    "ProcessBackend",
+    "RunMetrics",
+    "ThreadBackend",
+    "chunk_sizes",
+    "evaluate_indicator",
+    "make_backend",
+    "plan_chunks",
+]

@@ -1,0 +1,28 @@
+"""Deterministic chunk planning.
+
+A *chunk plan* is a list of slices covering ``range(n_items)`` in order.
+It depends only on ``(n_items, chunk_size)`` -- never on the backend or
+worker count -- which is what makes parallel runs bit-identical to serial
+ones: the plan fixes both the work decomposition and (for RNG-consuming
+workloads) the per-chunk generator spawning order.
+"""
+
+from __future__ import annotations
+
+
+def plan_chunks(n_items: int, chunk_size: int) -> list[slice]:
+    """Slices splitting ``range(n_items)`` into chunks of ``chunk_size``.
+
+    The last chunk may be short; ``n_items == 0`` yields an empty plan.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [slice(start, min(start + chunk_size, n_items))
+            for start in range(0, n_items, chunk_size)]
+
+
+def chunk_sizes(n_items: int, chunk_size: int) -> list[int]:
+    """Lengths of the chunks :func:`plan_chunks` would produce."""
+    return [s.stop - s.start for s in plan_chunks(n_items, chunk_size)]

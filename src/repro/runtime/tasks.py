@@ -1,0 +1,22 @@
+"""Module-level task bodies shared by the estimator hot paths.
+
+These must live at module scope (not as closures or lambdas) so the
+process backend can pickle them by qualified name.  Workload-specific
+tasks live next to their callers (e.g. the naive-MC chunk task in
+:mod:`repro.core.naive`); only the generic ones are collected here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def evaluate_indicator(chunk: np.ndarray, indicator) -> np.ndarray:
+    """Label one chunk with a (raw, non-counting) indicator.
+
+    Simulation accounting stays in the parent process: callers add the
+    chunk sizes to their :class:`~repro.core.indicator.SimulationCounter`
+    *before* dispatch, preserving the budget circuit-breaker semantics of
+    :class:`~repro.core.indicator.CountingIndicator`.
+    """
+    return np.asarray(indicator.evaluate(chunk), dtype=bool)

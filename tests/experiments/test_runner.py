@@ -27,6 +27,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             _build_parser().parse_args([])
 
+    def test_every_command_accepts_runtime_flags(self):
+        parser = _build_parser()
+        for command in ("fig6", "fig7", "fig8", "ablations", "campaign",
+                        "vmin", "estimate"):
+            argv = [command, "--backend", "process", "--workers", "4"]
+            if command == "vmin":
+                argv += ["--budget", "1000"]
+            args = parser.parse_args(argv)
+            assert args.backend == "process"
+            assert args.workers == 4
+
+    def test_runtime_flags_default_to_serial(self):
+        args = _build_parser().parse_args(["fig7"])
+        assert args.backend == "serial"
+        assert args.workers is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["fig7", "--backend", "gpu"])
+
+    def test_non_positive_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["fig7", "--workers", "0"])
+
 
 @pytest.mark.slow
 class TestEstimateCommand:
@@ -36,3 +60,19 @@ class TestEstimateCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "Pfail" in out
+
+    def test_quick_estimate_parallel_matches_serial(self, capsys):
+        code = main(["estimate", "--quick", "--target", "0.5", "--seed",
+                     "1"])
+        assert code == 0
+        serial_out = capsys.readouterr().out
+        code = main(["estimate", "--quick", "--target", "0.5", "--seed",
+                     "1", "--backend", "thread", "--workers", "2"])
+        assert code == 0
+        thread_out = capsys.readouterr().out
+        def pfail_line(text):
+            line = next(line for line in text.splitlines()
+                        if "Pfail" in line)
+            return line.rsplit(",", 1)[0]  # drop the wall-time suffix
+
+        assert pfail_line(thread_out) == pfail_line(serial_out)

@@ -1,0 +1,35 @@
+"""Tests for the deterministic chunk planner."""
+
+import pytest
+
+from repro.runtime.chunking import chunk_sizes, plan_chunks
+
+
+class TestPlanChunks:
+    def test_covers_range_in_order(self):
+        plan = plan_chunks(10, 3)
+        assert [(s.start, s.stop) for s in plan] == [
+            (0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_exact_multiple(self):
+        assert chunk_sizes(12, 3) == [3, 3, 3, 3]
+
+    def test_block_smaller_than_chunk(self):
+        assert chunk_sizes(5, 100) == [5]
+
+    def test_empty_block(self):
+        assert plan_chunks(0, 8) == []
+
+    def test_single_row(self):
+        assert chunk_sizes(1, 1) == [1]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_chunks(-1, 4)
+        with pytest.raises(ValueError):
+            plan_chunks(10, 0)
+
+    def test_plan_is_backend_free(self):
+        """The plan depends only on (n, chunk) -- the determinism
+        contract: same inputs, same slices, always."""
+        assert plan_chunks(1000, 64) == plan_chunks(1000, 64)

@@ -1,0 +1,68 @@
+"""Tests for ExecutionConfig validation and chunk-size resolution."""
+
+import pytest
+
+from repro.runtime import ExecutionConfig
+from repro.runtime.config import DEFAULT_RNG_CHUNK, MIN_PURE_CHUNK
+
+
+class TestValidation:
+    def test_defaults_are_serial(self):
+        cfg = ExecutionConfig()
+        assert cfg.backend == "serial"
+        assert not cfg.is_parallel
+        assert cfg.effective_workers == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExecutionConfig(backend="gpu")
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ExecutionConfig(retry_backoff_s=-0.1)
+
+    def test_with_(self):
+        cfg = ExecutionConfig().with_(backend="thread", workers=3)
+        assert cfg.backend == "thread"
+        assert cfg.effective_workers == 3
+        assert ExecutionConfig().backend == "serial"
+
+
+class TestChunkResolution:
+    def test_explicit_chunk_size_wins(self):
+        cfg = ExecutionConfig(chunk_size=37)
+        assert cfg.resolve_chunk_size(10_000) == 37
+        assert cfg.resolve_chunk_size(10_000, rng_dependent=True) == 37
+
+    def test_rng_default_is_backend_independent(self):
+        """The stream decomposition must not depend on backend/workers,
+        otherwise parallel estimates would differ from serial ones."""
+        n = 10_000
+        sizes = {ExecutionConfig(backend=b, workers=w).resolve_chunk_size(
+            n, rng_dependent=True)
+            for b, w in (("serial", None), ("thread", 2), ("process", 8))}
+        assert sizes == {DEFAULT_RNG_CHUNK}
+
+    def test_rng_default_capped_by_block(self):
+        cfg = ExecutionConfig(backend="process", workers=4)
+        assert cfg.resolve_chunk_size(100, rng_dependent=True) == 100
+
+    def test_pure_serial_is_single_chunk(self):
+        assert ExecutionConfig().resolve_chunk_size(5000) == 5000
+
+    def test_pure_parallel_scales_with_workers(self):
+        cfg = ExecutionConfig(backend="process", workers=4)
+        size = cfg.resolve_chunk_size(16_000)
+        assert size == 1000  # four chunks per worker
+        assert cfg.resolve_chunk_size(100) == MIN_PURE_CHUNK
+        assert cfg.resolve_chunk_size(40) == 40  # never exceeds the block
+        assert cfg.resolve_chunk_size(10_000) >= MIN_PURE_CHUNK
+
+    def test_zero_items(self):
+        assert ExecutionConfig().resolve_chunk_size(0) == 1

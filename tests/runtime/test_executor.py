@@ -1,0 +1,235 @@
+"""Tests for the pluggable Executor: correctness on every backend,
+retry/fallback fault tolerance, chunking edge cases, telemetry."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.indicator import SimulationCounter
+from repro.errors import BudgetExceededError, ExecutionError
+from repro.rng import spawn
+from repro.runtime import ExecutionConfig, Executor
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _cfg(backend, **kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("max_retries", 1)
+    kw.setdefault("retry_backoff_s", 0.0)
+    return ExecutionConfig(backend=backend, **kw)
+
+
+# module-level task bodies so the process backend can pickle them
+def double(chunk):
+    return chunk * 2
+
+
+def draw_normals(chunk, rng):
+    return chunk + rng.standard_normal(chunk.shape)
+
+
+def add_args(a, b):
+    return a + b
+
+
+def fail_outside_pid(chunk, pid):
+    if os.getpid() != pid:
+        raise RuntimeError("injected worker failure")
+    return chunk * 2
+
+
+def fail_outside_thread(chunk, ident):
+    if threading.get_ident() != ident:
+        raise RuntimeError("injected worker failure")
+    return chunk * 2
+
+
+def count_into(chunk, calls):
+    calls.append(chunk.shape[0])
+    return chunk
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestMapChunks:
+    def test_pure_map_matches_direct_call(self, backend):
+        block = np.arange(101, dtype=float).reshape(-1, 1)
+        with Executor(_cfg(backend, chunk_size=8)) as ex:
+            out = ex.map_chunks(double, block)
+        assert np.array_equal(out, block * 2)
+
+    def test_rng_map_identical_across_backends(self, backend):
+        """The acceptance contract: chunked RNG consumption is a pure
+        function of (seed, n, chunk_size) -- never of the backend."""
+        block = np.zeros((300, 2))
+        with Executor(_cfg(backend, chunk_size=64)) as ex:
+            out = ex.map_chunks(draw_normals, block,
+                                rng=np.random.default_rng(9))
+        with Executor(ExecutionConfig()) as serial:
+            ref = serial.map_chunks(draw_normals, block,
+                                    rng=np.random.default_rng(9),
+                                    chunk_size=64)
+        assert np.array_equal(out, ref)
+
+    def test_empty_block(self, backend):
+        with Executor(_cfg(backend, chunk_size=4)) as ex:
+            out = ex.map_chunks(double, np.empty((0, 3)))
+        assert out.shape == (0, 3)
+
+    def test_block_smaller_than_chunk(self, backend):
+        block = np.arange(3, dtype=float)
+        with Executor(_cfg(backend, chunk_size=100)) as ex:
+            out = ex.map_chunks(double, block)
+            assert ex.last_metrics.n_chunks == 1
+        assert np.array_equal(out, block * 2)
+
+    def test_map_tasks_preserves_order(self, backend):
+        tasks = [(i, 10 * i) for i in range(20)]
+        with Executor(_cfg(backend)) as ex:
+            assert ex.map_tasks(add_args, tasks) == [11 * i
+                                                     for i in range(20)]
+
+
+class TestFaultTolerance:
+    def test_process_failure_retried_then_falls_back(self):
+        """A chunk that raises on the pool is retried, then recomputed
+        serially in the parent without corrupting the result."""
+        block = np.arange(10, dtype=float)
+        with Executor(_cfg("process", chunk_size=3)) as ex:
+            out = ex.map_chunks(fail_outside_pid, block, os.getpid())
+            metrics = ex.last_metrics
+        assert np.array_equal(out, block * 2)
+        assert metrics.n_fallbacks == metrics.n_chunks == 4
+        assert metrics.n_retries == 4  # max_retries=1 per chunk
+        assert all(r.where == "serial-fallback" for r in metrics.records)
+
+    def test_thread_failure_falls_back(self):
+        block = np.arange(8, dtype=float)
+        with Executor(_cfg("thread", chunk_size=4)) as ex:
+            out = ex.map_chunks(fail_outside_thread, block,
+                                threading.get_ident())
+            assert ex.last_metrics.n_fallbacks == 2
+        assert np.array_equal(out, block * 2)
+
+    def test_unpicklable_task_degrades_to_serial(self):
+        """A lambda cannot cross the process boundary; the run must
+        still complete via the in-parent fallback."""
+        block = np.arange(6, dtype=float)
+        with Executor(_cfg("process", chunk_size=2)) as ex:
+            out = ex.map_chunks(lambda c: c + 1, block)
+            assert ex.last_metrics.n_fallbacks == 3
+        assert np.array_equal(out, block + 1)
+
+    def test_fallback_disabled_raises_execution_error(self):
+        block = np.arange(6, dtype=float)
+        cfg = _cfg("process", chunk_size=2, fallback_serial=False)
+        with Executor(cfg) as ex:
+            with pytest.raises(ExecutionError) as info:
+                ex.map_chunks(fail_outside_pid, block, -1)
+        assert info.value.chunk_index == 0
+
+    def test_fallback_failure_chains_execution_error(self):
+        def boom(chunk):
+            raise RuntimeError("always broken")
+
+        # unpicklable closure fails on the pool AND in the fallback
+        with Executor(_cfg("process", chunk_size=2)) as ex:
+            with pytest.raises(ExecutionError, match="serial fallback"):
+                ex.map_chunks(boom, np.arange(4.0))
+
+    def test_serial_backend_raises_task_error_directly(self):
+        def boom(chunk):
+            raise RuntimeError("always broken")
+
+        with Executor(_cfg("serial")) as ex:
+            with pytest.raises(RuntimeError, match="always broken"):
+                ex.map_chunks(boom, np.arange(4.0))
+
+
+class TestLazyIteration:
+    def test_serial_iteration_is_lazy(self):
+        calls = []
+        tasks = [(np.zeros(4), calls) for _ in range(10)]
+        with Executor(ExecutionConfig()) as ex:
+            results = ex.iter_tasks(count_into, tasks)
+            for i, _ in enumerate(results):
+                if i == 2:
+                    results.close()
+                    break
+        assert len(calls) == 3  # tasks 3..9 never ran
+
+    def test_early_stop_prefix_is_backend_invariant(self):
+        """Consuming only k ordered results gives the same prefix
+        everywhere, no matter how many speculative chunks a pool had
+        already completed when the consumer stopped."""
+
+        def prefix(backend):
+            rngs = spawn(np.random.default_rng(1), 8)
+            tasks = [(np.zeros((50, 1)), r) for r in rngs]
+            with Executor(_cfg(backend, chunk_size=50)) as ex:
+                results = ex.iter_tasks(draw_normals, tasks,
+                                        sizes=[50] * 8)
+                out = [next(results), next(results)]
+                results.close()
+            return np.concatenate(out)
+
+        assert np.array_equal(prefix("serial"), prefix("process"))
+
+
+class TestTelemetry:
+    def test_declared_simulations_counted_and_recorded(self):
+        counter = SimulationCounter()
+        with Executor(ExecutionConfig(), counter=counter) as ex:
+            ex.map_chunks(double, np.zeros((25, 1)), chunk_size=10,
+                          simulations=25)
+        assert counter.count == 25
+        assert ex.last_metrics.n_simulations == 25
+        assert ex.last_metrics.n_items == 25
+        assert ex.last_metrics.n_chunks == 3
+
+    def test_counter_delta_during_consumption_recorded(self):
+        counter = SimulationCounter()
+
+        def evaluate(chunk):
+            counter.add(chunk.shape[0])
+            return chunk
+
+        with Executor(ExecutionConfig(), counter=counter) as ex:
+            ex.map_chunks(evaluate, np.zeros((25, 1)), chunk_size=10)
+        assert ex.last_metrics.n_simulations == 25
+
+    def test_budget_trips_before_any_work(self):
+        counter = SimulationCounter(budget=10)
+        calls = []
+        with Executor(ExecutionConfig(), counter=counter) as ex:
+            with pytest.raises(BudgetExceededError):
+                ex.map_chunks(count_into, np.zeros((25, 1)), calls,
+                              chunk_size=10, simulations=25)
+        assert calls == []  # the breaker fired before dispatch
+
+    def test_history_aggregates(self):
+        with Executor(ExecutionConfig()) as ex:
+            ex.map_chunks(double, np.zeros((10, 1)), chunk_size=5)
+            ex.map_chunks(double, np.zeros((6, 1)), chunk_size=3)
+            total = ex.aggregate()
+        assert len(ex.history) == 2
+        assert total.n_items == 16
+        assert total.n_chunks == 4
+
+    def test_chunk_records_have_timing(self):
+        with Executor(_cfg("thread", chunk_size=4)) as ex:
+            ex.map_chunks(double, np.zeros((8, 1)))
+            record = ex.last_metrics.records[0]
+        assert record.wall_time_s >= 0.0
+        assert record.where == "thread"
+        assert record.attempts == 1
+
+    def test_executor_reusable_after_close(self):
+        ex = Executor(_cfg("thread", chunk_size=4))
+        out1 = ex.map_chunks(double, np.arange(8.0))
+        ex.close()
+        out2 = ex.map_chunks(double, np.arange(8.0))
+        ex.close()
+        assert np.array_equal(out1, out2)
