@@ -26,6 +26,8 @@ Packages:
 * :mod:`repro.experiments` -- the paper's figures as runnable harnesses.
 """
 
+from __future__ import annotations
+
 from repro.config import (
     DEVICE_ORDER,
     MIRROR_PERMUTATION,

@@ -1,5 +1,7 @@
 """Statistics, convergence analysis, speedups and report tables."""
 
+from __future__ import annotations
+
 from repro.analysis.stats import (
     wilson_interval,
     binomial_ci_halfwidth,

@@ -37,7 +37,7 @@ def array_failure_probability(cell_pfail: float, n_cells: int) -> float:
     p = _check_probability(cell_pfail)
     if n_cells < 1:
         raise ValueError(f"n_cells must be >= 1, got {n_cells}")
-    if p == 1.0:
+    if p >= 1.0:
         return 1.0
     return float(-np.expm1(n_cells * np.log1p(-p)))
 

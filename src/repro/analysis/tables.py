@@ -54,7 +54,9 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
 
 def _render(cell) -> str:
     if isinstance(cell, float):
-        if cell == 0.0:
+        # exactly-0.0 cells render as "0"; near-zero must stay visible,
+        # so a tolerance would be wrong here.
+        if cell == 0.0:  # repro: allow-float-eq
             return "0"
         if abs(cell) < 1e-2 or abs(cell) >= 1e5:
             return f"{cell:.3e}"

@@ -73,7 +73,8 @@ class CellGeometry:
 
 def _role_of(name: str) -> str:
     if name not in DEVICE_ORDER:
-        raise KeyError(f"unknown device {name!r}; expected one of {DEVICE_ORDER}")
+        raise KeyError(f"unknown device {name!r}; expected one of "
+                       f"{DEVICE_ORDER}")
     return name[0]
 
 
@@ -160,7 +161,8 @@ class PaperConditions:
 
     def mean_traps(self, device: str) -> float:
         """Expected trap count lambda * W * L for ``device``."""
-        return self.trap_density_per_nm2 * self.geometry.device(device).area_nm2
+        area = self.geometry.device(device).area_nm2
+        return self.trap_density_per_nm2 * area
 
     def with_(self, **changes) -> "PaperConditions":
         """Return a copy with ``changes`` applied (dataclass replace)."""

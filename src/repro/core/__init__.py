@@ -26,6 +26,8 @@ Estimators:
   initial particles (and optionally the classifier) across bias points.
 """
 
+from __future__ import annotations
+
 from repro.core.indicator import CountingIndicator, SimulationCounter
 from repro.core.estimate import FailureEstimate, TracePoint
 from repro.core.importance import GaussianMixture

@@ -18,7 +18,11 @@ import numpy as np
 
 from repro.analysis.stats import wilson_interval
 from repro.core.estimate import FailureEstimate, TracePoint
-from repro.core.indicator import CountingIndicator, Indicator, SimulationCounter
+from repro.core.indicator import (
+    CountingIndicator,
+    Indicator,
+    SimulationCounter,
+)
 from repro.errors import EstimationError
 from repro.ml.blockade import ClassifierBlockade
 from repro.rng import as_generator, spawn
@@ -47,7 +51,7 @@ class StatisticalBlockadeEstimator:
                  rtn_model, training_sigma: float = 2.5,
                  n_training: int = 2000, classifier_degree: int = 4,
                  band_quantile: float = 0.15, batch_size: int = 5000,
-                 seed=None):
+                 seed=None) -> None:
         if training_sigma < 1.0:
             raise ValueError("training_sigma must be >= 1")
         if n_training < 10:

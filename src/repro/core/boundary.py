@@ -28,8 +28,10 @@ def sphere_directions(n: int, dim: int, rng: np.random.Generator
     raw = rng.standard_normal((n, dim))
     norms = np.linalg.norm(raw, axis=1, keepdims=True)
     # Resample the (measure-zero) degenerate rows instead of dividing by 0.
-    while np.any(norms == 0.0):  # pragma: no cover - astronomically rare
-        bad = norms[:, 0] == 0.0
+    # Exact comparison is intended: any nonzero norm divides safely, only
+    # literal 0.0 does not, so a tolerance would reject valid draws.
+    while np.any(norms == 0.0):  # pragma: no cover  # repro: allow-float-eq
+        bad = norms[:, 0] == 0.0  # repro: allow-float-eq
         raw[bad] = rng.standard_normal((int(bad.sum()), dim))
         norms = np.linalg.norm(raw, axis=1, keepdims=True)
     return raw / norms

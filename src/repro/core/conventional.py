@@ -31,7 +31,7 @@ class ConventionalSisEstimator(EcripseEstimator):
 
     def __init__(self, space, indicator, rtn_model,
                  config: EcripseConfig | None = None, seed=None,
-                 initial_boundary=None):
+                 initial_boundary=None) -> None:
         config = replace(config if config is not None else EcripseConfig(),
                          use_classifier=False)
         super().__init__(space, indicator, rtn_model, config=config,

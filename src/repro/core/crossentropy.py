@@ -60,7 +60,7 @@ class CrossEntropyEstimator:
     def __init__(self, space: VariabilitySpace, indicator,
                  elite_fraction: float = 0.1, n_per_iteration: int = 2000,
                  max_iterations: int = 20, sigma_floor: float = 0.2,
-                 batch_size: int = 2000, seed=None):
+                 batch_size: int = 2000, seed=None) -> None:
         if not 0.0 < elite_fraction < 1.0:
             raise ValueError("elite_fraction must lie in (0, 1)")
         if n_per_iteration < 10:

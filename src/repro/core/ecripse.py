@@ -39,7 +39,11 @@ from repro.core.importance import (
     GaussianMixture,
     importance_ratios,
 )
-from repro.core.indicator import CountingIndicator, Indicator, SimulationCounter
+from repro.core.indicator import (
+    CountingIndicator,
+    Indicator,
+    SimulationCounter,
+)
 from repro.errors import EstimationError
 from repro.ml.blockade import ClassifierBlockade
 from repro.rng import as_generator, spawn
@@ -139,7 +143,7 @@ class EcripseConfig:
     retrain_trigger: int = 500
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_iterations < 1:
             raise ValueError("n_iterations must be >= 1")
         if self.m_rtn < 1 or self.m_rtn_stage2 < 1:
@@ -187,7 +191,7 @@ class EcripseEstimator:
     def __init__(self, space: VariabilitySpace, indicator: Indicator,
                  rtn_model, config: EcripseConfig | None = None, seed=None,
                  initial_boundary: BoundarySearchResult | None = None,
-                 classifier: ClassifierBlockade | None = None):
+                 classifier: ClassifierBlockade | None = None) -> None:
         self.space = space
         self.rtn_model = rtn_model
         self.config = config if config is not None else EcripseConfig()

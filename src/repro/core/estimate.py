@@ -87,7 +87,8 @@ class FailureEstimate:
             return float("inf")
         return self.ci_halfwidth / self.pfail
 
-    def simulations_to_accuracy(self, target_relative_error: float) -> int | None:
+    def simulations_to_accuracy(self, target_relative_error: float
+                                ) -> int | None:
         """First simulation count at which the trace reached the target
         relative error, or ``None`` if it never did."""
         if target_relative_error <= 0:
@@ -109,7 +110,7 @@ class FailureEstimate:
 class RunningMean:
     """Streaming mean/variance accumulator (Welford) for batched updates."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.count = 0
         self._mean = 0.0
         self._m2 = 0.0

@@ -55,7 +55,7 @@ class ParticleFilter:
     """One particle filter over the whitened variability space."""
 
     def __init__(self, positions: np.ndarray, kernel_sigma: float,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator) -> None:
         positions = np.atleast_2d(np.asarray(positions, dtype=float))
         if positions.size == 0:
             raise ValueError("a filter needs at least one initial particle")
@@ -124,7 +124,7 @@ class ParticleFilterBank:
 
     def __init__(self, boundary_points: np.ndarray, n_filters: int,
                  n_particles: int, kernel_sigma: float,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator) -> None:
         boundary_points = np.atleast_2d(
             np.asarray(boundary_points, dtype=float))
         if n_filters < 1:

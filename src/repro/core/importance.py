@@ -27,7 +27,7 @@ class GaussianMixture:
         Kernel standard deviation: a scalar or a (D,) diagonal.
     """
 
-    def __init__(self, means, sigma):
+    def __init__(self, means, sigma) -> None:
         means = np.atleast_2d(np.asarray(means, dtype=float))
         if means.ndim != 2 or means.size == 0:
             raise ValueError("means must be a non-empty (K, D) array")
@@ -84,7 +84,7 @@ class DefensiveMixture:
     """
 
     def __init__(self, space: VariabilitySpace, mixture: GaussianMixture,
-                 defensive_fraction: float = 0.1):
+                 defensive_fraction: float = 0.1) -> None:
         if not 0.0 < defensive_fraction < 1.0:
             raise ValueError(
                 f"defensive fraction must lie in (0, 1), got "

@@ -36,7 +36,7 @@ class SimulationCounter:
     boundaries).
     """
 
-    def __init__(self, budget: int | None = None):
+    def __init__(self, budget: int | None = None) -> None:
         if budget is not None and budget < 1:
             raise ValueError(f"budget must be >= 1, got {budget}")
         self.count = 0
@@ -73,7 +73,7 @@ class CountingIndicator:
     """
 
     def __init__(self, indicator: Indicator,
-                 counter: SimulationCounter | None = None):
+                 counter: SimulationCounter | None = None) -> None:
         self.indicator = indicator
         self.counter = counter if counter is not None else SimulationCounter()
         self.dim = indicator.dim
@@ -102,7 +102,7 @@ class FunctionIndicator:
     Handy for synthetic test problems with known failure probability.
     """
 
-    def __init__(self, func, dim: int):
+    def __init__(self, func, dim: int) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
         self._func = func

@@ -26,7 +26,11 @@ import numpy as np
 from repro.core.boundary import BoundarySearchResult, find_failure_boundary
 from repro.core.estimate import FailureEstimate, RunningMean, TracePoint
 from repro.core.importance import GaussianMixture, importance_ratios
-from repro.core.indicator import CountingIndicator, Indicator, SimulationCounter
+from repro.core.indicator import (
+    CountingIndicator,
+    Indicator,
+    SimulationCounter,
+)
 from repro.core.particles import kmeans_directions
 from repro.errors import EstimationError
 from repro.rng import as_generator, spawn
@@ -53,7 +57,7 @@ class MeanShiftEstimator:
                  shift_sigma: float = 1.0, n_boundary_directions: int = 64,
                  boundary_r_max: float = 8.0, batch_size: int = 2000,
                  m_rtn: int = 4, seed=None,
-                 initial_boundary: BoundarySearchResult | None = None):
+                 initial_boundary: BoundarySearchResult | None = None) -> None:
         if n_shift_points < 1:
             raise ValueError("n_shift_points must be >= 1")
         if shift_sigma <= 0:

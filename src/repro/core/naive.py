@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.analysis.stats import wilson_interval
 from repro.core.estimate import FailureEstimate, TracePoint
-from repro.core.indicator import CountingIndicator, Indicator, SimulationCounter
+from repro.core.indicator import (
+    CountingIndicator,
+    Indicator,
+    SimulationCounter,
+)
 from repro.rng import as_generator, spawn
 from repro.runtime import ExecutionConfig, Executor
 from repro.runtime.chunking import chunk_sizes
@@ -70,7 +74,7 @@ class NaiveMonteCarlo:
 
     def __init__(self, space: VariabilitySpace, indicator: Indicator,
                  rtn_model, batch_size: int = 5000, seed=None,
-                 execution: ExecutionConfig | None = None):
+                 execution: ExecutionConfig | None = None) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.space = space

@@ -82,7 +82,7 @@ class BiasSweep:
     def __init__(self, space: VariabilitySpace, indicator, conditions,
                  config: EcripseConfig | None = None,
                  share_classifier: bool = True,
-                 convention: str = "physical", seed=None):
+                 convention: str = "physical", seed=None) -> None:
         self.space = space
         self.indicator = indicator
         self.conditions = conditions

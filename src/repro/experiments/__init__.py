@@ -11,6 +11,8 @@ series the paper plots:
 * :mod:`repro.experiments.runner` -- the ``ecripse`` CLI entry point.
 """
 
+from __future__ import annotations
+
 from repro.experiments.setup import ExperimentSetup, paper_setup
 
 __all__ = ["ExperimentSetup", "paper_setup"]

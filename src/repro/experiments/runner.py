@@ -15,6 +15,7 @@ a smoke test; the printed numbers then carry wider error bars).
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.experiments import ablations, fig6, fig7, fig8
@@ -75,6 +76,14 @@ def _build_parser() -> argparse.ArgumentParser:
     vmin.add_argument("--resolution", type=float, default=0.02)
     _add_common_args(vmin)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/process-safety linter (REP rules; "
+             "see docs/DEVELOPMENT.md)")
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to python -m repro.lint "
+                           "(default: src tests)")
+
     est = sub.add_parser("estimate",
                          help="one failure-probability estimation")
     est.add_argument("--vdd", type=float, default=None,
@@ -87,7 +96,16 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # forwarded verbatim so lint flags need no "--" escaping
+        from repro.lint.cli import main as lint_main
+
+        extra = argv[1:]
+        if extra[:1] == ["--"]:
+            extra = extra[1:]
+        return lint_main(extra)
     args = _build_parser().parse_args(argv)
     execution = ExecutionConfig(backend=args.backend, workers=args.workers)
     config = (QUICK if args.quick else EcripseConfig()).with_(

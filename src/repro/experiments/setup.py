@@ -18,7 +18,11 @@ from dataclasses import dataclass
 from repro.config import TABLE_I, PaperConditions
 from repro.rtn.model import RtnModel, ZeroRtnModel
 from repro.sram.cell import SramCell
-from repro.sram.evaluator import CellEvaluator, CellReadFailure, Lobe0ReadFailure
+from repro.sram.evaluator import (
+    CellEvaluator,
+    CellReadFailure,
+    Lobe0ReadFailure,
+)
 from repro.variability.space import VariabilitySpace
 
 

@@ -1,0 +1,32 @@
+"""repro.lint -- AST-based determinism & process-safety linter.
+
+The runtime's bit-reproducibility guarantees (PR 1) are conventions:
+all randomness flows through spawned :class:`numpy.random.Generator`
+children, and every task callable handed to the
+:class:`~repro.runtime.executor.Executor` must survive pickling.  This
+package turns those conventions into machine-checked rules (REP001 to
+REP006), with per-line pragma suppression (``# repro: allow-<slug>``),
+a baseline file for grandfathered findings, and text/JSON reporters.
+
+Run it as ``python -m repro.lint src tests`` or ``ecripse lint``;
+rules and rationale are documented in docs/DEVELOPMENT.md.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintEngine, discover
+from repro.lint.findings import Finding, LintResult
+from repro.lint.rules import RULES, Rule, default_rules, register
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "default_rules",
+    "discover",
+    "register",
+]

@@ -1,0 +1,81 @@
+"""Baseline files: grandfather existing findings, block new ones.
+
+A baseline is a JSON file holding the fingerprints of known findings.
+Findings whose fingerprint is in the baseline are filtered out of the
+report (and counted as "baselined"), so the linter can be adopted on a
+tree with historic debt while still failing CI on anything *new*.
+
+Fingerprints hash the rule, file path and offending line *text* (plus
+an occurrence index for identical lines), not the line number -- an
+unrelated edit above a grandfathered finding does not resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+def assign_fingerprints(findings: list[Finding]) -> list[str]:
+    """Fingerprint per finding (aligned with the input order).
+
+    Identical lines are numbered in (path, line) order so two equal
+    violations on different lines stay distinct.
+    """
+    order = sorted(range(len(findings)),
+                   key=lambda i: (findings[i].path, findings[i].line,
+                                  findings[i].col))
+    seen: dict[tuple[str, str, str], int] = {}
+    prints = [""] * len(findings)
+    for i in order:
+        finding = findings[i]
+        key = (finding.rule, finding.path, finding.source_line)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        prints[i] = finding.fingerprint(occurrence)
+    return prints
+
+
+class Baseline:
+    """Set of grandfathered finding fingerprints."""
+
+    def __init__(self, fingerprints: set[str] | None = None):
+        self.fingerprints = set(fingerprints or ())
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.fingerprints
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(set(assign_fingerprints(findings)))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}")
+        return cls(set(data.get("fingerprints", [])))
+
+    def save(self, path: str | Path) -> None:
+        payload = {"version": _VERSION,
+                   "fingerprints": sorted(self.fingerprints)}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def split(self, findings: list[Finding]
+              ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, grandfathered) findings."""
+        prints = assign_fingerprints(findings)
+        new, old = [], []
+        for finding, fingerprint in zip(findings, prints):
+            (old if fingerprint in self.fingerprints else new).append(
+                finding)
+        return new, old

@@ -1,0 +1,122 @@
+"""Command-line front end: ``python -m repro.lint`` / ``ecripse lint``.
+
+Exit codes
+----------
+0   no findings
+1   findings (new relative to the baseline, if one is used)
+2   usage error, unreadable input, or syntax error in a checked file
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintEngine
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import default_rules
+
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based determinism & process-safety linter for "
+                    "the ECRIPSE reproduction (rules REP001-REP006; "
+                    "see docs/DEVELOPMENT.md).")
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to lint "
+                             "(default: src tests)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids/slugs to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", default=None, metavar="RULES",
+                        help="comma-separated rule ids/slugs to skip")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE} if present)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write current findings to the baseline "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def _split(arg: str | None) -> list[str] | None:
+    if arg is None:
+        return None
+    return [part.strip() for part in arg.split(",") if part.strip()]
+
+
+def _rule_table() -> str:
+    lines = []
+    for rule in default_rules():
+        lines.append(f"{rule.id}  allow-{rule.slug:<18} {rule.title}")
+        lines.append(f"        {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `... | head`) closed early; silence the
+        # interpreter's close-time complaint and exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_rule_table())
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+        baseline_path = DEFAULT_BASELINE
+
+    baseline = None
+    if baseline_path is not None and not args.update_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    engine = LintEngine(select=_split(args.select),
+                        ignore=_split(args.ignore) or (),
+                        baseline=baseline)
+    if not engine.rules:
+        print("error: rule selection matches no rules", file=sys.stderr)
+        return 2
+    result = engine.check_paths(args.paths)
+    if result.checked_files == 0 and not result.parse_errors:
+        print("error: no Python files found under "
+              + " ".join(map(str, args.paths)), file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(result.findings).save(target)
+        print(f"baseline written: {len(result.findings)} finding(s) "
+              f"-> {target}")
+        return 0
+
+    print(render_json(result) if args.format == "json"
+          else render_text(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""The lint engine: file discovery, rule dispatch, suppression.
+
+The engine owns everything the rules should not care about -- walking
+directories, parsing, pragma suppression, rule selection and baseline
+filtering -- so a rule is nothing but "AST in, findings out".
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, LintResult
+from repro.lint.pragmas import collect_pragmas, is_suppressed
+from repro.lint.rules import FileContext, Rule, default_rules
+
+#: directories never descended into during discovery.
+_SKIP_DIRS = frozenset({".git", "__pycache__", ".venv", "venv",
+                        "build", "dist", ".mypy_cache", ".ruff_cache"})
+
+
+def discover(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                f for f in path.rglob("*.py")
+                if not _SKIP_DIRS.intersection(f.parts))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+class LintEngine:
+    """Run a rule set over sources and files.
+
+    Parameters
+    ----------
+    rules:
+        Rule instances; defaults to the registered REP rule set.
+    select / ignore:
+        Optional iterables of rule ids (or slugs) restricting the run.
+    baseline:
+        Optional :class:`~repro.lint.baseline.Baseline` of grandfathered
+        findings to filter out.
+    """
+
+    def __init__(self, rules: Sequence[Rule] | None = None,
+                 select: Iterable[str] | None = None,
+                 ignore: Iterable[str] = (),
+                 baseline: Baseline | None = None):
+        rules = list(default_rules() if rules is None else rules)
+        chosen = ({s.lower() for s in select}
+                  if select is not None else None)
+        dropped = {s.lower() for s in ignore}
+        self.rules = [
+            rule for rule in rules
+            if (chosen is None or rule.id.lower() in chosen
+                or rule.slug.lower() in chosen)
+            and rule.id.lower() not in dropped
+            and rule.slug.lower() not in dropped]
+        self.baseline = baseline
+
+    def check_source(self, source: str, path: str = "<string>",
+                     result: LintResult | None = None) -> list[Finding]:
+        """Lint one source string; pragma-aware, baseline-unaware.
+
+        Raises :class:`SyntaxError` when the source does not parse,
+        unless ``result`` is given (the error is then recorded there).
+        """
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            if result is None:
+                raise
+            result.parse_errors.append((path, str(exc)))
+            return []
+        ctx = FileContext(path, source, tree)
+        pragmas = collect_pragmas(source)
+        findings: list[Finding] = []
+        suppressed = 0
+        for rule in self.rules:
+            if not rule.applies_to(ctx.path):
+                continue
+            for finding in rule.check(tree, ctx):
+                if is_suppressed(pragmas, finding.line, rule.id,
+                                 rule.slug):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        if result is not None:
+            result.suppressed += suppressed
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def check_paths(self, paths: Sequence[str | Path]) -> LintResult:
+        """Lint files/directories and apply the baseline filter."""
+        result = LintResult()
+        findings: list[Finding] = []
+        for file in discover(paths):
+            try:
+                source = file.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                result.parse_errors.append((file.as_posix(), str(exc)))
+                continue
+            result.checked_files += 1
+            findings.extend(self.check_source(source, file.as_posix(),
+                                              result=result))
+        if self.baseline is not None:
+            findings, grandfathered = self.baseline.split(findings)
+            result.baselined = len(grandfathered)
+        result.findings = findings
+        return result

@@ -1,0 +1,74 @@
+"""Finding and result containers for the determinism linter."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier, e.g. ``"REP001"``.
+    slug:
+        Human-facing rule slug used in pragmas, e.g. ``"global-rng"``.
+    path:
+        File the finding was raised in (as given to the engine,
+        normalised to POSIX separators).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        What is wrong and how to fix it.
+    source_line:
+        The stripped text of the offending line (used for fingerprints
+        and the text reporter).
+    """
+
+    rule: str
+    slug: str
+    path: str
+    line: int
+    col: int
+    message: str
+    source_line: str = ""
+
+    def fingerprint(self, occurrence: int = 0) -> str:
+        """Stable identity for baselining.
+
+        Hashes the rule, path and *line text* (not the line number), so
+        findings keep their identity when unrelated edits shift the file.
+        ``occurrence`` disambiguates identical lines within one file.
+        """
+        key = f"{self.rule}:{self.path}:{self.source_line}:{occurrence}"
+        return hashlib.sha256(key.encode()).hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run over a set of paths."""
+
+    findings: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 findings, 2 unparseable input."""
+        if self.parse_errors:
+            return 2
+        return 1 if self.findings else 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))

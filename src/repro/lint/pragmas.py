@@ -1,0 +1,53 @@
+"""Per-line pragma suppression: ``# repro: allow-<slug>``.
+
+A finding is suppressed when its line carries a pragma comment naming
+the rule's slug (``# repro: allow-float-eq``) or its id
+(``# repro: allow-REP004``).  Several rules can be allowed on one line,
+comma-separated: ``# repro: allow-float-eq, allow-global-rng``.
+
+Pragmas are extracted with :mod:`tokenize`, so strings that merely look
+like comments never suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_PRAGMA = re.compile(r"#\s*repro:\s*(?P<body>.+)$")
+_ALLOW = re.compile(r"allow-(?P<what>[A-Za-z0-9_-]+)")
+
+
+def collect_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> lower-cased slugs/ids allowed on that line.
+
+    Malformed Python still yields the pragmas of every tokenizable
+    prefix; tokenize errors are swallowed because the parser reports
+    the syntax error separately.
+    """
+    allowed: dict[int, set[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(token.string)
+            if match is None:
+                continue
+            names = {m.group("what").lower()
+                     for m in _ALLOW.finditer(match.group("body"))}
+            if names:
+                allowed.setdefault(token.start[0], set()).update(names)
+    except tokenize.TokenError:
+        pass
+    return {line: frozenset(names) for line, names in allowed.items()}
+
+
+def is_suppressed(pragmas: dict[int, frozenset[str]], line: int,
+                  rule_id: str, slug: str) -> bool:
+    """True when ``line`` allows ``rule_id`` (by id or slug)."""
+    names = pragmas.get(line)
+    if not names:
+        return False
+    return rule_id.lower() in names or slug.lower() in names

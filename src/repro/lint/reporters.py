@@ -1,0 +1,70 @@
+"""Text and JSON rendering of lint results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.baseline import assign_fingerprints
+from repro.lint.findings import LintResult
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Compiler-style ``path:line:col: RULE [slug] message`` lines."""
+    lines = []
+    for finding in result.findings:
+        lines.append(f"{finding.location()}: {finding.rule} "
+                     f"[{finding.slug}] {finding.message}")
+        if finding.source_line:
+            lines.append(f"    {finding.source_line}")
+    for path, error in result.parse_errors:
+        lines.append(f"{path}: parse error: {error}")
+    lines.append(_summary(result))
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable shape, versioned)."""
+    fingerprints = assign_fingerprints(result.findings)
+    payload = {
+        "version": REPORT_VERSION,
+        "findings": [
+            {
+                "rule": f.rule,
+                "slug": f.slug,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "source_line": f.source_line,
+                "fingerprint": fp,
+            }
+            for f, fp in zip(result.findings, fingerprints)
+        ],
+        "summary": {
+            "checked_files": result.checked_files,
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "by_rule": result.counts_by_rule(),
+            "parse_errors": [
+                {"path": path, "error": error}
+                for path, error in result.parse_errors
+            ],
+        },
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _summary(result: LintResult) -> str:
+    bits = [f"{len(result.findings)} finding(s) in "
+            f"{result.checked_files} file(s)"]
+    if result.suppressed:
+        bits.append(f"{result.suppressed} suppressed by pragma")
+    if result.baselined:
+        bits.append(f"{result.baselined} baselined")
+    if result.parse_errors:
+        bits.append(f"{len(result.parse_errors)} parse error(s)")
+    return ", ".join(bits)

@@ -13,6 +13,8 @@ dependency of this package; the pieces are implemented here:
   cheaply, simulate only inside an uncertainty band near the hyperplane.
 """
 
+from __future__ import annotations
+
 from repro.ml.features import PolynomialFeatures
 from repro.ml.scaler import StandardScaler
 from repro.ml.svm import LinearSvm

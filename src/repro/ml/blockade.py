@@ -25,6 +25,7 @@ from repro.errors import ClassifierError
 from repro.ml.features import PolynomialFeatures
 from repro.ml.scaler import StandardScaler
 from repro.ml.svm import LinearSvm
+from repro.rng import as_generator
 
 
 @dataclass
@@ -81,8 +82,7 @@ class ClassifierBlockade:
         self.band_quantile = band_quantile
         self.retrain_trigger = retrain_trigger
         self.max_training_samples = max_training_samples
-        self._subsample_rng = np.random.default_rng(
-            seed if isinstance(seed, int) else None)
+        self._subsample_rng = as_generator(seed)
         self.band_halfwidth = 0.0
         self._x_train: np.ndarray | None = None
         self._y_train: np.ndarray | None = None

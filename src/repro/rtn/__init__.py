@@ -8,8 +8,14 @@ averaged time constants and stationary trap occupancy;
 waveforms used to validate the stationary statistics.
 """
 
+from __future__ import annotations
+
 from repro.rtn.duty import device_on_fractions
-from repro.rtn.traps import stationary_occupancy, per_trap_shift_v, TrapEnsemble
+from repro.rtn.traps import (
+    TrapEnsemble,
+    per_trap_shift_v,
+    stationary_occupancy,
+)
 from repro.rtn.model import RtnModel, ZeroRtnModel
 from repro.rtn.telegraph import TelegraphProcess, simulate_switched_telegraph
 from repro.rtn.transient import RtnTransientDriver

@@ -98,7 +98,8 @@ class RtnModel:
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"RtnModel(alpha={self.alpha}, convention={self.convention!r}, "
+        return (f"RtnModel(alpha={self.alpha}, "
+                f"convention={self.convention!r}, "
                 f"rates={np.round(self.ensemble.poisson_rates, 3)})")
 
 

@@ -12,6 +12,8 @@ sharding / async / multi-host work plugs in behind the same
 :class:`ExecutionConfig`.
 """
 
+from __future__ import annotations
+
 from repro.runtime.backends import ProcessBackend, ThreadBackend, make_backend
 from repro.runtime.chunking import chunk_sizes, plan_chunks
 from repro.runtime.config import BACKENDS, ExecutionConfig

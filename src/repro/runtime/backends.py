@@ -15,10 +15,12 @@ solver across cores; see docs/TUNING.md for the trade-off.
 from __future__ import annotations
 
 from concurrent.futures import (
+    Executor as FuturesExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from typing import Callable
 
 from repro.runtime.config import ExecutionConfig
 
@@ -28,16 +30,16 @@ class PoolBackend:
 
     name = "pool"
 
-    def __init__(self, workers: int):
+    def __init__(self, workers: int) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
-        self._pool = None
+        self._pool: FuturesExecutor | None = None
 
-    def _make_pool(self):  # pragma: no cover - overridden
+    def _make_pool(self) -> FuturesExecutor:  # pragma: no cover
         raise NotImplementedError
 
-    def submit(self, fn, /, *args) -> Future:
+    def submit(self, fn: Callable, /, *args) -> Future:
         """Schedule ``fn(*args)`` on the pool (created on first use)."""
         if self._pool is None:
             self._pool = self._make_pool()
@@ -58,7 +60,7 @@ class ThreadBackend(PoolBackend):
 
     name = "thread"
 
-    def _make_pool(self):
+    def _make_pool(self) -> ThreadPoolExecutor:
         return ThreadPoolExecutor(max_workers=self.workers,
                                   thread_name_prefix="repro-runtime")
 
@@ -69,7 +71,7 @@ class ProcessBackend(PoolBackend):
 
     name = "process"
 
-    def _make_pool(self):
+    def _make_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=self.workers)
 
 

@@ -6,8 +6,9 @@ An :class:`ExecutionConfig` fully determines *how* a workload is executed
 statistical definition of a run: every chunk receives its own child
 generator (see :meth:`repro.runtime.executor.Executor.map_chunks`), so two
 runs with the same seed and the same chunking are bit-identical on every
-backend, while changing ``chunk_size`` reshuffles the streams exactly like
-changing ``batch_size`` always has for :class:`~repro.core.naive.NaiveMonteCarlo`.
+backend, while changing ``chunk_size`` reshuffles the streams exactly
+like changing ``batch_size`` always has for
+:class:`~repro.core.naive.NaiveMonteCarlo`.
 
 For that reason the *default* chunk size of an RNG-dependent workload
 depends only on the problem size, never on the backend or worker count --
@@ -67,7 +68,7 @@ class ExecutionConfig:
     retry_backoff_s: float = 0.05
     fallback_serial: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of "

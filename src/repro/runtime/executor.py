@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import BrokenExecutor, Future
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 import numpy as np
 
@@ -37,8 +38,11 @@ from repro.runtime.chunking import plan_chunks
 from repro.runtime.config import ExecutionConfig
 from repro.runtime.metrics import ChunkRecord, RunMetrics
 
+if TYPE_CHECKING:  # avoid a runtime repro.core <-> repro.runtime cycle
+    from repro.core.indicator import SimulationCounter
 
-def _timed(fn, /, *args):
+
+def _timed(fn: Callable, /, *args) -> tuple[Any, float]:
     """Run ``fn(*args)`` and return ``(result, wall_time_s)``.
 
     Module-level so it pickles for the process backend.
@@ -61,7 +65,7 @@ class Executor:
     """
 
     def __init__(self, config: ExecutionConfig | None = None,
-                 counter=None):
+                 counter: "SimulationCounter | None" = None) -> None:
         self.config = config if config is not None else ExecutionConfig()
         self.counter = counter
         self.history: list[RunMetrics] = []
@@ -127,7 +131,7 @@ class Executor:
 
     def iter_tasks(self, fn, tasks: list[tuple], sizes=None,
                    simulations: int | None = None,
-                   label: str = "iter_tasks"):
+                   label: str = "iter_tasks") -> Iterator[Any]:
         """Yield results of ``fn(*args)`` in task order, lazily.
 
         Stopping the iteration early abandons the remaining tasks (on the
@@ -177,7 +181,8 @@ class Executor:
             self.counter.add(simulations)
         return int(simulations)
 
-    def _run_ordered(self, fn, tasks, sizes, label, pre_simulations=0):
+    def _run_ordered(self, fn, tasks, sizes, label,
+                     pre_simulations: int = 0) -> Iterator[Any]:
         start = time.perf_counter()
         count0 = self.counter.count if self.counter is not None else 0
         records: list[ChunkRecord] = []
@@ -215,7 +220,7 @@ class Executor:
             failed.set_exception(exc)
             return failed
 
-    def _collect(self, fn, index, args, size, future, records):
+    def _collect(self, fn, index, args, size, future, records) -> Any:
         """Resolve one chunk: retries on the backend, then serial fallback."""
         cfg = self.config
         attempts = 1
@@ -236,7 +241,8 @@ class Executor:
                 attempts += 1
                 future = self._submit_safe(fn, args)
 
-    def _fallback(self, fn, index, args, size, attempts, records, cause):
+    def _fallback(self, fn, index, args, size, attempts, records,
+                  cause) -> Any:
         if not self.config.fallback_serial:
             raise ExecutionError(
                 f"chunk {index} failed after {attempts} attempt(s) on the "
@@ -254,15 +260,15 @@ class Executor:
             where="serial-fallback", fell_back=True))
         return result
 
-    def _run_serial(self, fn, index, args, size, records):
+    def _run_serial(self, fn, index, args, size, records) -> Any:
         result, wall = _timed(fn, *args)
         records.append(ChunkRecord(
             index=index, size=size, attempts=1, wall_time_s=wall,
             where="serial"))
         return result
 
-    def _record(self, label, records, n_items, wall_time_s=0.0,
-                n_simulations=0):
+    def _record(self, label, records, n_items, wall_time_s: float = 0.0,
+                n_simulations: int = 0) -> None:
         self.history.append(RunMetrics(
             label=label, backend=self.config.backend,
             workers=self.config.effective_workers,

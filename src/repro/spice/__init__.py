@@ -14,6 +14,8 @@ the generic engine validates that fast path and supports arbitrary circuits
 in examples and tests.
 """
 
+from __future__ import annotations
+
 from repro.spice.model import MosfetParams, MosfetModel, NMOS_PTM16, PMOS_PTM16
 from repro.spice.netlist import Circuit
 from repro.spice.transient import TransientSolver, TransientResult, pulse

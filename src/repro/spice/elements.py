@@ -111,7 +111,8 @@ class VoltageSource(Element):
 
     n_aux = 1
 
-    def __init__(self, name: str, node_plus: str, node_minus: str, voltage: float):
+    def __init__(self, name: str, node_plus: str, node_minus: str,
+                 voltage: float):
         super().__init__(name, (node_plus, node_minus))
         self.voltage = float(voltage)
 

@@ -102,9 +102,11 @@ class MosfetParams:
         if self.polarity not in (+1, -1):
             raise ValueError(f"polarity must be +1 or -1, got {self.polarity}")
         if self.vth0 <= 0:
-            raise ValueError(f"vth0 is a magnitude and must be > 0, got {self.vth0}")
+            raise ValueError(
+                f"vth0 is a magnitude and must be > 0, got {self.vth0}")
         if self.n < 1.0:
-            raise ValueError(f"subthreshold factor n must be >= 1, got {self.n}")
+            raise ValueError(
+                f"subthreshold factor n must be >= 1, got {self.n}")
         if self.beta <= 0:
             raise ValueError(f"beta must be positive, got {self.beta}")
         if min(self.theta, self.dibl, self.lambda_clm) < 0:
@@ -149,7 +151,8 @@ class MosfetModel:
 
     def __init__(self, params: MosfetParams, w_nm: float, l_nm: float):
         if w_nm <= 0 or l_nm <= 0:
-            raise ValueError(f"geometry must be positive, got W={w_nm}, L={l_nm}")
+            raise ValueError(
+                f"geometry must be positive, got W={w_nm}, L={l_nm}")
         self.params = params
         self.w_nm = float(w_nm)
         self.l_nm = float(l_nm)

@@ -46,7 +46,8 @@ class Circuit:
         try:
             return self._elements[name]
         except KeyError:
-            raise NetlistError(f"no element named {name!r} in {self.name!r}") from None
+            raise NetlistError(
+                f"no element named {name!r} in {self.name!r}") from None
 
     def __contains__(self, name: str) -> bool:
         return name in self._elements
@@ -73,7 +74,8 @@ class Circuit:
 
     # ------------------------------------------------------------------
     def voltage_sources(self) -> list[VoltageSource]:
-        return [e for e in self._elements.values() if isinstance(e, VoltageSource)]
+        return [e for e in self._elements.values()
+                if isinstance(e, VoltageSource)]
 
     def mosfets(self) -> list[Mosfet]:
         return [e for e in self._elements.values() if isinstance(e, Mosfet)]
@@ -105,7 +107,8 @@ class Circuit:
         if not touches_ground:
             raise NetlistError(
                 f"circuit {self.name!r} has no ground reference; "
-                f"connect at least one element to one of {sorted(GROUND_NAMES)}")
+                "connect at least one element to one of "
+                f"{sorted(GROUND_NAMES)}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Circuit({self.name!r}, {len(self._elements)} elements, "

@@ -9,11 +9,17 @@ maximum-embedded-square noise margin from the curves;
 consumed by the Monte-Carlo estimators in :mod:`repro.core`.
 """
 
+from __future__ import annotations
+
 from repro.sram.cell import SramCell
 from repro.sram.butterfly import ButterflyCurves, ReadButterflySolver
 from repro.sram.margins import lobe_margins, static_noise_margin
 from repro.sram.static import StaticCellAnalysis
-from repro.sram.dynamic import DynamicReadSimulator, DynamicReadOutcome, device_shift_vector
+from repro.sram.dynamic import (
+    DynamicReadOutcome,
+    DynamicReadSimulator,
+    device_shift_vector,
+)
 from repro.sram.evaluator import (
     CellEvaluator,
     CellReadFailure,

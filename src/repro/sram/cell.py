@@ -74,7 +74,8 @@ class SramCell:
         return DEVICE_ORDER
 
     # ------------------------------------------------------------------
-    def read_circuit(self, delta_vth=None, vdd: float | None = None) -> Circuit:
+    def read_circuit(self, delta_vth=None,
+                     vdd: float | None = None) -> Circuit:
         """Full cross-coupled cell under read bias (WL high, bitlines high).
 
         ``delta_vth`` is a per-device shift vector [V] following
@@ -89,10 +90,13 @@ class SramCell:
         ckt.add(VoltageSource("vwl", "wl", "0", vdd))
         ckt.add(VoltageSource("vbl", "bl", "0", vdd))
         ckt.add(VoltageSource("vblb", "blb", "0", vdd))
-        ckt.add(Mosfet("L1", "q", "qb", "vdd", self._models["L1"], shifts["L1"]))
+        ckt.add(Mosfet("L1", "q", "qb", "vdd", self._models["L1"],
+                       shifts["L1"]))
         ckt.add(Mosfet("D1", "q", "qb", "0", self._models["D1"], shifts["D1"]))
-        ckt.add(Mosfet("A1", "bl", "wl", "q", self._models["A1"], shifts["A1"]))
-        ckt.add(Mosfet("L2", "qb", "q", "vdd", self._models["L2"], shifts["L2"]))
+        ckt.add(Mosfet("A1", "bl", "wl", "q", self._models["A1"],
+                       shifts["A1"]))
+        ckt.add(Mosfet("L2", "qb", "q", "vdd", self._models["L2"],
+                       shifts["L2"]))
         ckt.add(Mosfet("D2", "qb", "q", "0", self._models["D2"], shifts["D2"]))
         ckt.add(Mosfet("A2", "blb", "wl", "qb", self._models["A2"],
                        shifts["A2"]))

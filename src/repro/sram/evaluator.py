@@ -46,7 +46,8 @@ class CellEvaluator:
                  vdd: float | None = None, grid_points: int = 61,
                  margin_levels: int = 64, max_batch: int = 4096):
         if space.dim != 6:
-            raise ValueError(f"cell evaluator needs a 6-D space, got {space.dim}")
+            raise ValueError(
+                f"cell evaluator needs a 6-D space, got {space.dim}")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.cell = cell
@@ -100,7 +101,8 @@ class SpiceCellEvaluator:
     def __init__(self, cell: SramCell, space: VariabilitySpace,
                  vdd: float | None = None, grid_points: int = 61):
         if space.dim != 6:
-            raise ValueError(f"cell evaluator needs a 6-D space, got {space.dim}")
+            raise ValueError(
+                f"cell evaluator needs a 6-D space, got {space.dim}")
         self.cell = cell
         self.space = space
         self.vdd = float(cell.vdd if vdd is None else vdd)

@@ -8,7 +8,8 @@ the plane by 45 degrees turns those lines into verticals, so the margin is
 
 .. math::
 
-    \\mathrm{RNM} = \\max_v \\; \\frac{u_\\mathrm{outer}(v) - u_\\mathrm{inner}(v)}{\\sqrt 2}
+    \\mathrm{RNM} = \\max_v \\;
+        \\frac{u_\\mathrm{outer}(v) - u_\\mathrm{inner}(v)}{\\sqrt 2}
 
 where ``(u, v) = ((x+y)/sqrt2, (y-x)/sqrt2)`` and each curve is a function
 ``u(v)`` (both VTCs are monotone, so ``v`` is a valid parameter).  The
@@ -87,7 +88,8 @@ def lobe_margins(curves: ButterflyCurves, levels: int = 96
     Parameters
     ----------
     curves:
-        Butterfly curves from :class:`~repro.sram.butterfly.ReadButterflySolver`.
+        Butterfly curves from
+        :class:`~repro.sram.butterfly.ReadButterflySolver`.
     levels:
         Number of 45-degree cut levels scanned per lobe.
 

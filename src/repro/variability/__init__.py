@@ -7,6 +7,8 @@ six per-device shifts are i.i.d. standard normal
 correlated extensions lives in :mod:`repro.variability.whitening`.
 """
 
+from __future__ import annotations
+
 from repro.variability.pelgrom import pelgrom_sigma_v, pelgrom_sigmas
 from repro.variability.space import VariabilitySpace
 from repro.variability.whitening import WhiteningTransform

@@ -1,6 +1,5 @@
 """Tests for array-level yield arithmetic."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for convergence-trace analysis."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.convergence import (

@@ -7,7 +7,6 @@ ratio; indicators that only score one lobe advertise a wider
 """
 
 import numpy as np
-import pytest
 
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.core.indicator import FunctionIndicator

@@ -7,7 +7,6 @@ from scipy.stats import norm
 
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.core.indicator import FunctionIndicator
-from repro.errors import EstimationError
 from repro.rtn.model import ZeroRtnModel
 from repro.variability.space import VariabilitySpace
 

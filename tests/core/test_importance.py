@@ -66,7 +66,7 @@ class TestGaussianMixture:
         with pytest.raises(ValueError, match="dimension"):
             mixture.log_pdf(np.zeros((1, 3)))
         with pytest.raises(ValueError):
-            mixture.sample(-1, np.random.default_rng())
+            mixture.sample(-1, np.random.default_rng(0))
 
 
 class TestDefensiveMixture:
@@ -123,7 +123,8 @@ class TestImportanceMath:
 
     def test_effective_sample_size(self):
         assert effective_sample_size(np.ones(10)) == pytest.approx(10.0)
-        assert effective_sample_size(np.array([1.0, 0.0])) == pytest.approx(1.0)
+        ess = effective_sample_size(np.array([1.0, 0.0]))
+        assert ess == pytest.approx(1.0)
         assert effective_sample_size(np.zeros(3)) == 0.0
         assert effective_sample_size(np.array([])) == 0.0
         with pytest.raises(ValueError):

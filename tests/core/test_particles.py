@@ -39,8 +39,10 @@ class TestResampling:
         weights = np.full(10, 0.1)
         sys_counts, multi_counts = [], []
         for _ in range(200):
-            sys_counts.append(np.sum(systematic_resample(weights, 10, rng) == 0))
-            multi_counts.append(np.sum(multinomial_resample(weights, 10, rng) == 0))
+            sys_counts.append(
+                np.sum(systematic_resample(weights, 10, rng) == 0))
+            multi_counts.append(
+                np.sum(multinomial_resample(weights, 10, rng) == 0))
         assert np.var(sys_counts) <= np.var(multi_counts)
 
     def test_systematic_exact_for_uniform_weights(self, rng):

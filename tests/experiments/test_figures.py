@@ -1,7 +1,6 @@
 """Tests for the figure-harness result containers (synthetic inputs;
 the full experiments run in benchmarks/)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.speedup import compare_runs

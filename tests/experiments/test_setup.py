@@ -1,7 +1,5 @@
 """Tests for the experiment setup factory."""
 
-import pytest
-
 from repro.experiments.setup import paper_setup
 from repro.rtn.model import RtnModel, ZeroRtnModel
 from repro.sram.evaluator import CellReadFailure, Lobe0ReadFailure

@@ -1,0 +1,89 @@
+"""Baseline fingerprinting, persistence, and grandfathering."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, LintEngine
+from repro.lint.baseline import assign_fingerprints
+
+PATH = "src/repro/core/example.py"
+
+DIRTY = (
+    "import random\n"
+    "x = random.random()\n"
+)
+
+
+def findings_for(source):
+    return LintEngine().check_source(source, PATH)
+
+
+class TestFingerprints:
+    def test_stable_across_line_shifts(self):
+        shifted = "# a leading comment\n\n" + DIRTY
+        fp_a = assign_fingerprints(findings_for(DIRTY))
+        fp_b = assign_fingerprints(findings_for(shifted))
+        assert fp_a == fp_b
+
+    def test_duplicate_source_lines_get_distinct_fingerprints(self):
+        source = (
+            "import random\n"
+            "x = random.random()\n"
+            "y = random.random()\n"
+        )
+        # identical source text on both lines -> occurrence index must
+        # disambiguate them.
+        fps = assign_fingerprints(findings_for(source))
+        assert len(fps) == 2
+        assert len(set(fps)) == 2
+
+
+class TestBaselinePersistence:
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings(findings_for(DIRTY))
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.fingerprints == baseline.fingerprints
+
+    def test_file_shape(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings_for(DIRTY)).save(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert isinstance(payload["fingerprints"], list)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "fingerprints": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+
+class TestSplit:
+    def test_grandfathered_findings_filtered(self):
+        baseline = Baseline.from_findings(findings_for(DIRTY))
+        new, old = baseline.split(findings_for(DIRTY))
+        assert new == []
+        assert len(old) == 1
+
+    def test_new_finding_still_reported(self):
+        baseline = Baseline.from_findings(findings_for(DIRTY))
+        grown = DIRTY + "flag = x == 0.5\n"
+        new, old = baseline.split(findings_for(grown))
+        assert [f.rule for f in new] == ["REP004"]
+        assert len(old) == 1
+
+    def test_engine_applies_baseline(self, tmp_path):
+        path = tmp_path / "module.py"
+        path.write_text(DIRTY)
+        # fingerprints include the path, so baseline against the same
+        # location the engine will report.
+        first = LintEngine().check_paths([path])
+        baseline = Baseline.from_findings(first.findings)
+        engine = LintEngine(baseline=baseline)
+        result = engine.check_paths([path])
+        assert result.findings == []
+        assert result.baselined == 1
+        assert result.exit_code == 0

@@ -1,0 +1,128 @@
+"""CLI behaviour: exit codes, formats, baseline flags, forwarding."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main as lint_main
+
+CLEAN = "x = 1\n"
+DIRTY = (
+    "import random\n"
+    "x = random.random()\n"
+)
+
+
+@pytest.fixture()
+def workdir(tmp_path, monkeypatch):
+    """Isolated cwd so the default baseline file is never picked up."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def write(workdir, name, source):
+    path = workdir / name
+    path.write_text(source)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, workdir, capsys):
+        path = write(workdir, "clean.py", CLEAN)
+        assert lint_main([str(path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, workdir, capsys):
+        path = write(workdir, "dirty.py", DIRTY)
+        assert lint_main([str(path)]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_syntax_error_exits_two(self, workdir, capsys):
+        path = write(workdir, "broken.py", "def f(:\n")
+        assert lint_main([str(path)]) == 2
+        assert "parse error" in capsys.readouterr().out
+
+    def test_no_python_files_exits_two(self, workdir, capsys):
+        (workdir / "empty").mkdir()
+        assert lint_main([str(workdir / "empty")]) == 2
+        assert "no Python files" in capsys.readouterr().err
+
+    def test_empty_rule_selection_exits_two(self, workdir, capsys):
+        path = write(workdir, "clean.py", CLEAN)
+        assert lint_main(["--select", "NOPE", str(path)]) == 2
+        assert "matches no rules" in capsys.readouterr().err
+
+
+class TestFlags:
+    def test_json_format(self, workdir, capsys):
+        path = write(workdir, "dirty.py", DIRTY)
+        assert lint_main(["--format", "json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["by_rule"] == {"REP001": 1}
+
+    def test_ignore_silences_rule(self, workdir, capsys):
+        path = write(workdir, "dirty.py", DIRTY)
+        assert lint_main(["--ignore", "REP001", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, workdir, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003",
+                        "REP004", "REP005", "REP006"):
+            assert rule_id in out
+
+
+class TestBaselineFlow:
+    def test_update_then_clean_run(self, workdir, capsys):
+        path = write(workdir, "dirty.py", DIRTY)
+        baseline = workdir / "baseline.json"
+        assert lint_main(["--baseline", str(baseline),
+                          "--update-baseline", str(path)]) == 0
+        assert baseline.is_file()
+        capsys.readouterr()
+        assert lint_main(["--baseline", str(baseline), str(path)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_fails_despite_baseline(self, workdir, capsys):
+        path = write(workdir, "dirty.py", DIRTY)
+        baseline = workdir / "baseline.json"
+        lint_main(["--baseline", str(baseline),
+                   "--update-baseline", str(path)])
+        write(workdir, "dirty.py", DIRTY + "flag = x == 0.5\n")
+        capsys.readouterr()
+        assert lint_main(["--baseline", str(baseline), str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP004" in out
+        assert "1 finding(s)" in out  # the REP001 stays grandfathered
+
+    def test_default_baseline_auto_used(self, workdir, capsys):
+        path = write(workdir, "dirty.py", DIRTY)
+        assert lint_main(["--update-baseline", str(path)]) == 0
+        assert (workdir / ".repro-lint-baseline.json").is_file()
+        capsys.readouterr()
+        assert lint_main([str(path)]) == 0
+
+    def test_corrupt_baseline_exits_two(self, workdir, capsys):
+        path = write(workdir, "clean.py", CLEAN)
+        bad = workdir / "baseline.json"
+        bad.write_text(json.dumps({"version": 99, "fingerprints": []}))
+        assert lint_main(["--baseline", str(bad), str(path)]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+
+class TestEcripseForwarding:
+    """``ecripse lint ...`` forwards to the lint CLI verbatim."""
+
+    def test_forwarding_preserves_exit_code(self, workdir, capsys):
+        from repro.experiments.runner import main as runner_main
+
+        path = write(workdir, "dirty.py", DIRTY)
+        assert runner_main(["lint", str(path)]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_forwarding_with_leading_flag(self, workdir, capsys):
+        from repro.experiments.runner import main as runner_main
+
+        assert runner_main(["lint", "--list-rules"]) == 0
+        assert "REP001" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""Pragma comment parsing and per-line suppression."""
+
+from repro.lint import LintEngine
+from repro.lint.findings import LintResult
+from repro.lint.pragmas import collect_pragmas, is_suppressed
+
+PATH = "src/repro/core/example.py"
+
+
+def lint(source):
+    engine = LintEngine()
+    result = LintResult()
+    findings = engine.check_source(source, PATH, result=result)
+    return findings, result
+
+
+class TestCollectPragmas:
+    def test_single_pragma(self):
+        pragmas = collect_pragmas("x = y == 1.0  # repro: allow-float-eq\n")
+        assert pragmas == {1: frozenset({"float-eq"})}
+
+    def test_comma_separated(self):
+        source = "bad()  # repro: allow-float-eq, allow-global-rng\n"
+        pragmas = collect_pragmas(source)
+        assert pragmas[1] == frozenset({"float-eq", "global-rng"})
+
+    def test_pragma_inside_string_ignored(self):
+        source = 's = "# repro: allow-float-eq"\n'
+        assert collect_pragmas(source) == {}
+
+    def test_plain_comment_ignored(self):
+        assert collect_pragmas("x = 1  # just a comment\n") == {}
+
+
+class TestIsSuppressed:
+    PRAGMAS = {3: frozenset({"float-eq"}), 5: frozenset({"rep001"})}
+
+    def test_slug_match(self):
+        assert is_suppressed(self.PRAGMAS, 3, "REP004", "float-eq")
+
+    def test_rule_id_match(self):
+        assert is_suppressed(self.PRAGMAS, 5, "REP001", "global-rng")
+
+    def test_wrong_line_not_suppressed(self):
+        assert not is_suppressed(self.PRAGMAS, 4, "REP004", "float-eq")
+
+    def test_wrong_rule_not_suppressed(self):
+        assert not is_suppressed(self.PRAGMAS, 3, "REP005",
+                                 "mutable-default")
+
+
+class TestEngineSuppression:
+    def test_slug_pragma_suppresses_finding(self):
+        source = "flag = x == 0.5  # repro: allow-float-eq\n"
+        findings, result = lint(source)
+        assert findings == []
+        assert result.suppressed == 1
+
+    def test_rule_id_pragma_suppresses_finding(self):
+        source = "flag = x == 0.5  # repro: allow-REP004\n"
+        findings, result = lint(source)
+        assert findings == []
+        assert result.suppressed == 1
+
+    def test_pragma_only_covers_its_own_rule(self):
+        source = (
+            "import random\n"
+            "x = random.random() == 0.5  # repro: allow-float-eq\n"
+        )
+        findings, _ = lint(source)
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        source = (
+            "# repro: allow-float-eq\n"
+            "flag = x == 0.5\n"
+        )
+        findings, result = lint(source)
+        assert [f.rule for f in findings] == ["REP004"]
+        assert result.suppressed == 0

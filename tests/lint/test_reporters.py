@@ -1,0 +1,63 @@
+"""Text and JSON report rendering."""
+
+import json
+
+from repro.lint import LintEngine
+from repro.lint.findings import LintResult
+from repro.lint.reporters import render_json, render_text
+
+PATH = "src/repro/core/example.py"
+
+DIRTY = (
+    "import random\n"
+    "x = random.random()\n"
+    "flag = y == 0.5\n"
+)
+
+
+def lint(source):
+    engine = LintEngine()
+    result = LintResult()
+    result.findings = engine.check_source(source, PATH, result=result)
+    result.checked_files = 1
+    return result
+
+
+class TestTextReport:
+    def test_locations_and_summary(self):
+        text = render_text(lint(DIRTY))
+        assert f"{PATH}:2:" in text
+        assert "REP001" in text
+        assert "REP004" in text
+        assert "2 finding(s)" in text
+
+    def test_source_line_excerpt(self):
+        text = render_text(lint(DIRTY))
+        assert "x = random.random()" in text
+
+    def test_clean_summary(self):
+        text = render_text(lint("x = 1\n"))
+        assert "0 finding(s)" in text
+
+
+class TestJsonReport:
+    def test_shape(self):
+        payload = json.loads(render_json(lint(DIRTY)))
+        assert payload["version"] == 1
+        assert payload["exit_code"] == 1
+        assert payload["summary"]["findings"] == 2
+        assert payload["summary"]["checked_files"] == 1
+        assert payload["summary"]["by_rule"] == {"REP001": 1, "REP004": 1}
+        rules = [f["rule"] for f in payload["findings"]]
+        assert rules == ["REP001", "REP004"]
+
+    def test_findings_carry_fingerprints(self):
+        payload = json.loads(render_json(lint(DIRTY)))
+        fingerprints = [f["fingerprint"] for f in payload["findings"]]
+        assert all(len(fp) == 16 for fp in fingerprints)
+        assert len(set(fingerprints)) == 2
+
+    def test_clean_report_exit_zero(self):
+        payload = json.loads(render_json(lint("x = 1\n")))
+        assert payload["exit_code"] == 0
+        assert payload["findings"] == []

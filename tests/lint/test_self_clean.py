@@ -1,0 +1,56 @@
+"""The repository lints itself clean -- the CI gate in miniature.
+
+The CI job runs ``python -m repro.lint src tests`` and fails on exit
+code 1.  These tests prove (a) the tree as committed produces zero
+findings and (b) the gate actually trips: seeding a REP001 violation
+into a core-scoped module yields a finding, i.e. the CI job would fail.
+"""
+
+from pathlib import Path
+
+from repro.lint import LintEngine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfClean:
+    def test_src_and_tests_lint_clean(self):
+        engine = LintEngine()
+        result = engine.check_paths([REPO_ROOT / "src",
+                                     REPO_ROOT / "tests"])
+        locations = [f.location() + " " + f.message
+                     for f in result.findings]
+        assert result.findings == [], "\n".join(locations)
+        assert result.parse_errors == []
+        assert result.exit_code == 0
+        # sanity: the run actually covered the tree.
+        assert result.checked_files > 100
+
+    def test_pragmas_in_tree_are_counted(self):
+        """The committed tree relies on pragma suppression (not silent
+        rule gaps) for its justified exemptions."""
+        engine = LintEngine()
+        result = engine.check_paths([REPO_ROOT / "src",
+                                     REPO_ROOT / "tests"])
+        assert result.suppressed >= 1
+
+
+class TestGateTrips:
+    def test_seeded_rep001_violation_fails_the_gate(self):
+        """Introducing a global-RNG call into core makes the lint run
+        (and therefore the CI job) fail."""
+        engine = LintEngine()
+        seeded = (
+            "import numpy as np\n"
+            "def sample(n):\n"
+            "    return np.random.normal(size=n)\n"
+        )
+        findings = engine.check_source(
+            seeded, "src/repro/core/seeded_violation.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_seeded_violation_flips_result_exit_code(self, tmp_path):
+        bad = tmp_path / "core_module.py"
+        bad.write_text("import random\nx = random.random()\n")
+        result = LintEngine().check_paths([bad])
+        assert result.exit_code == 1

@@ -75,7 +75,7 @@ class TestClassWeights:
         x = np.column_stack([np.ones(330), np.vstack([x_pos, x_neg])])
         y = np.concatenate([np.ones(30), -np.ones(300)])
         svm = LinearSvm(class_weight="balanced").fit(x, y)
-        minority_recall = np.mean(svm.predict(x[:30]) == 1.0)
+        minority_recall = np.mean(svm.predict(x[:30]) == 1)
         assert minority_recall > 0.9
 
     def test_explicit_weights(self, rng):

@@ -27,7 +27,8 @@ class TestTable:
 
     def test_access_duty_passthrough(self):
         fractions = dict(zip(DEVICE_ORDER,
-                             device_on_fractions(0.5, access_on_fraction=0.25)))
+                             device_on_fractions(
+                                 0.5, access_on_fraction=0.25)))
         assert fractions["A1"] == 0.25
         assert fractions["A2"] == 0.25
 

@@ -9,7 +9,6 @@ parent process.
 import os
 
 import numpy as np
-import pytest
 
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.core.filter import ParticleFilterBank

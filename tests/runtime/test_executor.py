@@ -52,6 +52,10 @@ def count_into(chunk, calls):
     return chunk
 
 
+def always_broken(chunk):
+    raise RuntimeError("always broken")
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 class TestMapChunks:
     def test_pure_map_matches_direct_call(self, backend):
@@ -118,7 +122,9 @@ class TestFaultTolerance:
         still complete via the in-parent fallback."""
         block = np.arange(6, dtype=float)
         with Executor(_cfg("process", chunk_size=2)) as ex:
-            out = ex.map_chunks(lambda c: c + 1, block)
+            # the lambda IS the fixture: it must not pickle
+            out = ex.map_chunks(lambda c: c + 1,  # repro: allow-exec-lambda
+                                block)
             assert ex.last_metrics.n_fallbacks == 3
         assert np.array_equal(out, block + 1)
 
@@ -137,15 +143,13 @@ class TestFaultTolerance:
         # unpicklable closure fails on the pool AND in the fallback
         with Executor(_cfg("process", chunk_size=2)) as ex:
             with pytest.raises(ExecutionError, match="serial fallback"):
-                ex.map_chunks(boom, np.arange(4.0))
+                ex.map_chunks(boom,  # repro: allow-exec-lambda
+                              np.arange(4.0))
 
     def test_serial_backend_raises_task_error_directly(self):
-        def boom(chunk):
-            raise RuntimeError("always broken")
-
         with Executor(_cfg("serial")) as ex:
             with pytest.raises(RuntimeError, match="always broken"):
-                ex.map_chunks(boom, np.arange(4.0))
+                ex.map_chunks(always_broken, np.arange(4.0))
 
 
 class TestLazyIteration:
@@ -197,7 +201,9 @@ class TestTelemetry:
             return chunk
 
         with Executor(ExecutionConfig(), counter=counter) as ex:
-            ex.map_chunks(evaluate, np.zeros((25, 1)), chunk_size=10)
+            # closure over counter is fine: serial backend, no pickling
+            ex.map_chunks(evaluate,  # repro: allow-exec-lambda
+                          np.zeros((25, 1)), chunk_size=10)
         assert ex.last_metrics.n_simulations == 25
 
     def test_budget_trips_before_any_work(self):

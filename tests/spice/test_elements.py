@@ -1,6 +1,5 @@
 """Direct element-level stamping tests."""
 
-import numpy as np
 import pytest
 
 from repro.spice import (

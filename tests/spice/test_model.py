@@ -170,7 +170,8 @@ class TestConductances:
         vg, vd, vs = 0.5, 0.4, 0.1
         ids, gm, gds, gms = NMOS.conductances(vg, vd, vs)
         h = 1e-7
-        gm_ref = (NMOS.ids(vg + h, vd, vs) - NMOS.ids(vg - h, vd, vs)) / (2 * h)
+        gm_ref = (NMOS.ids(vg + h, vd, vs)
+                  - NMOS.ids(vg - h, vd, vs)) / (2 * h)
         assert ids == pytest.approx(NMOS.ids(vg, vd, vs))
         assert gm == pytest.approx(gm_ref, rel=1e-4)
         assert gm > 0.0

@@ -63,8 +63,6 @@ class TestLevelsConvergence:
         """The level scan only ever under-estimates the true maximum, so
         refining levels must not decrease the margin by more than the
         discretisation step."""
-        from repro.sram.butterfly import ReadButterflySolver
-
         solver = paper_evaluator.solver
         curves = solver.solve(np.zeros((1, 6)))
         coarse = lobe_margins(curves, levels=16)[0][0]

@@ -28,7 +28,8 @@ class TestOxideCapacitance:
         assert cox == pytest.approx(3.63e-2, rel=0.01)
 
     def test_thinner_oxide_more_capacitance(self):
-        assert oxide_capacitance_per_area(0.5) > oxide_capacitance_per_area(1.0)
+        assert oxide_capacitance_per_area(0.5) \
+            > oxide_capacitance_per_area(1.0)
 
     def test_invalid_tox(self):
         with pytest.raises(ValueError):

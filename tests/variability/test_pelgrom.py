@@ -1,6 +1,5 @@
 """Tests for the Pelgrom mismatch law."""
 
-import numpy as np
 import pytest
 
 from repro.config import DEVICE_ORDER, CellGeometry

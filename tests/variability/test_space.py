@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 from scipy.stats import multivariate_normal
 
-from repro.config import TABLE_I
 from repro.variability.space import VariabilitySpace
 
 SPACE = VariabilitySpace(np.array([0.01, 0.02, 0.03]))
