@@ -41,10 +41,21 @@ def estimate_to_dict(estimate: FailureEstimate) -> dict:
 
 
 def estimate_from_dict(data: dict) -> FailureEstimate:
-    """Inverse of :func:`estimate_to_dict`."""
-    if data.get("schema") != SCHEMA_VERSION:
+    """Inverse of :func:`estimate_to_dict`.
+
+    Unknown *future* schemas are rejected with a dedicated message: a
+    newer build wrote the file and this one cannot know how to read it.
+    Anything else that does not match the current version is plain
+    corruption/incompatibility.
+    """
+    schema = data.get("schema")
+    if isinstance(schema, int) and schema > SCHEMA_VERSION:
         raise ValueError(
-            f"unsupported schema {data.get('schema')!r}; "
+            f"result file has schema {schema}, newer than this build's "
+            f"{SCHEMA_VERSION}; upgrade the repro package to read it")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {schema!r}; "
             f"this build reads version {SCHEMA_VERSION}")
     trace = [TracePoint(**point) for point in data.get("trace", [])]
     return FailureEstimate(
@@ -55,10 +66,25 @@ def estimate_from_dict(data: dict) -> FailureEstimate:
         trace=trace, metadata=data.get("metadata", {}))
 
 
-def save_estimate(estimate: FailureEstimate, path) -> None:
-    """Write ``estimate`` to ``path`` as JSON."""
-    Path(path).write_text(
-        json.dumps(estimate_to_dict(estimate), indent=2) + "\n")
+def save_estimate(estimate: FailureEstimate, path,
+                  overwrite: bool = False) -> Path:
+    """Write ``estimate`` to ``path`` as JSON, atomically.
+
+    By default an existing file is *not* clobbered (``FileExistsError``);
+    campaigns that intend to refresh a result pass ``overwrite=True``.
+    Either way the write goes through a temp-then-rename, so a reader
+    never sees a torn file.  Returns the path written.
+    """
+    from repro.checkpoint.atomic import atomic_write_text
+
+    path = Path(path)
+    if not overwrite and path.exists():
+        raise FileExistsError(
+            f"refusing to overwrite existing result {path}; pass "
+            f"overwrite=True to replace it")
+    atomic_write_text(
+        path, json.dumps(estimate_to_dict(estimate), indent=2) + "\n")
+    return path
 
 
 def load_estimate(path) -> FailureEstimate:

@@ -1,0 +1,34 @@
+"""Crash-safe checkpoint/resume for long estimation campaigns.
+
+A run killed at any checkpoint boundary and resumed from disk produces
+a bit-identical :class:`~repro.core.estimate.FailureEstimate` (pfail,
+simulation counts, trace) to the uninterrupted run, on every
+:mod:`repro.runtime` backend.  See ``docs/CHECKPOINT.md`` for the
+on-disk format and the guarantees.
+"""
+
+from repro.checkpoint.atomic import atomic_write_bytes, atomic_write_text
+from repro.checkpoint.codec import decode_state, encode_state
+from repro.checkpoint.config import CheckpointConfig, parse_every
+from repro.checkpoint.integrate import run_checkpointed
+from repro.checkpoint.manager import Checkpointable, CheckpointManager
+from repro.checkpoint.store import SCHEMA_VERSION, CheckpointStore
+from repro.checkpoint.trigger import CheckpointTrigger
+from repro.errors import CheckpointCrash, CheckpointError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Checkpointable",
+    "CheckpointConfig",
+    "CheckpointCrash",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointStore",
+    "CheckpointTrigger",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "decode_state",
+    "encode_state",
+    "parse_every",
+    "run_checkpointed",
+]

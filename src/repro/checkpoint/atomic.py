@@ -1,0 +1,81 @@
+"""Atomic filesystem publication primitives.
+
+Everything the checkpoint subsystem (and the JSON result persistence)
+puts on disk goes through these helpers: content is written to a
+temporary sibling, flushed and fsynced, then published with a single
+``os.replace``/``os.rename`` -- so a reader never observes a partially
+written file, and a crash mid-write leaves only a ``.tmp`` orphan that
+is ignored (and cleaned up) by the next run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: suffix marking unpublished temporaries; readers must skip these.
+TMP_PREFIX = ".tmp-"
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry so a rename survives power loss.
+
+    Best effort: some filesystems (and platforms) refuse to open
+    directories; losing the fsync only weakens crash durability, never
+    atomicity, so those errors are ignored.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (write-temp-then-rename).
+
+    An existing file at ``path`` is replaced in one step; concurrent
+    readers see either the old content or the new, never a mixture.
+    """
+    path = Path(path)
+    tmp = path.parent / f"{TMP_PREFIX}{path.name}.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    try:
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_dir(path.parent)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomic UTF-8 text variant of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def publish_dir(tmp_dir: str | Path, final_dir: str | Path) -> None:
+    """Atomically publish a fully-written staging directory.
+
+    ``tmp_dir`` must be a sibling of ``final_dir`` (same filesystem);
+    the rename either installs the complete directory or nothing.
+    """
+    tmp_dir, final_dir = Path(tmp_dir), Path(final_dir)
+    os.rename(tmp_dir, final_dir)
+    _fsync_dir(final_dir.parent)
+
+
+def fsync_file(path: str | Path) -> None:
+    """fsync an already-written file (staging-directory contents)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -1,0 +1,107 @@
+"""State-tree codec: split a snapshot into a JSON payload + array pack.
+
+Estimator snapshots are nested trees of builtin scalars, lists, dicts
+and numpy arrays.  JSON handles everything except the arrays exactly
+(Python's float repr round-trips bit-identically; ints are arbitrary
+precision), so the codec replaces every ndarray leaf with a named
+placeholder and collects the arrays into a side table destined for one
+``.npz`` file.  Decoding re-inlines the arrays.
+
+The type policy is deliberately strict: anything outside the supported
+set raises :class:`~repro.errors.CheckpointError` at *save* time, so a
+snapshot that writes successfully is guaranteed to load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+#: reserved dict key marking an extracted-array placeholder.
+ARRAY_KEY = "__ndarray__"
+
+_SCALARS = (str, bool, int, float, type(None))
+
+
+def encode_state(tree: object) -> tuple[object, dict[str, np.ndarray]]:
+    """Extract ndarrays from ``tree``; return (payload, arrays).
+
+    ``payload`` is JSON-serialisable; ``arrays`` maps generated names
+    (``"a0"``, ``"a1"``, ...) to the extracted arrays, in deterministic
+    depth-first order.  Tuples are encoded as lists (JSON has no tuple),
+    so :func:`decode_state` returns lists where tuples went in --
+    snapshot producers must not rely on tuple identity.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    payload = _encode(tree, arrays, path="$")
+    return payload, arrays
+
+
+def _encode(node: object, arrays: dict[str, np.ndarray],
+            path: str) -> object:
+    if isinstance(node, np.ndarray):
+        name = f"a{len(arrays)}"
+        if node.dtype == object:
+            raise CheckpointError(
+                f"object-dtype array at {path} cannot be checkpointed")
+        arrays[name] = node
+        return {ARRAY_KEY: name}
+    if isinstance(node, np.generic):
+        # numpy scalars degrade exactly to their Python equivalents.
+        return _encode(node.item(), arrays, path)
+    if isinstance(node, bool) or node is None or isinstance(node, str):
+        return node
+    if isinstance(node, int):
+        return node
+    if isinstance(node, float):
+        if not np.isfinite(node):
+            # json.dump would emit non-standard NaN/Infinity tokens.
+            raise CheckpointError(
+                f"non-finite float {node!r} at {path} cannot be "
+                f"checkpointed")
+        return node
+    if isinstance(node, (list, tuple)):
+        return [_encode(item, arrays, f"{path}[{i}]")
+                for i, item in enumerate(node)]
+    if isinstance(node, dict):
+        out = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise CheckpointError(
+                    f"non-string dict key {key!r} at {path}")
+            if key == ARRAY_KEY:
+                raise CheckpointError(
+                    f"reserved key {ARRAY_KEY!r} used at {path}")
+            out[key] = _encode(value, arrays, f"{path}.{key}")
+        return out
+    raise CheckpointError(
+        f"unsupported type {type(node).__name__} at {path}")
+
+
+def decode_state(payload: object,
+                 arrays: dict[str, np.ndarray]) -> object:
+    """Inverse of :func:`encode_state` (tuples come back as lists)."""
+    return _decode(payload, arrays, path="$")
+
+
+def _decode(node: object, arrays: dict[str, np.ndarray],
+            path: str) -> object:
+    if isinstance(node, dict):
+        if set(node) == {ARRAY_KEY}:
+            name = node[ARRAY_KEY]
+            try:
+                return arrays[name]
+            except KeyError:
+                raise CheckpointError(
+                    f"payload references missing array {name!r} at "
+                    f"{path}") from None
+        return {key: _decode(value, arrays, f"{path}.{key}")
+                for key, value in node.items()}
+    if isinstance(node, list):
+        return [_decode(item, arrays, f"{path}[{i}]")
+                for i, item in enumerate(node)]
+    if isinstance(node, _SCALARS):
+        return node
+    raise CheckpointError(
+        f"unsupported type {type(node).__name__} in payload at {path}")

@@ -1,0 +1,101 @@
+"""User-facing checkpoint configuration (CLI surface).
+
+One frozen :class:`CheckpointConfig` describes the checkpoint policy of
+a whole experiment invocation; each estimator run inside it gets its
+own subdirectory via :meth:`CheckpointConfig.manager`, so e.g. fig. 7's
+three runs never mix snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.checkpoint.manager import CheckpointManager
+
+
+def parse_every(spec: str) -> tuple[int | None, float | None]:
+    """Parse a ``--checkpoint-every`` value.
+
+    ``"5000"`` means every 5000 simulations; ``"30s"`` means every 30
+    seconds (fractional allowed).  Returns
+    ``(every_simulations, every_seconds)``.
+    """
+    text = spec.strip().lower()
+    if not text:
+        raise ValueError("empty --checkpoint-every value")
+    try:
+        if text.endswith("s"):
+            seconds = float(text[:-1])
+            if seconds <= 0:
+                raise ValueError
+            return None, seconds
+        sims = int(text)
+        if sims < 1:
+            raise ValueError
+        return sims, None
+    except ValueError:
+        raise ValueError(
+            f"invalid --checkpoint-every value {spec!r}; use a "
+            f"simulation count like '5000' or a duration like "
+            f"'30s'") from None
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpoint policy for one experiment invocation.
+
+    Attributes
+    ----------
+    directory:
+        Root directory; each named run becomes a subdirectory.
+    every_simulations, every_seconds:
+        Cadence thresholds; both ``None`` snapshots every boundary.
+    keep:
+        Snapshots retained per run.
+    resume:
+        Restore from the newest snapshot (and reuse completed
+        results) instead of starting fresh.
+    crash_after:
+        Test-only: inject a :class:`~repro.errors.CheckpointCrash`
+        after the N-th durable save (counted per invocation, across
+        runs).
+    """
+
+    directory: Path
+    every_simulations: int | None = 5000
+    every_seconds: float | None = None
+    keep: int = 3
+    resume: bool = False
+    crash_after: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "directory", Path(self.directory))
+        if self.keep < 1:
+            raise ValueError(f"keep must be >= 1, got {self.keep}")
+
+    def scoped(self, name: str) -> Path:
+        """Directory for the run called ``name``."""
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid run name {name!r}")
+        return self.directory / name
+
+    def manager(self, name: str,
+                crash_budget: list[int] | None = None
+                ) -> CheckpointManager:
+        """Build the manager for run ``name``.
+
+        ``crash_budget`` is a single-element mutable cell carrying how
+        many saves remain before the injected crash; it lets one
+        ``--crash-after-checkpoints N`` span the several sequential
+        runs of a campaign (each run consumes the saves it makes).
+        """
+        crash_after = self.crash_after
+        if crash_budget is not None:
+            crash_after = crash_budget[0] if crash_budget[0] >= 1 else None
+        return CheckpointManager(
+            self.scoped(name),
+            every_simulations=self.every_simulations,
+            every_seconds=self.every_seconds,
+            keep=self.keep,
+            crash_after=crash_after)

@@ -1,0 +1,143 @@
+"""Checkpoint manager: the object estimators actually talk to.
+
+A :class:`CheckpointManager` binds together a store (where), a trigger
+(when), a retention policy (how many) and the optional crash injector
+used by the kill/resume test harness.  Estimators call
+:meth:`maybe_save` at every safe boundary; the manager decides whether
+that boundary becomes a durable snapshot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Protocol, runtime_checkable
+
+from repro.checkpoint.codec import decode_state, encode_state
+from repro.checkpoint.store import CheckpointStore
+from repro.checkpoint.trigger import CheckpointTrigger
+from repro.errors import CheckpointCrash, CheckpointError
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """What an estimator must provide to be checkpointed."""
+
+    def state_snapshot(self) -> dict: ...
+
+    def restore_state(self, state: dict) -> None: ...
+
+    def fingerprint(self) -> str: ...
+
+
+class CheckpointManager:
+    """Periodic, crash-safe snapshotting for one estimator run.
+
+    Parameters
+    ----------
+    directory:
+        Root of the checkpoint tree for this run.
+    every_simulations, every_seconds:
+        Cadence thresholds (see :class:`CheckpointTrigger`).  Both
+        ``None`` means snapshot at every boundary.
+    keep:
+        Retention: how many published snapshots to keep on disk.
+    crash_after:
+        Test-only crash injector: raise
+        :class:`~repro.errors.CheckpointCrash` immediately after the
+        N-th durable save of this manager's lifetime.
+    """
+
+    def __init__(self, directory: str | Path,
+                 every_simulations: int | None = None,
+                 every_seconds: float | None = None,
+                 keep: int = 3,
+                 crash_after: int | None = None) -> None:
+        if crash_after is not None and crash_after < 1:
+            raise ValueError(
+                f"crash_after must be >= 1, got {crash_after}")
+        self.store = CheckpointStore(directory)
+        self.trigger = CheckpointTrigger(every_simulations, every_seconds)
+        self.keep = keep
+        self.crash_after = crash_after
+        self.saves = 0
+
+    # -- saving --------------------------------------------------------
+    def maybe_save(self, estimator: Checkpointable,
+                   n_simulations: int) -> bool:
+        """Snapshot ``estimator`` if the trigger says this boundary is
+        due; returns True when a snapshot was written."""
+        if not self.trigger.should_fire(n_simulations):
+            return False
+        self._save(estimator, n_simulations, kind="periodic")
+        self.trigger.mark_fired(n_simulations)
+        return True
+
+    def save_final(self, estimator: Checkpointable,
+                   n_simulations: int) -> None:
+        """Unconditional end-of-run snapshot (kind ``"final"``).
+
+        Written *before* the result file so a consumer that finds a
+        result can always also restore the finished estimator state
+        (fig. 7/8 reuse the stage-1 boundary and classifier this way).
+        """
+        self._save(estimator, n_simulations, kind="final")
+
+    def _save(self, estimator: Checkpointable, n_simulations: int,
+              kind: str) -> None:
+        payload, arrays = encode_state(estimator.state_snapshot())
+        self.store.save(payload, arrays,
+                        fingerprint=estimator.fingerprint(),
+                        step=n_simulations, kind=kind)
+        self.store.prune(max(self.keep, 1))
+        self.saves += 1
+        if self.crash_after is not None and self.saves >= self.crash_after:
+            raise CheckpointCrash(
+                f"injected crash after checkpoint #{self.saves} "
+                f"(--crash-after-checkpoints={self.crash_after})")
+
+    # -- resuming ------------------------------------------------------
+    def has_checkpoint(self) -> bool:
+        return bool(self.store.list_checkpoints())
+
+    def restore_into(self, estimator: Checkpointable) -> dict | None:
+        """Restore the newest snapshot into ``estimator``.
+
+        Returns the manifest of the snapshot used, or ``None`` when the
+        directory holds no checkpoint yet (fresh start).  Raises
+        :class:`CheckpointError` when snapshots exist but none can be
+        verified, or the fingerprint does not match.
+        """
+        loaded = self.store.load_latest(
+            expected_fingerprint=estimator.fingerprint())
+        if loaded is None:
+            return None
+        manifest, payload, arrays = loaded
+        state = decode_state(payload, arrays)
+        if not isinstance(state, dict):
+            raise CheckpointError(
+                "checkpoint payload is not a state dictionary")
+        estimator.restore_state(state)
+        return manifest
+
+    # -- results -------------------------------------------------------
+    @property
+    def result_path(self) -> Path:
+        return self.store.root / "result.json"
+
+    def save_result(self, estimate: Any) -> Path:
+        """Persist the finished estimate next to the checkpoints."""
+        from repro.analysis.persistence import save_estimate
+
+        return save_estimate(estimate, self.result_path, overwrite=True)
+
+    def load_result(self) -> Any | None:
+        """The previously completed result, or None if the run never
+        finished (or its result file is unreadable)."""
+        from repro.analysis.persistence import load_estimate
+
+        if not self.result_path.exists():
+            return None
+        try:
+            return load_estimate(self.result_path)
+        except (ValueError, CheckpointError, OSError):
+            return None

@@ -1,0 +1,209 @@
+"""Versioned on-disk checkpoint store.
+
+Layout, one directory per checkpoint::
+
+    <root>/
+        ckpt-00000001/
+            manifest.json   # schema, fingerprint, step, checksum, payload
+            arrays.npz      # numpy arrays referenced by the payload
+        ckpt-00000002/
+        ...
+
+A checkpoint is written into a hidden staging directory and published
+with a single ``os.rename``, so a directory whose name matches
+``ckpt-*`` is always complete.  Loading verifies the schema version and
+the npz checksum; :meth:`CheckpointStore.load_latest` walks newest to
+oldest and skips snapshots that fail verification, so a torn write (or
+bit rot) costs at most one checkpoint interval of work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.checkpoint.atomic import (TMP_PREFIX, atomic_write_text,
+                                     fsync_file, publish_dir)
+from repro.checkpoint.trigger import wall_clock_time
+from repro.errors import CheckpointError
+
+#: bump when the snapshot layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{8})$")
+_MANIFEST = "manifest.json"
+_ARRAYS = "arrays.npz"
+
+
+def _npz_bytes(arrays: dict[str, np.ndarray]) -> bytes:
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+class CheckpointStore:
+    """Owns one checkpoint directory tree (see module docstring)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._clean_stale_tmp()
+
+    # -- write ---------------------------------------------------------
+    def save(self, payload: object, arrays: dict[str, np.ndarray],
+             *, fingerprint: str, step: int,
+             kind: str = "periodic") -> Path:
+        """Durably write one checkpoint; returns its directory.
+
+        ``step`` orders checkpoints (later saves must pass larger
+        steps); ``kind`` is ``"periodic"`` or ``"final"``.
+        """
+        index = self._next_index()
+        final_dir = self.root / f"ckpt-{index:08d}"
+        tmp_dir = self.root / f"{TMP_PREFIX}ckpt-{index:08d}"
+        tmp_dir.mkdir()
+
+        npz = _npz_bytes(arrays)
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "step": int(step),
+            "kind": kind,
+            "written_at": wall_clock_time(),
+            "arrays_sha256": hashlib.sha256(npz).hexdigest(),
+            "payload": payload,
+        }
+        (tmp_dir / _ARRAYS).write_bytes(npz)
+        fsync_file(tmp_dir / _ARRAYS)
+        # Inside the unpublished staging dir a plain write is fine; the
+        # rename below is the atomicity barrier.
+        (tmp_dir / _MANIFEST).write_text(
+            json.dumps(manifest, indent=1, sort_keys=True))
+        fsync_file(tmp_dir / _MANIFEST)
+        publish_dir(tmp_dir, final_dir)
+        return final_dir
+
+    # -- read ----------------------------------------------------------
+    def load(self, directory: str | Path
+             ) -> tuple[dict, object, dict[str, np.ndarray]]:
+        """Load and verify one checkpoint directory.
+
+        Returns ``(manifest, payload, arrays)``; raises
+        :class:`CheckpointError` on any corruption or version skew.
+        """
+        directory = Path(directory)
+        manifest_path = directory / _MANIFEST
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"no manifest in {directory}") from None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"corrupted manifest {manifest_path}: {exc}") from exc
+        if not isinstance(manifest, dict):
+            raise CheckpointError(
+                f"manifest {manifest_path} is not an object")
+
+        schema = manifest.get("schema")
+        if not isinstance(schema, int):
+            raise CheckpointError(
+                f"manifest {manifest_path} missing schema version")
+        if schema > SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint {directory.name} has schema {schema}, "
+                f"newer than this build's {SCHEMA_VERSION}; upgrade "
+                f"the repro package to resume it")
+        if schema < 1:
+            raise CheckpointError(
+                f"checkpoint {directory.name} has invalid schema "
+                f"{schema}")
+
+        npz_path = directory / _ARRAYS
+        try:
+            npz = npz_path.read_bytes()
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"checkpoint {directory.name} is missing its array "
+                f"pack") from None
+        digest = hashlib.sha256(npz).hexdigest()
+        if digest != manifest.get("arrays_sha256"):
+            raise CheckpointError(
+                f"checkpoint {directory.name} failed checksum "
+                f"verification (arrays.npz is corrupt)")
+        with np.load(io.BytesIO(npz), allow_pickle=False) as pack:
+            arrays = {name: pack[name] for name in pack.files}
+        return manifest, manifest["payload"], arrays
+
+    def load_latest(self, expected_fingerprint: str | None = None
+                    ) -> tuple[dict, object, dict[str, np.ndarray]] | None:
+        """Newest verifiable checkpoint, or ``None`` if none exists.
+
+        Corrupt snapshots are skipped (newest first).  A fingerprint
+        mismatch is *not* skipped: it means the directory holds state
+        for a different problem, which is an operator error.
+        """
+        candidates = self.list_checkpoints()
+        last_error: CheckpointError | None = None
+        for directory in reversed(candidates):
+            try:
+                manifest, payload, arrays = self.load(directory)
+            except CheckpointError as exc:
+                last_error = exc
+                continue
+            if (expected_fingerprint is not None
+                    and manifest.get("fingerprint")
+                    != expected_fingerprint):
+                raise CheckpointError(
+                    f"checkpoint {directory.name} was written by a "
+                    f"different run configuration (fingerprint "
+                    f"{manifest.get('fingerprint')!r}, expected "
+                    f"{expected_fingerprint!r}); refusing to resume")
+            return manifest, payload, arrays
+        if last_error is not None:
+            raise CheckpointError(
+                f"all checkpoints under {self.root} are unreadable; "
+                f"newest error: {last_error}")
+        return None
+
+    # -- housekeeping --------------------------------------------------
+    def list_checkpoints(self) -> list[Path]:
+        """Published checkpoint directories, oldest first."""
+        found = []
+        for entry in self.root.iterdir():
+            if entry.is_dir() and _CKPT_RE.match(entry.name):
+                found.append(entry)
+        return sorted(found)
+
+    def prune(self, keep: int) -> list[Path]:
+        """Delete all but the newest ``keep`` checkpoints."""
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        doomed = self.list_checkpoints()[:-keep]
+        for directory in doomed:
+            self._rmtree(directory)
+        return doomed
+
+    def _next_index(self) -> int:
+        existing = self.list_checkpoints()
+        if not existing:
+            return 1
+        match = _CKPT_RE.match(existing[-1].name)
+        assert match is not None
+        return int(match.group(1)) + 1
+
+    def _clean_stale_tmp(self) -> None:
+        for entry in self.root.iterdir():
+            if entry.name.startswith(TMP_PREFIX) and entry.is_dir():
+                self._rmtree(entry)
+
+    @staticmethod
+    def _rmtree(directory: Path) -> None:
+        for child in directory.iterdir():
+            child.unlink()
+        directory.rmdir()

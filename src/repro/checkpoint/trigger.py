@@ -1,0 +1,62 @@
+"""Checkpoint cadence control, and the sanctioned wall-clock reader.
+
+This module is the single place in :mod:`repro.checkpoint` allowed to
+touch the wall clock (``repro.lint`` REP002 excludes exactly this file).
+Cadence decisions use the monotonic ``perf_counter`` so suspended or
+clock-stepped hosts cannot produce negative intervals; the wall-clock
+timestamp exists only to label manifests for humans.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_clock_time() -> float:
+    """Unix timestamp for manifest labelling -- never for logic.
+
+    Checkpoint correctness must not depend on this value; it is carried
+    in manifests purely so an operator can tell snapshots apart.
+    """
+    return time.time()
+
+
+class CheckpointTrigger:
+    """Decide *when* to snapshot: every N simulations and/or T seconds.
+
+    With both thresholds ``None`` the trigger fires at every boundary
+    offered to it (the behaviour kill/resume tests rely on).  Otherwise
+    it fires when either threshold has been crossed since the last save.
+    """
+
+    def __init__(self, every_simulations: int | None = None,
+                 every_seconds: float | None = None) -> None:
+        if every_simulations is not None and every_simulations < 1:
+            raise ValueError(
+                f"every_simulations must be >= 1, got {every_simulations}")
+        if every_seconds is not None and every_seconds <= 0:
+            raise ValueError(
+                f"every_seconds must be > 0, got {every_seconds}")
+        self.every_simulations = every_simulations
+        self.every_seconds = every_seconds
+        self._last_count = 0
+        self._last_time = time.perf_counter()
+
+    def should_fire(self, n_simulations: int) -> bool:
+        """True when a snapshot is due at this boundary."""
+        if self.every_simulations is None and self.every_seconds is None:
+            return True
+        if (self.every_simulations is not None
+                and n_simulations - self._last_count
+                >= self.every_simulations):
+            return True
+        if (self.every_seconds is not None
+                and time.perf_counter() - self._last_time
+                >= self.every_seconds):
+            return True
+        return False
+
+    def mark_fired(self, n_simulations: int) -> None:
+        """Reset both thresholds after a successful save."""
+        self._last_count = n_simulations
+        self._last_time = time.perf_counter()

@@ -59,6 +59,21 @@ class BoundarySearchResult:
     n_simulations: int
     n_directions_failed: int
 
+    def as_dict(self) -> dict:
+        """Plain-dict form for checkpoint snapshots."""
+        return {"points": self.points.copy(),
+                "radii": self.radii.copy(),
+                "n_simulations": self.n_simulations,
+                "n_directions_failed": self.n_directions_failed}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BoundarySearchResult":
+        """Inverse of :meth:`as_dict`."""
+        return cls(points=np.asarray(data["points"], dtype=float),
+                   radii=np.asarray(data["radii"], dtype=float),
+                   n_simulations=int(data["n_simulations"]),
+                   n_directions_failed=int(data["n_directions_failed"]))
+
 
 def find_failure_boundary(indicator: CountingIndicator, n_directions: int,
                           rng: np.random.Generator, r_max: float = 8.0,

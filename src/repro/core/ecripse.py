@@ -44,9 +44,15 @@ from repro.core.indicator import (
     Indicator,
     SimulationCounter,
 )
-from repro.errors import EstimationError
+from repro.errors import CheckpointError, EstimationError
 from repro.ml.blockade import ClassifierBlockade
-from repro.rng import as_generator, spawn
+from repro.rng import (
+    as_generator,
+    rng_from_state,
+    rng_state,
+    spawn,
+    stable_seed,
+)
 from repro.runtime import ExecutionConfig, Executor, evaluate_indicator
 from repro.variability.space import VariabilitySpace
 
@@ -221,15 +227,34 @@ class EcripseEstimator:
                 seed=int(rng_clf.integers(2**31)))
         self.filter_bank: ParticleFilterBank | None = None
         self.mixture: DefensiveMixture | None = None
+        # Resumable-run progress markers (see state_snapshot); a fresh
+        # estimator starts in phase "init" with empty accumulators.
+        self._phase = "init"
+        self._stage1_iter = 0
+        self._stage2_batches = 0
+        self._stage2_done = False
+        self._sims_boundary = 0
+        self._sims_stage1 = 0
+        self._accumulator = RunningMean()
+        self._trace: list[TracePoint] = []
 
     # ------------------------------------------------------------------
     def run(self, target_relative_error: float = 0.01,
-            max_simulations: int | None = None) -> FailureEstimate:
+            max_simulations: int | None = None,
+            checkpoint=None) -> FailureEstimate:
         """Estimate P_fail.
 
         Stops when the 95 % CI relative error drops below the target (after
         a minimum number of batches), when ``max_simulations`` is exceeded,
         or when the statistical-sample cap is reached -- whichever first.
+
+        ``checkpoint`` (a
+        :class:`~repro.checkpoint.manager.CheckpointManager`) snapshots
+        the full estimator state at every safe boundary -- after the
+        boundary search, after each particle-filter iteration and after
+        each stage-2 batch -- so a killed run, restored via
+        ``restore_into`` and re-``run``, finishes with the bit-identical
+        estimate and trace the uninterrupted run produces.
         """
         if target_relative_error <= 0:
             raise ValueError("target_relative_error must be positive")
@@ -237,29 +262,32 @@ class EcripseEstimator:
         cfg = self.config
 
         try:
-            if self.boundary is None:
-                self.boundary = find_failure_boundary(
-                    self.boundary_search_indicator,
-                    cfg.n_boundary_directions,
-                    self._rng_boundary, r_max=cfg.boundary_r_max,
-                    n_bisections=cfg.n_bisections)
-            boundary_sims = self.counter.count
-
-            self._run_stage1()
-            stage1_sims = self.counter.count - boundary_sims
-
-            estimate, trace = self._run_stage2(
-                target_relative_error, max_simulations)
-            stage2_sims = self.counter.count - stage1_sims - boundary_sims
+            if self._phase == "init":
+                if self.boundary is None:
+                    self.boundary = find_failure_boundary(
+                        self.boundary_search_indicator,
+                        cfg.n_boundary_directions,
+                        self._rng_boundary, r_max=cfg.boundary_r_max,
+                        n_bisections=cfg.n_bisections)
+                self._sims_boundary = self.counter.count
+                self._phase = "stage1"
+                if checkpoint is not None:
+                    checkpoint.maybe_save(self, self.counter.count)
+            if self._phase == "stage1":
+                self._run_stage1(checkpoint)
+            estimate = self._run_stage2(
+                target_relative_error, max_simulations, checkpoint)
         finally:
             self.executor.close()
 
         estimate.wall_time_s = time.perf_counter() - start
-        estimate.trace = trace
+        estimate.trace = list(self._trace)
         estimate.metadata.update({
-            "boundary_simulations": boundary_sims,
-            "stage1_simulations": stage1_sims,
-            "stage2_simulations": stage2_sims,
+            "boundary_simulations": self._sims_boundary,
+            "stage1_simulations": self._sims_stage1,
+            "stage2_simulations": (self.counter.count
+                                   - self._sims_stage1
+                                   - self._sims_boundary),
             "classifier_trainings": self.blockade.train_count,
             "classifier_samples": self.blockade.n_training_samples,
             "use_classifier": cfg.use_classifier,
@@ -271,13 +299,14 @@ class EcripseEstimator:
     # ------------------------------------------------------------------
     # stage 1: particle filtering
     # ------------------------------------------------------------------
-    def _run_stage1(self) -> None:
+    def _run_stage1(self, checkpoint=None) -> None:
         cfg = self.config
-        self.filter_bank = ParticleFilterBank(
-            self.boundary.points, cfg.n_filters, cfg.n_particles,
-            cfg.kernel_sigma, self._rng_bank)
+        if self.filter_bank is None:
+            self.filter_bank = ParticleFilterBank(
+                self.boundary.points, cfg.n_filters, cfg.n_particles,
+                cfg.kernel_sigma, self._rng_bank)
         m = 1 if self.rtn_model.is_null else cfg.m_rtn
-        for _ in range(cfg.n_iterations):
+        while self._stage1_iter < cfg.n_iterations:
             candidates = self.filter_bank.predict_all(self.executor)
             total = self._total_shift_samples(candidates, m,
                                               self._rng_stage1)
@@ -285,6 +314,24 @@ class EcripseEstimator:
             p_fail_rtn = labels.reshape(candidates.shape[0], m).mean(axis=1)
             weights = p_fail_rtn * self.space.pdf(candidates)
             self.filter_bank.resample_all(candidates, weights)
+            self._stage1_iter += 1
+            if checkpoint is not None:
+                checkpoint.maybe_save(self, self.counter.count)
+        self._sims_stage1 = self.counter.count - self._sims_boundary
+        self._phase = "stage2"
+        self._finalize_stage1()
+        if checkpoint is not None:
+            checkpoint.maybe_save(self, self.counter.count)
+
+    def _finalize_stage1(self) -> None:
+        """Build the stage-2 mixture from the finished filter bank.
+
+        Deterministic in the bank's particles, so it is *recomputed*
+        (not stored) when a stage-2 snapshot is restored.
+        """
+        cfg = self.config
+        if self.filter_bank is None:
+            raise EstimationError("stage 2 requires a completed stage 1")
         # Filters whose lobe carries no weight under this bias condition
         # (e.g. the mirrored lobe at duty ratio 0) never resampled; their
         # kernels would only dilute the mixture, so they are dropped --
@@ -350,48 +397,54 @@ class EcripseEstimator:
     # stage 2: importance sampling
     # ------------------------------------------------------------------
     def _run_stage2(self, target_relative_error: float,
-                    max_simulations: int | None
-                    ) -> tuple[FailureEstimate, list[TracePoint]]:
+                    max_simulations: int | None,
+                    checkpoint=None) -> FailureEstimate:
         cfg = self.config
-        if self.mixture is None:
+        if self._phase != "stage2":
             raise EstimationError("stage 2 requires a completed stage 1")
+        if self.mixture is None:
+            self._finalize_stage1()
         m = 1 if self.rtn_model.is_null else cfg.m_rtn_stage2
-        accumulator = RunningMean()
-        trace: list[TracePoint] = []
-        batches = 0
-        while accumulator.count < cfg.max_statistical_samples:
+        accumulator = self._accumulator
+        while (not self._stage2_done
+               and accumulator.count < cfg.max_statistical_samples):
             x = self.mixture.sample(cfg.stage2_batch, self._rng_stage2)
             ratios = importance_ratios(self.space, self.mixture, x)
             total = self._total_shift_samples(x, m, self._rng_stage2)
             labels = self._labels_stage2(total)
             y = labels.reshape(x.shape[0], m).mean(axis=1)
             accumulator.update(ratios * y)
-            batches += 1
+            self._stage2_batches += 1
 
-            trace.append(TracePoint(
+            self._trace.append(TracePoint(
                 n_simulations=self.counter.count,
                 estimate=accumulator.mean,
                 ci_halfwidth=accumulator.ci95_halfwidth,
                 n_statistical_samples=accumulator.count))
-            if (batches >= cfg.min_stage2_batches and accumulator.mean > 0
+            # The stop decision is taken *before* the snapshot below, so
+            # a resumed run never executes a batch the uninterrupted run
+            # would have skipped.
+            if (self._stage2_batches >= cfg.min_stage2_batches
+                    and accumulator.mean > 0
                     and accumulator.ci95_halfwidth / accumulator.mean
                     <= target_relative_error):
-                break
-            if (max_simulations is not None
+                self._stage2_done = True
+            elif (max_simulations is not None
                     and self.counter.count >= max_simulations):
-                break
+                self._stage2_done = True
+            if checkpoint is not None:
+                checkpoint.maybe_save(self, self.counter.count)
 
         if accumulator.mean <= 0.0:
             raise EstimationError(
                 "importance sampling found no failing samples; the "
                 "alternative distribution missed the failure region")
-        estimate = FailureEstimate(
+        return FailureEstimate(
             pfail=accumulator.mean,
             ci_halfwidth=accumulator.ci95_halfwidth,
             n_simulations=self.counter.count,
             n_statistical_samples=accumulator.count,
             method=self.method)
-        return estimate, trace
 
     def _labels_stage2(self, total: np.ndarray) -> np.ndarray:
         """Fail labels for stage-2 samples: classifier everywhere except
@@ -407,3 +460,89 @@ class EcripseEstimator:
             labels[uncertain] = simulated
             self.blockade.update(total[uncertain], simulated)
         return labels
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hex id of the estimation *problem*.
+
+        Covers the method, the space dimensionality, the configuration
+        and the RTN model -- but not the execution backend, so a run
+        checkpointed under one backend may legally resume under another
+        (the estimate is backend-invariant by construction).
+        """
+        cfg = self.config.with_(execution=ExecutionConfig())
+        return format(stable_seed(
+            self.method, self.space.dim, cfg,
+            type(self.rtn_model).__name__,
+            getattr(self.rtn_model, "alpha", None)), "016x")
+
+    def state_snapshot(self) -> dict:
+        """Complete resumable state at a safe boundary.
+
+        The stage-2 mixture is deliberately absent: it is a pure
+        function of the filter bank and is rebuilt by
+        :meth:`_finalize_stage1` on restore.
+        """
+        return {
+            "phase": self._phase,
+            "stage1_iter": self._stage1_iter,
+            "stage2_batches": self._stage2_batches,
+            "stage2_done": self._stage2_done,
+            "sims_boundary": self._sims_boundary,
+            "sims_stage1": self._sims_stage1,
+            "counter": self.counter.state(),
+            "rngs": {
+                "boundary": rng_state(self._rng_boundary),
+                "bank": rng_state(self._rng_bank),
+                "stage1": rng_state(self._rng_stage1),
+                "stage2": rng_state(self._rng_stage2),
+            },
+            "boundary": (None if self.boundary is None
+                         else self.boundary.as_dict()),
+            "filter_bank": (None if self.filter_bank is None
+                            else self.filter_bank.state()),
+            "blockade": self.blockade.state(),
+            "accumulator": self._accumulator.state(),
+            "trace": [point.as_dict() for point in self._trace],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_snapshot`; continues bit-identically.
+
+        Raises :class:`~repro.errors.CheckpointError` when the snapshot
+        tree does not have the expected shape.
+        """
+        try:
+            phase = str(state["phase"])
+            if phase not in ("init", "stage1", "stage2"):
+                raise ValueError(f"unknown phase {phase!r}")
+            self._phase = phase
+            self._stage1_iter = int(state["stage1_iter"])
+            self._stage2_batches = int(state["stage2_batches"])
+            self._stage2_done = bool(state["stage2_done"])
+            self._sims_boundary = int(state["sims_boundary"])
+            self._sims_stage1 = int(state["sims_stage1"])
+            self.counter.restore_state(state["counter"])
+            rngs = state["rngs"]
+            self._rng_boundary = rng_from_state(rngs["boundary"])
+            self._rng_bank = rng_from_state(rngs["bank"])
+            self._rng_stage1 = rng_from_state(rngs["stage1"])
+            self._rng_stage2 = rng_from_state(rngs["stage2"])
+            self.boundary = (
+                None if state["boundary"] is None
+                else BoundarySearchResult.from_dict(state["boundary"]))
+            self.filter_bank = (
+                None if state["filter_bank"] is None
+                else ParticleFilterBank.from_state(state["filter_bank"]))
+            self.blockade.restore_state(state["blockade"])
+            self._accumulator.restore_state(state["accumulator"])
+            self._trace = [TracePoint.from_dict(point)
+                           for point in state["trace"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"invalid {self.method} snapshot: {exc}") from exc
+        self.mixture = None
+        if self._phase == "stage2":
+            self._finalize_stage1()

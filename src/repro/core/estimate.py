@@ -37,6 +37,20 @@ class TracePoint:
             return float("inf")
         return self.ci_halfwidth / self.estimate
 
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON persistence and checkpoint snapshots)."""
+        return {
+            "n_simulations": self.n_simulations,
+            "estimate": self.estimate,
+            "ci_halfwidth": self.ci_halfwidth,
+            "n_statistical_samples": self.n_statistical_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TracePoint":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**data)
+
 
 @dataclass
 class FailureEstimate:
@@ -149,3 +163,14 @@ class RunningMean:
     @property
     def ci95_halfwidth(self) -> float:
         return 1.96 * self.std_error
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Checkpoint snapshot of the accumulator (exact floats)."""
+        return {"count": self.count, "mean": self._mean, "m2": self._m2}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot bit-exactly."""
+        self.count = int(state["count"])
+        self._mean = float(state["mean"])
+        self._m2 = float(state["m2"])

@@ -22,7 +22,7 @@ from repro.core.particles import (
     systematic_resample,
     unique_fraction,
 )
-from repro.rng import spawn
+from repro.rng import rng_from_state, rng_state, spawn
 
 
 def predict_candidates(positions: np.ndarray, kernel_sigma: float,
@@ -49,6 +49,18 @@ class FilterDiagnostics:
     mean_weight: float
     unique_ancestors: float
     centroid_norm: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for checkpoint snapshots."""
+        return {"iteration": self.iteration,
+                "mean_weight": self.mean_weight,
+                "unique_ancestors": self.unique_ancestors,
+                "centroid_norm": self.centroid_norm}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FilterDiagnostics":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**data)
 
 
 class ParticleFilter:
@@ -103,6 +115,28 @@ class ParticleFilter:
             mean_weight=float(weights.mean()),
             unique_ancestors=unique_fraction(indices),
             centroid_norm=float(np.linalg.norm(self.positions.mean(axis=0)))))
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Checkpoint snapshot: particles, kernel, RNG stream, history."""
+        return {
+            "positions": self.positions.copy(),
+            "kernel_sigma": self.kernel_sigma,
+            "rng": rng_state(self.rng),
+            "iteration": self._iteration,
+            "history": [d.as_dict() for d in self.history],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ParticleFilter":
+        """Rebuild a filter mid-run from a :meth:`state` snapshot."""
+        flt = cls(np.asarray(state["positions"], dtype=float),
+                  float(state["kernel_sigma"]),
+                  rng_from_state(state["rng"]))
+        flt._iteration = int(state["iteration"])
+        flt.history = [FilterDiagnostics.from_dict(d)
+                       for d in state["history"]]
+        return flt
 
 
 class ParticleFilterBank:
@@ -186,3 +220,30 @@ class ParticleFilterBank:
     def positions(self) -> np.ndarray:
         """All particles of all filters, shape (F * N, D)."""
         return np.vstack([f.positions for f in self.filters])
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Checkpoint snapshot of the whole bank."""
+        return {
+            "n_filters": self.n_filters,
+            "n_particles": self.n_particles,
+            "filters": [f.state() for f in self.filters],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ParticleFilterBank":
+        """Rebuild a bank mid-run without re-running k-means/seeding.
+
+        Bypasses ``__init__`` (which would consume fresh randomness);
+        each member filter is restored from its own snapshot.
+        """
+        bank = cls.__new__(cls)
+        bank.n_filters = int(state["n_filters"])
+        bank.n_particles = int(state["n_particles"])
+        bank.filters = [ParticleFilter.from_state(s)
+                        for s in state["filters"]]
+        if len(bank.filters) != bank.n_filters:
+            raise ValueError(
+                f"snapshot holds {len(bank.filters)} filters, "
+                f"expected {bank.n_filters}")
+        return bank

@@ -60,6 +60,23 @@ class SimulationCounter:
             return None
         return max(self.budget - self.count, 0)
 
+    def state(self) -> dict:
+        """Checkpoint snapshot (count plus the configured budget)."""
+        return {"count": self.count, "budget": self.budget}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot.
+
+        The budget is restored as saved so a resumed run keeps the same
+        circuit-breaker the original run was started with.
+        """
+        count = int(state["count"])
+        if count < 0:
+            raise ValueError(f"cannot restore negative count {count}")
+        self.count = count
+        budget = state.get("budget")
+        self.budget = None if budget is None else int(budget)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimulationCounter(count={self.count})"
 

@@ -28,7 +28,14 @@ from repro.core.indicator import (
     Indicator,
     SimulationCounter,
 )
-from repro.rng import as_generator, spawn
+from repro.errors import CheckpointError
+from repro.rng import (
+    as_generator,
+    rng_from_state,
+    rng_state,
+    spawn,
+    stable_seed,
+)
 from repro.runtime import ExecutionConfig, Executor
 from repro.runtime.chunking import chunk_sizes
 from repro.variability.space import VariabilitySpace
@@ -86,49 +93,83 @@ class NaiveMonteCarlo:
         self.execution = execution
         self.executor = (Executor(execution, counter=self.counter)
                          if execution is not None else None)
+        # Resumable-run progress (see state_snapshot).  ``_mode`` is None
+        # until run() commits to the legacy or the chunked path.
+        self._mode: str | None = None
+        self._n_samples = 0
+        self._fails = 0
+        self._drawn = 0
+        self._cursor = 0
+        self._stopped = False
+        self._chunk: int | None = None
+        self._entry_rng: dict | None = None
+        self._trace: list[TracePoint] = []
 
     # ------------------------------------------------------------------
     def run(self, n_samples: int,
-            target_relative_error: float | None = None) -> FailureEstimate:
+            target_relative_error: float | None = None,
+            checkpoint=None) -> FailureEstimate:
         """Estimate P_fail from up to ``n_samples`` simulations.
 
         Stops early if ``target_relative_error`` (CI95 half-width over
-        estimate) is reached.
+        estimate) is reached.  ``checkpoint`` (a
+        :class:`~repro.checkpoint.manager.CheckpointManager`) snapshots
+        after every batch (legacy path) or consumed chunk (parallel
+        path); a restored estimator must be re-run with the same
+        ``n_samples``.
         """
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        if self._mode is not None and self._n_samples != n_samples:
+            raise CheckpointError(
+                f"snapshot was taken for n_samples="
+                f"{self._n_samples}, cannot resume with {n_samples}")
+        self._n_samples = n_samples
         if self.executor is not None:
-            return self._run_chunked(n_samples, target_relative_error)
+            if self._mode == "legacy":
+                raise CheckpointError(
+                    "snapshot comes from the single-stream path; resume "
+                    "without an execution config")
+            return self._run_chunked(n_samples, target_relative_error,
+                                     checkpoint)
+        if self._mode == "chunked":
+            raise CheckpointError(
+                "snapshot comes from the chunked path; resume with an "
+                "execution config")
+        self._mode = "legacy"
         start = time.perf_counter()
-        fails = 0
-        drawn = 0
-        trace: list[TracePoint] = []
-        while drawn < n_samples:
-            batch = min(self.batch_size, n_samples - drawn)
+        while not self._stopped and self._drawn < n_samples:
+            batch = min(self.batch_size, n_samples - self._drawn)
             x = self.space.sample(batch, self.rng)
             shifts, states = self.rtn_model.sample(batch, self.rng)
             total = self.rtn_model.mirror(x + shifts, states)
-            fails += int(np.sum(self.indicator.evaluate(total)))
-            drawn += batch
+            self._fails += int(np.sum(self.indicator.evaluate(total)))
+            self._drawn += batch
 
-            estimate, halfwidth = wilson_interval(fails, drawn)
-            trace.append(TracePoint(
+            estimate, halfwidth = wilson_interval(self._fails, self._drawn)
+            self._trace.append(TracePoint(
                 n_simulations=self.counter.count, estimate=estimate,
-                ci_halfwidth=halfwidth, n_statistical_samples=drawn))
+                ci_halfwidth=halfwidth, n_statistical_samples=self._drawn))
+            # Stop decision before the snapshot, so a resumed run never
+            # draws a batch the uninterrupted run would have skipped.
             if (target_relative_error is not None and estimate > 0.0
                     and halfwidth / estimate <= target_relative_error):
-                break
+                self._stopped = True
+            if checkpoint is not None:
+                checkpoint.maybe_save(self, self.counter.count)
 
-        estimate, halfwidth = wilson_interval(fails, drawn)
+        estimate, halfwidth = wilson_interval(self._fails, self._drawn)
         return FailureEstimate(
             pfail=estimate, ci_halfwidth=halfwidth,
-            n_simulations=self.counter.count, n_statistical_samples=drawn,
+            n_simulations=self.counter.count,
+            n_statistical_samples=self._drawn,
             method="naive-mc", wall_time_s=time.perf_counter() - start,
-            trace=trace, metadata={"failures": fails})
+            trace=list(self._trace), metadata={"failures": self._fails})
 
     # ------------------------------------------------------------------
     def _run_chunked(self, n_samples: int,
-                     target_relative_error: float | None) -> FailureEstimate:
+                     target_relative_error: float | None,
+                     checkpoint=None) -> FailureEstimate:
         """Parallel path: one runtime task per chunk, one child RNG each.
 
         The stopping rule is evaluated on the ordered chunk prefix, so
@@ -136,41 +177,114 @@ class NaiveMonteCarlo:
         not depend on the backend or on out-of-order completion (chunks
         speculatively computed past an early stop are discarded and not
         counted).
+
+        Resumability: the parent generator state is captured *before*
+        the chunk RNGs are spawned, so a resumed run re-derives the
+        identical chunk streams and simply skips the ``_cursor`` chunks
+        already consumed.
         """
         start = time.perf_counter()
+        self._mode = "chunked"
         chunk = (self.execution.chunk_size if self.execution.chunk_size
                  is not None else self.batch_size)
-        sizes = chunk_sizes(n_samples, chunk)
-        rngs = spawn(self.rng, len(sizes))
+        if self._chunk is None:
+            self._chunk = int(chunk)
+            self._entry_rng = rng_state(self.rng)
+        elif self._chunk != chunk:
+            raise CheckpointError(
+                f"snapshot was chunked at {self._chunk} samples, cannot "
+                f"resume with chunk size {chunk}")
+        sizes = chunk_sizes(n_samples, self._chunk)
+        rngs = spawn(rng_from_state(self._entry_rng), len(sizes))
         tasks = [(n, rng, self.space, self.indicator.indicator,
                   self.rtn_model) for n, rng in zip(sizes, rngs)]
 
-        fails = 0
-        drawn = 0
-        trace: list[TracePoint] = []
-        results = self.executor.iter_tasks(
-            sample_and_label_chunk, tasks, sizes=sizes, label="naive-mc")
         try:
-            for n_fail, n in results:
-                self.counter.add(n)
-                fails += n_fail
-                drawn += n
-                estimate, halfwidth = wilson_interval(fails, drawn)
-                trace.append(TracePoint(
-                    n_simulations=self.counter.count, estimate=estimate,
-                    ci_halfwidth=halfwidth, n_statistical_samples=drawn))
-                if (target_relative_error is not None and estimate > 0.0
-                        and halfwidth / estimate <= target_relative_error):
-                    break
+            if not self._stopped and self._cursor < len(sizes):
+                results = self.executor.iter_tasks(
+                    sample_and_label_chunk, tasks[self._cursor:],
+                    sizes=sizes[self._cursor:], label="naive-mc")
+                try:
+                    for n_fail, n in results:
+                        self.counter.add(n)
+                        self._fails += n_fail
+                        self._drawn += n
+                        self._cursor += 1
+                        estimate, halfwidth = wilson_interval(
+                            self._fails, self._drawn)
+                        self._trace.append(TracePoint(
+                            n_simulations=self.counter.count,
+                            estimate=estimate, ci_halfwidth=halfwidth,
+                            n_statistical_samples=self._drawn))
+                        if (target_relative_error is not None
+                                and estimate > 0.0
+                                and halfwidth / estimate
+                                <= target_relative_error):
+                            self._stopped = True
+                        if checkpoint is not None:
+                            checkpoint.maybe_save(self, self.counter.count)
+                        if self._stopped:
+                            break
+                finally:
+                    results.close()
         finally:
-            results.close()
             self.executor.close()
 
-        estimate, halfwidth = wilson_interval(fails, drawn)
+        estimate, halfwidth = wilson_interval(self._fails, self._drawn)
         return FailureEstimate(
             pfail=estimate, ci_halfwidth=halfwidth,
-            n_simulations=self.counter.count, n_statistical_samples=drawn,
+            n_simulations=self.counter.count,
+            n_statistical_samples=self._drawn,
             method="naive-mc", wall_time_s=time.perf_counter() - start,
-            trace=trace,
-            metadata={"failures": fails,
+            trace=list(self._trace),
+            metadata={"failures": self._fails,
                       "execution": self.executor.aggregate().as_dict()})
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hex id of the estimation problem (backend excluded)."""
+        return format(stable_seed(
+            "naive-mc", self.space.dim, self.batch_size,
+            type(self.rtn_model).__name__,
+            getattr(self.rtn_model, "alpha", None)), "016x")
+
+    def state_snapshot(self) -> dict:
+        """Complete resumable state at a batch/chunk boundary."""
+        return {
+            "mode": self._mode,
+            "n_samples": self._n_samples,
+            "fails": self._fails,
+            "drawn": self._drawn,
+            "cursor": self._cursor,
+            "stopped": self._stopped,
+            "chunk": self._chunk,
+            "counter": self.counter.state(),
+            "rng": rng_state(self.rng),
+            "entry_rng": self._entry_rng,
+            "trace": [point.as_dict() for point in self._trace],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_snapshot`; continues bit-identically."""
+        try:
+            mode = state["mode"]
+            if mode not in (None, "legacy", "chunked"):
+                raise ValueError(f"unknown mode {mode!r}")
+            self._mode = mode
+            self._n_samples = int(state["n_samples"])
+            self._fails = int(state["fails"])
+            self._drawn = int(state["drawn"])
+            self._cursor = int(state["cursor"])
+            self._stopped = bool(state["stopped"])
+            chunk = state["chunk"]
+            self._chunk = None if chunk is None else int(chunk)
+            self.counter.restore_state(state["counter"])
+            self.rng = rng_from_state(state["rng"])
+            self._entry_rng = state["entry_rng"]
+            self._trace = [TracePoint.from_dict(point)
+                           for point in state["trace"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"invalid naive-mc snapshot: {exc}") from exc

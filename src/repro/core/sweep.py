@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.checkpoint import CheckpointConfig, run_checkpointed
 from repro.core.boundary import BoundarySearchResult
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.core.estimate import FailureEstimate
@@ -93,8 +94,17 @@ class BiasSweep:
 
     # ------------------------------------------------------------------
     def run(self, alphas, target_relative_error: float = 0.05,
-            max_simulations_per_point: int | None = None) -> BiasSweepResult:
-        """Estimate P_fail at every duty ratio in ``alphas``."""
+            max_simulations_per_point: int | None = None,
+            checkpoint: CheckpointConfig | None = None,
+            crash_budget: list[int] | None = None) -> BiasSweepResult:
+        """Estimate P_fail at every duty ratio in ``alphas``.
+
+        With a ``checkpoint`` policy each bias point snapshots into its
+        own subdirectory (``alpha-00``, ``alpha-01``, ...); on resume,
+        finished points are loaded from their result files (their final
+        estimator state is restored so boundary/classifier sharing is
+        preserved) and the interrupted point continues mid-run.
+        """
         alphas = [float(a) for a in alphas]
         if not alphas:
             raise ValueError("need at least one duty ratio")
@@ -110,7 +120,9 @@ class BiasSweep:
                 self.space, self.indicator, rtn, config=self.config,
                 seed=stable_seed(self._seed_root, index, alpha),
                 initial_boundary=boundary, classifier=classifier)
-            estimate = estimator.run(
+            estimate = run_checkpointed(
+                checkpoint, f"alpha-{index:02d}", estimator,
+                crash_budget=crash_budget,
                 target_relative_error=target_relative_error,
                 max_simulations=max_simulations_per_point)
             estimate.metadata["alpha"] = alpha

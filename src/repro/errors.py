@@ -52,6 +52,24 @@ class BudgetExceededError(ReproError):
         self.budget = budget
 
 
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be written, read or applied: a
+    corrupted manifest, a checksum mismatch, a schema written by a newer
+    build, or a snapshot that does not match the estimator it is being
+    restored into."""
+
+
+class CheckpointCrash(ReproError):
+    """Raised by the checkpoint crash injector immediately *after* a
+    checkpoint has been durably written.
+
+    This is test/CI machinery (``--crash-after-checkpoints``): it
+    simulates a process kill at a checkpoint boundary so the kill/resume
+    invariant can be exercised deterministically.  It is never raised in
+    normal operation.
+    """
+
+
 class ExecutionError(ReproError):
     """Raised when the parallel runtime cannot complete a task: the chunk
     failed on the backend, exhausted its retries *and* failed the final

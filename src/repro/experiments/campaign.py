@@ -13,6 +13,7 @@ import time
 from pathlib import Path
 
 from repro.analysis.persistence import save_estimate
+from repro.checkpoint import CheckpointConfig
 from repro.core.ecripse import EcripseConfig
 from repro.experiments import fig6, fig7, fig8
 from repro.runtime import ExecutionConfig
@@ -23,13 +24,20 @@ def run_campaign(out_dir, config: EcripseConfig | None = None,
                  naive_samples: int = 100_000,
                  alphas=(0.0, 0.25, 0.5, 0.75, 1.0),
                  seed: int = 2015, include=("fig6", "fig7", "fig8"),
-                 execution: ExecutionConfig | None = None) -> Path:
+                 execution: ExecutionConfig | None = None,
+                 checkpoint: CheckpointConfig | None = None) -> Path:
     """Run the selected experiments and write ``report.md`` plus per-run
     JSON files into ``out_dir``.  Returns the report path.
 
     ``execution`` overrides the runtime backend/worker settings of
     ``config`` for every experiment in the campaign (the naive baseline
     included); estimates are backend-invariant for a fixed seed.
+
+    ``checkpoint`` makes the Fig. 7/8 estimator runs crash-safe: a
+    killed campaign re-invoked with the same arguments and
+    ``resume=True`` skips finished runs and continues the interrupted
+    one mid-flight.  A campaign owns its output files, so the JSON
+    results are refreshed with an explicit ``overwrite=True``.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -52,8 +60,10 @@ def run_campaign(out_dir, config: EcripseConfig | None = None,
         result = fig6.run_fig6(
             target_relative_error=target_relative_error,
             config=config, seed=seed)
-        save_estimate(result.proposed, out / "fig6_proposed.json")
-        save_estimate(result.conventional, out / "fig6_conventional.json")
+        save_estimate(result.proposed, out / "fig6_proposed.json",
+                      overwrite=True)
+        save_estimate(result.conventional,
+                      out / "fig6_conventional.json", overwrite=True)
         sections += [
             "## Fig. 6 — proposed vs conventional (RDF only)",
             "",
@@ -73,10 +83,13 @@ def run_campaign(out_dir, config: EcripseConfig | None = None,
         result = fig7.run_fig7(
             naive_samples=naive_samples,
             target_relative_error=target_relative_error * 2,
-            config=config, seed=seed)
-        save_estimate(result.naive_a, out / "fig7_naive.json")
-        save_estimate(result.proposed_a, out / "fig7_proposed_a.json")
-        save_estimate(result.proposed_b, out / "fig7_proposed_b.json")
+            config=config, seed=seed, checkpoint=checkpoint)
+        save_estimate(result.naive_a, out / "fig7_naive.json",
+                      overwrite=True)
+        save_estimate(result.proposed_a, out / "fig7_proposed_a.json",
+                      overwrite=True)
+        save_estimate(result.proposed_b, out / "fig7_proposed_b.json",
+                      overwrite=True)
         sections += [
             "## Fig. 7 — naive MC vs proposed with RTN (0.5 V)",
             "",
@@ -96,11 +109,14 @@ def run_campaign(out_dir, config: EcripseConfig | None = None,
         result = fig8.run_fig8(
             alphas=alphas,
             target_relative_error=target_relative_error * 2,
-            config=config, seed=seed)
+            config=config, seed=seed, checkpoint=checkpoint)
         for alpha, estimate in zip(result.sweep.alphas,
                                    result.sweep.estimates):
-            save_estimate(estimate, out / f"fig8_alpha_{alpha:.2f}.json")
-        save_estimate(result.no_rtn, out / "fig8_no_rtn.json")
+            save_estimate(estimate,
+                          out / f"fig8_alpha_{alpha:.2f}.json",
+                          overwrite=True)
+        save_estimate(result.no_rtn, out / "fig8_no_rtn.json",
+                      overwrite=True)
         sections += [
             "## Fig. 8 — failure probability vs duty ratio (0.7 V)",
             "",

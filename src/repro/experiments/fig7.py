@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
+from repro.checkpoint import CheckpointConfig, run_checkpointed
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.core.estimate import FailureEstimate
 from repro.core.naive import NaiveMonteCarlo
@@ -72,27 +73,40 @@ def run_fig7(alpha_a: float = 0.3, alpha_b: float = 0.5,
              naive_samples: int = 300_000,
              target_relative_error: float = 0.05,
              config: EcripseConfig | None = None,
-             seed: int = 2015) -> Fig7Result:
+             seed: int = 2015,
+             checkpoint: CheckpointConfig | None = None) -> Fig7Result:
     """Run the Fig. 7 comparison at VDD = 0.5 V.
 
     ``naive_samples`` defaults to a scaled-down 3e5 (the paper used 1e6);
-    the proposed runs stop at ``target_relative_error``.
+    the proposed runs stop at ``target_relative_error``.  With a
+    ``checkpoint`` policy each of the three runs snapshots into its own
+    subdirectory (``naive``/``prop-a``/``prop-b``) and an interrupted
+    invocation resumes where it was killed; completed runs are loaded
+    from their result files and their final state restored, so the
+    (b) run still reuses the (a) run's boundary and classifier.
     """
     setup_a = paper_setup(vdd=TABLE_I.vdd_low, alpha=alpha_a)
     config = config if config is not None else EcripseConfig()
+    crash_budget = (None if checkpoint is None
+                    or checkpoint.crash_after is None
+                    else [checkpoint.crash_after])
 
     # The naive baseline rides the same execution backend as the
     # estimator; the legacy single-stream loop is kept for serial runs so
     # default results match previous releases bit for bit.
-    naive = NaiveMonteCarlo(
-        setup_a.space, setup_a.indicator, setup_a.rtn_model,
-        seed=stable_seed(seed, "naive"),
-        execution=(config.execution if config.execution.is_parallel
-                   else None)).run(n_samples=naive_samples)
+    naive = run_checkpointed(
+        checkpoint, "naive",
+        NaiveMonteCarlo(
+            setup_a.space, setup_a.indicator, setup_a.rtn_model,
+            seed=stable_seed(seed, "naive"),
+            execution=(config.execution if config.execution.is_parallel
+                       else None)),
+        crash_budget=crash_budget, n_samples=naive_samples)
     estimator_a = EcripseEstimator(
         setup_a.space, setup_a.indicator, setup_a.rtn_model, config=config,
         seed=stable_seed(seed, "prop-a"))
-    proposed_a = estimator_a.run(
+    proposed_a = run_checkpointed(
+        checkpoint, "prop-a", estimator_a, crash_budget=crash_budget,
         target_relative_error=target_relative_error)
 
     setup_b = setup_a.with_alpha(alpha_b)
@@ -101,7 +115,8 @@ def run_fig7(alpha_a: float = 0.3, alpha_b: float = 0.5,
         seed=stable_seed(seed, "prop-b"),
         initial_boundary=estimator_a.boundary,
         classifier=estimator_a.blockade)
-    proposed_b = estimator_b.run(
+    proposed_b = run_checkpointed(
+        checkpoint, "prop-b", estimator_b, crash_budget=crash_budget,
         target_relative_error=target_relative_error)
 
     return Fig7Result(naive_a=naive, proposed_a=proposed_a,

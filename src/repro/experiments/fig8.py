@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.tables import format_table
+from repro.checkpoint import CheckpointConfig, run_checkpointed
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.core.estimate import FailureEstimate
 from repro.core.sweep import BiasSweep, BiasSweepResult
@@ -68,14 +69,26 @@ class Fig8Result:
 def run_fig8(alphas=DEFAULT_ALPHAS, target_relative_error: float = 0.05,
              config: EcripseConfig | None = None,
              convention: str = "physical", vdd: float | None = None,
-             seed: int = 2015) -> Fig8Result:
-    """Run the duty-ratio sweep plus the no-RTN reference point."""
+             seed: int = 2015,
+             checkpoint: CheckpointConfig | None = None) -> Fig8Result:
+    """Run the duty-ratio sweep plus the no-RTN reference point.
+
+    With a ``checkpoint`` policy the no-RTN reference snapshots under
+    ``nortn`` and each sweep point under ``alpha-NN``; an interrupted
+    invocation resumes mid-point without repeating finished points.
+    """
     setup = paper_setup(vdd=vdd)
     config = config if config is not None else EcripseConfig()
+    crash_budget = (None if checkpoint is None
+                    or checkpoint.crash_after is None
+                    else [checkpoint.crash_after])
 
-    no_rtn = EcripseEstimator(
-        setup.space, setup.indicator, setup.rtn_model, config=config,
-        seed=stable_seed(seed, "nortn")).run(
+    no_rtn = run_checkpointed(
+        checkpoint, "nortn",
+        EcripseEstimator(
+            setup.space, setup.indicator, setup.rtn_model, config=config,
+            seed=stable_seed(seed, "nortn")),
+        crash_budget=crash_budget,
         target_relative_error=target_relative_error)
 
     rtn_setup = setup.with_alpha(0.5, convention=convention)
@@ -83,7 +96,8 @@ def run_fig8(alphas=DEFAULT_ALPHAS, target_relative_error: float = 0.05,
                       rtn_setup.conditions, config=config,
                       convention=convention,
                       seed=stable_seed(seed, "sweep")).run(
-        alphas, target_relative_error=target_relative_error)
+        alphas, target_relative_error=target_relative_error,
+        checkpoint=checkpoint, crash_budget=crash_budget)
     return Fig8Result(sweep=sweep, no_rtn=no_rtn)
 
 

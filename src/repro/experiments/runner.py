@@ -17,7 +17,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.checkpoint import (
+    CheckpointConfig,
+    parse_every,
+    run_checkpointed,
+)
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
+from repro.errors import CheckpointCrash
 from repro.experiments import ablations, fig6, fig7, fig8
 from repro.experiments.setup import paper_setup
 from repro.runtime import BACKENDS, ExecutionConfig
@@ -48,6 +54,50 @@ def _add_common_args(cmd: argparse.ArgumentParser) -> None:
                           "backends (default: all cores)")
 
 
+def _add_checkpoint_args(cmd: argparse.ArgumentParser) -> None:
+    """Crash-safety flags (subcommands with resumable runs)."""
+    cmd.add_argument("--checkpoint-dir", default=None,
+                     help="directory for crash-safe snapshots; "
+                          "omitting it disables checkpointing")
+    cmd.add_argument("--checkpoint-every", default=None, metavar="N|Ts",
+                     help="snapshot cadence: a simulation count "
+                          "('5000') or a duration ('30s'); default "
+                          "5000 simulations")
+    cmd.add_argument("--checkpoint-keep", type=_positive_int, default=3,
+                     help="snapshots retained per run (default: 3)")
+    cmd.add_argument("--resume", action="store_true",
+                     help="resume from the newest snapshot in "
+                          "--checkpoint-dir instead of starting over")
+    # Test/CI crash injector: simulate a kill right after the N-th
+    # durable snapshot (exit code 3), so kill/resume is scriptable.
+    cmd.add_argument("--crash-after-checkpoints", type=_positive_int,
+                     default=None, help=argparse.SUPPRESS)
+
+
+def _checkpoint_config(args) -> CheckpointConfig | None:
+    """Build the checkpoint policy from parsed CLI flags."""
+    if getattr(args, "checkpoint_dir", None) is None:
+        if getattr(args, "resume", False):
+            raise SystemExit(
+                "--resume requires --checkpoint-dir")
+        return None
+    every_simulations: int | None = 5000
+    every_seconds: float | None = None
+    if args.checkpoint_every is not None:
+        try:
+            every_simulations, every_seconds = parse_every(
+                args.checkpoint_every)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+    return CheckpointConfig(
+        directory=args.checkpoint_dir,
+        every_simulations=every_simulations,
+        every_seconds=every_seconds,
+        keep=args.checkpoint_keep,
+        resume=args.resume,
+        crash_after=args.crash_after_checkpoints)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ecripse",
@@ -58,12 +108,15 @@ def _build_parser() -> argparse.ArgumentParser:
     for name in ("fig6", "fig7", "fig8", "ablations"):
         cmd = sub.add_parser(name, help=f"run the {name} experiment")
         _add_common_args(cmd)
+        if name in ("fig7", "fig8"):
+            _add_checkpoint_args(cmd)
 
     camp = sub.add_parser("campaign", help="run all figure experiments "
                                            "and write a markdown report")
     camp.add_argument("--out", default="results",
                       help="output directory (JSON + report.md)")
     _add_common_args(camp)
+    _add_checkpoint_args(camp)
 
     vmin = sub.add_parser("vmin", help="minimum-supply search for a "
                                        "failure-probability budget")
@@ -93,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
     est.add_argument("--target", type=float, default=0.05,
                      help="target relative error")
     _add_common_args(est)
+    _add_checkpoint_args(est)
     return parser
 
 
@@ -110,7 +164,19 @@ def main(argv: list[str] | None = None) -> int:
     execution = ExecutionConfig(backend=args.backend, workers=args.workers)
     config = (QUICK if args.quick else EcripseConfig()).with_(
         execution=execution)
+    checkpoint = _checkpoint_config(args)
 
+    try:
+        return _dispatch(args, config, execution, checkpoint)
+    except CheckpointCrash as crash:
+        # The kill/resume test harness's simulated crash: the snapshot
+        # it announces is durably on disk, so exit distinctly.
+        print(f"injected crash: {crash}", file=sys.stderr)
+        return 3
+
+
+def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
+              checkpoint: CheckpointConfig | None) -> int:
     if args.command == "fig6":
         result = fig6.run_fig6(config=config, seed=args.seed,
                                target_relative_error=0.05 if args.quick
@@ -125,7 +191,8 @@ def main(argv: list[str] | None = None) -> int:
         result = fig7.run_fig7(
             config=config, seed=args.seed,
             naive_samples=50_000 if args.quick else 300_000,
-            target_relative_error=0.10 if args.quick else 0.05)
+            target_relative_error=0.10 if args.quick else 0.05,
+            checkpoint=checkpoint)
         print(result.table())
         print(f"\nnaive/proposed ratio: {result.simulation_saving:.1f}x; "
               f"shared-init cost: {result.shared_init_saving:.2f}; "
@@ -135,7 +202,8 @@ def main(argv: list[str] | None = None) -> int:
             config=config, seed=args.seed,
             alphas=(0.0, 0.25, 0.5, 0.75, 1.0) if args.quick
             else fig8.DEFAULT_ALPHAS,
-            target_relative_error=0.10 if args.quick else 0.05)
+            target_relative_error=0.10 if args.quick else 0.05,
+            checkpoint=checkpoint)
         print(result.table())
         print(f"\nRTN penalty {result.rtn_penalty:.1f}x; "
               f"minimum at {result.minimum_alpha}; "
@@ -149,7 +217,7 @@ def main(argv: list[str] | None = None) -> int:
             args.out, config=config,
             target_relative_error=0.08 if args.quick else 0.02,
             naive_samples=40_000 if args.quick else 300_000,
-            seed=args.seed)
+            seed=args.seed, checkpoint=checkpoint)
         print(f"report written to {report}")
     elif args.command == "vmin":
         from repro.analysis.tables import format_table
@@ -170,7 +238,9 @@ def main(argv: list[str] | None = None) -> int:
         estimator = EcripseEstimator(setup.space, setup.indicator,
                                      setup.rtn_model, config=config,
                                      seed=args.seed)
-        result = estimator.run(target_relative_error=args.target)
+        result = run_checkpointed(
+            checkpoint, "estimate", estimator,
+            target_relative_error=args.target)
         print(result.summary())
         if execution.is_parallel:
             print()

@@ -25,7 +25,7 @@ from repro.errors import ClassifierError
 from repro.ml.features import PolynomialFeatures
 from repro.ml.scaler import StandardScaler
 from repro.ml.svm import LinearSvm
-from repro.rng import as_generator
+from repro.rng import as_generator, rng_from_state, rng_state
 
 
 @dataclass
@@ -230,6 +230,62 @@ class ClassifierBlockade:
         uncertain[beyond] = True
         return BlockadePrediction(labels=labels, uncertain=uncertain,
                                   decision=decision)
+
+    def state(self) -> dict:
+        """Checkpoint snapshot: training set, model, band, trust radii.
+
+        Non-finite trust radii (the pristine ``inf`` sentinel) are
+        stored as ``None`` because the checkpoint codec forbids
+        non-finite floats.
+        """
+        return {
+            "dim": self.features.dim,
+            "degree": self.features.degree,
+            "x_train": (None if self._x_train is None
+                        else self._x_train.copy()),
+            "y_train": (None if self._y_train is None
+                        else self._y_train.copy()),
+            "pending": self._pending,
+            "train_count": self.train_count,
+            "band_halfwidth": self.band_halfwidth,
+            "fail_norm_min": (None if not np.isfinite(self._fail_norm_min)
+                              else float(self._fail_norm_min)),
+            "train_norm_max": float(self._train_norm_max),
+            "subsample_rng": rng_state(self._subsample_rng),
+            "scaler": self.scaler.state(),
+            "svm": self.svm.state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot bit-exactly.
+
+        The snapshot must come from a blockade over the same feature
+        space (``dim``/``degree``); anything else is a configuration
+        mismatch and raises :class:`ClassifierError`.
+        """
+        if (int(state["dim"]) != self.features.dim
+                or int(state["degree"]) != self.features.degree):
+            raise ClassifierError(
+                f"snapshot is for a degree-{state['degree']} blockade "
+                f"over {state['dim']} inputs; this one is degree-"
+                f"{self.features.degree} over {self.features.dim}")
+
+        def _arr(value):
+            return None if value is None else np.asarray(value,
+                                                         dtype=float)
+
+        self._x_train = _arr(state["x_train"])
+        self._y_train = _arr(state["y_train"])
+        self._pending = int(state["pending"])
+        self.train_count = int(state["train_count"])
+        self.band_halfwidth = float(state["band_halfwidth"])
+        fail_norm_min = state["fail_norm_min"]
+        self._fail_norm_min = (np.inf if fail_norm_min is None
+                               else float(fail_norm_min))
+        self._train_norm_max = float(state["train_norm_max"])
+        self._subsample_rng = rng_from_state(state["subsample_rng"])
+        self.scaler.restore_state(state["scaler"])
+        self.svm.restore_state(state["svm"])
 
     def training_accuracy(self) -> float:
         """Fraction of the accumulated training set currently classified

@@ -77,3 +77,28 @@ class StandardScaler:
 
     def fit_transform(self, x) -> np.ndarray:
         return self.fit(x).transform(x)
+
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Checkpoint snapshot of the sufficient statistics."""
+        return {
+            "count": self._count,
+            "sum": None if self._sum is None else self._sum.copy(),
+            "sum_sq": (None if self._sum_sq is None
+                       else self._sum_sq.copy()),
+            "mean": None if self.mean_ is None else self.mean_.copy(),
+            "scale": None if self.scale_ is None else self.scale_.copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot bit-exactly."""
+
+        def _arr(value):
+            return None if value is None else np.asarray(value,
+                                                         dtype=float)
+
+        self._count = int(state["count"])
+        self._sum = _arr(state["sum"])
+        self._sum_sq = _arr(state["sum_sq"])
+        self.mean_ = _arr(state["mean"])
+        self.scale_ = _arr(state["scale"])

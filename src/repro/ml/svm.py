@@ -110,6 +110,22 @@ class LinearSvm:
         return self
 
     # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Checkpoint snapshot (weights and solver diagnostics)."""
+        return {
+            "weights": (None if self.weights is None
+                        else self.weights.copy()),
+            "iterations_run": self.iterations_run_,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot bit-exactly."""
+        weights = state["weights"]
+        self.weights = (None if weights is None
+                        else np.asarray(weights, dtype=float))
+        self.iterations_run_ = int(state["iterations_run"])
+
+    # ------------------------------------------------------------------
     def decision_function(self, x) -> np.ndarray:
         """Signed score ``w . x`` (positive = class +1)."""
         if not self.is_fitted:

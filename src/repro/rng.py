@@ -42,6 +42,38 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(int(s)) for s in seeds]
 
 
+def rng_state(rng: np.random.Generator) -> dict:
+    """JSON-serialisable snapshot of a generator's bit-generator state.
+
+    The returned tree contains only builtin types (the PCG64 state words
+    are arbitrary-precision ints, which JSON round-trips exactly), so it
+    can ride in a checkpoint manifest.  Restore with
+    :func:`rng_from_state`.
+    """
+    bit_generator = rng.bit_generator
+    return {"class": type(bit_generator).__name__,
+            "state": bit_generator.state}
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`rng_state` snapshot.
+
+    The restored generator produces the bit-identical stream the
+    snapshotted one would have continued with.
+    """
+    name = state.get("class") if isinstance(state, dict) else None
+    cls = getattr(np.random, name, None) if isinstance(name, str) else None
+    if cls is None or not (isinstance(cls, type)
+                           and issubclass(cls, np.random.BitGenerator)):
+        raise ValueError(f"unknown bit-generator class {name!r}")
+    bit_generator = cls()
+    try:
+        bit_generator.state = state["state"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"invalid {name} state: {exc}") from exc
+    return np.random.Generator(bit_generator)
+
+
 def stable_seed(*parts: Sequence) -> int:
     """Derive a deterministic 63-bit seed from hashable ``parts``.
 

@@ -61,3 +61,34 @@ class TestRoundtrip:
         loaded = load_estimate(path)
         assert loaded.relative_error == pytest.approx(
             estimate.relative_error)
+
+
+class TestSafety:
+    def test_refuses_silent_overwrite(self, estimate, tmp_path):
+        path = tmp_path / "result.json"
+        save_estimate(estimate, path)
+        with pytest.raises(FileExistsError, match="overwrite=True"):
+            save_estimate(estimate, path)
+
+    def test_explicit_overwrite_allowed(self, estimate, tmp_path):
+        path = tmp_path / "result.json"
+        save_estimate(estimate, path)
+        second = FailureEstimate(
+            pfail=2e-4, ci_halfwidth=1e-6, n_simulations=99,
+            n_statistical_samples=10, method="ecripse", wall_time_s=1.0)
+        save_estimate(second, path, overwrite=True)
+        assert load_estimate(path).n_simulations == 99
+
+    def test_write_is_atomic(self, estimate, tmp_path):
+        from repro.checkpoint.atomic import TMP_PREFIX
+
+        save_estimate(estimate, tmp_path / "result.json")
+        stale = [p.name for p in tmp_path.iterdir()
+                 if p.name.startswith(TMP_PREFIX)]
+        assert stale == []
+
+    def test_future_schema_named_explicitly(self, estimate):
+        data = estimate_to_dict(estimate)
+        data["schema"] = data["schema"] + 1
+        with pytest.raises(ValueError, match="newer than this build's"):
+            estimate_from_dict(data)

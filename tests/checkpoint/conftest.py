@@ -1,0 +1,31 @@
+"""Shared fixtures for the checkpoint test suite."""
+
+import numpy as np
+import pytest
+
+
+def _trees_equal(a, b) -> bool:
+    """Structural equality where ndarray leaves compare by dtype,
+    shape and exact values."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+                and a.dtype == b.dtype and a.shape == b.shape
+                and np.array_equal(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return (a.keys() == b.keys()
+                and all(_trees_equal(a[k], b[k]) for k in a))
+    if isinstance(a, list) and isinstance(b, list):
+        return (len(a) == len(b)
+                and all(_trees_equal(x, y) for x, y in zip(a, b)))
+    if type(a) is not type(b):
+        return False
+    return a == b
+
+
+# session scope keeps Hypothesis's function-scoped-fixture health
+# check quiet; the fixture is a pure function, so sharing is safe
+@pytest.fixture(scope="session")
+def trees_equal():
+    """Deep equality for snapshot trees
+    (dicts/lists/scalars/ndarrays)."""
+    return _trees_equal

@@ -1,0 +1,57 @@
+"""Tests for the atomic write/publish primitives."""
+
+import os
+
+import pytest
+
+from repro.checkpoint import atomic_write_bytes, atomic_write_text
+from repro.checkpoint.atomic import TMP_PREFIX, fsync_file, publish_dir
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"hello")
+        assert target.read_bytes() == b"hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_leaves_no_temporary_behind(self, tmp_path):
+        atomic_write_bytes(tmp_path / "out.bin", b"x")
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.startswith(TMP_PREFIX)]
+        assert leftovers == []
+
+    def test_failed_publish_cleans_temporary(self, tmp_path, monkeypatch):
+        def exploding_replace(src, dst):
+            raise OSError("simulated rename failure")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated"):
+            atomic_write_bytes(tmp_path / "out.bin", b"x")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_text_variant_is_utf8(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "pfail ≤ 1e-6")
+        assert target.read_text(encoding="utf-8") == "pfail ≤ 1e-6"
+
+
+class TestPublishDir:
+    def test_renames_staging_into_place(self, tmp_path):
+        staging = tmp_path / f"{TMP_PREFIX}ckpt"
+        staging.mkdir()
+        (staging / "payload").write_text("done")
+        final = tmp_path / "ckpt"
+        publish_dir(staging, final)
+        assert not staging.exists()
+        assert (final / "payload").read_text() == "done"
+
+    def test_fsync_file_accepts_written_file(self, tmp_path):
+        target = tmp_path / "f"
+        target.write_bytes(b"x")
+        fsync_file(target)  # must not raise

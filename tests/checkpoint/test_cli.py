@@ -1,0 +1,56 @@
+"""CLI surface of the checkpoint feature (the ``ecripse`` runner)."""
+
+import re
+
+import pytest
+
+from repro.experiments import runner
+
+
+def summary_lines(capsys):
+    """Captured stdout with the wall-time field masked out."""
+    out = capsys.readouterr().out
+    return re.sub(r"[\d.]+ s\)", "_)", out)
+
+
+class TestFlagValidation:
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="--checkpoint-dir"):
+            runner.main(["estimate", "--quick", "--resume"])
+
+    def test_invalid_cadence_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="checkpoint-every"):
+            runner.main(["estimate", "--quick",
+                         "--checkpoint-dir", str(tmp_path),
+                         "--checkpoint-every", "nonsense"])
+
+    @pytest.mark.parametrize("command", ["fig7", "fig8", "campaign",
+                                         "estimate"])
+    def test_resumable_commands_expose_flags(self, command, capsys):
+        with pytest.raises(SystemExit):
+            runner.main([command, "--help"])
+        help_text = capsys.readouterr().out
+        assert "--checkpoint-dir" in help_text
+        assert "--resume" in help_text
+        # the crash injector is test-only and stays undocumented
+        assert "--crash-after-checkpoints" not in help_text
+
+
+class TestKillResume:
+    ARGS = ["estimate", "--quick", "--target", "0.5", "--seed", "1"]
+
+    def test_crash_exits_3_then_resume_is_identical(self, tmp_path,
+                                                    capsys):
+        assert runner.main(self.ARGS) == 0
+        reference = summary_lines(capsys)
+
+        checkpointed = self.ARGS + ["--checkpoint-dir", str(tmp_path),
+                                    "--checkpoint-every", "100"]
+        code = runner.main(checkpointed
+                           + ["--crash-after-checkpoints", "1"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "injected crash" in captured.err
+
+        assert runner.main(checkpointed + ["--resume"]) == 0
+        assert summary_lines(capsys) == reference

@@ -1,0 +1,105 @@
+"""Property-based tests for the snapshot codec.
+
+The core contract: ``decode_state(*encode_state(tree))`` reproduces the
+tree exactly, for every tree within the documented type policy -- and
+everything outside the policy fails loudly at *encode* time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.checkpoint import decode_state, encode_state
+from repro.checkpoint.codec import ARRAY_KEY
+from repro.errors import CheckpointError
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          width=64)
+scalars = st.one_of(st.none(), st.booleans(), st.integers(),
+                    finite_floats, st.text(max_size=8))
+keys = st.text(max_size=8).filter(lambda k: k != ARRAY_KEY)
+ndarrays = st.one_of(
+    arrays(np.float64, st.integers(0, 5), elements=finite_floats),
+    arrays(np.int64, st.integers(0, 5),
+           elements=st.integers(-2**40, 2**40)),
+    arrays(np.bool_, (2, 3)),
+)
+#: full state trees within the codec's documented type policy.
+trees = st.recursive(
+    st.one_of(scalars, ndarrays),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(keys, children, max_size=4)),
+    max_leaves=12)
+
+
+class TestRoundTrip:
+    @settings(derandomize=True, max_examples=150, deadline=None)
+    @given(trees)
+    def test_decode_inverts_encode(self, trees_equal, tree):
+        payload, array_pack = encode_state(tree)
+        assert trees_equal(decode_state(payload, array_pack), tree)
+
+    @settings(derandomize=True, max_examples=50, deadline=None)
+    @given(trees)
+    def test_payload_is_json_clean(self, trees_equal, tree):
+        import json
+
+        payload, _ = encode_state(tree)
+        decoded = json.loads(json.dumps(payload))
+        assert trees_equal(decoded, payload)
+
+    def test_tuples_come_back_as_lists(self):
+        payload, array_pack = encode_state({"t": (1, 2.5, "x")})
+        assert decode_state(payload, array_pack) == {"t": [1, 2.5, "x"]}
+
+    def test_numpy_scalars_degrade_to_python(self):
+        tree = {"i": np.int64(7), "f": np.float64(0.25),
+                "b": np.bool_(True)}
+        payload, array_pack = encode_state(tree)
+        restored = decode_state(payload, array_pack)
+        assert restored == {"i": 7, "f": 0.25, "b": True}
+        assert type(restored["i"]) is int
+        assert type(restored["f"]) is float
+        assert type(restored["b"]) is bool
+
+    def test_float_repr_is_bit_exact(self):
+        value = 0.1 + 0.2  # classic non-representable sum
+        payload, array_pack = encode_state({"v": value})
+        assert decode_state(payload, array_pack)["v"] == value
+
+
+class TestTypePolicy:
+    def test_object_array_rejected(self):
+        bad = np.array([{"a": 1}], dtype=object)
+        with pytest.raises(CheckpointError, match="object-dtype"):
+            encode_state({"x": bad})
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_non_finite_float_rejected(self, value):
+        with pytest.raises(CheckpointError, match="non-finite"):
+            encode_state({"x": value})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(CheckpointError, match="non-string dict key"):
+            encode_state({1: "x"})
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(CheckpointError, match="reserved key"):
+            encode_state({ARRAY_KEY: "collision"})
+
+    def test_unsupported_type_rejected_with_path(self):
+        with pytest.raises(CheckpointError, match=r"\$\.a\[1\]"):
+            encode_state({"a": [0, {"b": set()}]})
+
+    def test_missing_array_reference_rejected(self):
+        payload, _ = encode_state({"x": np.arange(3)})
+        with pytest.raises(CheckpointError, match="missing array"):
+            decode_state(payload, {})
+
+    def test_unsupported_payload_type_rejected(self):
+        with pytest.raises(CheckpointError, match="unsupported type"):
+            decode_state({"x": object()}, {})

@@ -1,0 +1,154 @@
+"""Tests for the checkpoint manager (trigger x store x crash injector)."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    Checkpointable,
+    CheckpointManager,
+    run_checkpointed,
+)
+from repro.core.ecripse import EcripseEstimator
+from repro.core.estimate import FailureEstimate
+from repro.core.indicator import FunctionIndicator
+from repro.core.naive import NaiveMonteCarlo
+from repro.errors import CheckpointCrash, CheckpointError
+from repro.rtn.model import ZeroRtnModel
+from repro.variability.space import VariabilitySpace
+
+
+class FakeEstimator:
+    """Minimal Checkpointable with observable state."""
+
+    def __init__(self, value=0):
+        self.value = value
+        self.weights = np.zeros(4)
+
+    def state_snapshot(self):
+        return {"value": self.value, "weights": self.weights.copy()}
+
+    def restore_state(self, state):
+        self.value = state["value"]
+        self.weights = state["weights"]
+
+    def fingerprint(self):
+        return "deadbeef00000000"
+
+
+class TestProtocol:
+    def test_fake_satisfies_protocol(self):
+        assert isinstance(FakeEstimator(), Checkpointable)
+
+    def test_real_estimators_satisfy_protocol(self):
+        space = VariabilitySpace(np.ones(2))
+        null = ZeroRtnModel(space)
+        indicator = FunctionIndicator(lambda x: x[:, 0] > 3, dim=2)
+        assert isinstance(
+            EcripseEstimator(space, indicator, null), Checkpointable)
+        assert isinstance(
+            NaiveMonteCarlo(space, indicator, null), Checkpointable)
+
+
+class TestSaving:
+    def test_maybe_save_respects_cadence(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every_simulations=100)
+        estimator = FakeEstimator()
+        assert not manager.maybe_save(estimator, 50)
+        assert manager.maybe_save(estimator, 120)
+        assert not manager.maybe_save(estimator, 180)
+        assert manager.saves == 1
+
+    def test_retention_policy_applied(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        estimator = FakeEstimator()
+        for step in range(5):
+            manager.maybe_save(estimator, step)
+        assert len(manager.store.list_checkpoints()) == 2
+
+    def test_save_final_is_unconditional(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every_simulations=10**9)
+        manager.save_final(FakeEstimator(), 42)
+        manifest, _, _ = manager.store.load_latest()
+        assert manifest["kind"] == "final"
+        assert manifest["step"] == 42
+
+
+class TestCrashInjector:
+    def test_crash_fires_after_nth_save(self, tmp_path):
+        manager = CheckpointManager(tmp_path, crash_after=2)
+        estimator = FakeEstimator()
+        assert manager.maybe_save(estimator, 1)
+        with pytest.raises(CheckpointCrash, match="checkpoint #2"):
+            manager.maybe_save(estimator, 2)
+
+    def test_snapshot_is_durable_before_crash(self, tmp_path):
+        manager = CheckpointManager(tmp_path, crash_after=1)
+        estimator = FakeEstimator(value=7)
+        with pytest.raises(CheckpointCrash):
+            manager.maybe_save(estimator, 1)
+        restored = FakeEstimator()
+        CheckpointManager(tmp_path).restore_into(restored)
+        assert restored.value == 7
+
+    def test_invalid_crash_after_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="crash_after"):
+            CheckpointManager(tmp_path, crash_after=0)
+
+
+class TestRestore:
+    def test_round_trips_state(self, tmp_path, trees_equal):
+        manager = CheckpointManager(tmp_path)
+        source = FakeEstimator(value=3)
+        source.weights = np.linspace(0, 1, 4)
+        manager.maybe_save(source, 10)
+
+        target = FakeEstimator()
+        manifest = CheckpointManager(tmp_path).restore_into(target)
+        assert manifest["step"] == 10
+        assert target.value == 3
+        assert trees_equal(target.weights, source.weights)
+
+    def test_empty_directory_is_fresh_start(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert manager.restore_into(FakeEstimator()) is None
+        assert not manager.has_checkpoint()
+
+    def test_non_dict_payload_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.store.save([1, 2], {}, fingerprint="deadbeef00000000",
+                           step=1)
+        with pytest.raises(CheckpointError, match="state dictionary"):
+            manager.restore_into(FakeEstimator())
+
+
+class TestResults:
+    def _estimate(self):
+        return FailureEstimate(
+            pfail=1e-4, ci_halfwidth=1e-6, n_simulations=100,
+            n_statistical_samples=1000, method="ecripse",
+            wall_time_s=0.5)
+
+    def test_result_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save_result(self._estimate())
+        loaded = manager.load_result()
+        assert loaded.pfail == 1e-4
+        assert loaded.n_simulations == 100
+
+    def test_missing_result_is_none(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_result() is None
+
+    def test_unreadable_result_is_none(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.result_path.write_text("{torn write")
+        assert manager.load_result() is None
+
+
+class TestRunCheckpointed:
+    def test_none_config_is_plain_run(self):
+        class Plain:
+            def run(self, **kw):
+                return ("ran", kw)
+
+        assert run_checkpointed(None, "x", Plain(), target=1) == (
+            "ran", {"target": 1})

@@ -1,0 +1,154 @@
+"""Tests for the versioned on-disk checkpoint store.
+
+Covers the failure-injection matrix the ISSUE asks for: corrupted
+manifests, schema-version skew (both directions), checksum mismatches,
+fingerprint mismatches and torn staging directories.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import SCHEMA_VERSION, CheckpointStore
+from repro.checkpoint.atomic import TMP_PREFIX
+from repro.errors import CheckpointError
+
+PAYLOAD = {"phase": "stage2", "weights": {"__ndarray__": "a0"}}
+ARRAYS = {"a0": np.linspace(0.0, 1.0, 7)}
+
+
+def make_store(tmp_path, n=1, fingerprint="f" * 16):
+    store = CheckpointStore(tmp_path)
+    for step in range(1, n + 1):
+        store.save(PAYLOAD, ARRAYS, fingerprint=fingerprint,
+                   step=100 * step)
+    return store
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path, trees_equal):
+        store = make_store(tmp_path)
+        [directory] = store.list_checkpoints()
+        manifest, payload, arrays = store.load(directory)
+        assert manifest["schema"] == SCHEMA_VERSION
+        assert manifest["fingerprint"] == "f" * 16
+        assert manifest["step"] == 100
+        assert manifest["kind"] == "periodic"
+        assert payload == PAYLOAD
+        assert trees_equal(arrays["a0"], ARRAYS["a0"])
+
+    def test_indices_increase(self, tmp_path):
+        store = make_store(tmp_path, n=3)
+        names = [d.name for d in store.list_checkpoints()]
+        assert names == ["ckpt-00000001", "ckpt-00000002",
+                         "ckpt-00000003"]
+
+    def test_no_staging_left_after_save(self, tmp_path):
+        make_store(tmp_path)
+        stale = [p for p in tmp_path.iterdir()
+                 if p.name.startswith(TMP_PREFIX)]
+        assert stale == []
+
+    def test_prune_keeps_newest(self, tmp_path):
+        store = make_store(tmp_path, n=4)
+        store.prune(keep=2)
+        names = [d.name for d in store.list_checkpoints()]
+        assert names == ["ckpt-00000003", "ckpt-00000004"]
+
+    def test_stale_staging_cleaned_on_init(self, tmp_path):
+        torn = tmp_path / f"{TMP_PREFIX}ckpt-00000009"
+        torn.mkdir(parents=True)
+        (torn / "arrays.npz").write_bytes(b"half a write")
+        CheckpointStore(tmp_path)
+        assert not torn.exists()
+
+
+class TestVerification:
+    def test_missing_manifest(self, tmp_path):
+        store = make_store(tmp_path)
+        [directory] = store.list_checkpoints()
+        (directory / "manifest.json").unlink()
+        with pytest.raises(CheckpointError, match="no manifest"):
+            store.load(directory)
+
+    def test_corrupted_manifest(self, tmp_path):
+        store = make_store(tmp_path)
+        [directory] = store.list_checkpoints()
+        (directory / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupted manifest"):
+            store.load(directory)
+
+    def test_manifest_must_be_object(self, tmp_path):
+        store = make_store(tmp_path)
+        [directory] = store.list_checkpoints()
+        (directory / "manifest.json").write_text("[1, 2]")
+        with pytest.raises(CheckpointError, match="not an object"):
+            store.load(directory)
+
+    def _rewrite_schema(self, directory, schema):
+        path = directory / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["schema"] = schema
+        path.write_text(json.dumps(manifest))
+
+    def test_future_schema_rejected_explicitly(self, tmp_path):
+        store = make_store(tmp_path)
+        [directory] = store.list_checkpoints()
+        self._rewrite_schema(directory, SCHEMA_VERSION + 1)
+        with pytest.raises(CheckpointError,
+                           match="newer than this build's"):
+            store.load(directory)
+
+    @pytest.mark.parametrize("schema", [0, -1, None, "1"])
+    def test_invalid_schema_rejected(self, tmp_path, schema):
+        store = make_store(tmp_path)
+        [directory] = store.list_checkpoints()
+        self._rewrite_schema(directory, schema)
+        with pytest.raises(CheckpointError, match="schema"):
+            store.load(directory)
+
+    def test_missing_array_pack(self, tmp_path):
+        store = make_store(tmp_path)
+        [directory] = store.list_checkpoints()
+        (directory / "arrays.npz").unlink()
+        with pytest.raises(CheckpointError, match="array"):
+            store.load(directory)
+
+    def test_checksum_mismatch(self, tmp_path):
+        store = make_store(tmp_path)
+        [directory] = store.list_checkpoints()
+        npz = bytearray((directory / "arrays.npz").read_bytes())
+        npz[-1] ^= 0xFF  # single-bit rot
+        (directory / "arrays.npz").write_bytes(bytes(npz))
+        with pytest.raises(CheckpointError, match="checksum"):
+            store.load(directory)
+
+
+class TestLoadLatest:
+    def test_empty_store_returns_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load_latest() is None
+
+    def test_returns_newest(self, tmp_path):
+        store = make_store(tmp_path, n=3)
+        manifest, _, _ = store.load_latest()
+        assert manifest["step"] == 300
+
+    def test_skips_corrupt_newest(self, tmp_path):
+        store = make_store(tmp_path, n=2)
+        newest = store.list_checkpoints()[-1]
+        (newest / "manifest.json").write_text("torn")
+        manifest, _, _ = store.load_latest()
+        assert manifest["step"] == 100
+
+    def test_all_corrupt_raises(self, tmp_path):
+        store = make_store(tmp_path, n=2)
+        for directory in store.list_checkpoints():
+            (directory / "manifest.json").write_text("torn")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            store.load_latest()
+
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        store = make_store(tmp_path, fingerprint="a" * 16)
+        with pytest.raises(CheckpointError, match="refusing to resume"):
+            store.load_latest(expected_fingerprint="b" * 16)

@@ -1,0 +1,105 @@
+"""Tests for checkpoint cadence control and the CLI config surface."""
+
+import pytest
+
+from repro.checkpoint import CheckpointConfig, CheckpointTrigger, parse_every
+
+
+class FakeClock:
+    """Controllable stand-in for time.perf_counter."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def perf_counter(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock(monkeypatch):
+    fake = FakeClock()
+    monkeypatch.setattr("repro.checkpoint.trigger.time.perf_counter",
+                        fake.perf_counter)
+    return fake
+
+
+class TestTrigger:
+    def test_no_thresholds_fires_every_boundary(self):
+        trigger = CheckpointTrigger()
+        assert trigger.should_fire(0)
+        assert trigger.should_fire(1)
+
+    def test_simulation_threshold(self):
+        trigger = CheckpointTrigger(every_simulations=100)
+        assert not trigger.should_fire(99)
+        assert trigger.should_fire(100)
+        trigger.mark_fired(100)
+        assert not trigger.should_fire(150)
+        assert trigger.should_fire(200)
+
+    def test_time_threshold(self, clock):
+        trigger = CheckpointTrigger(every_seconds=30.0)
+        assert not trigger.should_fire(10)
+        clock.now += 31.0
+        assert trigger.should_fire(10)
+        trigger.mark_fired(10)
+        assert not trigger.should_fire(10)
+
+    def test_either_threshold_suffices(self, clock):
+        trigger = CheckpointTrigger(every_simulations=100,
+                                    every_seconds=30.0)
+        assert not trigger.should_fire(50)
+        clock.now += 31.0
+        assert trigger.should_fire(50)   # time crossed, count not
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="every_simulations"):
+            CheckpointTrigger(every_simulations=0)
+        with pytest.raises(ValueError, match="every_seconds"):
+            CheckpointTrigger(every_seconds=0.0)
+
+
+class TestParseEvery:
+    def test_simulation_count(self):
+        assert parse_every("5000") == (5000, None)
+
+    def test_duration(self):
+        assert parse_every("30s") == (None, 30.0)
+
+    def test_fractional_duration(self):
+        assert parse_every("0.5s") == (None, 0.5)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "0", "-3", "0s", "-1s"])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_every(bad)
+
+
+class TestConfig:
+    def test_scoped_builds_subdirectory(self, tmp_path):
+        cp = CheckpointConfig(directory=tmp_path)
+        assert cp.scoped("alpha-00") == tmp_path / "alpha-00"
+
+    @pytest.mark.parametrize("bad", ["", "a/b", ".hidden"])
+    def test_invalid_run_names_rejected(self, bad, tmp_path):
+        with pytest.raises(ValueError, match="invalid run name"):
+            CheckpointConfig(directory=tmp_path).scoped(bad)
+
+    def test_invalid_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointConfig(directory=tmp_path, keep=0)
+
+    def test_manager_inherits_policy(self, tmp_path):
+        cp = CheckpointConfig(directory=tmp_path, every_simulations=123,
+                              keep=7, crash_after=2)
+        manager = cp.manager("run")
+        assert manager.trigger.every_simulations == 123
+        assert manager.keep == 7
+        assert manager.crash_after == 2
+
+    def test_crash_budget_overrides_crash_after(self, tmp_path):
+        cp = CheckpointConfig(directory=tmp_path, crash_after=5)
+        assert cp.manager("a", crash_budget=[2]).crash_after == 2
+        # an exhausted budget disables the injector entirely
+        assert cp.manager("b", crash_budget=[0]).crash_after is None
+        assert cp.manager("c", crash_budget=[-3]).crash_after is None

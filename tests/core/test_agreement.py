@@ -1,0 +1,74 @@
+"""Cross-estimator agreement: ECRIPSE vs naive MC on the same problem.
+
+The paper's Fig. 7 argument rests on the two estimators converging to
+the same failure probability.  This test states that quantitatively: a
+tolerance interval built from both estimators' standard errors must
+cover the difference of the two point estimates, and both must cover
+the analytically exact probability.
+
+Seeds are pinned, so these are deterministic regression checks.
+"""
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.core.ecripse import EcripseConfig, EcripseEstimator
+from repro.core.indicator import FunctionIndicator
+from repro.core.naive import NaiveMonteCarlo
+from repro.rtn.model import ZeroRtnModel
+from repro.variability.space import VariabilitySpace
+
+DIM = 4
+SPACE = VariabilitySpace(np.ones(DIM))
+NULL = ZeroRtnModel(SPACE)
+THRESHOLD = 2.5
+EXACT = 2 * norm.sf(THRESHOLD)  # two symmetric half-spaces
+
+TWO_LOBES = FunctionIndicator(
+    lambda x: np.abs(x[:, 0]) > THRESHOLD, dim=DIM)
+
+FAST = EcripseConfig(n_particles=60, k_train=128, stage2_batch=1500,
+                     max_statistical_samples=400_000)
+#: CI95 half-width = 1.96 standard errors.
+Z95 = norm.ppf(0.975)
+#: Tolerance-interval width in combined standard errors.  3.5 sigma is
+#: a ~5e-4 two-sided miss probability per (seed, estimator) pair.
+Z_TOL = 3.5
+
+
+def _standard_error(estimate) -> float:
+    return estimate.ci_halfwidth / Z95
+
+
+class TestEstimatorAgreement:
+    def test_tolerance_interval_covers_difference(self):
+        ecripse = EcripseEstimator(SPACE, TWO_LOBES, NULL, config=FAST,
+                                   seed=17).run(target_relative_error=0.05)
+        naive = NaiveMonteCarlo(SPACE, TWO_LOBES, NULL, batch_size=10_000,
+                                seed=23).run(n_samples=60_000)
+
+        tolerance = Z_TOL * np.hypot(_standard_error(ecripse),
+                                     _standard_error(naive))
+        difference = abs(ecripse.pfail - naive.pfail)
+        assert difference <= tolerance, (
+            f"|{ecripse.pfail:.4e} - {naive.pfail:.4e}| = "
+            f"{difference:.2e} exceeds the {Z_TOL}-sigma tolerance "
+            f"{tolerance:.2e}")
+
+        # both tolerance intervals must also cover the exact answer
+        for estimate in (ecripse, naive):
+            half = Z_TOL * _standard_error(estimate)
+            assert abs(estimate.pfail - EXACT) <= half
+
+        # and the intervals are not so wide the assertions are vacuous
+        assert tolerance < 0.5 * EXACT
+
+    def test_ecripse_needs_fewer_simulations(self):
+        """The agreement above at a fraction of the simulations is the
+        paper's efficiency claim in miniature."""
+        ecripse = EcripseEstimator(SPACE, TWO_LOBES, NULL, config=FAST,
+                                   seed=17).run(target_relative_error=0.05)
+        naive = NaiveMonteCarlo(SPACE, TWO_LOBES, NULL, batch_size=10_000,
+                                seed=23).run(
+            n_samples=60_000, target_relative_error=0.05)
+        assert ecripse.n_simulations < naive.n_simulations / 3

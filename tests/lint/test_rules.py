@@ -101,6 +101,24 @@ class TestRep002WallClock:
         path = "src/repro/analysis/persistence.py"
         assert findings_for(source, path=path) == []
 
+    def test_fires_in_checkpoint_package(self):
+        source = (
+            "import time\n"
+            "def written_at():\n"
+            "    return time.time()\n"
+        )
+        path = "src/repro/checkpoint/store.py"
+        assert rules_of(findings_for(source, path=path)) == ["REP002"]
+
+    def test_trigger_module_hosts_sanctioned_wall_clock(self):
+        source = (
+            "import time\n"
+            "def wall_clock_time():\n"
+            "    return time.time()\n"
+        )
+        path = "src/repro/checkpoint/trigger.py"
+        assert findings_for(source, path=path) == []
+
 
 class TestRep003ExecutorPickling:
     def test_fires_on_lambda(self):

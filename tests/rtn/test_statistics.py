@@ -1,0 +1,92 @@
+"""Distributional tests for the RTN sampler (paper eq. 9-10).
+
+The estimators assume :meth:`RtnModel.sample_shifts` draws, per device,
+a Poissonian occupied-trap count (eq. 10) scaled by the single-trap
+threshold shift (eq. 9).  A mean check cannot distinguish Poisson from
+e.g. a geometric with the same mean, so these tests run a chi-square
+goodness-of-fit on the recovered counts against the exact Poisson pmf.
+
+Seeds are pinned: each assertion is a deterministic pass, not a flaky
+statistical coin flip.
+"""
+
+import numpy as np
+from scipy import stats
+
+from repro.config import TABLE_I
+from repro.rtn.model import RtnModel
+from repro.variability.space import VariabilitySpace
+
+SPACE = VariabilitySpace.from_pelgrom(TABLE_I.avth_mv_nm, TABLE_I.geometry)
+N_SAMPLES = 100_000
+#: GOF acceptance threshold.  With pinned seeds this is a regression
+#: bound, not a false-positive rate.
+P_VALUE_FLOOR = 0.01
+
+
+def _recovered_counts(model: RtnModel, seed: int) -> np.ndarray:
+    """Draw shifts and invert eq. 9 back to per-device trap counts."""
+    rng = np.random.default_rng(seed)
+    shifts = model.sample_shifts(N_SAMPLES, rng)
+    return shifts / model.unit_shift_whitened
+
+
+def _chi_square_pvalue(counts: np.ndarray, rate: float) -> float:
+    """Chi-square GOF p-value of integer ``counts`` vs Poisson(rate).
+
+    Bins ``0, 1, ..., K-1, >=K`` with ``K`` chosen so every expected
+    bin count is at least 5 (the classical validity rule).
+    """
+    n = len(counts)
+    k_max = int(counts.max())
+    expected_pmf = stats.poisson.pmf(np.arange(k_max + 1), rate)
+    # merge the right tail until every bin expects >= 5 observations
+    while (len(expected_pmf) > 2
+           and n * (1.0 - expected_pmf[:-1].sum()) < 5.0):
+        expected_pmf = expected_pmf[:-1]
+    n_bins = len(expected_pmf)  # bins 0..n_bins-2 plus the >= tail
+    observed = np.bincount(
+        np.minimum(counts.astype(int), n_bins - 1), minlength=n_bins)
+    expected = n * np.append(expected_pmf[:-1],
+                             1.0 - expected_pmf[:-1].sum())
+    assert expected.min() >= 5.0
+    result = stats.chisquare(observed, expected)
+    return float(result.pvalue)
+
+
+class TestPoissonTrapCounts:
+    def test_shifts_are_integer_multiples_of_single_trap_shift(self):
+        """Eq. 9: every shift is (trap count) x (per-trap shift)."""
+        model = RtnModel(TABLE_I, SPACE, alpha=0.5)
+        counts = _recovered_counts(model, seed=2015)
+        assert np.all(counts >= 0)
+        assert np.allclose(counts, np.round(counts), atol=1e-9)
+
+    def test_counts_follow_poisson_gof(self):
+        """Eq. 10: per-device counts pass a chi-square GOF against
+        Poisson(occupancy x mean_traps) at every device."""
+        model = RtnModel(TABLE_I, SPACE, alpha=0.5)
+        counts = np.round(_recovered_counts(model, seed=2015)).astype(int)
+        for device in range(SPACE.dim):
+            rate = float(model.ensemble.poisson_rates[device])
+            pvalue = _chi_square_pvalue(counts[:, device], rate)
+            assert pvalue > P_VALUE_FLOOR, (
+                f"device {SPACE.names[device]}: chi-square p={pvalue:.2e}"
+                f" against Poisson({rate:.3f})")
+
+    def test_gof_rejects_wrong_rate(self):
+        """Power check: the same statistic must reject a 20% rate
+        error, otherwise the GOF assertions above are vacuous."""
+        model = RtnModel(TABLE_I, SPACE, alpha=0.5)
+        counts = np.round(_recovered_counts(model, seed=2015)).astype(int)
+        rate = float(model.ensemble.poisson_rates[0])
+        assert _chi_square_pvalue(counts[:, 0], 1.2 * rate) < 1e-6
+
+    def test_duty_ratio_moves_rates_symmetrically(self):
+        """The alpha -> 1 - alpha mirror swaps the left/right device
+        rates (the symmetry behind Fig. 8's U-shape)."""
+        lo = RtnModel(TABLE_I, SPACE, alpha=0.2).ensemble.poisson_rates
+        hi = RtnModel(TABLE_I, SPACE, alpha=0.8).ensemble.poisson_rates
+        from repro.config import MIRROR_PERMUTATION
+
+        assert np.allclose(lo, hi[np.array(MIRROR_PERMUTATION)])
