@@ -12,14 +12,20 @@ import json
 from pathlib import Path
 
 from repro.core.estimate import FailureEstimate, TracePoint
+from repro.health.events import HealthReport
 
 #: bumped when the on-disk layout changes incompatibly.
 SCHEMA_VERSION = 1
 
 
 def estimate_to_dict(estimate: FailureEstimate) -> dict:
-    """Plain-dict form of an estimate (JSON-serialisable)."""
-    return {
+    """Plain-dict form of an estimate (JSON-serialisable).
+
+    The health report travels as an optional ``health`` key (additive,
+    so the schema version is unchanged: old readers ignore it, old
+    files simply load with ``health=None``).
+    """
+    out = {
         "schema": SCHEMA_VERSION,
         "pfail": estimate.pfail,
         "ci_halfwidth": estimate.ci_halfwidth,
@@ -38,6 +44,9 @@ def estimate_to_dict(estimate: FailureEstimate) -> dict:
             for p in estimate.trace
         ],
     }
+    if isinstance(estimate.health, HealthReport):
+        out["health"] = estimate.health.as_dict()
+    return out
 
 
 def estimate_from_dict(data: dict) -> FailureEstimate:
@@ -58,12 +67,14 @@ def estimate_from_dict(data: dict) -> FailureEstimate:
             f"unsupported schema {schema!r}; "
             f"this build reads version {SCHEMA_VERSION}")
     trace = [TracePoint(**point) for point in data.get("trace", [])]
+    health = (HealthReport.from_dict(data["health"])
+              if isinstance(data.get("health"), dict) else None)
     return FailureEstimate(
         pfail=data["pfail"], ci_halfwidth=data["ci_halfwidth"],
         n_simulations=data["n_simulations"],
         n_statistical_samples=data["n_statistical_samples"],
         method=data["method"], wall_time_s=data.get("wall_time_s", 0.0),
-        trace=trace, metadata=data.get("metadata", {}))
+        trace=trace, metadata=data.get("metadata", {}), health=health)
 
 
 def save_estimate(estimate: FailureEstimate, path,

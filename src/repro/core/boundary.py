@@ -74,6 +74,19 @@ class BoundarySearchResult:
                    n_simulations=int(data["n_simulations"]),
                    n_directions_failed=int(data["n_directions_failed"]))
 
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` cached boundary points with replacement.
+
+        Costs no simulations: the boundary acts as a persistent seed
+        bank, which is what lets the health layer re-seed a collapsed
+        particle filter deterministically (the caller supplies the
+        consuming generator, typically the filter's own stream).
+        """
+        if n < 1:
+            raise ValueError(f"cannot draw {n} boundary points")
+        picks = rng.integers(0, self.points.shape[0], size=n)
+        return self.points[picks].copy()
+
 
 def find_failure_boundary(indicator: CountingIndicator, n_directions: int,
                           rng: np.random.Generator, r_max: float = 8.0,

@@ -45,6 +45,7 @@ from repro.core.indicator import (
     SimulationCounter,
 )
 from repro.errors import CheckpointError, EstimationError
+from repro.health import HealthConfig, HealthMonitor
 from repro.ml.blockade import ClassifierBlockade
 from repro.rng import (
     as_generator,
@@ -125,6 +126,17 @@ class EcripseConfig:
         simulation batches and the particle-filter prediction tasks.
         The default (serial) reproduces the single-core behaviour; for a
         fixed seed every backend returns the bit-identical estimate.
+
+    Health parameters
+    -----------------
+    health:
+        :class:`~repro.health.policy.HealthConfig` selecting the
+        degradation policy and guardrail thresholds (see
+        :mod:`repro.health`).  The default (``strict``, no injection)
+        reproduces the legacy behaviour exactly on healthy runs.  Part
+        of the config, so it participates in the checkpoint
+        fingerprint: an injected or recovering run can never resume
+        from an incompatible snapshot.
     """
 
     n_filters: int = 2
@@ -148,6 +160,7 @@ class EcripseConfig:
     band_quantile: float = 0.12
     retrain_trigger: int = 500
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    health: HealthConfig = field(default_factory=HealthConfig)
 
     def __post_init__(self) -> None:
         if self.n_iterations < 1:
@@ -227,6 +240,7 @@ class EcripseEstimator:
                 seed=int(rng_clf.integers(2**31)))
         self.filter_bank: ParticleFilterBank | None = None
         self.mixture: DefensiveMixture | None = None
+        self.health = HealthMonitor(self.config.health)
         # Resumable-run progress markers (see state_snapshot); a fresh
         # estimator starts in phase "init" with empty accumulators.
         self._phase = "init"
@@ -294,6 +308,7 @@ class EcripseEstimator:
             "n_filters": cfg.n_filters,
             "execution": self.executor.aggregate().as_dict(),
         })
+        estimate.health = self.health.report
         return estimate
 
     # ------------------------------------------------------------------
@@ -313,8 +328,11 @@ class EcripseEstimator:
             labels = self._labels_stage1(total)
             p_fail_rtn = labels.reshape(candidates.shape[0], m).mean(axis=1)
             weights = p_fail_rtn * self.space.pdf(candidates)
+            weights = self.health.stage1_weights(weights, cfg.n_particles)
             self.filter_bank.resample_all(candidates, weights)
             self._stage1_iter += 1
+            self.health.check_stage1(self.filter_bank, weights,
+                                     self.boundary, self._stage1_iter)
             if checkpoint is not None:
                 checkpoint.maybe_save(self, self.counter.count)
         self._sims_stage1 = self.counter.count - self._sims_boundary
@@ -336,12 +354,18 @@ class EcripseEstimator:
         # (e.g. the mirrored lobe at duty ratio 0) never resampled; their
         # kernels would only dilute the mixture, so they are dropped --
         # the defensive prior still guards anything they might have seen.
-        live = [f.positions for f in self.filter_bank.filters
-                if f.history and f.history[-1].mean_weight > 0.0]
+        # Filters the health monitor quarantined (collapsed beyond the
+        # re-seed budget) are dropped for the same reason.
+        quarantined = self.health.quarantined_filters
+        live = [f.positions
+                for j, f in enumerate(self.filter_bank.filters)
+                if j not in quarantined
+                and f.history and f.history[-1].mean_weight > 0.0]
         positions = (np.vstack(live) if live
                      else self.filter_bank.positions())
         kernel = GaussianMixture(positions,
-                                 cfg.kernel_sigma * cfg.is_sigma_scale)
+                                 cfg.kernel_sigma * cfg.is_sigma_scale
+                                 * self.health.sigma_multiplier)
         self.mixture = DefensiveMixture(self.space, kernel,
                                         cfg.defensive_fraction)
 
@@ -363,9 +387,17 @@ class EcripseEstimator:
         result is independent of both the chunking and the backend.
         """
         total = np.atleast_2d(np.asarray(total, dtype=float))
-        return self.executor.map_chunks(
-            evaluate_indicator, total, self.indicator.indicator,
-            simulations=total.shape[0], label="simulate-labels")
+
+        def dispatch() -> np.ndarray:
+            return self.executor.map_chunks(
+                evaluate_indicator, total, self.indicator.indicator,
+                simulations=total.shape[0], label="simulate-labels")
+
+        # The health guard retries ConvergenceError batches (and is the
+        # solver fault-injection seam); injection raises *before*
+        # dispatch, so a recovered batch is bit-identical to a healthy
+        # one -- nothing was counted or labelled by the failed attempt.
+        return self.health.guarded_simulation(dispatch, self._phase)
 
     def _labels_stage1(self, total: np.ndarray) -> np.ndarray:
         """Fail labels for stage-1 samples: K simulated, rest classified."""
@@ -375,23 +407,37 @@ class EcripseEstimator:
             return self._simulate_labels(total)
         if n <= cfg.k_train:
             labels = self._simulate_labels(total)
-            self.blockade.update(total, labels, force_retrain=True)
+            self._feed_classifier(total, labels, "stage1")
             return labels
 
         picks = self._rng_stage1.choice(n, size=cfg.k_train, replace=False)
         simulated = self._simulate_labels(total[picks])
-        self.blockade.update(total[picks], simulated, force_retrain=True)
+        self._feed_classifier(total[picks], simulated, "stage1")
 
         labels = np.zeros(n, dtype=bool)
         labels[picks] = simulated
         rest = np.ones(n, dtype=bool)
         rest[picks] = False
-        if self.blockade.is_trained:
+        if self.blockade.is_trained and not self.health.blockade_active:
             labels[rest] = self.blockade.predict(total[rest]).labels
         else:
-            # Single-class training data so far: simulate everything.
+            # Single-class training data so far (or the health layer's
+            # classifier blockade engaged): simulate everything.
             labels[rest] = self._simulate_labels(total[rest])
         return labels
+
+    def _feed_classifier(self, x: np.ndarray, labels: np.ndarray,
+                         stage: str) -> None:
+        """Feed simulated labels to the blockade through the health seam.
+
+        The monitor may thin the batch (one-class fault injection) and
+        watches the fed labels for degenerate single-class batches: the
+        strict policy raises on an injected one, the others engage
+        blockade mode until both classes reappear.
+        """
+        x_fed, fed = self.health.training_batch(x, labels)
+        self.blockade.update(x_fed, fed, force_retrain=True)
+        self.health.check_training_batch(self.blockade, fed, stage)
 
     # ------------------------------------------------------------------
     # stage 2: importance sampling
@@ -410,11 +456,17 @@ class EcripseEstimator:
                and accumulator.count < cfg.max_statistical_samples):
             x = self.mixture.sample(cfg.stage2_batch, self._rng_stage2)
             ratios = importance_ratios(self.space, self.mixture, x)
+            ratios = self.health.clip_ratios(
+                ratios, self.mixture.weight_bound, self._stage2_batches)
             total = self._total_shift_samples(x, m, self._rng_stage2)
             labels = self._labels_stage2(total)
             y = labels.reshape(x.shape[0], m).mean(axis=1)
             accumulator.update(ratios * y)
             self._stage2_batches += 1
+            if self.health.check_stage2_batch(ratios, self._stage2_batches):
+                # ESS collapse: rebuild the mixture with the widened
+                # kernel; subsequent batches sample the wider proposal.
+                self._finalize_stage1()
 
             self._trace.append(TracePoint(
                 n_simulations=self.counter.count,
@@ -436,9 +488,10 @@ class EcripseEstimator:
                 checkpoint.maybe_save(self, self.counter.count)
 
         if accumulator.mean <= 0.0:
-            raise EstimationError(
-                "importance sampling found no failing samples; the "
-                "alternative distribution missed the failure region")
+            # Strict keeps the historical EstimationError; the other
+            # policies degrade to a rule-of-three upper bound.
+            return self.health.zero_failure_estimate(
+                accumulator, self.counter.count, self.method)
         return FailureEstimate(
             pfail=accumulator.mean,
             ci_halfwidth=accumulator.ci95_halfwidth,
@@ -450,8 +503,16 @@ class EcripseEstimator:
         """Fail labels for stage-2 samples: classifier everywhere except
         the uncertainty band, which is simulated and fed back."""
         cfg = self.config
-        if not cfg.use_classifier or not self.blockade.is_trained:
+        if not cfg.use_classifier:
             return self._simulate_labels(total)
+        if not self.blockade.is_trained or self.health.blockade_active:
+            labels = self._simulate_labels(total)
+            if not cfg.health.strict:
+                # Blockade mode: keep feeding true labels so the
+                # classifier can train the moment both classes appear.
+                # (Strict preserves the legacy simulate-only path.)
+                self._feed_classifier(total, labels, "stage2")
+            return labels
         prediction = self.blockade.predict(total)
         labels = prediction.labels.copy()
         uncertain = prediction.uncertain
@@ -506,6 +567,7 @@ class EcripseEstimator:
             "blockade": self.blockade.state(),
             "accumulator": self._accumulator.state(),
             "trace": [point.as_dict() for point in self._trace],
+            "health": self.health.state(),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -540,6 +602,10 @@ class EcripseEstimator:
             self._accumulator.restore_state(state["accumulator"])
             self._trace = [TracePoint.from_dict(point)
                            for point in state["trace"]]
+            # The monitor must come back before the mixture rebuild
+            # below: the rebuild consults its widening multiplier and
+            # quarantine set.
+            self.health.restore_state(state["health"])
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
                 f"invalid {self.method} snapshot: {exc}") from exc

@@ -76,6 +76,14 @@ class FailureEstimate:
         Convergence history.
     metadata:
         Estimator-specific extras (stage budgets, classifier stats, ...).
+    health:
+        The run's :class:`~repro.health.events.HealthReport` (``None``
+        for estimators that do not carry a health monitor).  When
+        :attr:`~repro.health.events.HealthReport.upper_bound` is set,
+        ``pfail`` is a rule-of-three bound rather than a point estimate;
+        :attr:`~repro.health.events.HealthReport.biased` flags engaged
+        weight clipping.  Kept untyped to avoid a circular import --
+        the health layer builds on this module.
     """
 
     pfail: float
@@ -86,6 +94,7 @@ class FailureEstimate:
     wall_time_s: float = 0.0
     trace: list[TracePoint] = field(default_factory=list)
     metadata: dict = field(default_factory=dict)
+    health: object = None
 
     @property
     def ci_low(self) -> float:

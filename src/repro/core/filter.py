@@ -221,6 +221,23 @@ class ParticleFilterBank:
         """All particles of all filters, shape (F * N, D)."""
         return np.vstack([f.positions for f in self.filters])
 
+    def reseed_filter(self, index: int, boundary) -> None:
+        """Re-seed one collapsed filter from the boundary cache.
+
+        Replaces the filter's particles with fresh draws from the
+        :class:`~repro.core.boundary.BoundarySearchResult` seed bank,
+        consuming only the filter's *own* generator -- the other
+        filters' streams are untouched, so recovery of one lobe leaves
+        the rest of the run bit-identical.  Costs no simulations and
+        keeps the filter's history/iteration counters (the collapse
+        stays visible in the diagnostics).
+        """
+        if not 0 <= index < self.n_filters:
+            raise ValueError(
+                f"filter index {index} out of range 0..{self.n_filters - 1}")
+        flt = self.filters[index]
+        flt.positions = boundary.sample(self.n_particles, flt.rng)
+
     # ------------------------------------------------------------------
     def state(self) -> dict:
         """Checkpoint snapshot of the whole bank."""

@@ -97,6 +97,16 @@ class DefensiveMixture:
         self.fraction = float(defensive_fraction)
         self.dim = mixture.dim
 
+    @property
+    def weight_bound(self) -> float:
+        """Mathematical upper bound on importance weights, ``1/f``.
+
+        ``P/Q' = P / (f*P + (1-f)*Q) <= 1/f`` pointwise; any weight
+        above it indicates broken numerics, which is what the health
+        layer's clip guard checks against.
+        """
+        return 1.0 / self.fraction
+
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         from_prior = rng.random(n) < self.fraction
         out = self.mixture.sample(n, rng)

@@ -3,6 +3,14 @@
 All library-specific failures derive from :class:`ReproError` so callers can
 catch everything from this package with a single ``except`` clause while
 still letting programming errors (``TypeError`` etc.) propagate.
+:class:`DegradationError` extends the single-root hierarchy for the
+health layer (:mod:`repro.health`): it is raised only under
+``HealthPolicy.strict`` when a numerical-degradation monitor trips that
+has no organic typed error of its own.  The sibling
+:class:`HealthyDegradation` is a *warning* category (not an error): it
+is emitted when a recovery path engages under the ``recover`` or
+``permissive`` policies, so callers can surface or silence degradation
+chatter with the standard :mod:`warnings` machinery.
 """
 
 from __future__ import annotations
@@ -20,13 +28,18 @@ class NetlistError(ReproError):
 class ConvergenceError(ReproError):
     """Raised when a nonlinear solve fails to converge.
 
-    Carries the residual of the best iterate so callers can decide whether
-    the partial answer is usable.
+    Carries the residual of the best iterate (finite by construction in
+    :class:`~repro.spice.solver.DcSolver`) plus the iterate itself, so
+    the health layer's degraded-accept path can decide whether the
+    partial answer is usable and package it without re-solving.
     """
 
-    def __init__(self, message: str, residual: float | None = None):
+    def __init__(self, message: str, residual: float | None = None,
+                 best_x=None, iterations: int = 0):
         super().__init__(message)
         self.residual = residual
+        self.best_x = best_x
+        self.iterations = iterations
 
 
 class CalibrationError(ReproError):
@@ -67,6 +80,34 @@ class CheckpointCrash(ReproError):
     simulates a process kill at a checkpoint boundary so the kill/resume
     invariant can be exercised deterministically.  It is never raised in
     normal operation.
+    """
+
+
+class DegradationError(ReproError):
+    """Raised *only* under ``HealthPolicy.strict`` when a health monitor
+    detects numerical degradation that has no organic typed error of its
+    own (particle-filter lobe collapse, an importance-weight ESS floor
+    breach, a weight-clip trigger).
+
+    Under the ``recover`` and ``permissive`` policies the same
+    detections run a recovery path and emit a :class:`HealthyDegradation`
+    warning instead.  Carries the health-event category so callers can
+    tell which monitor tripped without parsing the message.
+    """
+
+    def __init__(self, message: str, category: str | None = None):
+        super().__init__(message)
+        self.category = category
+
+
+class HealthyDegradation(UserWarning):
+    """Warning category for recovered numerical degradation.
+
+    Emitted by :mod:`repro.health` whenever a recovery path engages
+    under ``HealthPolicy.recover`` / ``permissive`` (solver retry,
+    filter re-seed, mixture widening, classifier blockade, rule-of-three
+    upper bound).  The run continues; the full detail lands in the
+    :class:`~repro.health.events.HealthReport` attached to the estimate.
     """
 
 

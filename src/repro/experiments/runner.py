@@ -26,6 +26,8 @@ from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.errors import CheckpointCrash
 from repro.experiments import ablations, fig6, fig7, fig8
 from repro.experiments.setup import paper_setup
+from repro.health import HealthConfig, HealthPolicy, HealthReport
+from repro.health import collect_reports
 from repro.runtime import BACKENDS, ExecutionConfig
 
 QUICK = EcripseConfig(n_particles=60, n_iterations=6, k_train=128,
@@ -52,6 +54,23 @@ def _add_common_args(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--workers", type=_positive_int, default=None,
                      help="worker-pool size for the thread/process "
                           "backends (default: all cores)")
+    cmd.add_argument("--health-policy",
+                     choices=[p.value for p in HealthPolicy],
+                     default="strict",
+                     help="degradation policy: strict fails fast with "
+                          "typed errors, recover runs the guardrail "
+                          "recovery paths within thresholds, permissive "
+                          "accepts best-effort results beyond them "
+                          "(default: strict; see docs/ROBUSTNESS.md)")
+    cmd.add_argument("--health-report", choices=("text", "json"),
+                     default=None, metavar="{text,json}",
+                     help="print the aggregated health report after "
+                          "the run (events, recoveries, bias flags)")
+    # Test/CI fault injector: deterministically force one fault class
+    # (solver | filter | is-weight | one-class, optionally :count:skip)
+    # so the recovery paths are exercisable from the shell.
+    cmd.add_argument("--inject-fault", default=None,
+                     help=argparse.SUPPRESS)
 
 
 def _add_checkpoint_args(cmd: argparse.ArgumentParser) -> None:
@@ -162,21 +181,40 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(extra)
     args = _build_parser().parse_args(argv)
     execution = ExecutionConfig(backend=args.backend, workers=args.workers)
+    try:
+        health = HealthConfig(policy=args.health_policy,
+                              inject=args.inject_fault)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
     config = (QUICK if args.quick else EcripseConfig()).with_(
-        execution=execution)
+        execution=execution, health=health)
     checkpoint = _checkpoint_config(args)
 
     try:
-        return _dispatch(args, config, execution, checkpoint)
+        code, result = _dispatch(args, config, execution, checkpoint)
     except CheckpointCrash as crash:
         # The kill/resume test harness's simulated crash: the snapshot
         # it announces is durably on disk, so exit distinctly.
         print(f"injected crash: {crash}", file=sys.stderr)
         return 3
+    if args.health_report is not None:
+        merged = HealthReport.merged(collect_reports(result))
+        if not merged.events:
+            merged.policy = health.policy.value
+        print(merged.render_json() if args.health_report == "json"
+              else merged.render_text())
+    return code
 
 
 def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
-              checkpoint: CheckpointConfig | None) -> int:
+              checkpoint: CheckpointConfig | None) -> tuple[int, object]:
+    """Run one subcommand; returns (exit code, result object).
+
+    The result object is handed to
+    :func:`repro.health.events.collect_reports` so ``--health-report``
+    can aggregate the health of every estimate the command produced.
+    """
+    result: object = None
     if args.command == "fig6":
         result = fig6.run_fig6(config=config, seed=args.seed,
                                target_relative_error=0.05 if args.quick
@@ -209,7 +247,7 @@ def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
               f"minimum at {result.minimum_alpha}; "
               f"asymmetry {result.asymmetry():.1%}")
     elif args.command == "ablations":
-        ablations.main(config=config)
+        result = ablations.main(config=config)
     elif args.command == "campaign":
         from repro.experiments.campaign import run_campaign
 
@@ -245,7 +283,7 @@ def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
         if execution.is_parallel:
             print()
             print(estimator.executor.aggregate().report())
-    return 0
+    return 0, result
 
 
 if __name__ == "__main__":  # pragma: no cover

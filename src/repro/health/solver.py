@@ -1,0 +1,118 @@
+"""Convergence-failure recovery around :class:`~repro.spice.solver.DcSolver`.
+
+:func:`solve_with_recovery` is the health layer's answer to a DC solve
+that exhausted all three continuation strategies: retry with an
+escalating-care schedule (halved damping, doubled iteration budget --
+smaller, more numerous Newton steps), and if every retry still fails,
+fall back to the *best iterate* the solver carried out on its
+:class:`~repro.errors.ConvergenceError`:
+
+* ``strict``   -- no retries, the original error propagates;
+* ``recover``  -- retries run; the best iterate is accepted only when
+  its KCL residual is below ``solver_accept_residual``;
+* ``permissive`` -- the best iterate is always accepted, with a
+  critical-severity event in the health report.
+
+The returned :class:`~repro.spice.solver.OperatingPoint` of an accepted
+degraded iterate carries ``strategy="degraded"`` so downstream code can
+tell it from a converged point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.health.policy import HealthConfig
+from repro.spice.solver import DcSolver, OperatingPoint
+
+
+def solve_with_recovery(solver: DcSolver,
+                        initial_guess: np.ndarray | dict | None = None,
+                        config: HealthConfig | None = None,
+                        monitor=None) -> OperatingPoint:
+    """DC-solve with policy-driven retry and degraded-accept fallback.
+
+    Parameters
+    ----------
+    solver:
+        The solver to drive.  Its ``damping``/``max_iterations`` are
+        temporarily escalated during retries and always restored.
+    initial_guess:
+        Forwarded to :meth:`~repro.spice.solver.DcSolver.solve`.
+    config:
+        The :class:`~repro.health.policy.HealthConfig`; defaults to the
+        strict policy (making this function equivalent to a plain
+        ``solver.solve`` call).
+    monitor:
+        Optional :class:`~repro.health.monitor.HealthMonitor` to record
+        events into.
+    """
+    cfg = config if config is not None else HealthConfig()
+
+    def record(severity: str, message: str, recovered: bool = False,
+               **details) -> None:
+        if monitor is not None:
+            monitor._record("solver", "solver", severity, message,
+                            recovered=recovered, warn=recovered,
+                            **details)
+
+    try:
+        return solver.solve(initial_guess)
+    except ConvergenceError as exc:
+        if cfg.strict:
+            record("critical", f"DC solve failed under strict policy: "
+                   f"{exc}", residual=_finite_or_none(exc.residual))
+            raise
+        best = exc
+
+    damping0 = solver.damping
+    iterations0 = solver.max_iterations
+    try:
+        for attempt in range(1, cfg.solver_retries + 1):
+            solver.damping = damping0 / (2.0 ** attempt)
+            solver.max_iterations = iterations0 * (2 ** attempt)
+            try:
+                point = solver.solve(initial_guess)
+            except ConvergenceError as exc:
+                if (exc.residual is not None and best.residual is not None
+                        and exc.residual < best.residual):
+                    best = exc
+                continue
+            record("warning",
+                   f"DC solve recovered on retry {attempt} with damping "
+                   f"{solver.damping:.3g} V and "
+                   f"{solver.max_iterations} iterations",
+                   recovered=True, attempt=attempt)
+            return point
+    finally:
+        solver.damping = damping0
+        solver.max_iterations = iterations0
+
+    residual = best.residual
+    acceptable = (best.best_x is not None and residual is not None
+                  and residual <= cfg.solver_accept_residual)
+    if acceptable:
+        record("warning",
+               f"DC solve accepted the best non-converged iterate "
+               f"(residual {residual:.3e} A, within the acceptance "
+               f"bound {cfg.solver_accept_residual:.1e} A)",
+               recovered=True, residual=float(residual))
+        return solver.package_iterate(best.best_x, best.iterations)
+    if cfg.permissive and best.best_x is not None:
+        record("critical",
+               f"DC solve accepted a best-effort iterate beyond the "
+               f"acceptance bound (residual {residual:.3e} A) under "
+               f"permissive policy",
+               recovered=True, residual=_finite_or_none(residual))
+        return solver.package_iterate(best.best_x, best.iterations)
+    record("critical",
+           f"DC solve failed after {cfg.solver_retries} escalated "
+           f"retries: {best}", residual=_finite_or_none(residual))
+    raise best
+
+
+def _finite_or_none(residual: float | None) -> float | None:
+    if residual is None or not np.isfinite(residual):
+        return None
+    return float(residual)

@@ -224,7 +224,7 @@ class WallClockRule(Rule):
                  "(inputs, seed); wall-clock and OS entropy make runs "
                  "unrepeatable")
     include = ("*repro/core/*", "*repro/runtime/*", "*repro/rtn/*",
-               "*repro/ml/*", "*repro/checkpoint/*")
+               "*repro/ml/*", "*repro/checkpoint/*", "*repro/health/*")
     # trigger.py hosts the one sanctioned wall-clock read (manifest
     # timestamps only; never feeds an estimate)
     exclude = ("*repro/checkpoint/trigger.py",)

@@ -96,21 +96,77 @@ class DcSolver:
         x, iters, ok = self._newton(x0)
         if ok:
             return self._package(x, iters, "newton")
+        best_x, best_residual = self._best_iterate(x0, x)
 
         x_gmin, iters_gmin, ok = self._gmin_stepping(x0)
         iters += iters_gmin
         if ok:
             return self._package(x_gmin, iters, "gmin")
+        best_x, best_residual = self._best_iterate(best_x, x_gmin,
+                                                   best_residual)
 
         x_src, iters_src, ok = self._source_stepping(x0)
         iters += iters_src
         if ok:
             return self._package(x_src, iters, "source")
+        best_x, best_residual = self._best_iterate(best_x, x_src,
+                                                   best_residual)
 
         raise ConvergenceError(
             f"DC solve failed for {self.system.circuit.name!r} after "
-            f"{iters} total Newton iterations",
-            residual=self.system.residual(x))
+            f"{iters} total Newton iterations "
+            f"(best residual {best_residual:.3e} A)",
+            residual=best_residual, best_x=best_x, iterations=iters)
+
+    # ------------------------------------------------------------------
+    def _best_iterate(self, current: np.ndarray, candidate: np.ndarray,
+                      current_residual: float | None = None
+                      ) -> tuple[np.ndarray, float]:
+        """Keep whichever of the two iterates has the smaller residual.
+
+        Non-finite candidates (diverged Newton iterates, singular-system
+        fallbacks) never win, so the returned residual is always finite:
+        the all-zero initial guess of :meth:`_coerce_guess` has a finite
+        residual for any assemblable circuit, and user-supplied guesses
+        are validated shapes of finite floats.
+        """
+        if current_residual is None:
+            current_residual = self._finite_residual(current)
+        candidate_residual = self._finite_residual(candidate)
+        if candidate_residual < current_residual:
+            return candidate.copy(), candidate_residual
+        return current, current_residual
+
+    def _finite_residual(self, x: np.ndarray) -> float:
+        """KCL residual of ``x``, or +inf-replaced-by-huge for iterates
+        the residual cannot be evaluated on (keeps comparisons total and
+        the reported residual finite)."""
+        if not np.all(np.isfinite(x)):
+            return float(np.finfo(float).max)
+        try:
+            residual = self.system.residual(x)
+        except (np.linalg.LinAlgError, FloatingPointError):
+            return float(np.finfo(float).max)
+        if not np.isfinite(residual):
+            return float(np.finfo(float).max)
+        return float(residual)
+
+    def package_iterate(self, x: np.ndarray, iterations: int
+                        ) -> OperatingPoint:
+        """Package an externally accepted iterate (health-layer use).
+
+        The health layer's degraded-accept path
+        (:func:`repro.health.solver.solve_with_recovery`) calls this to
+        turn a best-effort iterate carried on a
+        :class:`~repro.errors.ConvergenceError` into a regular
+        :class:`OperatingPoint` with strategy ``"degraded"``.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.system.size,):
+            raise ValueError(
+                f"iterate has shape {x.shape}, "
+                f"expected ({self.system.size},)")
+        return self._package(x, iterations, "degraded")
 
     # ------------------------------------------------------------------
     def _coerce_guess(self, guess) -> np.ndarray:

@@ -1,0 +1,56 @@
+"""HealthPolicy / HealthConfig surface."""
+
+import pytest
+
+from repro.health import HealthConfig, HealthPolicy
+
+
+class TestPolicyCoercion:
+    @pytest.mark.parametrize("value,expected", [
+        ("strict", HealthPolicy.STRICT),
+        ("Recover", HealthPolicy.RECOVER),
+        ("  PERMISSIVE ", HealthPolicy.PERMISSIVE),
+        (HealthPolicy.RECOVER, HealthPolicy.RECOVER),
+    ])
+    def test_coerce_accepts_names_and_instances(self, value, expected):
+        assert HealthPolicy.coerce(value) is expected
+
+    @pytest.mark.parametrize("value", ["lenient", 3, None])
+    def test_coerce_rejects_unknown(self, value):
+        with pytest.raises(ValueError, match="unknown health policy"):
+            HealthPolicy.coerce(value)
+
+    def test_config_coerces_policy_string(self):
+        cfg = HealthConfig(policy="recover")
+        assert cfg.policy is HealthPolicy.RECOVER
+        assert not cfg.strict and not cfg.permissive
+
+    def test_default_is_strict(self):
+        cfg = HealthConfig()
+        assert cfg.strict
+        assert cfg.inject is None
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"solver_retries": -1},
+        {"solver_accept_residual": 0.0},
+        {"stage1_ess_floor": 1.0},
+        {"stage2_ess_floor": -0.1},
+        {"stage1_patience": 0},
+        {"max_reseeds": -1},
+        {"sigma_widen": 1.0},
+        {"weight_clip_factor": 0.99},
+    ])
+    def test_bad_thresholds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthConfig(**kwargs)
+
+    def test_malformed_inject_spec_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            HealthConfig(inject="meteor")
+        with pytest.raises(ValueError, match="malformed"):
+            HealthConfig(inject="solver:one")
+
+    def test_valid_inject_spec_accepted(self):
+        assert HealthConfig(inject="filter:2:1").inject == "filter:2:1"

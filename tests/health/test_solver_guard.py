@@ -1,0 +1,129 @@
+"""Solver guardrails: diagnosable ConvergenceError + recovery wrapper.
+
+Uses the PTM16 inverter from the SPICE suite.  With ``max_iterations=1``
+and ``damping=1e-4`` every continuation stage runs out of budget, which
+is the canonical hopeless case; with ``max_iterations=5`` and
+``damping=0.2`` the solve fails narrowly (residual ~7e-3) but the first
+retry escalation (double iterations, halve damping) converges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, DegradationError
+from repro.health import HealthConfig, HealthMonitor, solve_with_recovery
+from repro.spice import (NMOS_PTM16, PMOS_PTM16, Circuit, DcSolver, Mosfet,
+                         MosfetModel, VoltageSource)
+
+NMOS = MosfetModel(NMOS_PTM16, 30.0, 16.0)
+PMOS = MosfetModel(PMOS_PTM16, 60.0, 16.0)
+
+
+def inverter(vin=0.0):
+    ckt = Circuit("inv")
+    ckt.add(VoltageSource("vdd", "vdd", "0", 0.7))
+    ckt.add(VoltageSource("vin", "in", "0", vin))
+    ckt.add(Mosfet("mp", "out", "in", "vdd", PMOS))
+    ckt.add(Mosfet("mn", "out", "in", "0", NMOS))
+    return ckt
+
+
+def hopeless_solver():
+    return DcSolver(inverter(), max_iterations=1, damping=1e-4)
+
+
+def marginal_solver():
+    return DcSolver(inverter(), max_iterations=5, damping=0.2)
+
+
+class TestConvergenceErrorDiagnostics:
+    """Satellite: a failed solve must always be diagnosable."""
+
+    def test_residual_is_finite_and_best_x_carried(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            hopeless_solver().solve()
+        exc = excinfo.value
+        assert exc.residual is not None
+        assert np.isfinite(exc.residual)
+        assert exc.best_x is not None
+        assert np.all(np.isfinite(exc.best_x))
+        assert exc.iterations >= 1
+        # the residual figure is part of the message for log grepping
+        assert f"{exc.residual:.3e}" in str(exc)
+
+    def test_package_iterate_builds_degraded_operating_point(self):
+        solver = hopeless_solver()
+        with pytest.raises(ConvergenceError) as excinfo:
+            solver.solve()
+        op = solver.package_iterate(excinfo.value.best_x,
+                                    excinfo.value.iterations)
+        assert op.strategy == "degraded"
+        assert op.iterations == excinfo.value.iterations
+
+
+class TestSolveWithRecovery:
+    def test_healthy_solve_is_untouched(self):
+        baseline = DcSolver(inverter()).solve()
+        op = solve_with_recovery(DcSolver(inverter()),
+                                 config=HealthConfig(policy="recover"))
+        assert op.strategy == baseline.strategy
+        assert op["out"] == baseline["out"]
+
+    def test_strict_reraises_without_retry(self):
+        monitor = HealthMonitor(HealthConfig(policy="strict"))
+        solver = marginal_solver()
+        with pytest.raises(ConvergenceError):
+            solve_with_recovery(solver, config=monitor.config,
+                                monitor=monitor)
+        # no retry happened: knobs untouched, one critical event recorded
+        assert solver.damping == 0.2 and solver.max_iterations == 5
+        (event,) = monitor.report.events
+        assert event.category == "solver"
+        assert event.severity == "critical"
+
+    def test_retry_recovers_marginal_solve(self):
+        monitor = HealthMonitor(HealthConfig(policy="recover"))
+        solver = marginal_solver()
+        with pytest.warns(UserWarning, match="recovered on retry"):
+            op = solve_with_recovery(solver, config=monitor.config,
+                                     monitor=monitor)
+        # a real (non-degraded) solution, close to the clean reference
+        reference = DcSolver(inverter()).solve()
+        assert op.strategy != "degraded"
+        assert op["out"] == pytest.approx(reference["out"], abs=1e-3)
+        # solver knobs restored after the escalation
+        assert solver.damping == 0.2 and solver.max_iterations == 5
+        (event,) = monitor.report.events
+        assert event.recovered and event.severity == "warning"
+
+    def test_recover_accepts_best_iterate_within_bound(self):
+        cfg = HealthConfig(policy="recover", solver_retries=0,
+                           solver_accept_residual=1e-2)
+        monitor = HealthMonitor(cfg)
+        with pytest.warns(UserWarning, match="best non-converged"):
+            op = solve_with_recovery(marginal_solver(), config=cfg,
+                                     monitor=monitor)
+        assert op.strategy == "degraded"
+        (event,) = monitor.report.events
+        assert event.recovered
+
+    def test_recover_rejects_beyond_bound(self):
+        cfg = HealthConfig(policy="recover", solver_retries=1,
+                           solver_accept_residual=1e-12)
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_with_recovery(hopeless_solver(), config=cfg)
+        assert np.isfinite(excinfo.value.residual)
+
+    def test_permissive_accepts_beyond_bound_with_critical_event(self):
+        cfg = HealthConfig(policy="permissive", solver_retries=0,
+                           solver_accept_residual=1e-12)
+        monitor = HealthMonitor(cfg)
+        with pytest.warns(UserWarning, match="beyond the"):
+            op = solve_with_recovery(hopeless_solver(), config=cfg,
+                                     monitor=monitor)
+        assert op.strategy == "degraded"
+        assert [e.severity for e in monitor.report.events] == ["critical"]
+
+    def test_degradation_error_carries_category(self):
+        err = DegradationError("boom", category="solver")
+        assert err.category == "solver"

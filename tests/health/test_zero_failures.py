@@ -1,0 +1,86 @@
+"""Zero observed stage-2 failures: rule-of-three upper bound.
+
+A gate indicator replays the reference failure region for exactly the
+number of evaluations the boundary search and stage 1 consume, then
+reports no failures at all -- so stage 2 runs its full statistical
+budget and observes zero failure weight.  Strict policy keeps the
+historical ``EstimationError``; recover/permissive return a positive
+rule-of-three upper bound instead, flagged as such.
+
+Serial backend only: the gate indicator is stateful (it counts
+evaluations), which is only deterministic without worker dispatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ecripse import EcripseEstimator
+from repro.core.indicator import FunctionIndicator
+from repro.errors import EstimationError
+from repro.health import HealthConfig
+
+from tests.health.conftest import (DIM, NULL, SPACE, TINY, make_estimator,
+                                   two_lobes)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.errors.HealthyDegradation")
+
+#: classifier off so every stage-2 sample is simulated: the gate count
+#: then exactly equals simulation count, and the zero-failure outcome
+#: cannot be masked by classifier predictions.
+CONFIG = TINY.with_(use_classifier=False, max_statistical_samples=2400)
+
+SEED = 7
+
+
+class _Gate:
+    """Fails like ``two_lobes`` for the first ``n`` evaluations, then
+    never again."""
+
+    def __init__(self, n):
+        self.n = n
+        self.seen = 0
+
+    def __call__(self, x):
+        index = self.seen + np.arange(len(x))
+        self.seen += len(x)
+        return two_lobes(x) & (index < self.n)
+
+
+def _stage1_budget():
+    """Simulations consumed before stage 2 in the reference run."""
+    estimate = make_estimator(config=CONFIG, seed=SEED).run(
+        target_relative_error=0.2)
+    return estimate.n_simulations - estimate.n_statistical_samples
+
+
+def _gated_estimator(policy):
+    budget = _stage1_budget()
+    health = HealthConfig(policy=policy)
+    cfg = CONFIG.with_(health=health)
+    return EcripseEstimator(
+        SPACE, FunctionIndicator(_Gate(budget), dim=DIM), NULL,
+        config=cfg, seed=SEED)
+
+
+class TestZeroFailures:
+    def test_strict_keeps_historical_error(self):
+        with pytest.raises(EstimationError, match="no failing samples"):
+            _gated_estimator("strict").run(target_relative_error=0.2)
+
+    @pytest.mark.parametrize("policy", ["recover", "permissive"])
+    def test_rule_of_three_upper_bound(self, policy):
+        estimate = _gated_estimator(policy).run(target_relative_error=0.2)
+        # positive, conservative bound instead of a hard failure
+        assert 0 < estimate.pfail <= 1
+        assert estimate.metadata["upper_bound"] is True
+        assert estimate.metadata["effective_sample_count"] > 0
+        # 3/ESS with ESS <= n_statistical_samples: the bound can never
+        # be tighter than the plain rule of three
+        assert estimate.pfail >= 3 / estimate.n_statistical_samples
+        report = estimate.health
+        assert report.upper_bound
+        assert "zero-failures" in report.by_category()
+        (event,) = [e for e in report.events
+                    if e.category == "zero-failures"]
+        assert event.stage == "stage2"

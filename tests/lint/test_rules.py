@@ -110,6 +110,15 @@ class TestRep002WallClock:
         path = "src/repro/checkpoint/store.py"
         assert rules_of(findings_for(source, path=path)) == ["REP002"]
 
+    def test_fires_in_health_package(self):
+        source = (
+            "import time\n"
+            "def event_stamp():\n"
+            "    return time.time()\n"
+        )
+        path = "src/repro/health/monitor.py"
+        assert rules_of(findings_for(source, path=path)) == ["REP002"]
+
     def test_trigger_module_hosts_sanctioned_wall_clock(self):
         source = (
             "import time\n"
