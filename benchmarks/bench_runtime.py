@@ -9,8 +9,15 @@ actually scale: threads serialise on the GIL).
 Estimates must be bit-identical across backends (the runtime's core
 contract); the >=2x process-backend speedup is asserted only when the
 host has >= 4 usable cores -- a 1-core CI box cannot speed anything up,
-but the numbers are still measured and written to
-``bench_runtime.json`` next to this file.
+but the numbers are still measured and written to root-level
+``BENCH_runtime.json``.
+
+Each backend row also records its device-model evaluation count (from
+``metadata["perf"]``, see :mod:`repro.perf.report`).  The counters are
+process-local deltas: under the ``process`` backend the workers solve in
+their own interpreters, so the parent-side count covers only the
+non-distributed stages and is expected to be much smaller than the
+serial count -- it is reported for visibility, not compared.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ from repro.runtime import ExecutionConfig
 
 BACKENDS = ("serial", "thread", "process")
 WORKERS = 4
-JSON_PATH = Path(__file__).with_name("bench_runtime.json")
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
 
 
 def _cores() -> int:
@@ -64,12 +71,14 @@ def _report(section: str, rows: dict[str, dict]) -> None:
 
 
 def test_naive_mc_backends():
-    setup = paper_setup(vdd=0.5, alpha=0.3)
     n_samples = 100_000 if FULL else 4000
     chunk = 500
 
     rows: dict[str, dict] = {}
     for backend in BACKENDS:
+        # fresh setup per backend: a shared evaluator would hand the
+        # later backends a fully warm solve cache and void the timing
+        setup = paper_setup(vdd=0.5, alpha=0.3)
         mc = NaiveMonteCarlo(setup.space, setup.indicator, setup.rtn_model,
                              seed=0, execution=_execution(backend, chunk))
         t0 = time.perf_counter()
@@ -79,6 +88,8 @@ def test_naive_mc_backends():
             "pfail": result.pfail,
             "n_simulations": result.n_simulations,
             "n_fallbacks": result.metadata["execution"]["n_fallbacks"],
+            "device_model_evals":
+                result.metadata["perf"]["device_model_evals"],
         }
     _report("naive-mc", rows)
 
@@ -93,11 +104,11 @@ def test_naive_mc_backends():
 
 
 def test_ecripse_backends(bench_scale):
-    setup = paper_setup(vdd=0.5, alpha=0.3)
     config = bench_scale["config"]
 
     rows: dict[str, dict] = {}
     for backend in BACKENDS:
+        setup = paper_setup(vdd=0.5, alpha=0.3)
         estimator = EcripseEstimator(
             setup.space, setup.indicator, setup.rtn_model, seed=0,
             config=config.with_(execution=_execution(backend, 250)))
@@ -109,6 +120,8 @@ def test_ecripse_backends(bench_scale):
             "pfail": result.pfail,
             "n_simulations": result.n_simulations,
             "n_fallbacks": result.metadata["execution"]["n_fallbacks"],
+            "device_model_evals":
+                result.metadata["perf"]["device_model_evals"],
         }
     _report("ecripse", rows)
 

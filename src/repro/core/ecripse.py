@@ -46,6 +46,7 @@ from repro.core.indicator import (
 )
 from repro.errors import CheckpointError, EstimationError
 from repro.health import HealthConfig, HealthMonitor
+from repro.perf.profile import StageProfiler, merge_spans
 from repro.ml.blockade import ClassifierBlockade
 from repro.rng import (
     as_generator,
@@ -241,6 +242,8 @@ class EcripseEstimator:
         self.filter_bank: ParticleFilterBank | None = None
         self.mixture: DefensiveMixture | None = None
         self.health = HealthMonitor(self.config.health)
+        self.profiler = StageProfiler()
+        self._perf_baseline: dict = {}
         # Resumable-run progress markers (see state_snapshot); a fresh
         # estimator starts in phase "init" with empty accumulators.
         self._phase = "init"
@@ -274,15 +277,20 @@ class EcripseEstimator:
             raise ValueError("target_relative_error must be positive")
         start = time.perf_counter()
         cfg = self.config
+        # Perf counters live on the (possibly sweep-shared) evaluator,
+        # so this run's contribution is reported as a delta over the
+        # baseline captured here.
+        self._perf_baseline = self._evaluator_perf_stats()
 
         try:
             if self._phase == "init":
                 if self.boundary is None:
-                    self.boundary = find_failure_boundary(
-                        self.boundary_search_indicator,
-                        cfg.n_boundary_directions,
-                        self._rng_boundary, r_max=cfg.boundary_r_max,
-                        n_bisections=cfg.n_bisections)
+                    with self.profiler.span("boundary-search"):
+                        self.boundary = find_failure_boundary(
+                            self.boundary_search_indicator,
+                            cfg.n_boundary_directions,
+                            self._rng_boundary, r_max=cfg.boundary_r_max,
+                            n_bisections=cfg.n_bisections)
                 self._sims_boundary = self.counter.count
                 self._phase = "stage1"
                 if checkpoint is not None:
@@ -296,6 +304,8 @@ class EcripseEstimator:
 
         estimate.wall_time_s = time.perf_counter() - start
         estimate.trace = list(self._trace)
+        execution = self.executor.aggregate()
+        merge_spans(execution.spans, self.profiler.as_dict())
         estimate.metadata.update({
             "boundary_simulations": self._sims_boundary,
             "stage1_simulations": self._sims_stage1,
@@ -306,10 +316,41 @@ class EcripseEstimator:
             "classifier_samples": self.blockade.n_training_samples,
             "use_classifier": cfg.use_classifier,
             "n_filters": cfg.n_filters,
-            "execution": self.executor.aggregate().as_dict(),
+            "execution": execution.as_dict(),
+            "perf": self._perf_metadata(),
         })
         estimate.health = self.health.report
         return estimate
+
+    # ------------------------------------------------------------------
+    # perf telemetry
+    # ------------------------------------------------------------------
+    def _evaluator(self):
+        """The cell evaluator behind the indicator, if there is one.
+
+        ``FunctionIndicator``-style test doubles have no evaluator;
+        every perf hook degrades to span-only telemetry for them.
+        """
+        return getattr(self.indicator.indicator, "evaluator", None)
+
+    def _evaluator_perf_stats(self) -> dict:
+        evaluator = self._evaluator()
+        stats = getattr(evaluator, "perf_stats", None)
+        return stats() if callable(stats) else {}
+
+    def _perf_metadata(self) -> dict:
+        """This run's perf contribution (counter deltas + spans).
+
+        Counters are process-local telemetry: a run resumed in a fresh
+        process reports only the work done since the restore.
+        """
+        perf: dict = {"spans": self.profiler.as_dict()}
+        for key, value in self._evaluator_perf_stats().items():
+            if key == "cache_entries":
+                perf[key] = value
+            else:
+                perf[key] = value - self._perf_baseline.get(key, 0)
+        return perf
 
     # ------------------------------------------------------------------
     # stage 1: particle filtering
@@ -322,14 +363,17 @@ class EcripseEstimator:
                 cfg.kernel_sigma, self._rng_bank)
         m = 1 if self.rtn_model.is_null else cfg.m_rtn
         while self._stage1_iter < cfg.n_iterations:
-            candidates = self.filter_bank.predict_all(self.executor)
+            with self.profiler.span("stage1-predict"):
+                candidates = self.filter_bank.predict_all(self.executor)
             total = self._total_shift_samples(candidates, m,
                                               self._rng_stage1)
-            labels = self._labels_stage1(total)
+            with self.profiler.span("stage1-label"):
+                labels = self._labels_stage1(total)
             p_fail_rtn = labels.reshape(candidates.shape[0], m).mean(axis=1)
             weights = p_fail_rtn * self.space.pdf(candidates)
             weights = self.health.stage1_weights(weights, cfg.n_particles)
-            self.filter_bank.resample_all(candidates, weights)
+            with self.profiler.span("stage1-resample"):
+                self.filter_bank.resample_all(candidates, weights)
             self._stage1_iter += 1
             self.health.check_stage1(self.filter_bank, weights,
                                      self.boundary, self._stage1_iter)
@@ -419,7 +463,8 @@ class EcripseEstimator:
         rest = np.ones(n, dtype=bool)
         rest[picks] = False
         if self.blockade.is_trained and not self.health.blockade_active:
-            labels[rest] = self.blockade.predict(total[rest]).labels
+            with self.profiler.span("classifier-predict"):
+                labels[rest] = self.blockade.predict(total[rest]).labels
         else:
             # Single-class training data so far (or the health layer's
             # classifier blockade engaged): simulate everything.
@@ -436,7 +481,8 @@ class EcripseEstimator:
         blockade mode until both classes reappear.
         """
         x_fed, fed = self.health.training_batch(x, labels)
-        self.blockade.update(x_fed, fed, force_retrain=True)
+        with self.profiler.span("classifier-train"):
+            self.blockade.update(x_fed, fed, force_retrain=True)
         self.health.check_training_batch(self.blockade, fed, stage)
 
     # ------------------------------------------------------------------
@@ -454,12 +500,14 @@ class EcripseEstimator:
         accumulator = self._accumulator
         while (not self._stage2_done
                and accumulator.count < cfg.max_statistical_samples):
-            x = self.mixture.sample(cfg.stage2_batch, self._rng_stage2)
-            ratios = importance_ratios(self.space, self.mixture, x)
-            ratios = self.health.clip_ratios(
-                ratios, self.mixture.weight_bound, self._stage2_batches)
-            total = self._total_shift_samples(x, m, self._rng_stage2)
-            labels = self._labels_stage2(total)
+            with self.profiler.span("stage2-sample"):
+                x = self.mixture.sample(cfg.stage2_batch, self._rng_stage2)
+                ratios = importance_ratios(self.space, self.mixture, x)
+                ratios = self.health.clip_ratios(
+                    ratios, self.mixture.weight_bound, self._stage2_batches)
+                total = self._total_shift_samples(x, m, self._rng_stage2)
+            with self.profiler.span("stage2-label"):
+                labels = self._labels_stage2(total)
             y = labels.reshape(x.shape[0], m).mean(axis=1)
             accumulator.update(ratios * y)
             self._stage2_batches += 1
@@ -513,7 +561,8 @@ class EcripseEstimator:
                 # (Strict preserves the legacy simulate-only path.)
                 self._feed_classifier(total, labels, "stage2")
             return labels
-        prediction = self.blockade.predict(total)
+        with self.profiler.span("classifier-predict"):
+            prediction = self.blockade.predict(total)
         labels = prediction.labels.copy()
         uncertain = prediction.uncertain
         if np.any(uncertain):
@@ -568,7 +617,25 @@ class EcripseEstimator:
             "accumulator": self._accumulator.state(),
             "trace": [point.as_dict() for point in self._trace],
             "health": self.health.state(),
+            "solve_cache": self._cache_snapshot(),
         }
+
+    def _cache_snapshot(self) -> dict | None:
+        """The evaluator's solve-cache state, if one is attached.
+
+        Riding the checkpoint lets a resumed run start with the warm
+        cache the killed run had built up -- pure acceleration, so older
+        snapshots without the key restore fine (cold cache).
+        """
+        cache = getattr(self._evaluator(), "cache", None)
+        return None if cache is None else cache.state()
+
+    def _cache_restore(self, state: dict | None) -> None:
+        cache = getattr(self._evaluator(), "cache", None)
+        if cache is not None and state is not None:
+            # A fingerprint mismatch (different solve configuration)
+            # just leaves the cache cold; results never depend on it.
+            cache.restore_state(state)
 
     def restore_state(self, state: dict) -> None:
         """Restore a :meth:`state_snapshot`; continues bit-identically.
@@ -606,6 +673,9 @@ class EcripseEstimator:
             # below: the rebuild consults its widening multiplier and
             # quarantine set.
             self.health.restore_state(state["health"])
+            # Older snapshots predate the solve cache; .get degrades to
+            # a cold cache instead of rejecting them.
+            self._cache_restore(state.get("solve_cache"))
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
                 f"invalid {self.method} snapshot: {exc}") from exc

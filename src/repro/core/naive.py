@@ -29,6 +29,7 @@ from repro.core.indicator import (
     SimulationCounter,
 )
 from repro.errors import CheckpointError
+from repro.perf.profile import StageProfiler, merge_spans
 from repro.rng import (
     as_generator,
     rng_from_state,
@@ -104,6 +105,8 @@ class NaiveMonteCarlo:
         self._chunk: int | None = None
         self._entry_rng: dict | None = None
         self._trace: list[TracePoint] = []
+        self.profiler = StageProfiler()
+        self._perf_baseline: dict = {}
 
     # ------------------------------------------------------------------
     def run(self, n_samples: int,
@@ -125,6 +128,7 @@ class NaiveMonteCarlo:
                 f"snapshot was taken for n_samples="
                 f"{self._n_samples}, cannot resume with {n_samples}")
         self._n_samples = n_samples
+        self._perf_baseline = self._evaluator_perf_stats()
         if self.executor is not None:
             if self._mode == "legacy":
                 raise CheckpointError(
@@ -140,10 +144,12 @@ class NaiveMonteCarlo:
         start = time.perf_counter()
         while not self._stopped and self._drawn < n_samples:
             batch = min(self.batch_size, n_samples - self._drawn)
-            x = self.space.sample(batch, self.rng)
-            shifts, states = self.rtn_model.sample(batch, self.rng)
-            total = self.rtn_model.mirror(x + shifts, states)
-            self._fails += int(np.sum(self.indicator.evaluate(total)))
+            with self.profiler.span("mc-sample"):
+                x = self.space.sample(batch, self.rng)
+                shifts, states = self.rtn_model.sample(batch, self.rng)
+                total = self.rtn_model.mirror(x + shifts, states)
+            with self.profiler.span("mc-label"):
+                self._fails += int(np.sum(self.indicator.evaluate(total)))
             self._drawn += batch
 
             estimate, halfwidth = wilson_interval(self._fails, self._drawn)
@@ -164,7 +170,9 @@ class NaiveMonteCarlo:
             n_simulations=self.counter.count,
             n_statistical_samples=self._drawn,
             method="naive-mc", wall_time_s=time.perf_counter() - start,
-            trace=list(self._trace), metadata={"failures": self._fails})
+            trace=list(self._trace),
+            metadata={"failures": self._fails,
+                      "perf": self._perf_metadata()})
 
     # ------------------------------------------------------------------
     def _run_chunked(self, n_samples: int,
@@ -231,6 +239,8 @@ class NaiveMonteCarlo:
             self.executor.close()
 
         estimate, halfwidth = wilson_interval(self._fails, self._drawn)
+        execution = self.executor.aggregate()
+        merge_spans(execution.spans, self.profiler.as_dict())
         return FailureEstimate(
             pfail=estimate, ci_halfwidth=halfwidth,
             n_simulations=self.counter.count,
@@ -238,7 +248,25 @@ class NaiveMonteCarlo:
             method="naive-mc", wall_time_s=time.perf_counter() - start,
             trace=list(self._trace),
             metadata={"failures": self._fails,
-                      "execution": self.executor.aggregate().as_dict()})
+                      "execution": execution.as_dict(),
+                      "perf": self._perf_metadata()})
+
+    # ------------------------------------------------------------------
+    # perf telemetry (see EcripseEstimator for the delta rationale)
+    # ------------------------------------------------------------------
+    def _evaluator_perf_stats(self) -> dict:
+        evaluator = getattr(self.indicator.indicator, "evaluator", None)
+        stats = getattr(evaluator, "perf_stats", None)
+        return stats() if callable(stats) else {}
+
+    def _perf_metadata(self) -> dict:
+        perf: dict = {"spans": self.profiler.as_dict()}
+        for key, value in self._evaluator_perf_stats().items():
+            if key == "cache_entries":
+                perf[key] = value
+            else:
+                perf[key] = value - self._perf_baseline.get(key, 0)
+        return perf
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -264,7 +292,14 @@ class NaiveMonteCarlo:
             "rng": rng_state(self.rng),
             "entry_rng": self._entry_rng,
             "trace": [point.as_dict() for point in self._trace],
+            "solve_cache": self._cache_snapshot(),
         }
+
+    def _cache_snapshot(self) -> dict | None:
+        cache = getattr(
+            getattr(self.indicator.indicator, "evaluator", None),
+            "cache", None)
+        return None if cache is None else cache.state()
 
     def restore_state(self, state: dict) -> None:
         """Restore a :meth:`state_snapshot`; continues bit-identically."""
@@ -285,6 +320,13 @@ class NaiveMonteCarlo:
             self._entry_rng = state["entry_rng"]
             self._trace = [TracePoint.from_dict(point)
                            for point in state["trace"]]
+            # Older snapshots predate the solve cache (.get -> cold).
+            cache_state = state.get("solve_cache")
+            cache = getattr(
+                getattr(self.indicator.indicator, "evaluator", None),
+                "cache", None)
+            if cache is not None and cache_state is not None:
+                cache.restore_state(cache_state)
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
                 f"invalid naive-mc snapshot: {exc}") from exc

@@ -24,14 +24,16 @@ from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.core.sweep import BiasSweep
 from repro.experiments.setup import paper_setup
 from repro.ml.blockade import ClassifierBlockade
+from repro.perf import PerfConfig
 from repro.rng import stable_seed
 
 
 def classifier_ablation(target_relative_error: float = 0.05,
                         config: EcripseConfig | None = None,
-                        seed: int = 7) -> dict:
+                        seed: int = 7,
+                        perf: PerfConfig | None = None) -> dict:
     """A1: run ECRIPSE with and without the classifier."""
-    setup = paper_setup()
+    setup = paper_setup(perf=perf)
     config = config if config is not None else EcripseConfig()
     results = {}
     for label, use in (("with classifier", True), ("without", False)):
@@ -137,10 +139,11 @@ def occupancy_convention_ablation(alphas=(0.0, 0.5, 1.0),
     return curves
 
 
-def main(config: EcripseConfig | None = None
+def main(config: EcripseConfig | None = None,
+         perf: PerfConfig | None = None
          ) -> None:  # pragma: no cover - exercised via the CLI
     print("A1: classifier ablation")
-    a1 = classifier_ablation(config=config)
+    a1 = classifier_ablation(config=config, perf=perf)
     print(format_table(
         ["variant", "Pfail", "simulations"],
         [[k, f"{v.pfail:.3e}", v.n_simulations]

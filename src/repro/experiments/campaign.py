@@ -16,6 +16,7 @@ from repro.analysis.persistence import save_estimate
 from repro.checkpoint import CheckpointConfig
 from repro.core.ecripse import EcripseConfig
 from repro.experiments import fig6, fig7, fig8
+from repro.perf import PerfConfig
 from repro.runtime import ExecutionConfig
 
 
@@ -25,7 +26,8 @@ def run_campaign(out_dir, config: EcripseConfig | None = None,
                  alphas=(0.0, 0.25, 0.5, 0.75, 1.0),
                  seed: int = 2015, include=("fig6", "fig7", "fig8"),
                  execution: ExecutionConfig | None = None,
-                 checkpoint: CheckpointConfig | None = None) -> Path:
+                 checkpoint: CheckpointConfig | None = None,
+                 perf: PerfConfig | None = None) -> Path:
     """Run the selected experiments and write ``report.md`` plus per-run
     JSON files into ``out_dir``.  Returns the report path.
 
@@ -38,6 +40,11 @@ def run_campaign(out_dir, config: EcripseConfig | None = None,
     ``resume=True`` skips finished runs and continues the interrupted
     one mid-flight.  A campaign owns its output files, so the JSON
     results are refreshed with an explicit ``overwrite=True``.
+
+    ``perf`` selects the hot-path acceleration policy for every
+    experiment (see :mod:`repro.perf`); a ``cache_path``-equipped config
+    shares solved margins across campaign repeats through the on-disk
+    cache.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -59,7 +66,7 @@ def run_campaign(out_dir, config: EcripseConfig | None = None,
     if "fig6" in include:
         result = fig6.run_fig6(
             target_relative_error=target_relative_error,
-            config=config, seed=seed)
+            config=config, seed=seed, perf=perf)
         save_estimate(result.proposed, out / "fig6_proposed.json",
                       overwrite=True)
         save_estimate(result.conventional,
@@ -83,7 +90,7 @@ def run_campaign(out_dir, config: EcripseConfig | None = None,
         result = fig7.run_fig7(
             naive_samples=naive_samples,
             target_relative_error=target_relative_error * 2,
-            config=config, seed=seed, checkpoint=checkpoint)
+            config=config, seed=seed, checkpoint=checkpoint, perf=perf)
         save_estimate(result.naive_a, out / "fig7_naive.json",
                       overwrite=True)
         save_estimate(result.proposed_a, out / "fig7_proposed_a.json",
@@ -109,7 +116,7 @@ def run_campaign(out_dir, config: EcripseConfig | None = None,
         result = fig8.run_fig8(
             alphas=alphas,
             target_relative_error=target_relative_error * 2,
-            config=config, seed=seed, checkpoint=checkpoint)
+            config=config, seed=seed, checkpoint=checkpoint, perf=perf)
         for alpha, estimate in zip(result.sweep.alphas,
                                    result.sweep.estimates):
             save_estimate(estimate,

@@ -17,6 +17,7 @@ from repro.core.conventional import ConventionalSisEstimator
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.core.estimate import FailureEstimate
 from repro.experiments.setup import paper_setup
+from repro.perf import PerfConfig
 from repro.rng import stable_seed
 
 
@@ -46,7 +47,8 @@ class Fig6Result:
 def run_fig6(target_relative_error: float = 0.02,
              max_conventional_sims: int = 400_000,
              config: EcripseConfig | None = None, vdd: float | None = None,
-             seed: int = 2015) -> Fig6Result:
+             seed: int = 2015,
+             perf: PerfConfig | None = None) -> Fig6Result:
     """Run both estimators on the RDF-only problem (paper Fig. 6).
 
     Parameters
@@ -57,8 +59,11 @@ def run_fig6(target_relative_error: float = 0.02,
         experiment).
     max_conventional_sims:
         Safety cap for the baseline.
+    perf:
+        Hot-path acceleration policy (see :mod:`repro.perf`); both
+        estimators share the evaluator and therefore the solve cache.
     """
-    setup = paper_setup(vdd=vdd)
+    setup = paper_setup(vdd=vdd, perf=perf)
     config = config if config is not None else EcripseConfig()
 
     proposed = EcripseEstimator(

@@ -21,6 +21,7 @@ from repro.core.estimate import FailureEstimate
 from repro.core.naive import NaiveMonteCarlo
 from repro.config import TABLE_I
 from repro.experiments.setup import paper_setup
+from repro.perf import PerfConfig
 from repro.rng import stable_seed
 
 
@@ -74,7 +75,8 @@ def run_fig7(alpha_a: float = 0.3, alpha_b: float = 0.5,
              target_relative_error: float = 0.05,
              config: EcripseConfig | None = None,
              seed: int = 2015,
-             checkpoint: CheckpointConfig | None = None) -> Fig7Result:
+             checkpoint: CheckpointConfig | None = None,
+             perf: PerfConfig | None = None) -> Fig7Result:
     """Run the Fig. 7 comparison at VDD = 0.5 V.
 
     ``naive_samples`` defaults to a scaled-down 3e5 (the paper used 1e6);
@@ -84,8 +86,11 @@ def run_fig7(alpha_a: float = 0.3, alpha_b: float = 0.5,
     invocation resumes where it was killed; completed runs are loaded
     from their result files and their final state restored, so the
     (b) run still reuses the (a) run's boundary and classifier.
+
+    ``perf`` tunes the hot-path acceleration; all three runs (the naive
+    baseline included) share one evaluator and thus one solve cache.
     """
-    setup_a = paper_setup(vdd=TABLE_I.vdd_low, alpha=alpha_a)
+    setup_a = paper_setup(vdd=TABLE_I.vdd_low, alpha=alpha_a, perf=perf)
     config = config if config is not None else EcripseConfig()
     crash_budget = (None if checkpoint is None
                     or checkpoint.crash_after is None

@@ -23,6 +23,7 @@ from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.core.estimate import FailureEstimate
 from repro.core.sweep import BiasSweep, BiasSweepResult
 from repro.experiments.setup import paper_setup
+from repro.perf import PerfConfig
 from repro.rng import stable_seed
 
 DEFAULT_ALPHAS = tuple(np.round(np.linspace(0.0, 1.0, 11), 2))
@@ -70,14 +71,20 @@ def run_fig8(alphas=DEFAULT_ALPHAS, target_relative_error: float = 0.05,
              config: EcripseConfig | None = None,
              convention: str = "physical", vdd: float | None = None,
              seed: int = 2015,
-             checkpoint: CheckpointConfig | None = None) -> Fig8Result:
+             checkpoint: CheckpointConfig | None = None,
+             perf: PerfConfig | None = None) -> Fig8Result:
     """Run the duty-ratio sweep plus the no-RTN reference point.
 
     With a ``checkpoint`` policy the no-RTN reference snapshots under
     ``nortn`` and each sweep point under ``alpha-NN``; an interrupted
     invocation resumes mid-point without repeating finished points.
+
+    ``perf`` tunes the hot-path acceleration (see :mod:`repro.perf`);
+    the evaluator -- and with it the solve cache -- is shared across the
+    no-RTN point and every sweep point, so later points hit work the
+    earlier ones already solved.
     """
-    setup = paper_setup(vdd=vdd)
+    setup = paper_setup(vdd=vdd, perf=perf)
     config = config if config is not None else EcripseConfig()
     crash_budget = (None if checkpoint is None
                     or checkpoint.crash_after is None

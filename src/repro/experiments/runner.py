@@ -28,6 +28,14 @@ from repro.experiments import ablations, fig6, fig7, fig8
 from repro.experiments.setup import paper_setup
 from repro.health import HealthConfig, HealthPolicy, HealthReport
 from repro.health import collect_reports
+from repro.perf import (
+    PerfConfig,
+    collect_perf,
+    merge_perf,
+    render_json,
+    render_text,
+    save_registered_caches,
+)
 from repro.runtime import BACKENDS, ExecutionConfig
 
 QUICK = EcripseConfig(n_particles=60, n_iterations=6, k_train=128,
@@ -71,6 +79,21 @@ def _add_common_args(cmd: argparse.ArgumentParser) -> None:
     # so the recovery paths are exercisable from the shell.
     cmd.add_argument("--inject-fault", default=None,
                      help=argparse.SUPPRESS)
+    cmd.add_argument("--exact-eval", action="store_true",
+                     help="disable the hot-path acceleration (adaptive "
+                          "screening + solve cache); results are "
+                          "bit-identical either way, this is the escape "
+                          "hatch / A-B reference")
+    cmd.add_argument("--solve-cache", default=None, metavar="DIR",
+                     help="directory for on-disk solve-cache "
+                          "persistence; warmed caches are reloaded on "
+                          "the next invocation (ignored with "
+                          "--exact-eval)")
+    cmd.add_argument("--perf-report", choices=("text", "json"),
+                     default=None, metavar="{text,json}",
+                     help="print the aggregated perf report after the "
+                          "run (stage spans, device-model evaluations, "
+                          "cache hit rates)")
 
 
 def _add_checkpoint_args(cmd: argparse.ArgumentParser) -> None:
@@ -189,36 +212,47 @@ def main(argv: list[str] | None = None) -> int:
     config = (QUICK if args.quick else EcripseConfig()).with_(
         execution=execution, health=health)
     checkpoint = _checkpoint_config(args)
+    perf = (PerfConfig.exact() if args.exact_eval
+            else PerfConfig(cache_path=args.solve_cache))
 
     try:
-        code, result = _dispatch(args, config, execution, checkpoint)
+        code, result = _dispatch(args, config, execution, checkpoint, perf)
     except CheckpointCrash as crash:
         # The kill/resume test harness's simulated crash: the snapshot
-        # it announces is durably on disk, so exit distinctly.
+        # it announces is durably on disk, so exit distinctly.  The
+        # warm cache still persists -- resume restarts from it.
+        save_registered_caches()
         print(f"injected crash: {crash}", file=sys.stderr)
         return 3
+    save_registered_caches()
     if args.health_report is not None:
         merged = HealthReport.merged(collect_reports(result))
         if not merged.events:
             merged.policy = health.policy.value
         print(merged.render_json() if args.health_report == "json"
               else merged.render_text())
+    if args.perf_report is not None:
+        perf_merged = merge_perf(collect_perf(result))
+        print(render_json(perf_merged) if args.perf_report == "json"
+              else render_text(perf_merged))
     return code
 
 
 def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
-              checkpoint: CheckpointConfig | None) -> tuple[int, object]:
+              checkpoint: CheckpointConfig | None,
+              perf: PerfConfig | None = None) -> tuple[int, object]:
     """Run one subcommand; returns (exit code, result object).
 
     The result object is handed to
     :func:`repro.health.events.collect_reports` so ``--health-report``
-    can aggregate the health of every estimate the command produced.
+    (and its perf twin, ``--perf-report``) can aggregate every estimate
+    the command produced.
     """
     result: object = None
     if args.command == "fig6":
         result = fig6.run_fig6(config=config, seed=args.seed,
                                target_relative_error=0.05 if args.quick
-                               else 0.02)
+                               else 0.02, perf=perf)
         print(result.proposed.summary())
         print(result.conventional.summary())
         print()
@@ -230,7 +264,7 @@ def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
             config=config, seed=args.seed,
             naive_samples=50_000 if args.quick else 300_000,
             target_relative_error=0.10 if args.quick else 0.05,
-            checkpoint=checkpoint)
+            checkpoint=checkpoint, perf=perf)
         print(result.table())
         print(f"\nnaive/proposed ratio: {result.simulation_saving:.1f}x; "
               f"shared-init cost: {result.shared_init_saving:.2f}; "
@@ -241,13 +275,13 @@ def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
             alphas=(0.0, 0.25, 0.5, 0.75, 1.0) if args.quick
             else fig8.DEFAULT_ALPHAS,
             target_relative_error=0.10 if args.quick else 0.05,
-            checkpoint=checkpoint)
+            checkpoint=checkpoint, perf=perf)
         print(result.table())
         print(f"\nRTN penalty {result.rtn_penalty:.1f}x; "
               f"minimum at {result.minimum_alpha}; "
               f"asymmetry {result.asymmetry():.1%}")
     elif args.command == "ablations":
-        result = ablations.main(config=config)
+        result = ablations.main(config=config, perf=perf)
     elif args.command == "campaign":
         from repro.experiments.campaign import run_campaign
 
@@ -255,7 +289,7 @@ def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
             args.out, config=config,
             target_relative_error=0.08 if args.quick else 0.02,
             naive_samples=40_000 if args.quick else 300_000,
-            seed=args.seed, checkpoint=checkpoint)
+            seed=args.seed, checkpoint=checkpoint, perf=perf)
         print(f"report written to {report}")
     elif args.command == "vmin":
         from repro.analysis.tables import format_table
@@ -264,7 +298,7 @@ def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
         result = find_vmin(args.budget, vdd_low=args.low,
                            vdd_high=args.high, alpha=args.alpha,
                            resolution=args.resolution, config=config,
-                           seed=args.seed)
+                           seed=args.seed, perf=perf)
         rows = [[f"{vdd:.3f}", f"{e.pfail:.3e}", e.n_simulations]
                 for vdd, e in result.probes]
         print(format_table(["VDD [V]", "Pfail", "simulations"], rows,
@@ -272,7 +306,7 @@ def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
         print(f"\nVmin = {result.vmin} V for budget {args.budget:.1e} "
               f"({result.total_simulations} simulations total)")
     elif args.command == "estimate":
-        setup = paper_setup(vdd=args.vdd, alpha=args.alpha)
+        setup = paper_setup(vdd=args.vdd, alpha=args.alpha, perf=perf)
         estimator = EcripseEstimator(setup.space, setup.indicator,
                                      setup.rtn_model, config=config,
                                      seed=args.seed)

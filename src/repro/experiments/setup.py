@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import TABLE_I, PaperConditions
+from repro.perf import PerfConfig, build_evaluator
 from repro.rtn.model import RtnModel, ZeroRtnModel
 from repro.sram.cell import SramCell
 from repro.sram.evaluator import (
@@ -65,7 +66,8 @@ class ExperimentSetup:
 def paper_setup(vdd: float | None = None, alpha: float | None = None,
                 conditions: PaperConditions = TABLE_I,
                 convention: str = "physical",
-                grid_points: int = 61) -> ExperimentSetup:
+                grid_points: int = 61,
+                perf: PerfConfig | None = None) -> ExperimentSetup:
     """Build the paper's experimental setup.
 
     Parameters
@@ -80,12 +82,18 @@ def paper_setup(vdd: float | None = None, alpha: float | None = None,
         RTN occupancy convention (see :mod:`repro.rtn.traps`).
     grid_points:
         Butterfly grid resolution of the evaluator.
+    perf:
+        Hot-path acceleration policy (see :mod:`repro.perf`); ``None``
+        means the default config -- adaptive labelling and an in-memory
+        solve cache, both result-neutral.  ``PerfConfig.exact()``
+        restores the unaccelerated legacy evaluator.
     """
     vdd = conditions.vdd_nominal if vdd is None else float(vdd)
     space = VariabilitySpace.from_pelgrom(conditions.avth_mv_nm,
                                           conditions.geometry)
     cell = SramCell(geometry=conditions.geometry, vdd=vdd)
-    evaluator = CellEvaluator(cell, space, vdd=vdd, grid_points=grid_points)
+    evaluator = build_evaluator(cell, space, vdd=vdd,
+                                grid_points=grid_points, perf=perf)
     return _build(conditions, cell, evaluator, space, vdd, alpha, convention)
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
 from repro.core.estimate import FailureEstimate
 from repro.experiments.setup import paper_setup
+from repro.perf import PerfConfig
 from repro.rng import stable_seed
 
 
@@ -51,7 +52,8 @@ def find_vmin(pfail_budget: float, vdd_low: float = 0.45,
               resolution: float = 0.01,
               target_relative_error: float = 0.10,
               config: EcripseConfig | None = None,
-              seed: int = 77) -> VminResult:
+              seed: int = 77,
+              perf: PerfConfig | None = None) -> VminResult:
     """Bisect the supply voltage for a target failure budget.
 
     Parameters
@@ -64,6 +66,11 @@ def find_vmin(pfail_budget: float, vdd_low: float = 0.45,
         Duty ratio for RTN-aware search; ``None`` for RDF-only.
     resolution:
         Bisection stops when the bracket is narrower than this [V].
+    perf:
+        Hot-path acceleration policy.  Every probe point runs at a
+        different supply (a different solve fingerprint), so the memo
+        cache only helps within a probe -- unless ``cache_path`` is set,
+        in which case repeated searches reuse each other's solves.
     """
     if pfail_budget <= 0 or pfail_budget >= 1:
         raise ValueError("pfail_budget must lie in (0, 1)")
@@ -76,7 +83,7 @@ def find_vmin(pfail_budget: float, vdd_low: float = 0.45,
     probes: list[tuple[float, FailureEstimate]] = []
 
     def estimate_at(vdd: float) -> FailureEstimate:
-        setup = paper_setup(vdd=vdd, alpha=alpha)
+        setup = paper_setup(vdd=vdd, alpha=alpha, perf=perf)
         estimator = EcripseEstimator(
             setup.space, setup.indicator, setup.rtn_model, config=config,
             seed=stable_seed(seed, round(vdd, 4)))

@@ -223,8 +223,12 @@ class WallClockRule(Rule):
     rationale = ("estimator outputs must be pure functions of "
                  "(inputs, seed); wall-clock and OS entropy make runs "
                  "unrepeatable")
+    # repro/perf is in scope with the same perf_counter-only carve-out:
+    # its profiling spans are telemetry, but a time.time() there could
+    # leak wall-clock state into cached results.
     include = ("*repro/core/*", "*repro/runtime/*", "*repro/rtn/*",
-               "*repro/ml/*", "*repro/checkpoint/*", "*repro/health/*")
+               "*repro/ml/*", "*repro/checkpoint/*", "*repro/health/*",
+               "*repro/perf/*")
     # trigger.py hosts the one sanctioned wall-clock read (manifest
     # timestamps only; never feeds an estimate)
     exclude = ("*repro/checkpoint/trigger.py",)

@@ -49,6 +49,29 @@ class ButterflyCurves:
         return self.vtc_a.shape[0]
 
 
+@dataclass
+class BisectionState:
+    """Bracket arrays of a partially-converged butterfly solve.
+
+    ``side_a``/``side_b`` hold the ``(lo, hi)`` bracket pair, each of
+    shape (B, G), after ``iterations`` bisection steps.  Because
+    bisection is deterministic, a deeper solver can
+    :meth:`~ReadButterflySolver.resume` from these brackets and land on
+    exactly the curves its own from-scratch solve would produce.
+    """
+
+    side_a: tuple[np.ndarray, np.ndarray]
+    side_b: tuple[np.ndarray, np.ndarray]
+    iterations: int
+
+    def rows(self, index: np.ndarray) -> "BisectionState":
+        """Bracket copies for a row subset (fancy indexing copies)."""
+        return BisectionState(
+            (self.side_a[0][index], self.side_a[1][index]),
+            (self.side_b[0][index], self.side_b[1][index]),
+            self.iterations)
+
+
 class ReadButterflySolver:
     """Batch butterfly solver for one cell design at one supply voltage.
 
@@ -76,6 +99,10 @@ class ReadButterflySolver:
             raise ValueError(f"vdd must be positive, got {self.vdd}")
         self.grid = np.linspace(0.0, self.vdd, grid_points)
         self.bisection_iterations = bisection_iterations
+        #: cumulative device-model (Ids) evaluation count, in units of
+        #: one device triplet at one (sample, grid) point -- the perf
+        #: reports' core "did we actually do less work" metric.
+        self.model_evals = 0
         # device index triplets (load, driver, access) in DEVICE_ORDER
         self._sides = ((0, 1, 2), (3, 4, 5))
         self._side_names = (("L1", "D1", "A1"), ("L2", "D2", "A2"))
@@ -93,6 +120,46 @@ class ReadButterflySolver:
         delta_vth = self._check_shifts(delta_vth)
         vtc_a = self._solve_side(0, delta_vth)
         vtc_b = self._solve_side(1, delta_vth)
+        return ButterflyCurves(grid=self.grid, vtc_a=vtc_a, vtc_b=vtc_b,
+                               vdd=self.vdd)
+
+    def solve_with_state(self, delta_vth: np.ndarray
+                         ) -> tuple[ButterflyCurves, BisectionState]:
+        """:meth:`solve` that also returns the bisection brackets.
+
+        The state lets a deeper solver :meth:`resume` the bisection
+        instead of re-solving from scratch (the adaptive evaluator's
+        refinement path).
+        """
+        delta_vth = self._check_shifts(delta_vth)
+        vtc_a, side_a = self._solve_side(0, delta_vth, keep_state=True)
+        vtc_b, side_b = self._solve_side(1, delta_vth, keep_state=True)
+        curves = ButterflyCurves(grid=self.grid, vtc_a=vtc_a, vtc_b=vtc_b,
+                                 vdd=self.vdd)
+        return curves, BisectionState(side_a, side_b,
+                                      self.bisection_iterations)
+
+    def resume(self, delta_vth: np.ndarray,
+               state: BisectionState) -> ButterflyCurves:
+        """Continue a shallower solve to this solver's full depth.
+
+        The first ``state.iterations`` steps of a from-scratch solve
+        compute exactly the brackets ``state`` holds (same initial
+        interval, same deterministic comparisons), so the returned
+        curves are bit-identical to ``solve(delta_vth)`` at the cost of
+        only the remaining steps.  ``state`` is consumed: its arrays
+        are updated in place.
+        """
+        delta_vth = self._check_shifts(delta_vth)
+        extra = self.bisection_iterations - state.iterations
+        if extra < 0:
+            raise ValueError(
+                f"cannot resume a {state.iterations}-step solve with a "
+                f"{self.bisection_iterations}-step solver")
+        vtc_a = self._solve_side(0, delta_vth, start=state.side_a,
+                                 iterations=extra)
+        vtc_b = self._solve_side(1, delta_vth, start=state.side_b,
+                                 iterations=extra)
         return ButterflyCurves(grid=self.grid, vtc_a=vtc_a, vtc_b=vtc_b,
                                vdd=self.vdd)
 
@@ -143,7 +210,10 @@ class ReadButterflySolver:
 
     def _solve_side(self, side: int, delta_vth: np.ndarray,
                     bl_voltage: float | None = None,
-                    wl_voltage: float | None = None) -> np.ndarray:
+                    wl_voltage: float | None = None,
+                    start: tuple[np.ndarray, np.ndarray] | None = None,
+                    iterations: int | None = None,
+                    keep_state: bool = False):
         names = self._side_names[side]
         idx = self._sides[side]
         dv_load = delta_vth[:, idx[0], None]
@@ -154,13 +224,33 @@ class ReadButterflySolver:
 
         batch = delta_vth.shape[0]
         vin = self.grid[None, :]
-        lo = np.zeros((batch, self.grid.size))
-        hi = np.full((batch, self.grid.size), self.vdd)
-        for _ in range(self.bisection_iterations):
-            mid = 0.5 * (lo + hi)
+        if start is None:
+            lo = np.zeros((batch, self.grid.size))
+            hi = np.full((batch, self.grid.size), self.vdd)
+        else:
+            lo, hi = start  # resumed brackets, updated in place
+        steps = (self.bisection_iterations if iterations is None
+                 else iterations)
+        # Loop-invariant buffers hoisted out of the bisection loop; each
+        # iteration updates them in place instead of allocating four
+        # fresh (B, G) arrays.  (lo + hi) * 0.5 and the masked copies
+        # are the same float ops as the np.where formulation, so the
+        # returned curves are bit-identical to the old code's.
+        mid = np.empty_like(lo)
+        above = np.empty(lo.shape, dtype=bool)
+        below = np.empty(lo.shape, dtype=bool)
+        for _ in range(steps):
+            np.add(lo, hi, out=mid)
+            mid *= 0.5
             f = self._node_current(names, vin, mid, dv_load, dv_driver,
                                    dv_access, bl, wl)
-            above = f > 0.0
-            lo = np.where(above, mid, lo)
-            hi = np.where(above, hi, mid)
-        return 0.5 * (lo + hi)
+            np.greater(f, 0.0, out=above)
+            np.logical_not(above, out=below)
+            np.copyto(lo, mid, where=above)
+            np.copyto(hi, mid, where=below)
+        self.model_evals += steps * batch * self.grid.size
+        np.add(lo, hi, out=mid)
+        mid *= 0.5
+        if keep_state:
+            return mid, (lo, hi)
+        return mid

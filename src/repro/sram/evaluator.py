@@ -17,14 +17,20 @@ stored states must be stable).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
+from repro.rng import stable_seed
 from repro.sram.butterfly import ReadButterflySolver
 from repro.sram.cell import SramCell
 from repro.sram.margins import lobe_margins
 from repro.spice.solver import DcSolver
 from repro.spice.sweep import dc_sweep
 from repro.variability.space import VariabilitySpace
+
+if TYPE_CHECKING:  # avoid the repro.perf -> evaluator import cycle
+    from repro.perf.cache import SolveCache
 
 
 class CellEvaluator:
@@ -40,11 +46,16 @@ class CellEvaluator:
         Supply voltage [V]; defaults to the cell's.
     max_batch:
         Internal chunk size bounding peak memory of the vectorised solve.
+    cache:
+        Optional :class:`~repro.perf.cache.SolveCache`; solved margins
+        are memoised per exact ΔVth byte pattern, and hits return the
+        stored floats verbatim, so caching never changes a result.
     """
 
     def __init__(self, cell: SramCell, space: VariabilitySpace,
                  vdd: float | None = None, grid_points: int = 61,
-                 margin_levels: int = 64, max_batch: int = 4096):
+                 margin_levels: int = 64, max_batch: int = 4096,
+                 cache: "SolveCache | None" = None):
         if space.dim != 6:
             raise ValueError(
                 f"cell evaluator needs a 6-D space, got {space.dim}")
@@ -56,17 +67,22 @@ class CellEvaluator:
                                           grid_points=grid_points)
         self.margin_levels = margin_levels
         self.max_batch = max_batch
+        self.cache = cache
 
     @property
     def vdd(self) -> float:
         return self.solver.vdd
 
     # ------------------------------------------------------------------
-    def margins(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Signed lobe margins ``(rnm0, rnm1)`` for whitened points ``x``.
+    def _margins_at(self, x: np.ndarray, solver: ReadButterflySolver,
+                    level: str) -> tuple[np.ndarray, np.ndarray]:
+        """Chunked, cache-aware lobe margins through ``solver``.
 
-        ``x`` has shape (B, 6); entries are total (RDF + RTN) shifts in
-        sigma units.
+        Each cache entry is keyed on the exact physical-ΔVth bytes under
+        ``level`` ("exact" or "coarse"); only missed rows hit the
+        solver.  The butterfly bisection and the margin extraction are
+        row-independent elementwise numpy ops, so solving a sub-batch
+        of missed rows returns the same bits a full-batch solve would.
         """
         x = np.atleast_2d(np.asarray(x, dtype=float))
         if x.shape[1] != 6:
@@ -76,11 +92,40 @@ class CellEvaluator:
         for start in range(0, x.shape[0], self.max_batch):
             stop = min(start + self.max_batch, x.shape[0])
             dvth = self.space.to_physical(x[start:stop])
-            curves = self.solver.solve(dvth)
-            r0, r1 = lobe_margins(curves, self.margin_levels)
-            rnm0[start:stop] = r0
-            rnm1[start:stop] = r1
+            if self.cache is None:
+                curves = solver.solve(dvth)
+                r0, r1 = lobe_margins(curves, self.margin_levels)
+                rnm0[start:stop] = r0
+                rnm1[start:stop] = r1
+                continue
+            hit, c0, c1 = self.cache.lookup(level, dvth)
+            if not hit.all():
+                miss = ~hit
+                curves = solver.solve(dvth[miss])
+                r0, r1 = lobe_margins(curves, self.margin_levels)
+                self.cache.store(level, dvth[miss], r0, r1)
+                c0[miss] = r0
+                c1[miss] = r1
+            rnm0[start:stop] = c0
+            rnm1[start:stop] = c1
         return rnm0, rnm1
+
+    @staticmethod
+    def _select_margin(rnm0: np.ndarray, rnm1: np.ndarray,
+                       which: str) -> np.ndarray:
+        if which == "lobe0":
+            return rnm0
+        if which == "cell":
+            return np.minimum(rnm0, rnm1)
+        raise ValueError(f"which must be 'lobe0' or 'cell', got {which!r}")
+
+    def margins(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Signed lobe margins ``(rnm0, rnm1)`` for whitened points ``x``.
+
+        ``x`` has shape (B, 6); entries are total (RDF + RTN) shifts in
+        sigma units.  Always the exact (full bisection depth) solve.
+        """
+        return self._margins_at(x, self.solver, "exact")
 
     def cell_margin(self, x: np.ndarray) -> np.ndarray:
         """Worse-lobe margin, shape (B,)."""
@@ -90,6 +135,46 @@ class CellEvaluator:
     def lobe0_margin(self, x: np.ndarray) -> np.ndarray:
         """Stored-"0" lobe margin, shape (B,)."""
         return self.margins(x)[0]
+
+    def failure_labels(self, x: np.ndarray, which: str = "cell"
+                       ) -> np.ndarray:
+        """Boolean failure labels (margin < 0) for whitened points.
+
+        The label entry point the indicators funnel through; the
+        adaptive subclass overrides it with the coarse-screen /
+        exact-refine path while this base implementation is the plain
+        exact sign.
+        """
+        rnm0, rnm1 = self.margins(x)
+        return self._select_margin(rnm0, rnm1, which) < 0.0
+
+    # ------------------------------------------------------------------
+    def solve_fingerprint(self) -> str:
+        """Hex id of everything that determines a solve's output.
+
+        Two evaluators with equal fingerprints produce bit-identical
+        margins for equal inputs, which is exactly the condition under
+        which :class:`~repro.perf.cache.SolveCache` entries may be
+        shared or restored.
+        """
+        return f"{self._fingerprint_seed():016x}"
+
+    def _fingerprint_seed(self) -> int:
+        return stable_seed("solve", repr(self.cell), self.vdd,
+                           self.solver.grid.size, self.margin_levels,
+                           self.solver.bisection_iterations)
+
+    @property
+    def device_model_evals(self) -> int:
+        """Cumulative device-model evaluations across all solves."""
+        return self.solver.model_evals
+
+    def perf_stats(self) -> dict:
+        """Counter snapshot for ``FailureEstimate.metadata["perf"]``."""
+        stats = {"device_model_evals": self.device_model_evals}
+        if self.cache is not None:
+            stats.update(self.cache.stats())
+        return stats
 
 
 class SpiceCellEvaluator:
@@ -192,8 +277,14 @@ class Lobe0ReadFailure:
         return self.evaluator.lobe0_margin(x)
 
     def evaluate(self, x: np.ndarray) -> np.ndarray:
-        """Boolean failure labels for whitened points ``x`` (B, 6)."""
-        return self.margin(x) < 0.0
+        """Boolean failure labels for whitened points ``x`` (B, 6).
+
+        Routed through :meth:`CellEvaluator.failure_labels` so the
+        adaptive evaluator can take its screened (but bit-identical)
+        path; :meth:`margin` stays exact for the analyses that need the
+        float values.
+        """
+        return self.evaluator.failure_labels(x, "lobe0")
 
 
 class CellReadFailure:
@@ -208,4 +299,4 @@ class CellReadFailure:
 
     def evaluate(self, x: np.ndarray) -> np.ndarray:
         """Boolean failure labels for whitened points ``x`` (B, 6)."""
-        return self.margin(x) < 0.0
+        return self.evaluator.failure_labels(x, "cell")

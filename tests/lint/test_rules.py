@@ -119,6 +119,24 @@ class TestRep002WallClock:
         path = "src/repro/health/monitor.py"
         assert rules_of(findings_for(source, path=path)) == ["REP002"]
 
+    def test_fires_in_perf_package(self):
+        source = (
+            "import time\n"
+            "def entry_stamp():\n"
+            "    return time.time()\n"
+        )
+        path = "src/repro/perf/cache.py"
+        assert rules_of(findings_for(source, path=path)) == ["REP002"]
+
+    def test_perf_counter_allowed_in_perf_package(self):
+        source = (
+            "import time\n"
+            "def span_start():\n"
+            "    return time.perf_counter()\n"
+        )
+        path = "src/repro/perf/profile.py"
+        assert findings_for(source, path=path) == []
+
     def test_trigger_module_hosts_sanctioned_wall_clock(self):
         source = (
             "import time\n"

@@ -1,0 +1,224 @@
+"""End-to-end result-neutrality of the hot-path acceleration.
+
+The contract under test: for a fixed seed, an accelerated run (adaptive
+labelling + solve cache) produces the bit-identical ``pfail``,
+``n_simulations`` and trace the exact run produces -- on every backend,
+and across a kill/resume cycle with the cache riding the checkpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint import CheckpointConfig, run_checkpointed
+from repro.core.ecripse import EcripseConfig, EcripseEstimator
+from repro.core.naive import NaiveMonteCarlo
+from repro.errors import CheckpointCrash
+from repro.experiments.setup import paper_setup
+from repro.perf import PerfConfig
+from repro.runtime import ExecutionConfig
+
+TINY = EcripseConfig(n_particles=40, n_iterations=3, k_train=64,
+                     stage2_batch=400, min_stage2_batches=2,
+                     max_statistical_samples=4000)
+
+
+def run_once(perf, seed=99, execution=None, checkpoint=None,
+             crash_budget=None):
+    setup = paper_setup(alpha=0.3, perf=perf)
+    config = TINY if execution is None else TINY.with_(execution=execution)
+    estimator = EcripseEstimator(setup.space, setup.indicator,
+                                 setup.rtn_model, config=config, seed=seed)
+    estimate = run_checkpointed(checkpoint, "run", estimator,
+                                crash_budget=crash_budget,
+                                target_relative_error=0.5)
+    return estimate, estimator
+
+
+def assert_same_result(a, b):
+    assert a.pfail == b.pfail
+    assert a.ci_halfwidth == b.ci_halfwidth
+    assert a.n_simulations == b.n_simulations
+    assert a.n_statistical_samples == b.n_statistical_samples
+    assert len(a.trace) == len(b.trace)
+    for pa, pb in zip(a.trace, b.trace):
+        assert pa.n_simulations == pb.n_simulations
+        assert pa.estimate == pb.estimate
+
+
+class TestEcripseBitIdentity:
+    @pytest.fixture(scope="class")
+    def exact(self):
+        return run_once(PerfConfig.exact())[0]
+
+    def test_adaptive_plus_cache_matches_exact(self, exact):
+        fast, estimator = run_once(PerfConfig())
+        assert_same_result(exact, fast)
+        perf = fast.metadata["perf"]
+        assert perf["device_model_evals"] > 0
+        assert perf["screened"] > 0
+
+    def test_acceleration_saves_device_model_evals(self, exact):
+        # ECRIPSE concentrates samples near the boundary, so a single
+        # run refines more than a bulk workload; the >=2x gate lives in
+        # benchmarks/bench_hotpath.py on the full Fig. 8 sweep, where
+        # the shared cache compounds the saving.
+        fast, _ = run_once(PerfConfig())
+        ratio = (exact.metadata["perf"]["device_model_evals"]
+                 / fast.metadata["perf"]["device_model_evals"])
+        assert ratio > 1.5
+
+    def test_cache_only_matches_exact(self, exact):
+        cached, _ = run_once(PerfConfig(adaptive=False))
+        assert_same_result(exact, cached)
+        perf = cached.metadata["perf"]
+        assert perf["cache_misses"] > 0
+        assert perf["cache_entries"] > 0
+
+    def test_repeat_run_on_shared_setup_hits_cache(self):
+        """A campaign-style repeat on a shared evaluator re-labels the
+        same samples: the second run must be all hits and bit-identical."""
+        setup = paper_setup(alpha=0.3, perf=PerfConfig())
+
+        def repeat():
+            estimator = EcripseEstimator(setup.space, setup.indicator,
+                                         setup.rtn_model, config=TINY,
+                                         seed=99)
+            return estimator.run(target_relative_error=0.5)
+
+        first, second = repeat(), repeat()
+        assert_same_result(first, second)
+        perf = second.metadata["perf"]
+        assert perf["cache_hits"] > 0
+        assert perf["device_model_evals"] < \
+            0.2 * first.metadata["perf"]["device_model_evals"]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_backends_match_serial(self, backend):
+        execution = ExecutionConfig(backend=backend, workers=2,
+                                    chunk_size=600)
+        serial, _ = run_once(
+            PerfConfig(), execution=ExecutionConfig(chunk_size=600))
+        parallel, _ = run_once(PerfConfig(), execution=execution)
+        assert_same_result(serial, parallel)
+
+    def test_metadata_perf_spans_present(self):
+        estimate, _ = run_once(PerfConfig())
+        spans = estimate.metadata["perf"]["spans"]
+        assert "boundary-search" in spans
+        assert "stage2-label" in spans
+        # spans fold into the execution metrics too
+        assert "stage2-label" in estimate.metadata["execution"]["spans"]
+
+
+class TestCheckpointCacheRide:
+    def test_cache_state_resumes_from_snapshot(self, tmp_path):
+        baseline, _ = run_once(PerfConfig())
+
+        crashing = CheckpointConfig(directory=tmp_path,
+                                    every_simulations=400, crash_after=2)
+        with pytest.raises(CheckpointCrash):
+            run_once(PerfConfig(), checkpoint=crashing, crash_budget=[2])
+
+        # a fresh process restores the snapshot: the cache must come
+        # back warm before a single new solve happens
+        setup = paper_setup(alpha=0.3, perf=PerfConfig())
+        estimator = EcripseEstimator(setup.space, setup.indicator,
+                                     setup.rtn_model, config=TINY, seed=99)
+        resuming = CheckpointConfig(directory=tmp_path,
+                                    every_simulations=400, resume=True)
+        manager = resuming.manager("run")
+        manager.restore_into(estimator)
+        assert len(setup.evaluator.cache) > 0
+
+        resumed = estimator.run(checkpoint=manager,
+                                target_relative_error=0.5)
+        assert_same_result(baseline, resumed)
+
+    def test_exact_run_snapshot_has_no_cache(self, tmp_path):
+        checkpoint = CheckpointConfig(directory=tmp_path,
+                                      every_simulations=400)
+        _, estimator = run_once(PerfConfig.exact(), checkpoint=checkpoint)
+        assert estimator.state_snapshot()["solve_cache"] is None
+
+
+class TestNaiveMonteCarlo:
+    def test_accelerated_matches_exact(self):
+        results = {}
+        for name, perf in (("exact", PerfConfig.exact()),
+                           ("fast", PerfConfig())):
+            setup = paper_setup(alpha=0.3, perf=perf)
+            mc = NaiveMonteCarlo(setup.space, setup.indicator,
+                                 setup.rtn_model, batch_size=2000, seed=5)
+            results[name] = mc.run(6000)
+        assert_same_result(results["exact"], results["fast"])
+        perf_meta = results["fast"].metadata["perf"]
+        assert perf_meta["device_model_evals"] > 0
+        assert perf_meta["screened"] > 0
+
+    def test_snapshot_carries_cache(self):
+        setup = paper_setup(alpha=0.3, perf=PerfConfig())
+        mc = NaiveMonteCarlo(setup.space, setup.indicator, setup.rtn_model,
+                             batch_size=2000, seed=5)
+        mc.run(4000)
+        state = mc.state_snapshot()
+        assert state["solve_cache"] is not None
+        assert state["solve_cache"]["keys"].shape[0] > 0
+
+        fresh_setup = paper_setup(alpha=0.3, perf=PerfConfig())
+        fresh = NaiveMonteCarlo(fresh_setup.space, fresh_setup.indicator,
+                                fresh_setup.rtn_model, batch_size=2000,
+                                seed=5)
+        fresh.restore_state(state)
+        cache = fresh_setup.evaluator.cache
+        assert len(cache) == state["solve_cache"]["keys"].shape[0]
+
+
+class TestCliFlags:
+    def test_perf_report_text(self, capsys):
+        from repro.experiments.runner import main
+
+        code = main(["estimate", "--quick", "--target", "0.5",
+                     "--seed", "7", "--perf-report", "text"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "perf report" in out
+        assert "device-model evals" in out
+
+    def test_perf_report_json_and_exact_eval(self, capsys):
+        import json
+
+        from repro.experiments.runner import main
+
+        code = main(["estimate", "--quick", "--target", "0.5",
+                     "--seed", "7", "--exact-eval",
+                     "--perf-report", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out[out.index("{"):])
+        # exact path: no screening, no cache
+        assert payload["screened"] == 0
+        assert payload["cache_hits"] == 0
+        assert payload["device_model_evals"] > 0
+
+    def test_exact_eval_matches_default_output(self, capsys):
+        import re
+
+        from repro.experiments.runner import main
+
+        outputs = []
+        for flag in ([], ["--exact-eval"]):
+            assert main(["estimate", "--quick", "--target", "0.5",
+                         "--seed", "7"] + flag) == 0
+            out = capsys.readouterr().out
+            outputs.append(re.sub(r"[0-9.]+ s\b", "_ s", out))
+        assert outputs[0] == outputs[1]
+
+    def test_solve_cache_flag_writes_cache_file(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        code = main(["estimate", "--quick", "--target", "0.5",
+                     "--seed", "7", "--solve-cache", str(tmp_path)])
+        capsys.readouterr()
+        assert code == 0
+        assert list(tmp_path.glob("solve-cache-*.npz"))

@@ -1,0 +1,118 @@
+"""StageProfiler spans and perf report aggregation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.profile import StageProfiler, merge_spans
+from repro.perf.report import (collect_perf, merge_perf, render_json,
+                               render_text)
+
+
+class TestStageProfiler:
+    def test_span_accumulates_time_and_count(self):
+        profiler = StageProfiler()
+        for _ in range(3):
+            with profiler.span("work"):
+                sum(range(1000))
+        spans = profiler.as_dict()
+        assert spans["work"]["count"] == 3
+        assert spans["work"]["total_s"] >= 0.0
+
+    def test_span_records_on_exception(self):
+        profiler = StageProfiler()
+        try:
+            with profiler.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert profiler.as_dict()["boom"]["count"] == 1
+
+    def test_add_and_bool(self):
+        profiler = StageProfiler()
+        assert not profiler
+        profiler.add("external", 1.5, count=2)
+        assert profiler
+        assert profiler.as_dict() == {
+            "external": {"total_s": 1.5, "count": 2}}
+
+    def test_as_dict_is_a_copy(self):
+        profiler = StageProfiler()
+        profiler.add("a", 1.0)
+        profiler.as_dict()["a"]["total_s"] = 99.0
+        assert profiler.as_dict()["a"]["total_s"] == 1.0
+
+
+class TestMergeSpans:
+    def test_merges_by_name(self):
+        into = {"a": {"total_s": 1.0, "count": 1}}
+        merge_spans(into, {"a": {"total_s": 2.0, "count": 3},
+                           "b": {"total_s": 0.5, "count": 1}})
+        assert into == {"a": {"total_s": 3.0, "count": 4},
+                        "b": {"total_s": 0.5, "count": 1}}
+
+
+class FakeEstimate:
+    __dataclass_fields__ = {"metadata": None}
+
+    def __init__(self, perf):
+        self.metadata = {"perf": perf}
+
+
+class TestCollectAndMerge:
+    def perf_dict(self, evals=100, hits=5, misses=5):
+        return {"spans": {"stage2-label": {"total_s": 1.0, "count": 2}},
+                "device_model_evals": evals, "cache_hits": hits,
+                "cache_misses": misses, "cache_evictions": 0,
+                "cache_entries": 10, "screened": 90, "refined": 10}
+
+    def test_collect_walks_nested_containers(self):
+        a, b = FakeEstimate(self.perf_dict()), FakeEstimate(self.perf_dict())
+        found = collect_perf({"first": a, "rest": [b, None, 7]})
+        assert len(found) == 2
+
+    def test_collect_handles_plain_objects(self):
+        assert collect_perf(None) == []
+        assert collect_perf("text") == []
+        assert collect_perf(FakeEstimate(self.perf_dict())) != []
+
+    def test_merge_sums_counters_and_recomputes_rates(self):
+        merged = merge_perf([self.perf_dict(evals=100, hits=8, misses=2),
+                             self.perf_dict(evals=50, hits=0, misses=10)])
+        assert merged["runs"] == 2
+        assert merged["device_model_evals"] == 150
+        assert merged["cache_hit_rate"] == 8 / 20
+        assert merged["screened_fraction"] == 180 / 200
+        assert merged["spans"]["stage2-label"]["count"] == 4
+
+    def test_merge_empty(self):
+        merged = merge_perf([])
+        assert merged["runs"] == 0
+        assert merged["cache_hit_rate"] == 0.0
+
+    def test_renderers(self):
+        merged = merge_perf([self.perf_dict()])
+        text = render_text(merged)
+        assert "device-model evals" in text and "stage2-label" in text
+        parsed = json.loads(render_json(merged))
+        assert parsed["device_model_evals"] == 100
+
+
+class TestRunMetricsSpans:
+    def test_spans_render_and_merge(self):
+        from repro.runtime.metrics import RunMetrics
+
+        a = RunMetrics(label="a", backend="serial", workers=1,
+                       spans={"x": {"total_s": 1.0, "count": 1}})
+        b = RunMetrics(label="b", backend="serial", workers=1,
+                       spans={"x": {"total_s": 2.0, "count": 2}})
+        merged = RunMetrics.merge([a, b])
+        assert merged.spans["x"] == {"total_s": 3.0, "count": 3}
+        assert "spans" in merged.as_dict()
+        assert "x" in merged.report()
+
+    def test_empty_spans_stay_out_of_as_dict(self):
+        from repro.runtime.metrics import RunMetrics
+
+        metrics = RunMetrics(label="a", backend="serial", workers=1)
+        assert "spans" not in metrics.as_dict()
