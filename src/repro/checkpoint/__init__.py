@@ -11,6 +11,7 @@ from repro.checkpoint.atomic import atomic_write_bytes, atomic_write_text
 from repro.checkpoint.codec import decode_state, encode_state
 from repro.checkpoint.config import CheckpointConfig, parse_every
 from repro.checkpoint.integrate import run_checkpointed
+from repro.checkpoint.lockfile import FileLock, LockTimeout
 from repro.checkpoint.manager import Checkpointable, CheckpointManager
 from repro.checkpoint.store import SCHEMA_VERSION, CheckpointStore
 from repro.checkpoint.trigger import CheckpointTrigger
@@ -25,6 +26,8 @@ __all__ = [
     "CheckpointManager",
     "CheckpointStore",
     "CheckpointTrigger",
+    "FileLock",
+    "LockTimeout",
     "atomic_write_bytes",
     "atomic_write_text",
     "decode_state",

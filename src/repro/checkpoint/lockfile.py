@@ -1,0 +1,146 @@
+"""Advisory lock files for stores shared between processes.
+
+The service daemon runs several jobs concurrently, and two jobs may
+legitimately share an on-disk store (a common solve-cache directory, or
+-- after an operator mistake -- one checkpoint root).  Every individual
+write is already atomic (temp-then-rename), but *compound* operations
+are not: ``CheckpointStore.save`` picks the next free index and then
+publishes it, and ``prune`` deletes directories it listed a moment
+earlier.  Interleaving a prune with a publish can delete the snapshot
+the other process just wrote, or allocate the same index twice.
+
+:class:`FileLock` closes that window with the portable
+``O_CREAT | O_EXCL`` idiom: the lock file is created atomically, carries
+the owner's pid, and is removed on release.  Liveness is preserved by
+*stale-lock breaking* -- a lock whose owner pid no longer exists is
+removed by the next acquirer, so a ``kill -9``'d job never wedges the
+store (the daemon's whole durability story assumes hard kills).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.errors import CheckpointError
+
+
+class LockTimeout(CheckpointError):
+    """Raised when a lock cannot be acquired within the timeout."""
+
+
+class FileLock:
+    """An exclusive advisory lock backed by an ``O_EXCL``-created file.
+
+    Parameters
+    ----------
+    path:
+        Lock-file location (conventionally ``<store>/.lock``).
+    timeout_s:
+        How long :meth:`acquire` polls before raising
+        :class:`LockTimeout`.
+    poll_s:
+        Sleep between acquisition attempts.
+
+    Re-entrant within one instance (a held lock counts acquisitions),
+    so a locked compound operation may call another locked helper.
+    """
+
+    def __init__(self, path: str | Path, timeout_s: float = 30.0,
+                 poll_s: float = 0.02) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.path = Path(path)
+        self.timeout_s = float(timeout_s)
+        self.poll_s = float(poll_s)
+        self._depth = 0
+
+    # -- acquisition ---------------------------------------------------
+    def acquire(self) -> "FileLock":
+        """Block until the lock is held; breaks stale locks."""
+        if self._depth > 0:
+            self._depth += 1
+            return self
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            if self._try_create():
+                self._depth = 1
+                return self
+            self._break_if_stale()
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path} within "
+                    f"{self.timeout_s:.1f}s (held by pid "
+                    f"{self._owner_pid()!r}); remove the file if the "
+                    f"owner is gone")
+            time.sleep(self.poll_s)
+
+    def release(self) -> None:
+        """Drop the lock (outermost release deletes the file)."""
+        if self._depth == 0:
+            return
+        self._depth -= 1
+        if self._depth == 0:
+            try:
+                self.path.unlink()
+            except FileNotFoundError:  # broken as stale; nothing to do
+                pass
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    # -- internals -----------------------------------------------------
+    def _try_create(self) -> bool:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, str(os.getpid()).encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def _owner_pid(self) -> int | None:
+        try:
+            return int(self.path.read_text().strip())
+        except (OSError, ValueError):
+            return None
+
+    def _break_if_stale(self) -> None:
+        """Remove the lock if its recorded owner is no longer alive.
+
+        A torn lock file (created but not yet written) reads as owner
+        ``None`` and is left alone -- its creator is mid-acquire and
+        will fill it in momentarily.
+        """
+        pid = self._owner_pid()
+        if pid is None or pid == os.getpid() or _pid_alive(pid):
+            return
+        # Best effort: several waiters may race to unlink an already
+        # unlinked stale lock, which is fine -- acquisition still goes
+        # through O_EXCL creation.
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` names a live process we could signal."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive, different user
+        return True
+    return True

@@ -10,12 +10,13 @@ that boundary becomes a durable snapshot.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Protocol, runtime_checkable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 from repro.checkpoint.codec import decode_state, encode_state
 from repro.checkpoint.store import CheckpointStore
 from repro.checkpoint.trigger import CheckpointTrigger
-from repro.errors import CheckpointCrash, CheckpointError
+from repro.errors import CheckpointCrash, CheckpointError, ShutdownRequested
+from repro.runtime.signals import default_coordinator
 
 
 @runtime_checkable
@@ -60,17 +61,48 @@ class CheckpointManager:
         self.keep = keep
         self.crash_after = crash_after
         self.saves = 0
+        #: optional per-run interrupt hook returning a reason string
+        #: when the run should stop at the next safe boundary (job
+        #: cancellation in :mod:`repro.service`); the process-wide
+        #: signal coordinator is consulted as well.
+        self.interrupt: Callable[[], str | None] | None = None
+        #: optional ``listener(n_simulations, kind)`` called after each
+        #: durable save (the service worker streams progress this way).
+        self.listener: Callable[[int, str], None] | None = None
 
     # -- saving --------------------------------------------------------
     def maybe_save(self, estimator: Checkpointable,
                    n_simulations: int) -> bool:
         """Snapshot ``estimator`` if the trigger says this boundary is
-        due; returns True when a snapshot was written."""
+        due; returns True when a snapshot was written.
+
+        A pending graceful-shutdown request (process signal via
+        :mod:`repro.runtime.signals`, or this manager's
+        :attr:`interrupt` hook) overrides the cadence: the boundary is
+        force-saved and :class:`~repro.errors.ShutdownRequested` is
+        raised *after* the snapshot is durably on disk, so the unwound
+        run resumes bit-identically.
+        """
+        reason = self._interrupt_reason()
+        if reason is not None:
+            self._save(estimator, n_simulations, kind="periodic")
+            self.trigger.mark_fired(n_simulations)
+            raise ShutdownRequested(reason)
         if not self.trigger.should_fire(n_simulations):
             return False
         self._save(estimator, n_simulations, kind="periodic")
         self.trigger.mark_fired(n_simulations)
         return True
+
+    def _interrupt_reason(self) -> str | None:
+        if self.interrupt is not None:
+            reason = self.interrupt()
+            if reason is not None:
+                return reason
+        coordinator = default_coordinator()
+        if coordinator.requested:
+            return coordinator.reason or "shutdown"
+        return None
 
     def save_final(self, estimator: Checkpointable,
                    n_simulations: int) -> None:
@@ -90,6 +122,8 @@ class CheckpointManager:
                         step=n_simulations, kind=kind)
         self.store.prune(max(self.keep, 1))
         self.saves += 1
+        if self.listener is not None:
+            self.listener(int(n_simulations), kind)
         if self.crash_after is not None and self.saves >= self.crash_after:
             raise CheckpointCrash(
                 f"injected crash after checkpoint #{self.saves} "

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.checkpoint.atomic import (TMP_PREFIX, atomic_write_text,
                                      fsync_file, publish_dir)
+from repro.checkpoint.lockfile import FileLock
 from repro.checkpoint.trigger import wall_clock_time
 from repro.errors import CheckpointError
 
@@ -52,6 +53,10 @@ class CheckpointStore:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Serialises compound operations (index allocation + publish,
+        # retention pruning) against other *processes* sharing this
+        # directory; single-process writes were always ordered.
+        self._lock = FileLock(self.root / ".store.lock")
         self._clean_stale_tmp()
 
     # -- write ---------------------------------------------------------
@@ -61,32 +66,36 @@ class CheckpointStore:
         """Durably write one checkpoint; returns its directory.
 
         ``step`` orders checkpoints (later saves must pass larger
-        steps); ``kind`` is ``"periodic"`` or ``"final"``.
+        steps); ``kind`` is ``"periodic"`` or ``"final"``.  The index
+        allocation and the publish happen under the store lock, so two
+        processes sharing the directory can never claim the same slot
+        or prune a snapshot mid-publish.
         """
-        index = self._next_index()
-        final_dir = self.root / f"ckpt-{index:08d}"
-        tmp_dir = self.root / f"{TMP_PREFIX}ckpt-{index:08d}"
-        tmp_dir.mkdir()
+        with self._lock:
+            index = self._next_index()
+            final_dir = self.root / f"ckpt-{index:08d}"
+            tmp_dir = self.root / f"{TMP_PREFIX}ckpt-{index:08d}"
+            tmp_dir.mkdir()
 
-        npz = _npz_bytes(arrays)
-        manifest = {
-            "schema": SCHEMA_VERSION,
-            "fingerprint": fingerprint,
-            "step": int(step),
-            "kind": kind,
-            "written_at": wall_clock_time(),
-            "arrays_sha256": hashlib.sha256(npz).hexdigest(),
-            "payload": payload,
-        }
-        (tmp_dir / _ARRAYS).write_bytes(npz)
-        fsync_file(tmp_dir / _ARRAYS)
-        # Inside the unpublished staging dir a plain write is fine; the
-        # rename below is the atomicity barrier.
-        (tmp_dir / _MANIFEST).write_text(
-            json.dumps(manifest, indent=1, sort_keys=True))
-        fsync_file(tmp_dir / _MANIFEST)
-        publish_dir(tmp_dir, final_dir)
-        return final_dir
+            npz = _npz_bytes(arrays)
+            manifest = {
+                "schema": SCHEMA_VERSION,
+                "fingerprint": fingerprint,
+                "step": int(step),
+                "kind": kind,
+                "written_at": wall_clock_time(),
+                "arrays_sha256": hashlib.sha256(npz).hexdigest(),
+                "payload": payload,
+            }
+            (tmp_dir / _ARRAYS).write_bytes(npz)
+            fsync_file(tmp_dir / _ARRAYS)
+            # Inside the unpublished staging dir a plain write is fine;
+            # the rename below is the atomicity barrier.
+            (tmp_dir / _MANIFEST).write_text(
+                json.dumps(manifest, indent=1, sort_keys=True))
+            fsync_file(tmp_dir / _MANIFEST)
+            publish_dir(tmp_dir, final_dir)
+            return final_dir
 
     # -- read ----------------------------------------------------------
     def load(self, directory: str | Path
@@ -181,13 +190,18 @@ class CheckpointStore:
         return sorted(found)
 
     def prune(self, keep: int) -> list[Path]:
-        """Delete all but the newest ``keep`` checkpoints."""
+        """Delete all but the newest ``keep`` checkpoints.
+
+        Lock-guarded: the list-then-delete sequence must not interleave
+        with another process's index allocation (see :meth:`save`).
+        """
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
-        doomed = self.list_checkpoints()[:-keep]
-        for directory in doomed:
-            self._rmtree(directory)
-        return doomed
+        with self._lock:
+            doomed = self.list_checkpoints()[:-keep]
+            for directory in doomed:
+                self._rmtree(directory)
+            return doomed
 
     def _next_index(self) -> int:
         existing = self.list_checkpoints()

@@ -183,6 +183,18 @@ class EcripseConfig:
         """Return a copy with ``changes`` applied (dataclass replace)."""
         return replace(self, **changes)
 
+    @classmethod
+    def quick(cls, **changes) -> "EcripseConfig":
+        """The reduced-budget smoke configuration (``--quick``).
+
+        One definition shared by the CLI and the service job builder,
+        so a job submitted with ``"quick": true`` reproduces the CLI's
+        ``--quick`` estimate bit-for-bit.
+        """
+        return cls(n_particles=60, n_iterations=6, k_train=128,
+                   stage2_batch=1500,
+                   max_statistical_samples=300_000).with_(**changes)
+
 
 class EcripseEstimator:
     """The proposed failure-probability estimator.

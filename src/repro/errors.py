@@ -111,6 +111,29 @@ class HealthyDegradation(UserWarning):
     """
 
 
+class ShutdownRequested(ReproError):
+    """Raised at a checkpoint-safe boundary after a graceful-shutdown
+    request (SIGTERM/SIGINT via :mod:`repro.runtime.signals`, or a
+    service-level interrupt such as a job cancellation).
+
+    By construction the snapshot announcing this exception is already
+    durably on disk: :meth:`~repro.checkpoint.manager.CheckpointManager.
+    maybe_save` force-saves *before* raising, so a run unwound by this
+    exception resumes bit-identically from where it stopped.  Carries
+    the interrupt reason (``"SIGTERM"``, ``"cancel"``, ...).
+    """
+
+    def __init__(self, reason: str = "shutdown"):
+        super().__init__(f"graceful shutdown requested ({reason})")
+        self.reason = reason
+
+
+class ServiceError(ReproError):
+    """Raised by :mod:`repro.service` for protocol-level failures: an
+    invalid job spec, an illegal job state transition, or a store
+    directory that cannot be recovered."""
+
+
 class ExecutionError(ReproError):
     """Raised when the parallel runtime cannot complete a task: the chunk
     failed on the backend, exhausted its retries *and* failed the final

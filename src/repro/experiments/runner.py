@@ -7,6 +7,7 @@ Regenerates the paper's experiments from the shell::
     ecripse fig8            # failure probability vs duty ratio (Fig. 8)
     ecripse ablations       # A1/A3 ablation summaries
     ecripse estimate --vdd 0.7 --alpha 0.3   # one-off estimation
+    ecripse serve --root state/              # job-queue service daemon
 
 All experiments accept ``--quick`` to run with reduced budgets (useful for
 a smoke test; the printed numbers then carry wider error bars).
@@ -23,7 +24,7 @@ from repro.checkpoint import (
     run_checkpointed,
 )
 from repro.core.ecripse import EcripseConfig, EcripseEstimator
-from repro.errors import CheckpointCrash
+from repro.errors import CheckpointCrash, ShutdownRequested
 from repro.experiments import ablations, fig6, fig7, fig8
 from repro.experiments.setup import paper_setup
 from repro.health import HealthConfig, HealthPolicy, HealthReport
@@ -36,10 +37,9 @@ from repro.perf import (
     render_text,
     save_registered_caches,
 )
-from repro.runtime import BACKENDS, ExecutionConfig
+from repro.runtime import BACKENDS, ExecutionConfig, default_coordinator
 
-QUICK = EcripseConfig(n_particles=60, n_iterations=6, k_train=128,
-                      stage2_batch=1500, max_statistical_samples=300_000)
+QUICK = EcripseConfig.quick()
 
 
 def _positive_int(value: str) -> int:
@@ -202,6 +202,11 @@ def main(argv: list[str] | None = None) -> int:
         if extra[:1] == ["--"]:
             extra = extra[1:]
         return lint_main(extra)
+    if argv[:1] in (["serve"], ["submit"], ["job"], ["jobs"]):
+        # the job-queue service has its own flag surface (docs/SERVICE.md)
+        from repro.service.cli import main as service_main
+
+        return service_main(argv)
     args = _build_parser().parse_args(argv)
     execution = ExecutionConfig(backend=args.backend, workers=args.workers)
     try:
@@ -215,6 +220,14 @@ def main(argv: list[str] | None = None) -> int:
     perf = (PerfConfig.exact() if args.exact_eval
             else PerfConfig(cache_path=args.solve_cache))
 
+    coordinator = None
+    if checkpoint is not None:
+        # Checkpointed runs shut down gracefully: SIGTERM/SIGINT drains
+        # to the next safe boundary, force-saves a snapshot and unwinds
+        # (exit 4); `--resume` then continues bit-identically.
+        coordinator = default_coordinator()
+        coordinator.reset()
+        coordinator.install()
     try:
         code, result = _dispatch(args, config, execution, checkpoint, perf)
     except CheckpointCrash as crash:
@@ -224,6 +237,14 @@ def main(argv: list[str] | None = None) -> int:
         save_registered_caches()
         print(f"injected crash: {crash}", file=sys.stderr)
         return 3
+    except ShutdownRequested as stop:
+        save_registered_caches()
+        print(f"graceful shutdown: {stop} -- snapshot saved, resume "
+              f"with --resume", file=sys.stderr)
+        return 4
+    finally:
+        if coordinator is not None:
+            coordinator.uninstall()
     save_registered_caches()
     if args.health_report is not None:
         merged = HealthReport.merged(collect_reports(result))

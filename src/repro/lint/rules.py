@@ -228,10 +228,12 @@ class WallClockRule(Rule):
     # leak wall-clock state into cached results.
     include = ("*repro/core/*", "*repro/runtime/*", "*repro/rtn/*",
                "*repro/ml/*", "*repro/checkpoint/*", "*repro/health/*",
-               "*repro/perf/*")
-    # trigger.py hosts the one sanctioned wall-clock read (manifest
-    # timestamps only; never feeds an estimate)
-    exclude = ("*repro/checkpoint/trigger.py",)
+               "*repro/perf/*", "*repro/service/*")
+    # trigger.py and service/scheduler.py host the two sanctioned
+    # wall-clock reads (manifest timestamps / job-record timestamps;
+    # neither ever feeds an estimate)
+    exclude = ("*repro/checkpoint/trigger.py",
+               "*repro/service/scheduler.py")
 
     def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(tree):

@@ -199,8 +199,13 @@ class SolveCache:
         """Atomically write the cache under ``directory``.
 
         The write goes through a temp file plus :func:`os.replace`, so
-        a concurrent reader never sees a torn archive.
+        a concurrent reader never sees a torn archive; a per-fingerprint
+        lock file additionally serialises concurrent writers (two
+        service jobs sharing a solve-cache directory), so one job's
+        publish cannot interleave with another's temp-file reuse.
         """
+        from repro.checkpoint.lockfile import FileLock
+
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         state = self.state()
@@ -214,9 +219,10 @@ class SolveCache:
                  levels=state["levels"], keys=state["keys"],
                  values=state["values"])
         path = self._file(directory, self.fingerprint)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_bytes(buffer.getvalue())
-        os.replace(tmp, path)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with FileLock(path.with_name(path.name + ".lock")):
+            tmp.write_bytes(buffer.getvalue())
+            os.replace(tmp, path)
         return path
 
     @classmethod

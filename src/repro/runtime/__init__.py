@@ -19,6 +19,11 @@ from repro.runtime.chunking import chunk_sizes, plan_chunks
 from repro.runtime.config import BACKENDS, ExecutionConfig
 from repro.runtime.executor import Executor
 from repro.runtime.metrics import ChunkRecord, RunMetrics
+from repro.runtime.signals import (
+    GracefulShutdown,
+    default_coordinator,
+    shutdown_requested,
+)
 from repro.runtime.tasks import evaluate_indicator
 
 __all__ = [
@@ -26,11 +31,14 @@ __all__ = [
     "ChunkRecord",
     "ExecutionConfig",
     "Executor",
+    "GracefulShutdown",
     "ProcessBackend",
     "RunMetrics",
     "ThreadBackend",
     "chunk_sizes",
+    "default_coordinator",
     "evaluate_indicator",
     "make_backend",
     "plan_chunks",
+    "shutdown_requested",
 ]

@@ -14,6 +14,7 @@ solver across cores; see docs/TUNING.md for the trade-off.
 
 from __future__ import annotations
 
+import signal
 from concurrent.futures import (
     Executor as FuturesExecutor,
     Future,
@@ -23,6 +24,19 @@ from concurrent.futures import (
 from typing import Callable
 
 from repro.runtime.config import ExecutionConfig
+
+
+def _worker_ignores_interrupt() -> None:
+    """Pool-worker initializer: leave interrupt handling to the parent.
+
+    A Ctrl-C is delivered to the whole foreground process group, so
+    without this every pool worker dies of ``KeyboardInterrupt``
+    mid-chunk and the parent's graceful drain (finish in-flight chunks,
+    flush metrics, final checkpoint -- see :mod:`repro.runtime.signals`)
+    collects ``BrokenProcessPool`` instead of results.  Workers ignore
+    SIGINT; the parent coordinates the shutdown and closes the pool.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 class PoolBackend:
@@ -72,7 +86,9 @@ class ProcessBackend(PoolBackend):
     name = "process"
 
     def _make_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_worker_ignores_interrupt)
 
 
 def make_backend(config: ExecutionConfig) -> PoolBackend | None:

@@ -34,6 +34,7 @@ import numpy as np
 from repro.errors import ExecutionError
 from repro.rng import spawn
 from repro.runtime.backends import make_backend
+from repro.runtime.signals import shutdown_requested
 from repro.runtime.chunking import plan_chunks
 from repro.runtime.config import ExecutionConfig
 from repro.runtime.metrics import ChunkRecord, RunMetrics
@@ -237,7 +238,12 @@ class Executor:
                 if self._broken or attempts > cfg.max_retries:
                     return self._fallback(fn, index, args, size, attempts,
                                           records, exc)
-                time.sleep(cfg.retry_backoff_s * attempts)
+                # Drain fast under a pending graceful shutdown: the
+                # retry itself still happens (the chunk must complete
+                # for the result to stay deterministic), but the
+                # backoff sleep would only delay the final checkpoint.
+                if not shutdown_requested():
+                    time.sleep(cfg.retry_backoff_s * attempts)
                 attempts += 1
                 future = self._submit_safe(fn, args)
 

@@ -1,0 +1,38 @@
+"""Estimation as a durable job-queue service.
+
+``ecripse serve`` turns the estimator library into a long-running
+daemon: jobs are submitted over HTTP as declarative
+:class:`~repro.service.spec.JobSpec` payloads, dispatched by priority
+across a worker pool, checkpointed at every safe boundary, and cached
+by result fingerprint -- a duplicate submission is answered with zero
+new simulations, and a ``kill -9``'d daemon restarts and resumes every
+in-flight job to a bit-identical estimate.  See ``docs/SERVICE.md``.
+"""
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.model import (
+    TERMINAL_STATES,
+    TRANSITIONS,
+    JobRecord,
+    JobState,
+)
+from repro.service.scheduler import QuotaPolicy, Scheduler
+from repro.service.spec import JobSpec
+from repro.service.store import JobStore
+from repro.service.worker import execute_job, spec_fingerprint
+
+__all__ = [
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "QuotaPolicy",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+    "execute_job",
+    "spec_fingerprint",
+]

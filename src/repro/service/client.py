@@ -1,0 +1,124 @@
+"""Thin stdlib HTTP client for the job service.
+
+Wraps ``urllib`` -- no dependencies, usable from tests, the CLI
+(``ecripse submit`` / ``ecripse job``) and notebooks alike.  Methods
+return the server's parsed JSON; protocol-level failures (HTTP error
+codes, unreachable daemon) raise :class:`~repro.errors.ServiceError`
+with the server's message when one was provided.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Iterator
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.errors import ServiceError
+
+#: default per-request timeout [s].
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServiceClient:
+    """Client bound to one daemon base URL (e.g. ``http://127.0.0.1:8765``)."""
+
+    def __init__(self, base_url: str,
+                 timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # -- raw transport -------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: object | None = None) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = Request(self.base_url + path, data=body,
+                          headers=headers, method=method)
+        try:
+            with urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read())
+        except HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {detail}") from exc
+        except URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc.reason}") from exc
+
+    # -- endpoints -----------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit one job spec; returns the created job record."""
+        return self._request("POST", "/jobs", payload=spec)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The finished estimate (raises while the job is not done)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def events(self, job_id: str, since: int = 0) -> list[dict]:
+        """The event feed so far (non-streaming snapshot)."""
+        request = Request(
+            f"{self.base_url}/jobs/{job_id}/events?since={int(since)}")
+        try:
+            with urlopen(request, timeout=self.timeout_s) as response:
+                return [json.loads(line)
+                        for line in response.read().splitlines() if line]
+        except (HTTPError, URLError) as exc:
+            raise ServiceError(
+                f"cannot read events for {job_id}: {exc}") from exc
+
+    def stream_events(self, job_id: str,
+                      since: int = 0) -> Iterator[dict]:
+        """Yield events live until the job reaches a terminal state.
+
+        Uses the server's ``follow`` mode: one long-lived response,
+        newline-delimited JSON, closed by the server once the job is
+        terminal (or the daemon drains).
+        """
+        request = Request(f"{self.base_url}/jobs/{job_id}/events"
+                          f"?since={int(since)}&follow=1")
+        try:
+            with urlopen(request, timeout=None) as response:
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except (HTTPError, URLError) as exc:
+            raise ServiceError(
+                f"event stream for {job_id} failed: {exc}") from exc
+
+    # -- conveniences --------------------------------------------------
+    def wait(self, job_id: str, timeout_s: float = 600.0,
+             poll_s: float = 0.2) -> dict:
+        """Poll until the job is terminal; returns its final record."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']} after "
+                    f"{timeout_s:.0f}s")
+            time.sleep(poll_s)

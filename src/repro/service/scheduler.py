@@ -1,0 +1,139 @@
+"""Dispatch order, quotas, and the service's sanctioned wall clock.
+
+This module is the single place in :mod:`repro.service` allowed to read
+the wall clock (the REP002 lint scope excludes exactly this file,
+mirroring ``repro/checkpoint/trigger.py``): job records and event
+streams carry human-facing timestamps from :func:`now`, and nothing
+downstream of an estimate ever depends on them.
+
+The :class:`Scheduler` itself is a thread-safe priority queue of job
+ids -- higher :attr:`~repro.service.spec.JobSpec.priority` first, FIFO
+within a priority -- feeding the daemon's worker threads.  Simulation
+*budget* fairness is handled before a job ever reaches the queue:
+:class:`QuotaPolicy` clamps every submission's simulation budget, and
+the clamped spec is the canonical job (and the cache key), so one
+tenant's unbounded request cannot monopolise the pool.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.service.spec import JobSpec
+
+
+def now() -> float:
+    """Unix timestamp for records/events -- never for estimator logic."""
+    return time.time()
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Per-job simulation budgets.
+
+    Attributes
+    ----------
+    default_simulations:
+        Budget applied when a spec does not request one.
+    max_simulations:
+        Hard ceiling; requests above it are clamped down.
+    """
+
+    default_simulations: int = 2_000_000
+    max_simulations: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        if self.default_simulations < 1 or self.max_simulations < 1:
+            raise ValueError("quota budgets must be >= 1")
+        if self.default_simulations > self.max_simulations:
+            raise ValueError(
+                f"default quota {self.default_simulations} exceeds the "
+                f"hard ceiling {self.max_simulations}")
+
+    def apply(self, spec: JobSpec) -> JobSpec:
+        """Return the canonical (budget-clamped) form of ``spec``.
+
+        The clamp happens *before* fingerprinting, so the cache key
+        reflects the budget the job actually ran under -- a request for
+        more than the ceiling and a request for exactly the ceiling are
+        the same job.
+        """
+        requested = (self.default_simulations
+                     if spec.max_simulations is None
+                     else spec.max_simulations)
+        budget = min(int(requested), self.max_simulations)
+        samples = min(spec.n_samples, budget)
+        if budget == spec.max_simulations and samples == spec.n_samples:
+            return spec
+        return spec.with_(max_simulations=budget, n_samples=samples)
+
+
+class Scheduler:
+    """Priority dispatch queue for job ids.
+
+    ``submit`` may be called from any thread (the HTTP handlers);
+    ``pop`` blocks the worker threads with a timeout so they can
+    re-check the shutdown flag.  Entries are lazily invalidated by
+    :meth:`discard` (cancellation) -- a discarded id still sits in the
+    heap but is skipped on pop.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, str]] = []
+        self._discarded: set[str] = set()
+        self._queued: set[str] = set()
+        self._seq = 0
+        self._cond = threading.Condition()
+
+    def submit(self, job_id: str, priority: int = 0) -> None:
+        """Queue ``job_id``; larger ``priority`` dispatches first."""
+        with self._cond:
+            if job_id in self._queued:
+                return
+            self._queued.add(job_id)
+            self._discarded.discard(job_id)
+            heapq.heappush(self._heap, (-int(priority), self._seq, job_id))
+            self._seq += 1
+            self._cond.notify()
+
+    def pop(self, timeout: float | None = None) -> str | None:
+        """Highest-priority queued id, or ``None`` on timeout.
+
+        A wake-up that finds the queue empty (another consumer won the
+        race, or :meth:`wake_all` fired for shutdown) also returns
+        ``None`` -- callers re-check their stop condition and loop.
+        """
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    self._queued.discard(job_id)
+                    if job_id in self._discarded:
+                        self._discarded.discard(job_id)
+                        continue
+                    return job_id
+                if not self._cond.wait(timeout) or not self._heap:
+                    return None
+
+    def discard(self, job_id: str) -> None:
+        """Drop a queued id (no-op if it was never queued)."""
+        with self._cond:
+            if job_id in self._queued:
+                self._discarded.add(job_id)
+                self._queued.discard(job_id)
+
+    def wake_all(self) -> None:
+        """Release every blocked :meth:`pop` (shutdown path)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._queued)
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._cond:
+            return job_id in self._queued

@@ -1,0 +1,465 @@
+"""The ``ecripse serve`` daemon.
+
+One process hosts three cooperating pieces:
+
+* a :class:`~repro.service.store.JobStore` (durable records, event
+  feeds, per-job checkpoints, the fingerprint-keyed result cache);
+* a pool of worker threads pulling job ids off the
+  :class:`~repro.service.scheduler.Scheduler` and running them through
+  :func:`repro.service.worker.execute_job`;
+* a stdlib ``ThreadingHTTPServer`` front (see ``docs/SERVICE.md`` for
+  the endpoint reference).
+
+Durability model: every state change lands on disk before it is
+visible over HTTP, so the daemon itself is stateless across restarts --
+``kill -9`` it at any instant, start a new one on the same root, and
+:meth:`~repro.service.store.JobStore.recover` moves orphaned ``running``
+jobs to ``checkpointed`` and re-queues everything unfinished; each
+resumes from its last snapshot to a bit-identical result.  Graceful
+shutdown (SIGTERM/SIGINT) is cheaper: workers drain their jobs to the
+next checkpoint-safe boundary, force-save, and exit with everything
+``checkpointed``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlparse
+
+from repro.analysis.persistence import estimate_to_dict
+from repro.core.estimate import FailureEstimate
+from repro.errors import ServiceError, ShutdownRequested
+from repro.perf import PerfConfig, save_registered_caches
+from repro.runtime import ExecutionConfig, default_coordinator
+from repro.service.model import JobRecord, JobState
+from repro.service.scheduler import QuotaPolicy, Scheduler, now
+from repro.service.spec import JobSpec
+from repro.service.store import JobStore
+
+#: how often blocked waits re-check the shutdown flag [s].
+_POLL_S = 0.2
+
+
+@dataclass
+class ServeConfig:
+    """Daemon configuration (the ``ecripse serve`` flag surface)."""
+
+    root: Path
+    host: str = "127.0.0.1"
+    port: int = 8765
+    workers: int = 2
+    backend: str = "serial"
+    backend_workers: int | None = None
+    quota: QuotaPolicy = field(default_factory=QuotaPolicy)
+    checkpoint_keep: int = 3
+    solve_cache: str | None = None
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+class ServiceDaemon:
+    """Job-queue daemon over one state tree (see module docstring)."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.store = JobStore(config.root)
+        self.scheduler = Scheduler()
+        self.coordinator = default_coordinator()
+        self.execution = ExecutionConfig(backend=config.backend,
+                                         workers=config.backend_workers)
+        self._httpd: ThreadingHTTPServer | None = None
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> str:
+        """Recover state, spawn workers, bind HTTP; returns base URL."""
+        for job_id in self.store.recover(now()):
+            record = self.store.load(job_id)
+            self.scheduler.submit(job_id, record.spec.priority)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _make_handler(self))
+        self._httpd.daemon_threads = True
+        http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": _POLL_S},
+            name="service-http", daemon=True)
+        http_thread.start()
+        self._threads.append(http_thread)
+        for index in range(self.config.workers):
+            worker = threading.Thread(target=self._worker_loop,
+                                      name=f"service-worker-{index}",
+                                      daemon=True)
+            worker.start()
+            self._threads.append(worker)
+        return self.address
+
+    @property
+    def address(self) -> str:
+        assert self._httpd is not None, "daemon not started"
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def shutdown(self, reason: str = "shutdown") -> None:
+        """Stop accepting work and drain (blocks until workers exit)."""
+        self.coordinator.request(reason)
+        self.scheduler.wake_all()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+        for thread in self._threads:
+            thread.join(timeout=60)
+        save_registered_caches()
+
+    def run(self) -> int:
+        """Blocking entry point: serve until SIGTERM/SIGINT, drain,
+        exit 0.  (``kill -9`` needs no cooperation -- the store is
+        crash-consistent by construction.)"""
+        self.coordinator.reset()
+        self.coordinator.install()
+        try:
+            self.start()
+            print(f"ecripse service listening on {self.address}",
+                  flush=True)
+            self.coordinator.wait()
+            print(f"ecripse service draining "
+                  f"({self.coordinator.reason})", flush=True)
+            self.shutdown(self.coordinator.reason or "shutdown")
+        finally:
+            self.coordinator.uninstall()
+        return 0
+
+    # -- submission / cancellation (shared by HTTP and tests) ----------
+    def submit(self, payload: object) -> JobRecord:
+        """Validate, quota-clamp, fingerprint and enqueue one job.
+
+        A fingerprint already present in the result cache completes the
+        job immediately (``cached=True``, zero new simulations).
+        """
+        spec = self.config.quota.apply(JobSpec.from_dict(payload))
+        fingerprint = spec.fingerprint()
+        record = self.store.create_job(spec, fingerprint, now())
+        cached = self._cached_result(fingerprint)
+        if cached is not None:
+            at = now()
+
+            def finish(rec: JobRecord) -> None:
+                rec.transition(JobState.RUNNING, at)
+                self._apply_result(rec, cached, at, cached_hit=True)
+
+            record = self.store.update(record.id, finish)
+            self.store.append_event(record.id, "cache-hit", at,
+                                    fingerprint=fingerprint,
+                                    new_simulations=0)
+        else:
+            self.store.append_event(record.id, "queued", now(),
+                                    fingerprint=fingerprint,
+                                    priority=spec.priority)
+            self.scheduler.submit(record.id, spec.priority)
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Request cancellation; returns the (possibly updated) record.
+
+        Queued/checkpointed jobs cancel immediately; a running job is
+        flagged and drains at its next checkpoint-safe boundary (the
+        snapshot is kept, so a cancelled job is still inspectable).
+        """
+        record = self.store.load(job_id)
+        self.store.request_cancel(job_id)
+        self.scheduler.discard(job_id)
+        if record.state in (JobState.QUEUED, JobState.CHECKPOINTED):
+            at = now()
+            try:
+                record = self.store.update(
+                    job_id,
+                    lambda rec: rec.transition(JobState.CANCELLED, at))
+                self.store.append_event(job_id, "cancelled", at,
+                                        detail="cancelled before running")
+            except ServiceError:
+                # Lost the race with a worker pickup; the cancel flag
+                # stops it at the next safe boundary instead.
+                record = self.store.load(job_id)
+        return record
+
+    # -- workers -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self.coordinator.requested:
+            job_id = self.scheduler.pop(timeout=_POLL_S)
+            if job_id is None:
+                continue
+            if self.coordinator.requested:
+                # Not started; the record stays queued on disk and the
+                # next daemon's recovery scan re-queues it.
+                return
+            self._run_job(job_id)
+
+    def _run_job(self, job_id: str) -> None:
+        try:
+            record = self.store.load(job_id)
+        except ServiceError:
+            return
+        if record.terminal:
+            return
+        if self.store.cancel_requested(job_id):
+            at = now()
+            self.store.update(
+                job_id,
+                lambda rec: rec.transition(JobState.CANCELLED, at))
+            self.store.append_event(job_id, "cancelled", at,
+                                    detail="cancelled before running")
+            return
+
+        resume = record.state is JobState.CHECKPOINTED
+        at = now()
+
+        def start(rec: JobRecord) -> None:
+            rec.transition(JobState.RUNNING, at)
+            rec.attempts += 1
+            rec.error = None
+
+        record = self.store.update(job_id, start)
+        self.store.append_event(job_id, "started", at,
+                                attempt=record.attempts, resume=resume,
+                                backend=self.execution.backend)
+
+        cached = self._cached_result(record.fingerprint)
+        if cached is not None:
+            finish_at = now()
+            self.store.update(
+                job_id, lambda rec: self._apply_result(
+                    rec, cached, finish_at, cached_hit=True))
+            self.store.append_event(job_id, "cache-hit", finish_at,
+                                    fingerprint=record.fingerprint,
+                                    new_simulations=0)
+            return
+
+        def listener(n_simulations: int, kind: str) -> None:
+            self.store.append_event(job_id, "checkpoint", now(),
+                                    n_simulations=n_simulations,
+                                    save_kind=kind)
+
+        def interrupt() -> str | None:
+            return ("cancel" if self.store.cancel_requested(job_id)
+                    else None)
+
+        perf = (PerfConfig(cache_path=self.config.solve_cache)
+                if self.config.solve_cache is not None else None)
+        try:
+            estimate = execute(record.spec,
+                               self.store.checkpoint_dir(job_id),
+                               resume=resume, execution=self.execution,
+                               perf=perf, keep=self.config.checkpoint_keep,
+                               interrupt=interrupt, listener=listener)
+        except ShutdownRequested as stop:
+            at = now()
+            if stop.reason == "cancel":
+                self.store.update(
+                    job_id,
+                    lambda rec: rec.transition(JobState.CANCELLED, at))
+                self.store.append_event(job_id, "cancelled", at,
+                                        detail="cancelled mid-run; final "
+                                               "snapshot kept")
+            else:
+                self.store.update(
+                    job_id,
+                    lambda rec: rec.transition(JobState.CHECKPOINTED, at))
+                self.store.append_event(job_id, "checkpointed", at,
+                                        detail=f"graceful shutdown "
+                                               f"({stop.reason}); will "
+                                               f"resume on restart")
+            return
+        except Exception as exc:  # repro: allow-broad-except
+            # The job boundary: any estimator failure becomes a durable
+            # ``failed`` record instead of killing the worker thread.
+            at = now()
+
+            def fail(rec: JobRecord) -> None:
+                rec.transition(JobState.FAILED, at)
+                rec.error = f"{type(exc).__name__}: {exc}"
+
+            self.store.update(job_id, fail)
+            self.store.append_event(job_id, "failed", at,
+                                    error=f"{type(exc).__name__}: {exc}")
+            return
+
+        self.store.store_result(record.fingerprint, estimate)
+        done_at = now()
+        self.store.update(
+            job_id, lambda rec: self._apply_result(
+                rec, estimate, done_at, cached_hit=False))
+        self.store.append_event(
+            job_id, "done", done_at, pfail=float(estimate.pfail),
+            ci_halfwidth=float(estimate.ci_halfwidth),
+            n_simulations=int(estimate.n_simulations))
+        if perf is not None:
+            save_registered_caches()
+
+    # -- helpers -------------------------------------------------------
+    def _cached_result(self, fingerprint: str) -> FailureEstimate | None:
+        try:
+            return self.store.load_result(fingerprint)
+        except ServiceError:
+            return None
+
+    @staticmethod
+    def _apply_result(record: JobRecord, estimate: FailureEstimate,
+                      at: float, *, cached_hit: bool) -> None:
+        record.transition(JobState.DONE, at)
+        record.cached = cached_hit
+        record.pfail = float(estimate.pfail)
+        record.ci_halfwidth = float(estimate.ci_halfwidth)
+        record.n_simulations = int(estimate.n_simulations)
+
+    def stats(self) -> dict:
+        """Health snapshot for ``GET /healthz``."""
+        counts: dict[str, int] = {}
+        for record in self.store.list_jobs():
+            counts[record.state.value] = counts.get(
+                record.state.value, 0) + 1
+        return {"status": "ok", "queued": len(self.scheduler),
+                "workers": self.config.workers,
+                "backend": self.execution.backend,
+                "jobs": counts}
+
+
+def execute(spec, checkpoint_dir, **kwargs):
+    """Indirection point for :func:`repro.service.worker.execute_job`
+    (kept separate so tests can monkeypatch job execution)."""
+    from repro.service.worker import execute_job
+
+    return execute_job(spec, checkpoint_dir, **kwargs)
+
+
+# ---------------------------------------------------------------------
+# HTTP front
+# ---------------------------------------------------------------------
+def _make_handler(daemon: ServiceDaemon) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "ecripse-service/1"
+
+        # The event feed is the service's log; HTTP chatter stays quiet.
+        def log_message(self, fmt: str, *args: object) -> None:
+            pass
+
+        # -- plumbing --------------------------------------------------
+        def _send_json(self, code: int, payload: object) -> None:
+            body = (json.dumps(payload, indent=1, sort_keys=True)
+                    + "\n").encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, code: int, message: str) -> None:
+            self._send_json(code, {"error": message})
+
+        def _read_body(self) -> object:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b""
+            try:
+                return json.loads(raw or b"{}")
+            except json.JSONDecodeError as exc:
+                raise ServiceError(f"invalid JSON body: {exc}") from exc
+
+        # -- routing ---------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+            url = urlparse(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            try:
+                if parts == ["healthz"]:
+                    self._send_json(200, daemon.stats())
+                elif parts == ["jobs"]:
+                    self._send_json(200, {
+                        "jobs": [r.as_dict()
+                                 for r in daemon.store.list_jobs()]})
+                elif len(parts) == 2 and parts[0] == "jobs":
+                    self._send_json(200, daemon.store.load(
+                        parts[1]).as_dict())
+                elif (len(parts) == 3 and parts[0] == "jobs"
+                        and parts[2] == "result"):
+                    self._get_result(parts[1])
+                elif (len(parts) == 3 and parts[0] == "jobs"
+                        and parts[2] == "events"):
+                    self._get_events(parts[1], parse_qs(url.query))
+                else:
+                    self._error(404, f"no route for GET {url.path}")
+            except ServiceError as exc:
+                code = 404 if "unknown job" in str(exc) else 400
+                self._error(code, str(exc))
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+            url = urlparse(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            try:
+                if parts == ["jobs"]:
+                    if daemon.coordinator.requested:
+                        self._error(503, "service is draining")
+                        return
+                    record = daemon.submit(self._read_body())
+                    self._send_json(201, record.as_dict())
+                elif (len(parts) == 3 and parts[0] == "jobs"
+                        and parts[2] == "cancel"):
+                    self._send_json(200, daemon.cancel(parts[1]).as_dict())
+                else:
+                    self._error(404, f"no route for POST {url.path}")
+            except ServiceError as exc:
+                code = 404 if "unknown job" in str(exc) else 400
+                self._error(code, str(exc))
+
+        # -- endpoints -------------------------------------------------
+        def _get_result(self, job_id: str) -> None:
+            record = daemon.store.load(job_id)
+            if record.state is not JobState.DONE:
+                self._error(409, f"job {job_id} is {record.state.value}, "
+                                 f"not done"
+                                 + (f": {record.error}" if record.error
+                                    else ""))
+                return
+            estimate = daemon.store.load_result(record.fingerprint)
+            if estimate is None:
+                self._error(500, f"result file for job {job_id} "
+                                 f"(fingerprint {record.fingerprint}) "
+                                 f"is missing")
+                return
+            payload = estimate_to_dict(estimate)
+            payload["job"] = {"id": record.id,
+                              "fingerprint": record.fingerprint,
+                              "cached": record.cached}
+            self._send_json(200, payload)
+
+        def _get_events(self, job_id: str, query: dict) -> None:
+            daemon.store.load(job_id)  # 404 on unknown ids
+            since = int(query.get("since", ["0"])[0])
+            follow = query.get("follow", ["0"])[0] in ("1", "true")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Cache-Control", "no-store")
+            self.end_headers()
+            cursor = max(0, since)
+            while True:
+                events = daemon.store.read_events(job_id, since=cursor)
+                for event in events:
+                    self.wfile.write(
+                        (json.dumps(event, sort_keys=True)
+                         + "\n").encode())
+                cursor += len(events)
+                self.wfile.flush()
+                if not follow:
+                    return
+                record = daemon.store.load(job_id)
+                if record.terminal and not daemon.store.read_events(
+                        job_id, since=cursor):
+                    return
+                if daemon.coordinator.requested:
+                    return
+                time.sleep(_POLL_S)
+
+    return Handler

@@ -1,0 +1,177 @@
+"""Declarative job specifications.
+
+A :class:`JobSpec` is the unit the service accepts over HTTP: a frozen,
+validated description of one estimation problem plus its scheduling
+hints.  The result-determining fields (problem + budget + seed) feed
+:meth:`JobSpec.fingerprint`, the key of the durable result cache --
+two submissions with equal fingerprints are *the same job* and the
+second is served from the result store with zero new simulations.
+
+Scheduling hints (``priority``, ``checkpoint_every``) deliberately stay
+out of the fingerprint, exactly like the execution backend stays out of
+the estimator fingerprints: they change *how* a job runs, never what it
+computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+
+from repro.errors import ServiceError
+
+#: job kinds the worker knows how to build (see repro.service.worker).
+JOB_KINDS: tuple[str, ...] = ("estimate", "naive")
+
+#: bumped when the spec layout changes incompatibly.
+SPEC_SCHEMA = 1
+
+#: fields that do not participate in the result fingerprint.
+_SCHEDULING_FIELDS = frozenset({"priority", "checkpoint_every"})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One estimation job.
+
+    Attributes
+    ----------
+    kind:
+        ``"estimate"`` runs the two-stage ECRIPSE estimator;
+        ``"naive"`` runs the chunked naive Monte-Carlo reference.
+    vdd:
+        Supply voltage [V]; ``None`` means the paper's nominal supply.
+    alpha:
+        RTN duty ratio; ``None`` disables RTN (RDF-only).
+    seed:
+        Estimator seed -- part of the fingerprint: a different seed is
+        a different (statistically independent) job.
+    target_relative_error:
+        Stop when the 95 % CI relative error drops below this.
+    max_simulations:
+        Simulation budget; ``None`` lets the service apply its default
+        quota.  The *clamped* value is canonical (see
+        :meth:`repro.service.scheduler.QuotaPolicy.apply`).
+    n_samples:
+        Sample budget for ``kind="naive"`` (clamped by the same quota).
+    quick:
+        Use the reduced-budget smoke configuration
+        (:meth:`~repro.core.ecripse.EcripseConfig.quick`), matching the
+        CLI's ``--quick`` bit-for-bit.
+    grid_points:
+        Butterfly grid resolution of the evaluator.
+    health_policy:
+        ``strict`` / ``recover`` / ``permissive`` (see
+        :mod:`repro.health`); part of the fingerprint because recovery
+        paths may legitimately change the estimate.
+    priority:
+        Larger runs first (ties FIFO).  Scheduling-only.
+    checkpoint_every:
+        Snapshot cadence in simulations.  Scheduling-only: cadence
+        never changes the result (the kill/resume bit-identity
+        guarantee), so jobs differing only here share a cache entry.
+    """
+
+    kind: str = "estimate"
+    vdd: float | None = None
+    alpha: float | None = None
+    seed: int = 2015
+    target_relative_error: float = 0.05
+    max_simulations: int | None = None
+    n_samples: int = 100_000
+    quick: bool = False
+    grid_points: int = 61
+    health_policy: str = "strict"
+    priority: int = 0
+    checkpoint_every: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ServiceError(
+                f"unknown job kind {self.kind!r}; expected one of "
+                f"{', '.join(JOB_KINDS)}")
+        if self.vdd is not None and not 0.0 < float(self.vdd) < 2.0:
+            raise ServiceError(
+                f"vdd must lie in (0, 2) volts, got {self.vdd}")
+        if self.alpha is not None and not 0.0 <= float(self.alpha) <= 1.0:
+            raise ServiceError(
+                f"alpha must lie in [0, 1], got {self.alpha}")
+        if self.target_relative_error <= 0:
+            raise ServiceError("target_relative_error must be positive")
+        if self.max_simulations is not None and self.max_simulations < 1:
+            raise ServiceError(
+                f"max_simulations must be >= 1, got "
+                f"{self.max_simulations}")
+        if self.n_samples < 1:
+            raise ServiceError(
+                f"n_samples must be >= 1, got {self.n_samples}")
+        if self.grid_points < 3:
+            raise ServiceError(
+                f"grid_points must be >= 3, got {self.grid_points}")
+        if self.health_policy not in ("strict", "recover", "permissive"):
+            raise ServiceError(
+                f"unknown health_policy {self.health_policy!r}")
+        if self.checkpoint_every < 1:
+            raise ServiceError(
+                f"checkpoint_every must be >= 1, got "
+                f"{self.checkpoint_every}")
+
+    # -- wire format ---------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-ready plain dict (schema-tagged)."""
+        data = asdict(self)
+        data["schema"] = SPEC_SCHEMA
+        return data
+
+    @classmethod
+    def from_dict(cls, data: object) -> "JobSpec":
+        """Parse and validate a submitted spec.
+
+        Unknown keys are rejected -- a typo'd field silently falling
+        back to its default would run (and cache!) the wrong job.
+        """
+        if not isinstance(data, dict):
+            raise ServiceError(
+                f"job spec must be a JSON object, got "
+                f"{type(data).__name__}")
+        payload = dict(data)
+        schema = payload.pop("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise ServiceError(
+                f"unsupported spec schema {schema!r}; this build "
+                f"speaks version {SPEC_SCHEMA}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ServiceError(
+                f"unknown spec field(s): {', '.join(unknown)}")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ServiceError(f"invalid job spec: {exc}") from exc
+
+    def with_(self, **changes: object) -> "JobSpec":
+        """Copy with ``changes`` applied (dataclass replace)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    # -- identity ------------------------------------------------------
+    def result_fields(self) -> dict:
+        """The fields that determine the job's result (canonical
+        order) -- everything except the scheduling hints."""
+        data = asdict(self)
+        return {name: data[name] for name in sorted(data)
+                if name not in _SCHEDULING_FIELDS}
+
+    def fingerprint(self) -> str:
+        """Stable hex id of the *result* this job computes.
+
+        Combines the estimator's checkpoint fingerprint (method,
+        configuration, RTN model) with the evaluator's solve
+        fingerprint (cell, supply, grid, bisection depths) and the
+        spec's own budget/seed fields -- see
+        :func:`repro.service.worker.spec_fingerprint`.  Equal
+        fingerprints mean bit-identical results, which is the licence
+        for the result cache to answer without simulating.
+        """
+        from repro.service.worker import spec_fingerprint
+
+        return spec_fingerprint(self)

@@ -1,0 +1,116 @@
+"""Advisory file lock guarding shared checkpoint/cache directories."""
+
+import os
+import subprocess
+import threading
+
+import pytest
+
+from repro.checkpoint.lockfile import FileLock, LockTimeout
+
+
+class TestBasics:
+    def test_acquire_creates_release_removes(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        lock.acquire()
+        assert (tmp_path / "x.lock").exists()
+        assert lock.held
+        lock.release()
+        assert not (tmp_path / "x.lock").exists()
+        assert not lock.held
+
+    def test_context_manager(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_reentrant_same_object(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            with lock:
+                assert lock.held
+            # inner exit must not release the outer hold
+            assert lock.held
+        assert not lock.held
+
+    def test_lock_file_records_owner_pid(self, tmp_path):
+        with FileLock(tmp_path / "x.lock"):
+            assert int((tmp_path / "x.lock").read_text().strip()) \
+                == os.getpid()
+
+
+class TestContention:
+    def test_second_holder_times_out(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            contender = FileLock(path, timeout_s=0.1, poll_s=0.01)
+            with pytest.raises(LockTimeout, match="x.lock"):
+                contender.acquire()
+
+    def test_contender_gets_lock_after_release(self, tmp_path):
+        path = tmp_path / "x.lock"
+        first = FileLock(path)
+        first.acquire()
+        acquired = threading.Event()
+
+        def contend():
+            with FileLock(path, timeout_s=5.0, poll_s=0.01):
+                acquired.set()
+
+        thread = threading.Thread(target=contend)
+        thread.start()
+        assert not acquired.wait(timeout=0.05)
+        first.release()
+        thread.join(timeout=5.0)
+        assert acquired.is_set()
+
+    def test_threads_never_overlap(self, tmp_path):
+        path = tmp_path / "x.lock"
+        active = []
+        overlaps = []
+
+        def worker():
+            for _ in range(5):
+                with FileLock(path, timeout_s=10.0, poll_s=0.001):
+                    active.append(1)
+                    if len(active) > 1:
+                        overlaps.append(True)
+                    active.pop()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not overlaps
+
+
+class TestStaleLocks:
+    def _dead_pid(self) -> int:
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        return proc.pid
+
+    def test_dead_owner_lock_is_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text(f"{self._dead_pid()}\n")
+        lock = FileLock(path, timeout_s=1.0, poll_s=0.01)
+        with lock:
+            assert int(path.read_text().strip()) == os.getpid()
+
+    def test_live_owner_lock_is_respected(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text(f"{os.getpid()}\n")  # alive: this process
+        lock = FileLock(path, timeout_s=0.1, poll_s=0.01)
+        with pytest.raises(LockTimeout):
+            lock.acquire()
+
+    def test_unreadable_owner_is_left_alone(self, tmp_path):
+        # A lock without a readable pid is mid-acquire (created, not
+        # yet written) -- breaking it would race the creator.
+        path = tmp_path / "x.lock"
+        path.write_text("")
+        lock = FileLock(path, timeout_s=0.1, poll_s=0.01)
+        with pytest.raises(LockTimeout):
+            lock.acquire()

@@ -146,6 +146,24 @@ class TestRep002WallClock:
         path = "src/repro/checkpoint/trigger.py"
         assert findings_for(source, path=path) == []
 
+    def test_fires_in_service_package(self):
+        source = (
+            "import time\n"
+            "def record_stamp():\n"
+            "    return time.time()\n"
+        )
+        path = "src/repro/service/store.py"
+        assert rules_of(findings_for(source, path=path)) == ["REP002"]
+
+    def test_service_scheduler_hosts_sanctioned_wall_clock(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        path = "src/repro/service/scheduler.py"
+        assert findings_for(source, path=path) == []
+
 
 class TestRep003ExecutorPickling:
     def test_fires_on_lambda(self):

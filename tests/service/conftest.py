@@ -1,0 +1,23 @@
+"""Shared fixtures for the service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.signals import default_coordinator
+from repro.service.store import JobStore
+
+
+@pytest.fixture(autouse=True)
+def clean_coordinator():
+    """The daemon trips the process-wide shutdown coordinator; leave it
+    clean for whatever test runs next (checkpoint managers consult it
+    at every safe boundary)."""
+    default_coordinator().reset()
+    yield
+    default_coordinator().reset()
+
+
+@pytest.fixture()
+def store(tmp_path) -> JobStore:
+    return JobStore(tmp_path / "state")

@@ -1,0 +1,71 @@
+"""Fingerprint discrimination matrix (the result-cache key).
+
+The cache serves a hit with *zero new simulations*, so the fingerprint
+must separate every knob that can change the estimate -- and must NOT
+separate knobs that provably cannot (scheduling hints, execution
+backend).  One false collision silently returns the wrong physics.
+"""
+
+import pytest
+
+from repro.service.spec import JobSpec
+from repro.service.worker import spec_fingerprint
+
+BASE = JobSpec(kind="estimate", quick=True, seed=5,
+               target_relative_error=0.2, max_simulations=50_000)
+
+
+class TestStability:
+    def test_identical_specs_share_a_fingerprint(self):
+        assert spec_fingerprint(BASE) == spec_fingerprint(
+            JobSpec(**{f: getattr(BASE, f)
+                       for f in BASE.__dataclass_fields__}))
+
+    def test_fingerprint_is_hex16(self):
+        fingerprint = spec_fingerprint(BASE)
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)
+
+    def test_repeated_computation_is_stable(self):
+        assert spec_fingerprint(BASE) == spec_fingerprint(BASE)
+
+
+class TestDiscrimination:
+    @pytest.mark.parametrize("changes", [
+        {"kind": "naive"},
+        {"vdd": 0.65},
+        {"alpha": 0.5},
+        {"seed": 6},
+        {"target_relative_error": 0.1},
+        {"max_simulations": 60_000},
+        {"n_samples": 12_345},
+        {"quick": False},
+        {"grid_points": 41},
+        {"health_policy": "recover"},
+    ], ids=lambda c: next(iter(c)))
+    def test_result_knobs_change_the_fingerprint(self, changes):
+        assert spec_fingerprint(BASE.with_(**changes)) \
+            != spec_fingerprint(BASE)
+
+    def test_alpha_none_vs_zero_are_distinct(self):
+        # RDF-only (null RTN model) and alpha=0 RTN are different
+        # indicator conventions, not the same job
+        assert spec_fingerprint(BASE.with_(alpha=None)) \
+            != spec_fingerprint(BASE.with_(alpha=0.0))
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("changes", [
+        {"priority": 9},
+        {"checkpoint_every": 17},
+        {"priority": 3, "checkpoint_every": 250},
+    ], ids=lambda c: "+".join(c))
+    def test_scheduling_hints_do_not_change_the_fingerprint(self,
+                                                            changes):
+        # cadence/priority change *how* a job runs, never what it
+        # computes (the kill/resume bit-identity guarantee)
+        assert spec_fingerprint(BASE.with_(**changes)) \
+            == spec_fingerprint(BASE)
+
+    def test_spec_fingerprint_method_agrees(self):
+        assert BASE.fingerprint() == spec_fingerprint(BASE)

@@ -1,0 +1,116 @@
+"""Priority dispatch queue and quota clamping."""
+
+import threading
+
+import pytest
+
+from repro.service.scheduler import QuotaPolicy, Scheduler
+from repro.service.spec import JobSpec
+
+
+class TestScheduler:
+    def test_fifo_within_priority(self):
+        scheduler = Scheduler()
+        scheduler.submit("a")
+        scheduler.submit("b")
+        scheduler.submit("c")
+        assert [scheduler.pop(0), scheduler.pop(0), scheduler.pop(0)] \
+            == ["a", "b", "c"]
+
+    def test_higher_priority_first(self):
+        scheduler = Scheduler()
+        scheduler.submit("low", priority=0)
+        scheduler.submit("high", priority=10)
+        scheduler.submit("mid", priority=5)
+        assert [scheduler.pop(0), scheduler.pop(0), scheduler.pop(0)] \
+            == ["high", "mid", "low"]
+
+    def test_pop_times_out_empty(self):
+        assert Scheduler().pop(timeout=0.01) is None
+
+    def test_duplicate_submit_ignored(self):
+        scheduler = Scheduler()
+        scheduler.submit("a")
+        scheduler.submit("a")
+        assert len(scheduler) == 1
+        assert scheduler.pop(0) == "a"
+        assert scheduler.pop(0.01) is None
+
+    def test_discard_skips_on_pop(self):
+        scheduler = Scheduler()
+        scheduler.submit("a")
+        scheduler.submit("b")
+        scheduler.discard("a")
+        assert "a" not in scheduler
+        assert scheduler.pop(0) == "b"
+        assert scheduler.pop(0.01) is None
+
+    def test_resubmit_after_discard(self):
+        scheduler = Scheduler()
+        scheduler.submit("a")
+        scheduler.discard("a")
+        scheduler.submit("a")
+        assert scheduler.pop(0) == "a"
+
+    def test_submit_wakes_blocked_pop(self):
+        scheduler = Scheduler()
+        got = []
+
+        def waiter():
+            got.append(scheduler.pop(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        scheduler.submit("late")
+        thread.join(timeout=5.0)
+        assert got == ["late"]
+
+    def test_wake_all_releases_blocked_pop(self):
+        scheduler = Scheduler()
+        got = []
+
+        def waiter():
+            got.append(scheduler.pop(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        scheduler.wake_all()
+        thread.join(timeout=5.0)
+        assert got == [None]
+
+
+class TestQuotaPolicy:
+    def test_default_budget_applied(self):
+        spec = QuotaPolicy(default_simulations=1000).apply(JobSpec())
+        assert spec.max_simulations == 1000
+
+    def test_over_ceiling_clamped(self):
+        policy = QuotaPolicy(default_simulations=10, max_simulations=500)
+        spec = policy.apply(JobSpec(max_simulations=10_000))
+        assert spec.max_simulations == 500
+
+    def test_under_ceiling_untouched(self):
+        policy = QuotaPolicy(default_simulations=5_000,
+                             max_simulations=10_000)
+        spec = JobSpec(max_simulations=2_000, n_samples=1_000)
+        assert policy.apply(spec) == spec
+
+    def test_n_samples_clamped_with_budget(self):
+        policy = QuotaPolicy(default_simulations=10, max_simulations=50)
+        spec = policy.apply(JobSpec(kind="naive", n_samples=100_000))
+        assert spec.n_samples == 10
+
+    def test_clamp_then_fingerprint_equals_explicit_request(self):
+        # A clamped over-budget request is *the same job* as asking for
+        # exactly the ceiling -- the cache key must agree.
+        policy = QuotaPolicy(default_simulations=1_000,
+                             max_simulations=5_000)
+        clamped = policy.apply(JobSpec(max_simulations=1_000_000))
+        explicit = policy.apply(JobSpec(max_simulations=5_000))
+        assert clamped == explicit
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="ceiling"):
+            QuotaPolicy(default_simulations=100, max_simulations=10)
+        with pytest.raises(ValueError, match=">= 1"):
+            QuotaPolicy(default_simulations=0)

@@ -1,0 +1,230 @@
+"""Daemon behaviour: state machine under real jobs, HTTP surface."""
+
+import pytest
+
+from repro.errors import ServiceError, ShutdownRequested
+from repro.service.client import ServiceClient
+from repro.service.model import JobState
+from repro.service.scheduler import QuotaPolicy
+from repro.service.server import ServeConfig, ServiceDaemon
+from repro.service.spec import JobSpec
+from repro.service.worker import execute_job
+
+from .test_worker import comparable
+
+SPEC = JobSpec(kind="naive", n_samples=1500, seed=13,
+               target_relative_error=1e-9, checkpoint_every=500)
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """A daemon core without HTTP/worker threads -- jobs are driven
+    deterministically with ``_run_job``."""
+    return ServiceDaemon(ServeConfig(root=tmp_path / "state", port=0,
+                                     workers=1))
+
+
+@pytest.fixture()
+def live(tmp_path):
+    """A fully started daemon (HTTP + one worker thread)."""
+    daemon = ServiceDaemon(ServeConfig(root=tmp_path / "state", port=0,
+                                       workers=1))
+    url = daemon.start()
+    yield daemon, ServiceClient(url)
+    daemon.shutdown()
+
+
+class TestDaemonCore:
+    def test_submit_queues_and_clamps(self, daemon):
+        record = daemon.submit(SPEC.as_dict())
+        assert record.state is JobState.QUEUED
+        # the quota default is applied before fingerprinting
+        assert record.spec.max_simulations \
+            == QuotaPolicy().default_simulations
+        assert record.id in daemon.scheduler
+
+    def test_invalid_spec_rejected(self, daemon):
+        with pytest.raises(ServiceError, match="unknown spec field"):
+            daemon.submit({"bogus": 1})
+
+    def test_run_job_completes_and_caches(self, daemon):
+        record = daemon.submit(SPEC.as_dict())
+        daemon._run_job(daemon.scheduler.pop(0))
+        done = daemon.store.load(record.id)
+        assert done.state is JobState.DONE
+        assert done.cached is False
+        assert done.n_simulations == 1500
+        assert daemon.store.load_result(done.fingerprint) is not None
+
+    def test_duplicate_submit_is_served_from_cache(self, daemon):
+        first = daemon.submit(SPEC.as_dict())
+        daemon._run_job(daemon.scheduler.pop(0))
+        duplicate = daemon.submit(SPEC.as_dict())
+        assert duplicate.state is JobState.DONE
+        assert duplicate.cached is True
+        assert duplicate.fingerprint \
+            == daemon.store.load(first.id).fingerprint
+        assert duplicate.pfail == daemon.store.load(first.id).pfail
+        kinds = [e["kind"]
+                 for e in daemon.store.read_events(duplicate.id)]
+        assert kinds == ["cache-hit"]
+        # nothing was queued for the worker pool
+        assert duplicate.id not in daemon.scheduler
+
+    def test_cached_duplicate_matches_direct_run(self, daemon, tmp_path):
+        record = daemon.submit(SPEC.as_dict())
+        daemon._run_job(daemon.scheduler.pop(0))
+        canonical = daemon.store.load(record.id).spec
+        reference = execute_job(canonical, tmp_path / "ref",
+                                resume=False)
+        cached = daemon.store.load_result(record.fingerprint)
+        assert comparable(cached) == comparable(reference)
+
+    def test_cancel_queued_job(self, daemon):
+        record = daemon.submit(SPEC.as_dict())
+        cancelled = daemon.cancel(record.id)
+        assert cancelled.state is JobState.CANCELLED
+        assert record.id not in daemon.scheduler
+        # a worker popping it later must be a no-op
+        daemon._run_job(record.id)
+        assert daemon.store.load(record.id).state is JobState.CANCELLED
+
+    def test_cancel_flag_beats_worker_pickup(self, daemon):
+        record = daemon.submit(SPEC.as_dict())
+        daemon.store.request_cancel(record.id)
+        daemon._run_job(record.id)
+        assert daemon.store.load(record.id).state is JobState.CANCELLED
+
+    def test_mid_run_cancel_lands_in_cancelled(self, daemon):
+        record = daemon.submit(SPEC.as_dict())
+        flagged = []
+
+        def cancel_at_first_boundary(spec, checkpoint_dir, *,
+                                     interrupt, **kwargs):
+            # what execute_job does when the polled hook says "cancel":
+            # force-save the boundary, then unwind with the reason
+            daemon.store.request_cancel(record.id)
+            flagged.append(interrupt())
+            raise ShutdownRequested(interrupt())
+
+        import repro.service.server as server_module
+        original = server_module.execute
+        server_module.execute = cancel_at_first_boundary
+        try:
+            daemon._run_job(record.id)
+        finally:
+            server_module.execute = original
+        assert flagged == ["cancel"]
+        assert daemon.store.load(record.id).state is JobState.CANCELLED
+
+    def test_failed_job_records_error(self, daemon, monkeypatch):
+        def boom(spec, checkpoint_dir, **kwargs):
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr("repro.service.server.execute", boom)
+        record = daemon.submit(SPEC.as_dict())
+        daemon._run_job(record.id)
+        failed = daemon.store.load(record.id)
+        assert failed.state is JobState.FAILED
+        assert "solver exploded" in failed.error
+        assert "failed" in [e["kind"]
+                            for e in daemon.store.read_events(record.id)]
+
+    def test_graceful_shutdown_lands_in_checkpointed(self, daemon,
+                                                     monkeypatch):
+        def drain(spec, checkpoint_dir, **kwargs):
+            raise ShutdownRequested("SIGTERM")
+
+        monkeypatch.setattr("repro.service.server.execute", drain)
+        record = daemon.submit(SPEC.as_dict())
+        daemon._run_job(record.id)
+        parked = daemon.store.load(record.id)
+        assert parked.state is JobState.CHECKPOINTED
+        assert "checkpointed" in [
+            e["kind"] for e in daemon.store.read_events(record.id)]
+
+    def test_restart_resumes_checkpointed_job(self, tmp_path, daemon,
+                                              monkeypatch):
+        monkeypatch.setattr(
+            "repro.service.server.execute",
+            lambda *a, **k: (_ for _ in ()).throw(
+                ShutdownRequested("SIGTERM")))
+        record = daemon.submit(SPEC.as_dict())
+        daemon._run_job(record.id)
+        monkeypatch.undo()
+
+        # a new daemon over the same root re-queues and finishes it
+        second = ServiceDaemon(ServeConfig(root=daemon.config.root,
+                                           port=0, workers=1))
+        for job_id in second.store.recover(at=0.0):
+            second._run_job(job_id)
+        done = second.store.load(record.id)
+        assert done.state is JobState.DONE
+        assert done.attempts == 2
+
+    def test_stats_counts_jobs(self, daemon):
+        daemon.submit(SPEC.as_dict())
+        stats = daemon.stats()
+        assert stats["status"] == "ok"
+        assert stats["queued"] == 1
+        assert stats["jobs"] == {"queued": 1}
+
+
+class TestHttpSurface:
+    def test_full_job_lifecycle_over_http(self, live):
+        daemon, client = live
+        assert client.healthz()["status"] == "ok"
+
+        record = client.submit(SPEC.as_dict())
+        assert record["state"] == "queued"
+        final = client.wait(record["id"], timeout_s=120)
+        assert final["state"] == "done"
+        assert final["cached"] is False
+
+        result = client.result(record["id"])
+        assert result["n_simulations"] == 1500
+        assert result["job"]["id"] == record["id"]
+
+        kinds = [e["kind"] for e in client.events(record["id"])]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "done"
+        assert "started" in kinds and "checkpoint" in kinds
+
+        listed = client.jobs()
+        assert [j["id"] for j in listed] == [record["id"]]
+
+    def test_duplicate_submit_over_http_hits_cache(self, live):
+        daemon, client = live
+        first = client.submit(SPEC.as_dict())
+        client.wait(first["id"], timeout_s=120)
+        duplicate = client.submit(SPEC.as_dict())
+        assert duplicate["state"] == "done"
+        assert duplicate["cached"] is True
+        assert duplicate["pfail"] == client.job(first["id"])["pfail"]
+
+    def test_event_stream_follows_to_terminal(self, live):
+        daemon, client = live
+        record = client.submit(SPEC.as_dict())
+        kinds = [e["kind"] for e in client.stream_events(record["id"])]
+        assert kinds[-1] == "done"
+
+    def test_unknown_job_is_404(self, live):
+        daemon, client = live
+        with pytest.raises(ServiceError, match=r"\(404\)"):
+            client.job("job-424242")
+
+    def test_bad_spec_is_400(self, live):
+        daemon, client = live
+        with pytest.raises(ServiceError, match=r"\(400\).*unknown spec"):
+            client.submit({"warp_factor": 9})
+
+    def test_result_before_done_is_409(self, live, monkeypatch):
+        daemon, client = live
+        record = daemon.store.create_job(JobSpec(), "fp-never-run", 0.0)
+        with pytest.raises(ServiceError, match=r"\(409\).*queued"):
+            client.result(record.id)
+
+    def test_unroutable_path_is_404(self, live):
+        daemon, client = live
+        with pytest.raises(ServiceError, match=r"\(404\)"):
+            client._request("GET", "/nope")

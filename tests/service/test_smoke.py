@@ -1,0 +1,177 @@
+"""Subprocess smoke: real daemons, real signals, real kill -9.
+
+This is the service's headline guarantee, exercised end to end:
+
+* ``kill -9`` the daemon mid-job, restart it on the same state root,
+  and the job resumes from its last durable checkpoint to the
+  bit-identical estimate an uninterrupted run produces;
+* a duplicate submission afterwards is served from the result cache
+  with zero new simulations;
+* SIGTERM drains gracefully (exit 0, job parked ``checkpointed``);
+* the ``ecripse`` CLI's checkpointed runs exit 4 on SIGTERM and
+  ``--resume`` to the identical summary (runtime satellite).
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.store import JobStore
+from repro.service.worker import execute_job
+
+from .test_worker import comparable
+
+REPO = Path(__file__).resolve().parents[2]
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+#: long enough to reliably straddle several checkpoints (~0.35 ms/sample)
+JOB = {"kind": "naive", "n_samples": 10_000, "seed": 21,
+       "target_relative_error": 1e-9, "checkpoint_every": 1000}
+
+
+def start_daemon(root: Path) -> tuple[subprocess.Popen, ServiceClient]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "serve",
+         "--root", str(root), "--port", "0", "--workers", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=ENV, cwd=str(REPO))
+    ready = proc.stdout.readline()
+    assert "listening on" in ready, f"daemon failed to start: {ready!r}"
+    return proc, ServiceClient(ready.strip().split()[-1])
+
+
+def wait_for_checkpoint_event(client: ServiceClient, job_id: str,
+                              timeout_s: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        kinds = [e["kind"] for e in client.events(job_id)]
+        assert "done" not in kinds, "job finished before we could kill"
+        if "checkpoint" in kinds:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"no checkpoint event within {timeout_s}s")
+
+
+class TestDaemonKillResume:
+    def test_kill9_restart_resumes_bit_identically(self, tmp_path):
+        root = tmp_path / "state"
+        proc, client = start_daemon(root)
+        try:
+            record = client.submit(JOB)
+            wait_for_checkpoint_event(client, record["id"])
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        # the orphaned job is still marked running on disk
+        store = JobStore(root)
+        orphan = store.load(record["id"])
+        assert orphan.state.value == "running"
+
+        proc, client = start_daemon(root)
+        try:
+            final = client.wait(record["id"], timeout_s=120)
+            assert final["state"] == "done"
+            assert final["attempts"] == 2
+            kinds = [e["kind"] for e in client.events(record["id"])]
+            assert "recovered" in kinds
+
+            # bit-identical to an uninterrupted run of the canonical
+            # (quota-clamped) spec
+            canonical = store.load(record["id"]).spec
+            reference = execute_job(canonical, tmp_path / "ref",
+                                    resume=False)
+            resumed = store.load_result(final["fingerprint"])
+            assert comparable(resumed) == comparable(reference)
+
+            # duplicate submission: answered from the cache, zero new
+            # simulations
+            duplicate = client.submit(JOB)
+            assert duplicate["state"] == "done"
+            assert duplicate["cached"] is True
+            assert duplicate["pfail"] == final["pfail"]
+            events = client.events(duplicate["id"])
+            assert [e["kind"] for e in events] == ["cache-hit"]
+            assert events[0]["new_simulations"] == 0
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+
+    def test_sigterm_drains_gracefully_and_resumes(self, tmp_path):
+        root = tmp_path / "state"
+        proc, client = start_daemon(root)
+        record = client.submit(JOB)
+        wait_for_checkpoint_event(client, record["id"])
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0
+        assert "draining" in out
+
+        store = JobStore(root)
+        parked = store.load(record["id"])
+        assert parked.state.value == "checkpointed"
+
+        proc, client = start_daemon(root)
+        try:
+            final = client.wait(record["id"], timeout_s=120)
+            assert final["state"] == "done"
+            canonical = store.load(record["id"]).spec
+            reference = execute_job(canonical, tmp_path / "ref",
+                                    resume=False)
+            resumed = store.load_result(final["fingerprint"])
+            assert comparable(resumed) == comparable(reference)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+
+
+class TestCliGracefulShutdown:
+    """Satellite: SIGTERM on a checkpointed CLI run exits 4, resumes."""
+
+    ARGS = ["estimate", "--quick", "--target", "0.05", "--seed", "1"]
+
+    def _run(self, args: list[str]) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner", *args],
+            capture_output=True, text=True, env=ENV, cwd=str(REPO),
+            timeout=300)
+
+    @staticmethod
+    def _mask_wall_time(text: str) -> str:
+        return re.sub(r"[\d.]+ s\)", "_)", text)
+
+    def test_sigterm_exits_4_then_resume_is_identical(self, tmp_path):
+        reference = self._run(self.ARGS)
+        assert reference.returncode == 0
+
+        checkpointed = self.ARGS + ["--checkpoint-dir", str(tmp_path),
+                                    "--checkpoint-every", "200"]
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments.runner",
+             *checkpointed],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=ENV, cwd=str(REPO))
+        scoped = tmp_path / "estimate"
+        deadline = time.monotonic() + 60.0
+        while not list(scoped.glob("ckpt-*")):
+            assert time.monotonic() < deadline, "no checkpoint appeared"
+            assert proc.poll() is None, "run finished before signal"
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGTERM)
+        _, err = proc.communicate(timeout=120)
+        assert proc.returncode == 4, err
+        assert "graceful shutdown" in err
+        assert "SIGTERM" in err
+
+        resumed = self._run(checkpointed + ["--resume"])
+        assert resumed.returncode == 0
+        assert self._mask_wall_time(resumed.stdout) \
+            == self._mask_wall_time(reference.stdout)
