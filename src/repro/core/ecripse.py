@@ -220,6 +220,12 @@ class EcripseEstimator:
 
     method = "ecripse"
 
+    #: mutable state that deliberately does not ride snapshots:
+    #: ``mixture`` is a pure function of the filter bank, rebuilt by
+    #: :meth:`_finalize_stage1` on restore; ``_perf_baseline`` is
+    #: recaptured at the top of every :meth:`run`.
+    _SNAPSHOT_EXCLUDED = ("mixture", "_perf_baseline")
+
     def __init__(self, space: VariabilitySpace, indicator: Indicator,
                  rtn_model, config: EcripseConfig | None = None, seed=None,
                  initial_boundary: BoundarySearchResult | None = None,

@@ -80,6 +80,10 @@ class NaiveMonteCarlo:
         single-stream loop bit-identical to previous releases.
     """
 
+    #: per-run perf-counter baseline, recaptured at the top of every
+    #: :meth:`run` -- never checkpoint state.
+    _SNAPSHOT_EXCLUDED = ("_perf_baseline",)
+
     def __init__(self, space: VariabilitySpace, indicator: Indicator,
                  rtn_model, batch_size: int = 5000, seed=None,
                  execution: ExecutionConfig | None = None) -> None:

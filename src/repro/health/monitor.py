@@ -39,6 +39,11 @@ from repro.health.policy import HealthConfig
 class HealthMonitor:
     """Per-run guardrail state machine (see module docstring)."""
 
+    #: transient intra-step flag: set by :meth:`training_batch` and
+    #: consumed by :meth:`check_training_batch` within one estimator
+    #: step, so it is always ``False`` at checkpoint-safe boundaries.
+    _SNAPSHOT_EXCLUDED = ("_last_training_injected",)
+
     def __init__(self, config: HealthConfig | None = None) -> None:
         self.config = config if config is not None else HealthConfig()
         self.injector = FaultInjector(self.config.inject)

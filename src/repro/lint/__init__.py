@@ -4,28 +4,46 @@ The runtime's bit-reproducibility guarantees (PR 1) are conventions:
 all randomness flows through spawned :class:`numpy.random.Generator`
 children, and every task callable handed to the
 :class:`~repro.runtime.executor.Executor` must survive pickling.  This
-package turns those conventions into machine-checked rules (REP001 to
-REP006), with per-line pragma suppression (``# repro: allow-<slug>``),
-a baseline file for grandfathered findings, and text/JSON reporters.
+package turns those conventions into machine-checked rules: per-file
+rules REP001-REP006, plus the project-aware rules REP007-REP009 that
+run in a second pass over a whole-program model (import graph,
+per-class symbol tables, method read/write sets) to catch unlocked
+shared state, incomplete checkpoint snapshots and fingerprint-contract
+drift.  Suppression is per-statement pragmas
+(``# repro: allow-<slug>``), a baseline file grandfathers findings,
+and reports render as text, JSON, SARIF or GitHub annotations.
 
-Run it as ``python -m repro.lint src tests`` or ``ecripse lint``;
+Run it as ``python -m repro.lint src tests`` or ``ecripse lint``
+(``--changed`` lints only files modified vs the git merge base);
 rules and rationale are documented in docs/DEVELOPMENT.md.
 """
 
 from __future__ import annotations
 
 from repro.lint.baseline import Baseline
+from repro.lint.config import (DEFAULT_PROJECT_CONFIG,
+                               FingerprintContract, ProjectConfig,
+                               RuleScope)
 from repro.lint.engine import LintEngine, discover
-from repro.lint.findings import Finding, LintResult
-from repro.lint.rules import RULES, Rule, default_rules, register
+from repro.lint.findings import Finding, LintResult, Related
+from repro.lint.project import ProjectModel
+from repro.lint.rules import (RULES, ProjectRule, Rule, default_rules,
+                              register)
 
 __all__ = [
     "Baseline",
+    "DEFAULT_PROJECT_CONFIG",
     "Finding",
+    "FingerprintContract",
     "LintEngine",
     "LintResult",
+    "ProjectConfig",
+    "ProjectModel",
+    "ProjectRule",
     "RULES",
+    "Related",
     "Rule",
+    "RuleScope",
     "default_rules",
     "discover",
     "register",

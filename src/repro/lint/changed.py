@@ -1,0 +1,66 @@
+"""Changed-file discovery for ``ecripse lint --changed``.
+
+The fast pre-commit loop: lint only the Python files that differ from
+the merge base with the main branch (plus untracked files), so a
+focused edit lints in milliseconds while CI still sweeps the full
+tree.  Outside a git checkout (or when git itself is unavailable) the
+caller falls back to the full tree -- ``--changed`` is an
+acceleration, never a correctness filter.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.engine import discover
+
+#: upstream refs tried, in order, for the merge base.
+_BASE_CANDIDATES = ("origin/main", "main", "origin/master", "master")
+
+
+class _GitUnavailable(Exception):
+    """git missing, not a repo, or the queried ref does not exist."""
+
+
+def _git(args: Sequence[str]) -> str:
+    try:
+        proc = subprocess.run(["git", *args], capture_output=True,
+                              text=True, timeout=30)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise _GitUnavailable(str(exc)) from exc
+    if proc.returncode != 0:
+        raise _GitUnavailable(proc.stderr.strip())
+    return proc.stdout
+
+
+def merge_base() -> str | None:
+    """Merge base with the first upstream candidate that exists, or
+    ``None`` (diff against HEAD: uncommitted work only)."""
+    for candidate in _BASE_CANDIDATES:
+        try:
+            return _git(["merge-base", "HEAD", candidate]).strip()
+        except _GitUnavailable:
+            continue
+    return None
+
+
+def changed_files(paths: Sequence[str | Path]) -> list[Path] | None:
+    """Python files under ``paths`` changed vs the merge base.
+
+    Includes uncommitted and untracked files.  Returns ``None`` when
+    git cannot answer (not a repository, git missing) -- the caller
+    then lints the full tree.
+    """
+    try:
+        toplevel = Path(_git(["rev-parse", "--show-toplevel"]).strip())
+        ref = merge_base() or "HEAD"
+        names = _git(["diff", "--name-only", ref]).splitlines()
+        names += _git(["ls-files", "--others",
+                       "--exclude-standard"]).splitlines()
+    except _GitUnavailable:
+        return None
+    changed = {(toplevel / name).resolve()
+               for name in names if name.endswith(".py")}
+    return [f for f in discover(paths) if f.resolve() in changed]

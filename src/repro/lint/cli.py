@@ -15,8 +15,10 @@ import sys
 from pathlib import Path
 
 from repro.lint.baseline import Baseline
+from repro.lint.changed import changed_files
 from repro.lint.engine import LintEngine
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import (render_github, render_json,
+                                  render_sarif, render_text)
 from repro.lint.rules import default_rules
 
 DEFAULT_BASELINE = ".repro-lint-baseline.json"
@@ -26,13 +28,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="AST-based determinism & process-safety linter for "
-                    "the ECRIPSE reproduction (rules REP001-REP006; "
+                    "the ECRIPSE reproduction (file rules REP001-REP006 "
+                    "plus project-aware rules REP007-REP009; "
                     "see docs/DEVELOPMENT.md).")
     parser.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directories to lint "
                              "(default: src tests)")
-    parser.add_argument("--format", choices=("text", "json"),
-                        default="text", help="report format")
+    parser.add_argument("--format",
+                        choices=("text", "json", "sarif", "github"),
+                        default="text", help="report format (sarif for "
+                        "CI artifacts, github for inline PR "
+                        "annotations)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the report to PATH instead of "
+                             "stdout")
+    parser.add_argument("--changed", action="store_true",
+                        help="lint only files changed vs the git merge "
+                             "base (falls back to the full tree "
+                             "outside a repository)")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids/slugs to run "
                              "(default: all)")
@@ -100,10 +113,22 @@ def _main(argv: list[str] | None = None) -> int:
     if not engine.rules:
         print("error: rule selection matches no rules", file=sys.stderr)
         return 2
-    result = engine.check_paths(args.paths)
+
+    paths: list = list(args.paths)
+    if args.changed:
+        subset = changed_files(paths)
+        if subset is None:
+            print("warning: --changed needs a git checkout; linting "
+                  "the full tree", file=sys.stderr)
+        elif not subset:
+            print("no changed Python files")
+            return 0
+        else:
+            paths = subset
+    result = engine.check_paths(paths)
     if result.checked_files == 0 and not result.parse_errors:
         print("error: no Python files found under "
-              + " ".join(map(str, args.paths)), file=sys.stderr)
+              + " ".join(map(str, paths)), file=sys.stderr)
         return 2
 
     if args.update_baseline:
@@ -113,8 +138,15 @@ def _main(argv: list[str] | None = None) -> int:
               f"-> {target}")
         return 0
 
-    print(render_json(result) if args.format == "json"
-          else render_text(result))
+    render = {"json": render_json, "github": render_github,
+              "sarif": lambda r: render_sarif(r, engine.rules),
+              "text": render_text}[args.format]
+    report = render(result)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(f"report written: {args.output}")
+    else:
+        print(report)
     return result.exit_code
 
 

@@ -1,8 +1,22 @@
-"""The lint engine: file discovery, rule dispatch, suppression.
+"""The lint engine: discovery, two-pass rule dispatch, suppression.
 
 The engine owns everything the rules should not care about -- walking
 directories, parsing, pragma suppression, rule selection and baseline
 filtering -- so a rule is nothing but "AST in, findings out".
+
+Since the project-aware rules (REP007-REP009) the run is two-phase:
+
+1. **collect** -- every file is parsed once; file rules run against
+   each tree immediately, and every tree is folded into one
+   :class:`~repro.lint.project.ProjectModel` (import aliases, per-class
+   symbol tables, method read/write sets).
+2. **check** -- :class:`~repro.lint.rules.ProjectRule` instances run
+   against the finished model and may emit findings in any collected
+   file; pragma suppression is applied per finding against the pragma
+   table of the file it points at.
+
+Pragmas are span-aware: a ``# repro: allow-<slug>`` comment on *any*
+physical line of the flagged statement suppresses the finding.
 """
 
 from __future__ import annotations
@@ -12,9 +26,12 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.lint.baseline import Baseline
+from repro.lint.config import DEFAULT_PROJECT_CONFIG, ProjectConfig
 from repro.lint.findings import Finding, LintResult
 from repro.lint.pragmas import collect_pragmas, is_suppressed
-from repro.lint.rules import FileContext, Rule, default_rules
+from repro.lint.project import ProjectModel
+from repro.lint.rules import (FileContext, ProjectRule, Rule,
+                              default_rules)
 
 #: directories never descended into during discovery.
 _SKIP_DIRS = frozenset({".git", "__pycache__", ".venv", "venv",
@@ -47,12 +64,16 @@ class LintEngine:
     baseline:
         Optional :class:`~repro.lint.baseline.Baseline` of grandfathered
         findings to filter out.
+    project_config:
+        Scope table and contracts consulted by the project-aware rules;
+        defaults to the declarative tables in :mod:`repro.lint.config`.
     """
 
     def __init__(self, rules: Sequence[Rule] | None = None,
                  select: Iterable[str] | None = None,
                  ignore: Iterable[str] = (),
-                 baseline: Baseline | None = None):
+                 baseline: Baseline | None = None,
+                 project_config: ProjectConfig | None = None):
         rules = list(default_rules() if rules is None else rules)
         chosen = ({s.lower() for s in select}
                   if select is not None else None)
@@ -64,42 +85,43 @@ class LintEngine:
             and rule.id.lower() not in dropped
             and rule.slug.lower() not in dropped]
         self.baseline = baseline
+        self.project_config = project_config or DEFAULT_PROJECT_CONFIG
 
+    @property
+    def file_rules(self) -> list[Rule]:
+        return [r for r in self.rules if not isinstance(r, ProjectRule)]
+
+    @property
+    def project_rules(self) -> list[ProjectRule]:
+        return [r for r in self.rules if isinstance(r, ProjectRule)]
+
+    # -- single source -------------------------------------------------
     def check_source(self, source: str, path: str = "<string>",
                      result: LintResult | None = None) -> list[Finding]:
         """Lint one source string; pragma-aware, baseline-unaware.
 
+        Project rules run against a single-module model, so the
+        cross-module checks still fire on self-contained fixtures.
         Raises :class:`SyntaxError` when the source does not parse,
         unless ``result`` is given (the error is then recorded there).
         """
-        try:
-            tree = ast.parse(source, filename=path)
-        except SyntaxError as exc:
-            if result is None:
-                raise
-            result.parse_errors.append((path, str(exc)))
+        model = ProjectModel(self.project_config)
+        pragma_tables: dict[str, dict[int, frozenset[str]]] = {}
+        findings = self._collect_file(source, path, result, model,
+                                      pragma_tables)
+        if findings is None:
             return []
-        ctx = FileContext(path, source, tree)
-        pragmas = collect_pragmas(source)
-        findings: list[Finding] = []
-        suppressed = 0
-        for rule in self.rules:
-            if not rule.applies_to(ctx.path):
-                continue
-            for finding in rule.check(tree, ctx):
-                if is_suppressed(pragmas, finding.line, rule.id,
-                                 rule.slug):
-                    suppressed += 1
-                else:
-                    findings.append(finding)
-        if result is not None:
-            result.suppressed += suppressed
+        findings.extend(self._check_project(model, pragma_tables,
+                                            result))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings
 
+    # -- full run ------------------------------------------------------
     def check_paths(self, paths: Sequence[str | Path]) -> LintResult:
         """Lint files/directories and apply the baseline filter."""
         result = LintResult()
+        model = ProjectModel(self.project_config)
+        pragma_tables: dict[str, dict[int, frozenset[str]]] = {}
         findings: list[Finding] = []
         for file in discover(paths):
             try:
@@ -108,10 +130,67 @@ class LintEngine:
                 result.parse_errors.append((file.as_posix(), str(exc)))
                 continue
             result.checked_files += 1
-            findings.extend(self.check_source(source, file.as_posix(),
-                                              result=result))
+            file_findings = self._collect_file(
+                source, file.as_posix(), result, model, pragma_tables)
+            findings.extend(file_findings or [])
+        findings.extend(self._check_project(model, pragma_tables,
+                                            result))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         if self.baseline is not None:
             findings, grandfathered = self.baseline.split(findings)
             result.baselined = len(grandfathered)
         result.findings = findings
         return result
+
+    # -- passes --------------------------------------------------------
+    def _collect_file(self, source: str, path: str,
+                      result: LintResult | None, model: ProjectModel,
+                      pragma_tables: dict[str, dict[int,
+                                                    frozenset[str]]]
+                      ) -> list[Finding] | None:
+        """Collect pass for one file: parse, file rules, fold into the
+        model.  Returns ``None`` on a syntax error (recorded/raised)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            if result is None:
+                raise
+            result.parse_errors.append((path, str(exc)))
+            return None
+        ctx = FileContext(path, source, tree)
+        pragmas = collect_pragmas(source)
+        pragma_tables[ctx.path] = pragmas
+        model.add_module(ctx.path, source, tree=tree)
+        findings: list[Finding] = []
+        suppressed = 0
+        for rule in self.file_rules:
+            if not rule.applies_to(ctx.path):
+                continue
+            for finding in rule.check(tree, ctx):
+                if is_suppressed(pragmas, finding.line, rule.id,
+                                 rule.slug, finding.last_line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        if result is not None:
+            result.suppressed += suppressed
+        return findings
+
+    def _check_project(self, model: ProjectModel,
+                       pragma_tables: dict[str, dict[int,
+                                                     frozenset[str]]],
+                       result: LintResult | None) -> list[Finding]:
+        """Check pass: project rules against the collected model."""
+        findings: list[Finding] = []
+        suppressed = 0
+        for rule in self.project_rules:
+            for finding in rule.check_project(model):
+                pragmas = pragma_tables.get(finding.path, {})
+                if is_suppressed(pragmas, finding.line, rule.id,
+                                 rule.slug, finding.last_line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        if result is not None:
+            result.suppressed += suppressed
+        return findings

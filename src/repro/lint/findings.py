@@ -7,6 +7,16 @@ from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
+class Related:
+    """A secondary location attached to a cross-module finding (the
+    lock definition, the snapshot payload, the contract table...)."""
+
+    path: str
+    line: int
+    note: str
+
+
+@dataclass(frozen=True)
 class Finding:
     """One rule violation at a concrete source location.
 
@@ -26,6 +36,13 @@ class Finding:
     source_line:
         The stripped text of the offending line (used for fingerprints
         and the text reporter).
+    end_line:
+        Last physical line of the flagged statement (0 means unknown;
+        falls back to ``line``).  Pragma suppression honours a
+        ``# repro: allow-...`` comment on *any* line of the span.
+    related:
+        Secondary locations (definition and use sites) for
+        cross-module findings; file-local rules leave this empty.
     """
 
     rule: str
@@ -35,6 +52,13 @@ class Finding:
     col: int
     message: str
     source_line: str = ""
+    end_line: int = 0
+    related: tuple[Related, ...] = ()
+
+    @property
+    def last_line(self) -> int:
+        """End of the flagged statement's physical span."""
+        return max(self.line, self.end_line)
 
     def fingerprint(self, occurrence: int = 0) -> str:
         """Stable identity for baselining.

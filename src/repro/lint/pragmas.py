@@ -45,9 +45,16 @@ def collect_pragmas(source: str) -> dict[int, frozenset[str]]:
 
 
 def is_suppressed(pragmas: dict[int, frozenset[str]], line: int,
-                  rule_id: str, slug: str) -> bool:
-    """True when ``line`` allows ``rule_id`` (by id or slug)."""
-    names = pragmas.get(line)
-    if not names:
-        return False
-    return rule_id.lower() in names or slug.lower() in names
+                  rule_id: str, slug: str, end_line: int = 0) -> bool:
+    """True when the statement span allows ``rule_id`` (by id or slug).
+
+    ``end_line`` extends the check over every physical line of a
+    multi-line statement, so a pragma on the closing line of a wrapped
+    call suppresses the finding raised at its first line.
+    """
+    wanted = {rule_id.lower(), slug.lower()}
+    for candidate in range(line, max(line, end_line) + 1):
+        names = pragmas.get(candidate)
+        if names and wanted & names:
+            return True
+    return False

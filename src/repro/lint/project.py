@@ -1,0 +1,600 @@
+"""The collect pass: a whole-program model for cross-module rules.
+
+File rules see one AST at a time; the project-aware rules (REP007-009)
+need facts that span files and methods: which attribute is written from
+which method, under which lock, what a class's ``__init__`` (and the
+helpers it calls) establishes, which names a module imports under which
+alias.  This module builds that model in a single pass over the parsed
+trees -- the :class:`ProjectModel` -- so every check-pass rule is pure
+"model in, findings out" and pays no extra parsing cost.
+
+The walk is deliberately *lightweight* inter-procedural: within one
+class, ``self.helper()`` calls are resolved by name and closed over
+transitively (``reachable``); across modules only import aliasing is
+resolved, not data flow.  That is exactly enough for the three
+contracts the rules enforce, and keeps the collect pass linear in the
+tree size.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from repro.lint.config import ProjectConfig
+
+__all__ = [
+    "AttrAccess",
+    "ClassInfo",
+    "MethodInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "SelfCall",
+    "module_name",
+]
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self.<attr>`` touch inside a method body.
+
+    ``write`` covers rebinds (``self.a = ...``), augmented assignment,
+    subscript stores/deletes (``self.a[k] = v``), attribute deletion
+    and calls of unambiguous container mutators (``self.a.append(x)``).
+    ``held`` is the set of ``self.<name>`` context managers lexically
+    entered around the access (``with self._lock:``); nested function
+    bodies reset it to empty -- a closure defined under a lock does not
+    run under it.
+    """
+
+    attr: str
+    line: int
+    col: int
+    write: bool
+    held: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class SelfCall:
+    """One ``self.<method>()`` call site with its lock context."""
+
+    name: str
+    line: int
+    held: frozenset[str] = frozenset()
+
+
+@dataclass
+class MethodInfo:
+    """Symbol-table entry for one method (or property)."""
+
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    lineno: int
+    is_property: bool = False
+    is_static: bool = False
+    accesses: list[AttrAccess] = field(default_factory=list)
+    self_calls: set[str] = field(default_factory=set)
+    call_sites: list[SelfCall] = field(default_factory=list)
+
+    def reads(self) -> set[str]:
+        return {a.attr for a in self.accesses if not a.write}
+
+    def writes(self) -> set[str]:
+        return {a.attr for a in self.accesses if a.write}
+
+    def touched(self) -> set[str]:
+        return {a.attr for a in self.accesses}
+
+
+@dataclass
+class ClassInfo:
+    """Per-class symbol table (see module docstring)."""
+
+    name: str
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    lineno: int
+    methods: dict[str, MethodInfo] = field(default_factory=dict)
+    #: simple class-body assignments, name -> value expression.
+    class_consts: dict[str, ast.expr] = field(default_factory=dict)
+    #: annotated class-body fields in declaration order (dataclass
+    #: fields when the class is a dataclass), name -> line.
+    annotated_fields: dict[str, int] = field(default_factory=dict)
+    #: resolved decorator dotted names (``dataclasses.dataclass``...).
+    decorators: tuple[str, ...] = ()
+    #: attributes assigned in ``__init__`` or helpers it (transitively)
+    #: calls, name -> line of the first assignment.
+    init_attrs: dict[str, int] = field(default_factory=dict)
+    #: attributes initialised from a LOCK_FACTORIES constructor.
+    lock_attrs: dict[str, int] = field(default_factory=dict)
+    #: attributes initialised from a THREADSAFE_FACTORIES constructor.
+    threadsafe_attrs: set[str] = field(default_factory=set)
+
+    @property
+    def is_dataclass(self) -> bool:
+        return any(d == "dataclasses.dataclass" or d.endswith(".dataclass")
+                   or d == "dataclass" for d in self.decorators)
+
+    def reachable(self, *roots: str) -> set[str]:
+        """Method names transitively self-called from ``roots``
+        (roots included when they exist on the class)."""
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.methods]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(c for c in self.methods[name].self_calls
+                         if c in self.methods and c not in seen)
+        return seen
+
+    def accesses_in(self, method_names: set[str]) -> list[AttrAccess]:
+        out: list[AttrAccess] = []
+        for name in method_names:
+            info = self.methods.get(name)
+            if info is not None:
+                out.extend(info.accesses)
+        return out
+
+    def const_string_set(self, const: str) -> set[str] | None:
+        """Literal string elements of class constant ``const`` when it
+        is a set/frozenset/tuple/list of strings, else ``None``."""
+        node = self.class_consts.get(const)
+        return _string_set(node) if node is not None else None
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its alias table and classes."""
+
+    path: str
+    name: str
+    tree: ast.Module
+    source_lines: list[str]
+    #: local alias -> canonical dotted path (relative imports resolved
+    #: against the module's own package).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: qualname ("Outer" / "Outer.Inner") -> class table.
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level simple assignments, name -> value expression.
+    module_consts: dict[str, ast.expr] = field(default_factory=dict)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.source_lines):
+            return self.source_lines[line - 1].strip()
+        return ""
+
+    def const_string_set(self, const: str) -> set[str] | None:
+        node = self.module_consts.get(const)
+        return _string_set(node) if node is not None else None
+
+    def const_line(self, const: str) -> int | None:
+        node = self.module_consts.get(const)
+        return getattr(node, "lineno", None) if node is not None else None
+
+    def resolve(self, dotted: str) -> str:
+        """Canonicalise a possibly-aliased dotted name used in this
+        module (``np.random.normal`` -> ``numpy.random.normal``)."""
+        head, _, rest = dotted.partition(".")
+        base = self.imports.get(head)
+        if base is None:
+            return dotted
+        return f"{base}.{rest}" if rest else base
+
+
+class ProjectModel:
+    """Cross-module facts shared by all project-aware rules."""
+
+    def __init__(self, config: ProjectConfig):
+        self.config = config
+        self.modules: dict[str, ModuleInfo] = {}
+        self._by_path: dict[str, str] = {}
+
+    # -- construction --------------------------------------------------
+    def add_module(self, path: str, source: str,
+                   tree: ast.Module | None = None,
+                   name: str | None = None) -> ModuleInfo:
+        """Collect one module into the model (parses when no ``tree``)."""
+        posix = PurePosixPath(path).as_posix()
+        if tree is None:
+            tree = ast.parse(source, filename=posix)
+        modname = module_name(posix) if name is None else name
+        info = _collect_module(posix, modname, source, tree, self.config)
+        self.modules[modname] = info
+        self._by_path[posix] = modname
+        return info
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str],
+                     config: ProjectConfig | None = None,
+                     paths: dict[str, str] | None = None
+                     ) -> "ProjectModel":
+        """Build a model from ``{module name: source}`` (tests).
+
+        ``paths`` optionally maps module names to virtual file paths;
+        the default places modules under ``src/`` following the dotted
+        name, which keeps them inside the library-tree rule scopes.
+        """
+        model = cls(config or ProjectConfig())
+        for modname, source in sources.items():
+            path = (paths or {}).get(
+                modname, "src/" + modname.replace(".", "/") + ".py")
+            model.add_module(path, source, name=modname)
+        return model
+
+    # -- queries -------------------------------------------------------
+    def module_for_path(self, path: str) -> ModuleInfo | None:
+        modname = self._by_path.get(PurePosixPath(path).as_posix())
+        return self.modules.get(modname) if modname else None
+
+    def import_graph(self) -> dict[str, set[str]]:
+        """Module -> imported modules, restricted to modules in the
+        model (external imports are dropped)."""
+        known = set(self.modules)
+        graph: dict[str, set[str]] = {}
+        for modname, info in self.modules.items():
+            deps = set()
+            for target in info.imports.values():
+                parts = target.split(".")
+                for cut in range(len(parts), 0, -1):
+                    candidate = ".".join(parts[:cut])
+                    if candidate in known and candidate != modname:
+                        deps.add(candidate)
+                        break
+            graph[modname] = deps
+        return graph
+
+    def find_class(self, dotted: str) -> ClassInfo | None:
+        """Look up ``package.module.QualName`` in the model."""
+        for cut in range(dotted.count(".") + 1):
+            module, _, qual = _rsplit_n(dotted, cut + 1)
+            if not qual:
+                continue
+            info = self.modules.get(module)
+            if info is not None and qual in info.classes:
+                return info.classes[qual]
+        return None
+
+    def iter_classes(self):
+        for info in self.modules.values():
+            yield from info.classes.values()
+
+
+# ---------------------------------------------------------------------
+# module naming
+# ---------------------------------------------------------------------
+def module_name(path: str) -> str:
+    """Dotted module name for ``path``.
+
+    On-disk files are resolved against their package structure (walk up
+    while ``__init__.py`` exists); virtual paths fall back to stripping
+    everything up to a ``src`` component.
+    """
+    posix = PurePosixPath(path)
+    concrete = Path(path)
+    if concrete.is_file():
+        parts = [] if concrete.stem == "__init__" else [concrete.stem]
+        directory = concrete.resolve().parent
+        while (directory / "__init__.py").is_file():
+            parts.insert(0, directory.name)
+            parent = directory.parent
+            if parent == directory:
+                break
+            directory = parent
+        if parts:
+            return ".".join(parts)
+    parts = list(posix.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    parts = [p for p in parts if p not in ("/", "")]
+    return ".".join(parts[-4:]) if parts else posix.stem
+
+
+def _rsplit_n(dotted: str, n: int) -> tuple[str, str, str]:
+    """Split ``dotted`` so the tail holds ``n`` components."""
+    parts = dotted.split(".")
+    if n >= len(parts):
+        return "", "", dotted
+    return ".".join(parts[:-n]), ".", ".".join(parts[-n:])
+
+
+def _string_set(node: ast.expr) -> set[str] | None:
+    """Literal string elements of a set/frozenset/tuple/list node."""
+    if isinstance(node, ast.Call) and not node.keywords \
+            and isinstance(node.func, ast.Name) \
+            and node.func.id in ("frozenset", "set", "tuple", "list"):
+        if not node.args:
+            return set()
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        elements = node.elts
+    else:
+        return None
+    out = set()
+    for element in elements:
+        if not (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            return None
+        out.add(element.value)
+    return out
+
+
+# ---------------------------------------------------------------------
+# collection
+# ---------------------------------------------------------------------
+def _collect_module(path: str, modname: str, source: str,
+                    tree: ast.Module, config: ProjectConfig) -> ModuleInfo:
+    info = ModuleInfo(path=path, name=modname, tree=tree,
+                      source_lines=source.splitlines())
+    info.imports = _alias_table(tree, modname, path)
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            info.module_consts[node.targets[0].id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name):
+            info.module_consts[node.target.id] = node.value
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            _collect_class(node, info, config)
+    return info
+
+
+def _alias_table(tree: ast.Module, modname: str,
+                 path: str) -> dict[str, str]:
+    """Local alias -> canonical dotted path, relative imports resolved
+    against the module's own package."""
+    is_package = PurePosixPath(path).name == "__init__.py"
+    package_parts = modname.split(".") if is_package \
+        else modname.split(".")[:-1]
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    table[alias.name.split(".")[0]] = \
+                        alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                anchor = package_parts[:len(package_parts)
+                                       - (node.level - 1)]
+                base = ".".join(anchor + ([node.module]
+                                          if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{base}.{alias.name}" if base \
+                    else alias.name
+    return table
+
+
+def _collect_class(node: ast.ClassDef, info: ModuleInfo,
+                   config: ProjectConfig,
+                   prefix: str = "") -> None:
+    qualname = f"{prefix}{node.name}"
+    cls = ClassInfo(name=node.name, qualname=qualname, module=info.name,
+                    path=info.path, node=node, lineno=node.lineno,
+                    decorators=tuple(
+                        _dotted(d, info) for d in node.decorator_list))
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            cls.methods[child.name] = _collect_method(child, info, config)
+        elif isinstance(child, ast.Assign) and len(child.targets) == 1 \
+                and isinstance(child.targets[0], ast.Name):
+            cls.class_consts[child.targets[0].id] = child.value
+        elif isinstance(child, ast.AnnAssign) \
+                and isinstance(child.target, ast.Name):
+            annotation = ast.unparse(child.annotation) \
+                if child.annotation is not None else ""
+            if "ClassVar" in annotation:
+                if child.value is not None:
+                    cls.class_consts[child.target.id] = child.value
+            else:
+                cls.annotated_fields[child.target.id] = child.lineno
+        elif isinstance(child, ast.ClassDef):
+            _collect_class(child, info, config, prefix=f"{qualname}.")
+    _fill_init_attrs(cls, info, config)
+    info.classes[qualname] = cls
+
+
+def _dotted(node: ast.expr, info: ModuleInfo) -> str:
+    """Dotted, alias-resolved name of a decorator/base expression."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return info.resolve(".".join(parts)) if parts else ""
+
+
+def _fill_init_attrs(cls: ClassInfo, info: ModuleInfo,
+                     config: ProjectConfig) -> None:
+    init_methods = cls.reachable("__init__")
+    for name in init_methods:
+        for access in cls.methods[name].accesses:
+            if access.write and access.attr not in cls.init_attrs:
+                cls.init_attrs[access.attr] = access.line
+    init = cls.methods.get("__init__")
+    if init is None:
+        return
+    for method_name in init_methods:
+        for stmt in ast.walk(cls.methods[method_name].node):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                if not isinstance(stmt.value, ast.Call):
+                    continue
+                ctor = _dotted(stmt.value.func, info)
+                if ctor in config.lock_factories:
+                    cls.lock_attrs.setdefault(target.attr, stmt.lineno)
+                elif ctor in config.threadsafe_factories:
+                    cls.threadsafe_attrs.add(target.attr)
+
+
+def _collect_method(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                    info: ModuleInfo,
+                    config: ProjectConfig) -> MethodInfo:
+    decorators = {_dotted(d, info) for d in node.decorator_list}
+    short = {d.rpartition(".")[2] for d in decorators}
+    is_static = "staticmethod" in short or "classmethod" in short
+    method = MethodInfo(name=node.name, node=node, lineno=node.lineno,
+                        is_property="property" in short
+                        or "cached_property" in short,
+                        is_static=is_static)
+    self_name = None
+    if not is_static and node.args.args:
+        self_name = node.args.args[0].arg
+    if self_name is not None:
+        _scan_body(node.body, self_name, frozenset(), method, config)
+    return method
+
+
+def _scan_body(stmts: list[ast.stmt], self_name: str,
+               held: frozenset[str], method: MethodInfo,
+               config: ProjectConfig) -> None:
+    for stmt in stmts:
+        _scan_stmt(stmt, self_name, held, method, config)
+
+
+def _scan_stmt(stmt: ast.stmt, self_name: str, held: frozenset[str],
+               method: MethodInfo, config: ProjectConfig) -> None:
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        # A closure defined here runs later: not under our locks.
+        _scan_body(stmt.body, self_name, frozenset(), method, config)
+        return
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        acquired = set()
+        for item in stmt.items:
+            expr = item.context_expr
+            _scan_expr(expr, self_name, held, method, config)
+            if isinstance(expr, ast.Attribute) \
+                    and isinstance(expr.value, ast.Name) \
+                    and expr.value.id == self_name:
+                acquired.add(expr.attr)
+            if item.optional_vars is not None:
+                _scan_expr(item.optional_vars, self_name, held, method,
+                           config, store=True)
+        _scan_body(stmt.body, self_name, held | acquired, method, config)
+        return
+    if isinstance(stmt, ast.Assign):
+        _scan_expr(stmt.value, self_name, held, method, config)
+        for target in stmt.targets:
+            _scan_expr(target, self_name, held, method, config,
+                       store=True)
+        return
+    if isinstance(stmt, ast.AugAssign):
+        _scan_expr(stmt.value, self_name, held, method, config)
+        _scan_expr(stmt.target, self_name, held, method, config,
+                   store=True, also_read=True)
+        return
+    if isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            _scan_expr(stmt.value, self_name, held, method, config)
+        _scan_expr(stmt.target, self_name, held, method, config,
+                   store=True)
+        return
+    if isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            _scan_expr(target, self_name, held, method, config,
+                       store=True)
+        return
+    # Generic statement: scan child expressions, recurse into child
+    # statement bodies with the same held set.
+    for field_name, value in ast.iter_fields(stmt):
+        if isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.stmt):
+                    _scan_stmt(item, self_name, held, method, config)
+                elif isinstance(item, ast.expr):
+                    _scan_expr(item, self_name, held, method, config)
+                elif isinstance(item, ast.excepthandler):
+                    _scan_body(item.body, self_name, held, method, config)
+        elif isinstance(value, ast.expr):
+            _scan_expr(value, self_name, held, method, config)
+
+
+def _scan_expr(expr: ast.expr, self_name: str, held: frozenset[str],
+               method: MethodInfo, config: ProjectConfig,
+               store: bool = False, also_read: bool = False) -> None:
+    if isinstance(expr, ast.Attribute) \
+            and isinstance(expr.value, ast.Name) \
+            and expr.value.id == self_name:
+        method.accesses.append(AttrAccess(
+            attr=expr.attr, line=expr.lineno, col=expr.col_offset,
+            write=store, held=held))
+        if also_read and store:
+            method.accesses.append(AttrAccess(
+                attr=expr.attr, line=expr.lineno, col=expr.col_offset,
+                write=False, held=held))
+        return
+    if isinstance(expr, (ast.Subscript,)) and store:
+        # self.a[k] = v / del self.a[k]: a write to the container.
+        _scan_expr(expr.value, self_name, held, method, config,
+                   store=True, also_read=False)
+        _scan_expr(expr.slice, self_name, held, method, config)
+        return
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == self_name:
+            # self.method(...) -- an intra-class call, not a state read.
+            method.self_calls.add(func.attr)
+            method.call_sites.append(SelfCall(
+                name=func.attr, line=func.lineno, held=held))
+        elif isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Attribute) \
+                and isinstance(func.value.value, ast.Name) \
+                and func.value.value.id == self_name \
+                and func.attr in config.mutator_methods:
+            # self.attr.append(...) -- a write to attr.
+            method.accesses.append(AttrAccess(
+                attr=func.value.attr, line=func.value.lineno,
+                col=func.value.col_offset, write=True, held=held))
+        else:
+            _scan_expr(func, self_name, held, method, config)
+        for arg in expr.args:
+            _scan_expr(arg, self_name, held, method, config)
+        for kw in expr.keywords:
+            _scan_expr(kw.value, self_name, held, method, config)
+        return
+    if isinstance(expr, (ast.Lambda,)):
+        # Lambda bodies run later; treat as unlocked context.
+        _scan_expr(expr.body, self_name, frozenset(), method, config)
+        return
+    for child in ast.iter_child_nodes(expr):
+        if isinstance(child, ast.expr):
+            _scan_expr(child, self_name, held, method, config,
+                       store=store and isinstance(expr, (ast.Tuple,
+                                                         ast.List,
+                                                         ast.Starred)))
+        elif isinstance(child, ast.comprehension):
+            # Comprehensions evaluate eagerly in the enclosing frame:
+            # `[x.f() for x in self._trace]` reads self._trace here,
+            # under whatever locks are currently held.
+            _scan_expr(child.iter, self_name, held, method, config)
+            for cond in child.ifs:
+                _scan_expr(cond, self_name, held, method, config)
+            _scan_expr(child.target, self_name, held, method, config,
+                       store=True)

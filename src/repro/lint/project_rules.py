@@ -1,0 +1,336 @@
+"""The check pass: cross-module rules REP007-REP009.
+
+Each rule here is pure "model in, findings out": the engine builds one
+:class:`~repro.lint.project.ProjectModel` per run (the collect pass)
+and hands it to :meth:`~repro.lint.rules.ProjectRule.check_project`.
+The rules enforce the three conventions PRs 3-6 left to review:
+
+* REP007 -- shared state in the threaded daemon is touched under its
+  lock (a static race detector);
+* REP008 -- every checkpointable class's mutable state rides its
+  snapshot payload (or is explicitly excluded), so resume stays
+  bit-identical;
+* REP009 -- every spec/config dataclass field feeding a result
+  fingerprint is classified identity-bearing or excluded, so the
+  result cache can never serve a cached answer for a different
+  problem.
+
+docs/DEVELOPMENT.md documents the heuristics and escape hatches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.config import FingerprintContract
+from repro.lint.findings import Finding, Related
+from repro.lint.project import ClassInfo, MethodInfo, ProjectModel
+from repro.lint.rules import ProjectRule, register
+
+#: dunder names whose entry context is the caller's thread but which a
+#: lock-discipline check cannot usefully constrain (hash/eq run inside
+#: container internals that may themselves hold the lock).
+_NEUTRAL_DUNDERS = frozenset({"__repr__", "__str__", "__del__"})
+
+
+def _make_finding(rule: ProjectRule, model: ProjectModel, path: str,
+                  line: int, col: int, message: str,
+                  related: tuple[Related, ...] = ()) -> Finding:
+    module = model.module_for_path(path)
+    return Finding(
+        rule=rule.id, slug=rule.slug, path=path, line=line, col=col,
+        message=message,
+        source_line=module.line_text(line) if module else "",
+        end_line=line, related=related)
+
+
+@register
+class LockDisciplineRule(ProjectRule):
+    """REP007: lock-guarded attributes are always accessed locked.
+
+    Heuristic: a class that builds a lock in ``__init__`` and writes an
+    attribute under ``with self.<lock>:`` in any non-init method has
+    declared that attribute lock-guarded -- every other read or write
+    of it outside ``__init__`` must also hold the lock (or carry a
+    ``# repro: allow-unlocked`` pragma with a rationale).  Private
+    helpers that are only ever *called* with the lock held inherit the
+    callers' lock context (fixed point over the intra-class call
+    graph), so ``_evict``-style internals don't need pragmas.
+    Thread-safe primitives (Events, Queues) and the locks themselves
+    are exempt by construction.
+    """
+
+    id = "REP007"
+    slug = "unlocked"
+    title = "lock-guarded attribute accessed without its lock"
+    rationale = ("an attribute written under a lock anywhere is shared "
+                 "state; one unlocked read elsewhere is a data race "
+                 "that ships at fleet scale")
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        for cls in model.iter_classes():
+            if not self.applies_to(cls.path):
+                continue
+            if cls.lock_attrs:
+                yield from self._check_class(model, cls)
+
+    def _check_class(self, model: ProjectModel,
+                     cls: ClassInfo) -> Iterator[Finding]:
+        locks = set(cls.lock_attrs)
+        exempt_attrs = locks | cls.threadsafe_attrs
+        init_methods = cls.reachable("__init__")
+        entry_held = self._entry_held(cls, locks, init_methods)
+
+        # Pass 1: which attributes are written under a lock anywhere
+        # outside __init__?  Those are the declared-guarded set.
+        guarded: dict[str, tuple[str, int]] = {}
+        for name, method in cls.methods.items():
+            if name in init_methods:
+                continue
+            for access in method.accesses:
+                held = access.held | entry_held.get(name, frozenset())
+                if access.write and held & locks \
+                        and access.attr not in exempt_attrs:
+                    guarded.setdefault(access.attr, (name, access.line))
+        if not guarded:
+            return
+
+        lock_attr, lock_line = next(iter(cls.lock_attrs.items()))
+        for name, method in sorted(cls.methods.items()):
+            if name in init_methods or name in _NEUTRAL_DUNDERS:
+                continue
+            for access in method.accesses:
+                if access.attr not in guarded:
+                    continue
+                held = access.held | entry_held.get(name, frozenset())
+                if held & locks:
+                    continue
+                decl_method, decl_line = guarded[access.attr]
+                kind = "written" if access.write else "read"
+                yield _make_finding(
+                    self, model, cls.path, access.line, access.col,
+                    f"'{cls.qualname}.{access.attr}' is lock-guarded "
+                    f"(written under 'with self.{lock_attr}:' in "
+                    f"{decl_method}()) but {kind} here in {name}() "
+                    f"without the lock; wrap the access in "
+                    f"'with self.{lock_attr}:' or annotate the line "
+                    f"with '# repro: allow-unlocked' and a rationale",
+                    related=(
+                        Related(cls.path, lock_line,
+                                f"lock 'self.{lock_attr}' defined here"),
+                        Related(cls.path, decl_line,
+                                f"locked write in {decl_method}() "
+                                "declares the attribute guarded"),
+                    ))
+
+    @staticmethod
+    def _entry_held(cls: ClassInfo, locks: set[str],
+                    init_methods: set[str]) -> dict[str, frozenset[str]]:
+        """Locks provably held on entry to each private helper.
+
+        A ``_private`` method whose every intra-class call site holds
+        lock L runs under L; public methods and properties are thread
+        entry points and start with nothing held.  Iterated to a fixed
+        point so helpers called from helpers resolve too.
+        """
+        candidates = {
+            name for name, method in cls.methods.items()
+            if name.startswith("_") and not name.startswith("__")
+            and not method.is_property and name not in init_methods}
+        entry: dict[str, frozenset[str]] = {
+            name: frozenset(locks) for name in candidates}
+        changed = True
+        while changed:
+            changed = False
+            for name in candidates:
+                sites = [
+                    site.held | entry.get(caller, frozenset())
+                    for caller, method in cls.methods.items()
+                    if caller not in init_methods
+                    for site in method.call_sites if site.name == name]
+                held = (frozenset.intersection(*sites) if sites
+                        else frozenset())
+                if held != entry[name]:
+                    entry[name] = held
+                    changed = True
+        return entry
+
+
+@register
+class SnapshotCompletenessRule(ProjectRule):
+    """REP008: mutable estimator state must ride the snapshot payload.
+
+    A class pairing a snapshot method (``state_snapshot`` or ``state``)
+    with ``restore_state`` is checkpointable.  Its *required* state is
+    every ``__init__``-established attribute mutated after
+    construction, plus every attribute ``restore_state`` itself
+    touches.  Each required attribute must be *covered* -- read
+    somewhere in the snapshot method or its helpers, i.e. present in
+    the payload -- or listed in the class's ``_SNAPSHOT_EXCLUDED``
+    allowlist (derived state rebuilt on restore).  Deleting a key from
+    the payload, or adding mutable state without snapshotting it, is a
+    lint failure instead of a silent resume drift.
+    """
+
+    id = "REP008"
+    slug = "unsnapshotted"
+    title = "mutable state missing from the snapshot payload"
+    rationale = ("state that does not ride encode_state makes a "
+                 "resumed run drift from the bit-identical contract "
+                 "without any test failing")
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        config = model.config
+        for cls in model.iter_classes():
+            if not self.applies_to(cls.path):
+                continue
+            snap_name = next((name for name in config.snapshot_methods
+                              if name in cls.methods), None)
+            restore = cls.methods.get(config.restore_method)
+            if snap_name is None or restore is None:
+                continue
+            yield from self._check_class(model, cls, snap_name, restore)
+
+    def _check_class(self, model: ProjectModel, cls: ClassInfo,
+                     snap_name: str,
+                     restore: MethodInfo) -> Iterator[Finding]:
+        config = model.config
+        snap_closure = cls.reachable(snap_name)
+        exempt_methods = (cls.reachable("__init__") | snap_closure
+                          | {config.restore_method, "__getstate__",
+                             "__setstate__"})
+        never_state = (set(cls.lock_attrs) | cls.threadsafe_attrs
+                       | set(cls.class_consts))
+
+        required: dict[str, int] = {}
+        for access in restore.accesses:
+            if access.attr in cls.init_attrs \
+                    and access.attr not in never_state:
+                required.setdefault(access.attr, access.line)
+        for name, method in sorted(cls.methods.items()):
+            if name in exempt_methods:
+                continue
+            for access in method.accesses:
+                if access.write and access.attr in cls.init_attrs \
+                        and access.attr not in never_state:
+                    required.setdefault(access.attr, access.line)
+
+        covered = {access.attr
+                   for access in cls.accesses_in(snap_closure)}
+        excluded = cls.const_string_set(
+            config.snapshot_excluded_const) or set()
+        snap_line = cls.methods[snap_name].lineno
+        for attr in sorted(set(required) - covered - excluded):
+            line = cls.init_attrs.get(attr, required[attr])
+            yield _make_finding(
+                self, model, cls.path, line, 0,
+                f"mutable attribute '{cls.qualname}.{attr}' never "
+                f"appears in the {snap_name}() payload: a resumed run "
+                f"will silently drift; snapshot it, or list it in "
+                f"{config.snapshot_excluded_const} if it is derived "
+                f"state rebuilt on restore",
+                related=(
+                    Related(cls.path, snap_line,
+                            f"snapshot payload built in {snap_name}()"),
+                    Related(cls.path, restore.lineno,
+                            f"restored in {config.restore_method}()"),
+                ))
+        for attr in sorted(excluded & covered):
+            yield _make_finding(
+                self, model, cls.path, cls.lineno, 0,
+                f"'{cls.qualname}.{attr}' is listed in "
+                f"{config.snapshot_excluded_const} but the "
+                f"{snap_name}() payload reads it; drop the stale "
+                f"exclusion",
+                related=(Related(cls.path, snap_line,
+                                 f"read in {snap_name}()"),))
+
+
+@register
+class FingerprintDriftRule(ProjectRule):
+    """REP009: every fingerprint-feeding dataclass field is classified.
+
+    The contract table in :mod:`repro.lint.config` declares, for each
+    dataclass whose fields feed ``fingerprint()`` /
+    ``solve_fingerprint()``, which fields are identity-bearing and
+    which are excluded.  The rule fires when a field exists in code but
+    not in the table (the moment someone adds one), when the table
+    names a field the code no longer has, and when a declared
+    exclusion constant (``_SCHEDULING_FIELDS``) drifts from the
+    table's exclusion set.  This is the static form of the
+    discrimination matrix ``tests/service/test_fingerprints.py``
+    probes dynamically.
+    """
+
+    id = "REP009"
+    slug = "fingerprint-drift"
+    title = "fingerprint contract drift"
+    rationale = ("an unclassified spec field either silently skips the "
+                 "fingerprint (cached results served for the wrong "
+                 "problem) or silently joins it (cache invalidated for "
+                 "result-neutral knobs); both must be deliberate")
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        for contract in model.config.fingerprint_contracts:
+            cls = model.find_class(contract.cls)
+            if cls is None or not self.applies_to(cls.path):
+                continue
+            yield from self._check_contract(model, contract, cls)
+
+    def _check_contract(self, model: ProjectModel,
+                        contract: FingerprintContract,
+                        cls: ClassInfo) -> Iterator[Finding]:
+        fields = cls.annotated_fields
+        classified = contract.identity | contract.excluded
+        contract_note = Related(
+            "src/repro/lint/config.py", 1,
+            f"fingerprint contract for {contract.cls}")
+        for name in sorted(set(fields) - classified):
+            yield _make_finding(
+                self, model, cls.path, fields[name], 0,
+                f"field '{contract.class_name}.{name}' is not "
+                f"classified in the fingerprint contract: declare it "
+                f"identity-bearing (changes the result) or excluded "
+                f"(provably result-neutral) in "
+                f"repro.lint.config.FINGERPRINT_CONTRACTS",
+                related=(contract_note,))
+        for name in sorted(classified - set(fields)):
+            yield _make_finding(
+                self, model, cls.path, cls.lineno, 0,
+                f"fingerprint contract for {contract.class_name} "
+                f"names field '{name}' which no longer exists; prune "
+                f"the contract",
+                related=(contract_note,))
+        yield from self._check_exclusion_constant(model, contract, cls)
+
+    def _check_exclusion_constant(
+            self, model: ProjectModel, contract: FingerprintContract,
+            cls: ClassInfo) -> Iterator[Finding]:
+        const = contract.exclusion_constant
+        if const is None:
+            return
+        module = model.modules.get(cls.module)
+        literal = cls.const_string_set(const)
+        line = cls.lineno
+        if literal is None and module is not None:
+            literal = module.const_string_set(const)
+            line = module.const_line(const) or line
+        if literal is None:
+            yield _make_finding(
+                self, model, cls.path, line, 0,
+                f"exclusion constant '{const}' declared in the "
+                f"fingerprint contract for {contract.class_name} was "
+                f"not found as a literal set of field names in "
+                f"{cls.module}",
+                related=(Related("src/repro/lint/config.py", 1,
+                                 "contract declares the constant"),))
+        elif literal != set(contract.excluded):
+            drift = sorted(literal ^ contract.excluded)
+            yield _make_finding(
+                self, model, cls.path, line, 0,
+                f"'{const}' and the fingerprint contract for "
+                f"{contract.class_name} disagree on: {', '.join(drift)}"
+                f"; code and contract must list the same excluded "
+                f"fields",
+                related=(Related("src/repro/lint/config.py", 1,
+                                 "contract exclusion set"),))

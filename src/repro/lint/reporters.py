@@ -1,13 +1,24 @@
-"""Text and JSON rendering of lint results."""
+"""Text, JSON, SARIF and GitHub-annotation rendering of lint results.
+
+All four reporters consume the same :class:`LintResult`, so their
+finding counts agree by construction; the CI job uploads the SARIF
+form as an artifact and emits the GitHub form as workflow commands so
+findings annotate PR diffs inline.
+"""
 
 from __future__ import annotations
 
 import json
+from typing import Sequence
 
 from repro.lint.baseline import assign_fingerprints
-from repro.lint.findings import LintResult
+from repro.lint.findings import Finding, LintResult
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
+
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
 
 
 def render_text(result: LintResult) -> str:
@@ -18,6 +29,8 @@ def render_text(result: LintResult) -> str:
                      f"[{finding.slug}] {finding.message}")
         if finding.source_line:
             lines.append(f"    {finding.source_line}")
+        for rel in finding.related:
+            lines.append(f"    see {rel.path}:{rel.line}: {rel.note}")
     for path, error in result.parse_errors:
         lines.append(f"{path}: parse error: {error}")
     lines.append(_summary(result))
@@ -30,16 +43,7 @@ def render_json(result: LintResult) -> str:
     payload = {
         "version": REPORT_VERSION,
         "findings": [
-            {
-                "rule": f.rule,
-                "slug": f.slug,
-                "path": f.path,
-                "line": f.line,
-                "col": f.col,
-                "message": f.message,
-                "source_line": f.source_line,
-                "fingerprint": fp,
-            }
+            _json_finding(f, fp)
             for f, fp in zip(result.findings, fingerprints)
         ],
         "summary": {
@@ -56,6 +60,123 @@ def render_json(result: LintResult) -> str:
         "exit_code": result.exit_code,
     }
     return json.dumps(payload, indent=2)
+
+
+def _json_finding(finding: Finding, fingerprint: str) -> dict:
+    entry: dict = {
+        "rule": finding.rule,
+        "slug": finding.slug,
+        "path": finding.path,
+        "line": finding.line,
+        "end_line": finding.last_line,
+        "col": finding.col,
+        "message": finding.message,
+        "source_line": finding.source_line,
+        "fingerprint": fingerprint,
+    }
+    if finding.related:
+        entry["related"] = [
+            {"path": rel.path, "line": rel.line, "note": rel.note}
+            for rel in finding.related]
+    return entry
+
+
+def render_sarif(result: LintResult, rules: Sequence | None = None
+                 ) -> str:
+    """SARIF 2.1.0 report (one run, the REP rule set as the driver).
+
+    ``rules`` optionally supplies the rule instances used for the run
+    so the driver metadata carries titles and rationale; findings for
+    rules not in the list still render (minimal metadata).
+    """
+    by_id = {rule.id: rule for rule in (rules or [])}
+    rule_ids = sorted({f.rule for f in result.findings} | set(by_id))
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    driver_rules: list[dict] = []
+    for rule_id in rule_ids:
+        rule = by_id.get(rule_id)
+        meta: dict = {"id": rule_id}
+        if rule is not None:
+            meta["name"] = rule.slug
+            meta["shortDescription"] = {"text": rule.title}
+            meta["fullDescription"] = {"text": rule.rationale}
+        driver_rules.append(meta)
+    results: list[dict] = []
+    for finding in result.findings:
+        entry: dict = {
+            "ruleId": finding.rule,
+            "ruleIndex": index[finding.rule],
+            "level": "error",
+            "message": {"text": f"[{finding.slug}] {finding.message}"},
+            "locations": [_sarif_location(
+                finding.path, finding.line, finding.col + 1,
+                finding.last_line)],
+        }
+        if finding.related:
+            entry["relatedLocations"] = [
+                dict(_sarif_location(rel.path, rel.line, 1, rel.line),
+                     message={"text": rel.note})
+                for rel in finding.related]
+        results.append(entry)
+    for path, error in result.parse_errors:
+        results.append({
+            "ruleId": "parse-error",
+            "level": "error",
+            "message": {"text": error},
+            "locations": [_sarif_location(path, 1, 1, 1)],
+        })
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro.lint",
+                "informationUri":
+                    "docs/DEVELOPMENT.md",
+                "rules": driver_rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _sarif_location(path: str, line: int, col: int,
+                    end_line: int) -> dict:
+    return {"physicalLocation": {
+        "artifactLocation": {"uri": path},
+        "region": {"startLine": line, "startColumn": max(col, 1),
+                   "endLine": max(end_line, line)},
+    }}
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions workflow commands (``::error file=...``).
+
+    Emitted to stdout inside a workflow run, these annotate the PR
+    diff at each finding's exact location.  Newlines in messages are
+    ``%0A``-escaped per the workflow-command grammar.
+    """
+    lines = []
+    for finding in result.findings:
+        message = finding.message
+        for rel in finding.related:
+            message += f" (see {rel.path}:{rel.line}: {rel.note})"
+        lines.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"endLine={finding.last_line},col={finding.col + 1},"
+            f"title={finding.rule} [{finding.slug}]::"
+            + _escape_command(message))
+    for path, error in result.parse_errors:
+        lines.append(f"::error file={path},line=1,title=parse error::"
+                     + _escape_command(error))
+    lines.append(_summary(result))
+    return "\n".join(lines)
+
+
+def _escape_command(text: str) -> str:
+    return (text.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
 
 
 def _summary(result: LintResult) -> str:

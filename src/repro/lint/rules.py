@@ -22,7 +22,8 @@ from fnmatch import fnmatch
 from pathlib import PurePosixPath
 from typing import Iterator
 
-from repro.lint.findings import Finding
+from repro.lint.config import scope_for
+from repro.lint.findings import Finding, Related
 
 #: legacy global-state entry points of ``numpy.random``.
 _NP_LEGACY = frozenset({
@@ -68,8 +69,11 @@ class Rule:
     """One static check.
 
     Subclasses set ``id``/``slug``/``title``/``rationale`` and implement
-    :meth:`check`; ``applies_to`` narrows the rule to path patterns
-    (``include`` and ``exclude`` are fnmatch globs over the POSIX path).
+    :meth:`check`.  Scoping is declarative: ``applies_to`` consults the
+    scope table in :mod:`repro.lint.config` (one place for every
+    rule's path globs and their rationale); rules without a table entry
+    run everywhere, and the legacy class-level ``include``/``exclude``
+    attributes remain as a fallback for ad-hoc rule instances.
     """
 
     id: str = "REP000"
@@ -80,22 +84,47 @@ class Rule:
     exclude: tuple[str, ...] = ()
 
     def applies_to(self, path: str) -> bool:
+        scope = scope_for(self.id)
+        include = scope.include if scope is not None else self.include
+        exclude = scope.exclude if scope is not None else self.exclude
         posix = PurePosixPath(path).as_posix()
-        if any(fnmatch(posix, pattern) for pattern in self.exclude):
+        if any(fnmatch(posix, pattern) for pattern in exclude):
             return False
-        return any(fnmatch(posix, pattern) for pattern in self.include)
+        return any(fnmatch(posix, pattern) for pattern in include)
 
     def check(self, tree: ast.AST,
               ctx: "FileContext") -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(self, ctx: "FileContext", node: ast.AST,
-                message: str) -> Finding:
+                message: str,
+                related: tuple[Related, ...] = ()) -> Finding:
         line = getattr(node, "lineno", 1)
         return Finding(
             rule=self.id, slug=self.slug, path=ctx.path, line=line,
             col=getattr(node, "col_offset", 0), message=message,
-            source_line=ctx.line_text(line))
+            source_line=ctx.line_text(line),
+            end_line=getattr(node, "end_lineno", None) or line,
+            related=related)
+
+
+class ProjectRule(Rule):
+    """A cross-module check over the whole-program model.
+
+    Project rules skip the per-file pass (:meth:`check` yields nothing)
+    and instead implement :meth:`check_project` against the
+    :class:`~repro.lint.project.ProjectModel` the engine builds after
+    every file is parsed.  ``applies_to`` still scopes them: the engine
+    feeds every file into the model, and the rule filters the classes
+    it judges by their defining file's path.
+    """
+
+    def check(self, tree: ast.AST,
+              ctx: "FileContext") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, model) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 class FileContext:
@@ -223,17 +252,8 @@ class WallClockRule(Rule):
     rationale = ("estimator outputs must be pure functions of "
                  "(inputs, seed); wall-clock and OS entropy make runs "
                  "unrepeatable")
-    # repro/perf is in scope with the same perf_counter-only carve-out:
-    # its profiling spans are telemetry, but a time.time() there could
-    # leak wall-clock state into cached results.
-    include = ("*repro/core/*", "*repro/runtime/*", "*repro/rtn/*",
-               "*repro/ml/*", "*repro/checkpoint/*", "*repro/health/*",
-               "*repro/perf/*", "*repro/service/*")
-    # trigger.py and service/scheduler.py host the two sanctioned
-    # wall-clock reads (manifest timestamps / job-record timestamps;
-    # neither ever feeds an estimate)
-    exclude = ("*repro/checkpoint/trigger.py",
-               "*repro/service/scheduler.py")
+    # scope (deterministic packages, two sanctioned wall-clock files)
+    # lives in the declarative table: repro/lint/config.py RULE_SCOPES.
 
     def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(tree):
@@ -415,7 +435,7 @@ class BroadExceptRule(Rule):
     rationale = ("broad handlers hide real failures; outside the "
                  "runtime retry layer, catch the narrowest exception "
                  "that the code can actually handle")
-    exclude = ("*repro/runtime/executor.py",)
+    # the executor exemption lives in config.RULE_SCOPES.
 
     def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(tree):
@@ -442,3 +462,9 @@ class BroadExceptRule(Rule):
         if isinstance(node, ast.Tuple):
             return [e.id for e in node.elts if isinstance(e, ast.Name)]
         return []
+
+
+# The cross-module rules (REP007-REP009) live in their own module but
+# register into the same default rule set; importing here guarantees
+# registration wherever default_rules() is used.
+from repro.lint import project_rules as _project_rules  # noqa: E402,F401

@@ -62,7 +62,8 @@ class SolveCache:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     @staticmethod
     def _key(level: str, row: np.ndarray) -> bytes:
@@ -111,22 +112,29 @@ class SolveCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """Counter snapshot for telemetry/perf reports."""
-        return {"cache_entries": len(self._data),
-                "cache_hits": self.hits,
-                "cache_misses": self.misses,
-                "cache_evictions": self.evictions}
+        """Counter snapshot for telemetry/perf reports.
+
+        Taken under the lock so the thread backend never reads counters
+        torn across a concurrent :meth:`lookup` update.
+        """
+        with self._lock:
+            return {"cache_entries": len(self._data),
+                    "cache_hits": self.hits,
+                    "cache_misses": self.misses,
+                    "cache_evictions": self.evictions}
 
     # ------------------------------------------------------------------
     # pickling: workers start cold (see module docstring)
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
-        return {"fingerprint": self.fingerprint,
-                "max_entries": self.max_entries}
+        with self._lock:
+            return {"fingerprint": self.fingerprint,
+                    "max_entries": self.max_entries}
 
     def __setstate__(self, state: dict) -> None:
         self.__init__(state["fingerprint"], state["max_entries"])

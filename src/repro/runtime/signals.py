@@ -56,7 +56,8 @@ class GracefulShutdown:
     @property
     def reason(self) -> str | None:
         """What triggered the request (``"SIGTERM"``, ``"cancel"``...)."""
-        return self._reason
+        with self._lock:
+            return self._reason
 
     def request(self, reason: str = "shutdown") -> None:
         """Trip the flag (idempotent; first reason wins)."""
@@ -88,11 +89,13 @@ class GracefulShutdown:
         already tripped fires immediately.
         """
         fire = False
+        reason = "shutdown"
         with self._lock:
             self._callbacks.append(callback)
             fire = self._event.is_set()
+            reason = self._reason or "shutdown"
         if fire:
-            callback(self._reason or "shutdown")
+            callback(reason)
 
     # -- signal plumbing ----------------------------------------------
     def install(self, signals: tuple[signal.Signals, ...] = DEFAULT_SIGNALS

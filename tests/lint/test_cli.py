@@ -68,9 +68,81 @@ class TestFlags:
     def test_list_rules(self, workdir, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP001", "REP002", "REP003",
-                        "REP004", "REP005", "REP006"):
+        for rule_id in ("REP001", "REP002", "REP003", "REP004",
+                        "REP005", "REP006", "REP007", "REP008",
+                        "REP009"):
             assert rule_id in out
+
+    def test_sarif_format(self, workdir, capsys):
+        path = write(workdir, "dirty.py", DIRTY)
+        assert lint_main(["--format", "sarif", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert len(payload["runs"][0]["results"]) == 1
+
+    def test_github_format(self, workdir, capsys):
+        path = write(workdir, "dirty.py", DIRTY)
+        assert lint_main(["--format", "github", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=REP001" in out
+
+    def test_output_writes_file(self, workdir, capsys):
+        path = write(workdir, "dirty.py", DIRTY)
+        target = workdir / "report.sarif"
+        assert lint_main(["--format", "sarif", "--output",
+                          str(target), str(path)]) == 1
+        assert "report written" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["runs"][0]["results"]
+
+
+class TestChanged:
+    @staticmethod
+    def git(workdir, *args):
+        import subprocess
+        subprocess.run(
+            ["git", *args], cwd=workdir, check=True,
+            capture_output=True,
+            env={"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL":
+                 "t@t", "HOME": str(workdir), "PATH":
+                 __import__("os").environ["PATH"]})
+
+    def test_changed_lints_only_modified_files(self, workdir, capsys):
+        self.git(workdir, "init", "-q", "-b", "main")
+        write(workdir, "committed.py", DIRTY)
+        self.git(workdir, "add", "committed.py")
+        self.git(workdir, "commit", "-qm", "seed")
+        write(workdir, "fresh.py", "flag = x == 0.5\n")
+        assert lint_main(["--changed", str(workdir)]) == 1
+        out = capsys.readouterr().out
+        # only the untracked file is linted: REP004 fires, the
+        # committed REP001 file is skipped entirely
+        assert "REP004" in out
+        assert "REP001" not in out
+        assert "1 file(s)" in out
+
+    def test_changed_clean_when_nothing_modified(self, workdir,
+                                                 capsys):
+        self.git(workdir, "init", "-q", "-b", "main")
+        write(workdir, "committed.py", DIRTY)
+        self.git(workdir, "add", "committed.py")
+        self.git(workdir, "commit", "-qm", "seed")
+        assert lint_main(["--changed", str(workdir)]) == 0
+        assert "no changed Python files" in capsys.readouterr().out
+
+    def test_changed_outside_repo_falls_back_to_full_tree(
+            self, workdir, capsys, monkeypatch):
+        # force the git probe to fail regardless of the host checkout
+        import repro.lint.cli as cli_mod
+        monkeypatch.setattr(cli_mod, "changed_files",
+                            lambda paths: None)
+        path = write(workdir, "dirty.py", DIRTY)
+        assert lint_main(["--changed", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "linting the full tree" in captured.err
+        assert "REP001" in captured.out
 
 
 class TestBaselineFlow:

@@ -78,3 +78,46 @@ class TestEngineSuppression:
         findings, result = lint(source)
         assert [f.rule for f in findings] == ["REP004"]
         assert result.suppressed == 0
+
+
+class TestMultiLineStatements:
+    """A pragma on *any* physical line of the flagged statement
+    suppresses the finding (regression: it used to have to sit on the
+    first line, so wrapped calls could not be annotated)."""
+
+    def test_pragma_on_closing_line_of_wrapped_call(self):
+        source = (
+            "import random\n"
+            "value = random.choice(\n"
+            "    options,\n"
+            ")  # repro: allow-global-rng\n"
+        )
+        findings, result = lint(source)
+        assert findings == []
+        assert result.suppressed == 1
+
+    def test_pragma_on_middle_line(self):
+        source = (
+            "flag = (x\n"
+            "        # repro: allow-float-eq\n"
+            "        == 0.5)\n"
+        )
+        findings, result = lint(source)
+        assert findings == []
+        assert result.suppressed == 1
+
+    def test_pragma_after_statement_span_does_not_suppress(self):
+        source = (
+            "flag = x == 0.5\n"
+            "y = 1  # repro: allow-float-eq\n"
+        )
+        findings, result = lint(source)
+        assert [f.rule for f in findings] == ["REP004"]
+        assert result.suppressed == 0
+
+    def test_is_suppressed_span(self):
+        pragmas = {4: frozenset({"float-eq"})}
+        assert is_suppressed(pragmas, 2, "REP004", "float-eq",
+                             end_line=4)
+        assert not is_suppressed(pragmas, 2, "REP004", "float-eq",
+                                 end_line=3)

@@ -1,0 +1,240 @@
+"""The collect pass: project model, symbol tables, import resolution."""
+
+import textwrap
+
+from repro.lint.config import ProjectConfig
+from repro.lint.project import ProjectModel, module_name
+
+
+def model_of(**sources):
+    """Build a model from ``module_name=source`` keyword fixtures
+    (underscores in keywords become dots in module names)."""
+    return ProjectModel.from_sources(
+        {name.replace("__", "."): textwrap.dedent(source)
+         for name, source in sources.items()},
+        ProjectConfig())
+
+
+class TestImports:
+    def test_aliased_import_resolves(self):
+        model = model_of(pkg__mod="""
+            import numpy as np
+            import threading
+        """)
+        info = model.modules["pkg.mod"]
+        assert info.resolve("np.random.normal") == "numpy.random.normal"
+        assert info.resolve("threading.Lock") == "threading.Lock"
+
+    def test_from_import_alias(self):
+        model = model_of(pkg__mod="""
+            from collections import OrderedDict as OD
+        """)
+        info = model.modules["pkg.mod"]
+        assert info.resolve("OD") == "collections.OrderedDict"
+
+    def test_relative_import_resolved_against_package(self):
+        model = model_of(pkg__sub__mod="""
+            from . import sibling
+            from .other import Thing
+            from ..top import Base
+        """)
+        imports = model.modules["pkg.sub.mod"].imports
+        assert imports["sibling"] == "pkg.sub.sibling"
+        assert imports["Thing"] == "pkg.sub.other.Thing"
+        assert imports["Base"] == "pkg.top.Base"
+
+    def test_import_graph_restricted_to_model(self):
+        model = model_of(
+            pkg__a="from pkg.b import Thing\nimport json\n",
+            pkg__b="class Thing:\n    pass\n")
+        graph = model.import_graph()
+        assert graph["pkg.a"] == {"pkg.b"}
+        assert graph["pkg.b"] == set()
+
+
+class TestClassCollection:
+    def test_init_helper_attrs_collected_transitively(self):
+        model = model_of(pkg__mod="""
+            class C:
+                def __init__(self):
+                    self.direct = 1
+                    self._setup()
+
+                def _setup(self):
+                    self.from_helper = 2
+                    self._deeper()
+
+                def _deeper(self):
+                    self.from_deep_helper = 3
+
+                def not_init(self):
+                    self.runtime_only = 4
+        """)
+        cls = model.find_class("pkg.mod.C")
+        assert set(cls.init_attrs) == {
+            "direct", "from_helper", "from_deep_helper"}
+
+    def test_properties_distinguished_from_plain_methods(self):
+        model = model_of(pkg__mod="""
+            import functools
+
+            class C:
+                def __init__(self):
+                    self.x = 0
+
+                @property
+                def value(self):
+                    return self.x
+
+                @functools.cached_property
+                def cached(self):
+                    return self.x * 2
+
+                def plain(self):
+                    return self.x
+        """)
+        cls = model.find_class("pkg.mod.C")
+        assert cls.methods["value"].is_property
+        assert cls.methods["cached"].is_property
+        assert not cls.methods["plain"].is_property
+        assert cls.methods["value"].reads() == {"x"}
+
+    def test_nested_classes_get_qualified_names(self):
+        model = model_of(pkg__mod="""
+            class Outer:
+                class Inner:
+                    def __init__(self):
+                        self.nested_attr = 1
+
+                def __init__(self):
+                    self.outer_attr = 1
+        """)
+        outer = model.find_class("pkg.mod.Outer")
+        inner = model.find_class("pkg.mod.Outer.Inner")
+        assert set(outer.init_attrs) == {"outer_attr"}
+        assert set(inner.init_attrs) == {"nested_attr"}
+
+    def test_lock_and_threadsafe_attrs_classified(self):
+        model = model_of(pkg__mod="""
+            import threading
+            import queue
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition()
+                    self._event = threading.Event()
+                    self._queue = queue.Queue()
+                    self.data = []
+        """)
+        cls = model.find_class("pkg.mod.C")
+        assert set(cls.lock_attrs) == {"_lock", "_cond"}
+        assert cls.threadsafe_attrs == {"_event", "_queue"}
+
+    def test_dataclass_fields_and_classvar_consts(self):
+        model = model_of(pkg__mod="""
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+            @dataclass
+            class Spec:
+                kind: str = "x"
+                seed: int = 0
+                TABLE: ClassVar[tuple] = ("a",)
+        """)
+        cls = model.find_class("pkg.mod.Spec")
+        assert cls.is_dataclass
+        assert set(cls.annotated_fields) == {"kind", "seed"}
+        assert "TABLE" in cls.class_consts
+
+
+class TestAccessTracking:
+    def test_write_kinds(self):
+        model = model_of(pkg__mod="""
+            class C:
+                def mutate(self):
+                    self.a = 1
+                    self.b += 1
+                    self.c[0] = 1
+                    del self.d
+                    self.e.append(1)
+                    self.f.compute()
+        """)
+        cls = model.find_class("pkg.mod.C")
+        method = cls.methods["mutate"]
+        assert method.writes() == {"a", "b", "c", "d", "e"}
+        # .compute() is a domain verb, not a container mutator
+        assert "f" not in method.writes()
+
+    def test_held_locks_tracked_and_closures_reset(self):
+        model = model_of(pkg__mod="""
+            class C:
+                def locked(self):
+                    with self._lock:
+                        self.inside = 1
+
+                        def closure():
+                            self.in_closure = 2
+                    self.outside = 3
+        """)
+        cls = model.find_class("pkg.mod.C")
+        held = {a.attr: a.held for a in cls.methods["locked"].accesses}
+        assert held["inside"] == frozenset({"_lock"})
+        assert held["in_closure"] == frozenset()
+        assert held["outside"] == frozenset()
+
+    def test_comprehension_iterable_counts_as_read(self):
+        model = model_of(pkg__mod="""
+            class C:
+                def snapshot(self):
+                    return [x.as_dict() for x in self._trace]
+        """)
+        cls = model.find_class("pkg.mod.C")
+        assert cls.methods["snapshot"].reads() == {"_trace"}
+
+    def test_self_call_sites_record_lock_context(self):
+        model = model_of(pkg__mod="""
+            class C:
+                def public(self):
+                    with self._lock:
+                        self._helper()
+
+                def _helper(self):
+                    self.x = 1
+        """)
+        cls = model.find_class("pkg.mod.C")
+        (site,) = cls.methods["public"].call_sites
+        assert site.name == "_helper"
+        assert site.held == frozenset({"_lock"})
+
+    def test_reachable_closure(self):
+        model = model_of(pkg__mod="""
+            class C:
+                def a(self):
+                    self.b()
+
+                def b(self):
+                    self.c()
+
+                def c(self):
+                    pass
+
+                def unrelated(self):
+                    pass
+        """)
+        cls = model.find_class("pkg.mod.C")
+        assert cls.reachable("a") == {"a", "b", "c"}
+
+
+class TestModuleName:
+    def test_virtual_path_strips_src(self):
+        assert module_name("src/repro/core/ecripse.py") \
+            == "repro.core.ecripse"
+
+    def test_init_maps_to_package(self):
+        assert module_name("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_disk_path_resolved_against_packages(self):
+        # the repo's own tree: package membership from __init__.py files
+        assert module_name("src/repro/lint/project.py") \
+            == "repro.lint.project"

@@ -1,10 +1,11 @@
-"""Text and JSON report rendering."""
+"""Text, JSON, SARIF and GitHub-annotation report rendering."""
 
 import json
 
-from repro.lint import LintEngine
-from repro.lint.findings import LintResult
-from repro.lint.reporters import render_json, render_text
+from repro.lint import LintEngine, default_rules
+from repro.lint.findings import Finding, LintResult, Related
+from repro.lint.reporters import (render_github, render_json,
+                                  render_sarif, render_text)
 
 PATH = "src/repro/core/example.py"
 
@@ -43,7 +44,7 @@ class TestTextReport:
 class TestJsonReport:
     def test_shape(self):
         payload = json.loads(render_json(lint(DIRTY)))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["exit_code"] == 1
         assert payload["summary"]["findings"] == 2
         assert payload["summary"]["checked_files"] == 1
@@ -61,3 +62,76 @@ class TestJsonReport:
         payload = json.loads(render_json(lint("x = 1\n")))
         assert payload["exit_code"] == 0
         assert payload["findings"] == []
+
+    def test_related_locations_only_when_present(self):
+        payload = json.loads(render_json(lint(DIRTY)))
+        assert all("related" not in f for f in payload["findings"])
+        result = LintResult(findings=[Finding(
+            rule="REP007", slug="unlocked", path=PATH, line=3, col=0,
+            message="m", source_line="s",
+            related=(Related(PATH, 1, "lock defined here"),))])
+        payload = json.loads(render_json(result))
+        assert payload["findings"][0]["related"] == [
+            {"path": PATH, "line": 1, "note": "lock defined here"}]
+
+
+class TestSarifReport:
+    def test_results_and_rule_metadata(self):
+        result = lint(DIRTY)
+        payload = json.loads(render_sarif(result, default_rules()))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "REP001" in rule_ids and "REP009" in rule_ids
+        assert len(run["results"]) == len(result.findings)
+        first = run["results"][0]
+        region = first["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == result.findings[0].line
+
+    def test_related_locations_rendered(self):
+        result = LintResult(findings=[Finding(
+            rule="REP007", slug="unlocked", path=PATH, line=3, col=0,
+            message="m", source_line="s",
+            related=(Related(PATH, 1, "lock defined here"),))])
+        payload = json.loads(render_sarif(result))
+        (entry,) = payload["runs"][0]["results"]
+        (rel,) = entry["relatedLocations"]
+        assert rel["message"]["text"] == "lock defined here"
+
+    def test_parse_errors_reported(self):
+        result = LintResult(parse_errors=[("bad.py", "boom")])
+        payload = json.loads(render_sarif(result))
+        (entry,) = payload["runs"][0]["results"]
+        assert entry["ruleId"] == "parse-error"
+
+
+class TestGithubReport:
+    def test_error_commands(self):
+        text = render_github(lint(DIRTY))
+        assert f"::error file={PATH},line=2," in text
+        assert "title=REP001" in text
+
+    def test_newlines_escaped(self):
+        result = LintResult(findings=[Finding(
+            rule="REP004", slug="float-eq", path=PATH, line=1, col=0,
+            message="line one\nline two", source_line="s")])
+        text = render_github(result)
+        assert "line one%0Aline two" in text
+
+
+class TestReporterAgreement:
+    """All four reporters must agree on the finding count."""
+
+    def test_counts_agree(self):
+        result = lint(DIRTY)
+        n = len(result.findings)
+        assert n == 2
+        json_n = len(json.loads(render_json(result))["findings"])
+        sarif_n = len(json.loads(render_sarif(
+            result, default_rules()))["runs"][0]["results"])
+        github_n = render_github(result).count("::error ")
+        text_n = sum(1 for line in render_text(result).splitlines()
+                     if line and not line.startswith(" ")
+                     and ": REP" in line)
+        assert json_n == sarif_n == github_n == text_n == n
