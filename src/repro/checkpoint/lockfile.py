@@ -19,11 +19,16 @@ store (the daemon's whole durability story assumes hard kills).
 
 from __future__ import annotations
 
+import itertools
 import os
 import time
 from pathlib import Path
 
 from repro.errors import CheckpointError
+
+#: per-process uniquifier for break-aside file names (pid + counter is
+#: unique across processes too, since the pid is embedded in the name).
+_BREAK_SEQ = itertools.count()
 
 
 class LockTimeout(CheckpointError):
@@ -122,17 +127,47 @@ class FileLock:
         A torn lock file (created but not yet written) reads as owner
         ``None`` and is left alone -- its creator is mid-acquire and
         will fill it in momentarily.
+
+        Breaking never unlinks the lock path directly: between reading
+        the dead pid and an unlink, another waiter may already have
+        broken the stale lock and a *live* owner acquired a fresh one,
+        so an in-place unlink could destroy a held lock.  Instead the
+        file is renamed aside atomically (exactly one waiter wins the
+        rename), its owner re-checked in the renamed file, and only a
+        confirmed-dead owner is discarded; anything else is restored
+        with ``link`` (which refuses to clobber a lock created in the
+        meantime).
         """
         pid = self._owner_pid()
         if pid is None or pid == os.getpid() or _pid_alive(pid):
             return
-        # Best effort: several waiters may race to unlink an already
-        # unlinked stale lock, which is fine -- acquisition still goes
-        # through O_EXCL creation.
+        aside = self.path.with_name(
+            f"{self.path.name}.break-{os.getpid()}-{next(_BREAK_SEQ)}")
         try:
-            self.path.unlink()
-        except FileNotFoundError:
+            os.rename(self.path, aside)
+        except OSError:  # gone: another waiter broke it first
+            return
+        try:
+            owner = int(aside.read_text().strip())
+        except (OSError, ValueError):
+            owner = None
+        if owner is not None and not _pid_alive(owner):
+            # Confirmed stale -- the lock is broken; the next O_EXCL
+            # create wins it.
+            aside.unlink(missing_ok=True)
+            return
+        # We renamed a different file than the one we inspected: a live
+        # owner re-acquired after someone else broke the stale lock, or
+        # a mid-acquire creator has not written its pid yet.  Restore
+        # it; if a third waiter slipped a new lock in during this
+        # microsecond window the link fails and the aside copy is
+        # dropped (best effort -- the window requires two back-to-back
+        # lost races and is vanishingly small).
+        try:
+            os.link(aside, self.path)
+        except OSError:
             pass
+        aside.unlink(missing_ok=True)
 
 
 def _pid_alive(pid: int) -> bool:

@@ -202,11 +202,32 @@ class ProjectModel:
         posix = PurePosixPath(path).as_posix()
         if tree is None:
             tree = ast.parse(source, filename=posix)
-        modname = module_name(posix) if name is None else name
+        modname = (self._unique_name(posix) if name is None else name)
         info = _collect_module(posix, modname, source, tree, self.config)
         self.modules[modname] = info
         self._by_path[posix] = modname
         return info
+
+    def _unique_name(self, posix: str) -> str:
+        """Module name for ``posix``, disambiguated on collision.
+
+        :func:`module_name` truncates dotted names to their last four
+        components, so two files in different directories can map to
+        the same name (similarly named test modules are the classic
+        case); keying both under one name would silently drop the
+        earlier file's classes from project-rule checking.  On
+        collision with a *different* path, fall back to the full
+        untruncated dotted name, then to the whole path spelled as a
+        dotted name (always unique per path).  Re-adding the same path
+        keeps its name, so re-collection overwrites in place.
+        """
+        for candidate in (module_name(posix),
+                          module_name(posix, full=True),
+                          _path_as_dotted(posix)):
+            existing = self.modules.get(candidate)
+            if existing is None or existing.path == posix:
+                return candidate
+        return _path_as_dotted(posix)  # pragma: no cover - unreachable
 
     @classmethod
     def from_sources(cls, sources: dict[str, str],
@@ -267,12 +288,14 @@ class ProjectModel:
 # ---------------------------------------------------------------------
 # module naming
 # ---------------------------------------------------------------------
-def module_name(path: str) -> str:
+def module_name(path: str, *, full: bool = False) -> str:
     """Dotted module name for ``path``.
 
     On-disk files are resolved against their package structure (walk up
     while ``__init__.py`` exists); virtual paths fall back to stripping
-    everything up to a ``src`` component.
+    everything up to a ``src`` component and keeping the last four
+    components (``full=True`` keeps them all -- the collision
+    fallback used by :meth:`ProjectModel._unique_name`).
     """
     posix = PurePosixPath(path)
     concrete = Path(path)
@@ -295,7 +318,17 @@ def module_name(path: str) -> str:
     if "src" in parts:
         parts = parts[parts.index("src") + 1:]
     parts = [p for p in parts if p not in ("/", "")]
-    return ".".join(parts[-4:]) if parts else posix.stem
+    if not parts:
+        return posix.stem
+    return ".".join(parts if full else parts[-4:])
+
+
+def _path_as_dotted(posix: str) -> str:
+    """The whole path spelled as a dotted name -- the last-resort
+    module key, unique per path."""
+    trimmed = posix[:-3] if posix.endswith(".py") else posix
+    return ".".join(p for p in PurePosixPath(trimmed).parts
+                    if p not in ("/", ""))
 
 
 def _rsplit_n(dotted: str, n: int) -> tuple[str, str, str]:

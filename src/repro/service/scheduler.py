@@ -86,6 +86,7 @@ class Scheduler:
         self._discarded: set[str] = set()
         self._queued: set[str] = set()
         self._seq = 0
+        self._wake_generation = 0
         self._cond = threading.Condition()
 
     def submit(self, job_id: str, priority: int = 0) -> None:
@@ -102,11 +103,15 @@ class Scheduler:
     def pop(self, timeout: float | None = None) -> str | None:
         """Highest-priority queued id, or ``None`` on timeout.
 
-        A wake-up that finds the queue empty (another consumer won the
-        race, or :meth:`wake_all` fired for shutdown) also returns
-        ``None`` -- callers re-check their stop condition and loop.
+        With a timeout, a wake-up that finds the queue empty (another
+        consumer won the race, or :meth:`wake_all` fired for shutdown)
+        also returns ``None`` -- callers re-check their stop condition
+        and loop.  An untimed pop blocks until an item actually
+        arrives: spurious or raced wake-ups go back to waiting, and
+        only :meth:`wake_all` releases it empty-handed (``None``).
         """
         with self._cond:
+            generation = self._wake_generation
             while True:
                 while self._heap:
                     _, _, job_id = heapq.heappop(self._heap)
@@ -115,8 +120,13 @@ class Scheduler:
                         self._discarded.discard(job_id)
                         continue
                     return job_id
-                if not self._cond.wait(timeout) or not self._heap:
-                    return None
+                if timeout is not None:
+                    if not self._cond.wait(timeout) or not self._heap:
+                        return None
+                else:
+                    self._cond.wait()
+                    if self._wake_generation != generation:
+                        return None  # wake_all: shutdown drain
 
     def discard(self, job_id: str) -> None:
         """Drop a queued id (no-op if it was never queued)."""
@@ -128,6 +138,7 @@ class Scheduler:
     def wake_all(self) -> None:
         """Release every blocked :meth:`pop` (shutdown path)."""
         with self._cond:
+            self._wake_generation += 1
             self._cond.notify_all()
 
     def __len__(self) -> int:

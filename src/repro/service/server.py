@@ -24,8 +24,10 @@ next checkpoint-safe boundary, force-save, and exit with everything
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -43,6 +45,12 @@ from repro.service.store import JobStore
 
 #: how often blocked waits re-check the shutdown flag [s].
 _POLL_S = 0.2
+
+
+class _LostRace(Exception):
+    """Internal: a worker-side update found the record already settled
+    by a concurrent :meth:`ServiceDaemon.cancel` (never leaves this
+    module)."""
 
 
 @dataclass
@@ -198,7 +206,56 @@ class ServiceDaemon:
                 # Not started; the record stays queued on disk and the
                 # next daemon's recovery scan re-queues it.
                 return
-            self._run_job(job_id)
+            try:
+                self._run_job(job_id)
+            except Exception as exc:  # repro: allow-broad-except
+                # _run_job already turns estimator failures into
+                # durable ``failed`` records, so anything landing here
+                # is a daemon bug -- but a worker thread must never die
+                # silently and shrink the pool.  Record what we can and
+                # keep serving.
+                self._note_worker_error(job_id, exc)
+
+    def _note_worker_error(self, job_id: str, exc: Exception) -> None:
+        """Best-effort durable trace of an unexpected worker failure."""
+        detail = f"unexpected worker error: {type(exc).__name__}: {exc}"
+        at = now()
+
+        def fail(rec: JobRecord) -> None:
+            rec.transition(JobState.FAILED, at)
+            rec.error = detail
+
+        try:
+            if self._settle(job_id, fail) is not None:
+                self.store.append_event(job_id, "failed", at,
+                                        error=detail)
+        except Exception:  # repro: allow-broad-except
+            # The record may already be terminal (or unreadable); the
+            # stderr line below is then the only trace.
+            pass
+        print(f"ecripse service: worker error on job {job_id}: "
+              f"{detail}", file=sys.stderr, flush=True)
+
+    def _settle(self, job_id: str,
+                mutate: Callable[[JobRecord], None]) -> JobRecord | None:
+        """Apply a worker-side record update, tolerating a lost cancel
+        race.
+
+        :meth:`cancel` may commit ``queued/running -> cancelled`` after
+        the worker loaded the record; the worker's next transition then
+        hits an illegal ``cancelled -> X`` edge.  The cancel side
+        already wrote the authoritative terminal state, so the worker
+        backs off and leaves the record alone (returns ``None``).
+        """
+        def guarded(rec: JobRecord) -> None:
+            if rec.state is JobState.CANCELLED:
+                raise _LostRace
+            mutate(rec)
+
+        try:
+            return self.store.update(job_id, guarded)
+        except _LostRace:
+            return None
 
     def _run_job(self, job_id: str) -> None:
         try:
@@ -209,11 +266,12 @@ class ServiceDaemon:
             return
         if self.store.cancel_requested(job_id):
             at = now()
-            self.store.update(
-                job_id,
-                lambda rec: rec.transition(JobState.CANCELLED, at))
-            self.store.append_event(job_id, "cancelled", at,
-                                    detail="cancelled before running")
+            if self._settle(
+                    job_id,
+                    lambda rec: rec.transition(JobState.CANCELLED,
+                                               at)) is not None:
+                self.store.append_event(job_id, "cancelled", at,
+                                        detail="cancelled before running")
             return
 
         resume = record.state is JobState.CHECKPOINTED
@@ -224,7 +282,9 @@ class ServiceDaemon:
             rec.attempts += 1
             rec.error = None
 
-        record = self.store.update(job_id, start)
+        record = self._settle(job_id, start)
+        if record is None:  # cancel committed between load and start
+            return
         self.store.append_event(job_id, "started", at,
                                 attempt=record.attempts, resume=resume,
                                 backend=self.execution.backend)
@@ -232,12 +292,13 @@ class ServiceDaemon:
         cached = self._cached_result(record.fingerprint)
         if cached is not None:
             finish_at = now()
-            self.store.update(
-                job_id, lambda rec: self._apply_result(
-                    rec, cached, finish_at, cached_hit=True))
-            self.store.append_event(job_id, "cache-hit", finish_at,
-                                    fingerprint=record.fingerprint,
-                                    new_simulations=0)
+            if self._settle(
+                    job_id, lambda rec: self._apply_result(
+                        rec, cached, finish_at,
+                        cached_hit=True)) is not None:
+                self.store.append_event(job_id, "cache-hit", finish_at,
+                                        fingerprint=record.fingerprint,
+                                        new_simulations=0)
             return
 
         def listener(n_simulations: int, kind: str) -> None:
@@ -260,20 +321,22 @@ class ServiceDaemon:
         except ShutdownRequested as stop:
             at = now()
             if stop.reason == "cancel":
-                self.store.update(
-                    job_id,
-                    lambda rec: rec.transition(JobState.CANCELLED, at))
-                self.store.append_event(job_id, "cancelled", at,
-                                        detail="cancelled mid-run; final "
-                                               "snapshot kept")
+                if self._settle(
+                        job_id,
+                        lambda rec: rec.transition(JobState.CANCELLED,
+                                                   at)) is not None:
+                    self.store.append_event(
+                        job_id, "cancelled", at,
+                        detail="cancelled mid-run; final snapshot kept")
             else:
-                self.store.update(
-                    job_id,
-                    lambda rec: rec.transition(JobState.CHECKPOINTED, at))
-                self.store.append_event(job_id, "checkpointed", at,
-                                        detail=f"graceful shutdown "
-                                               f"({stop.reason}); will "
-                                               f"resume on restart")
+                if self._settle(
+                        job_id,
+                        lambda rec: rec.transition(JobState.CHECKPOINTED,
+                                                   at)) is not None:
+                    self.store.append_event(
+                        job_id, "checkpointed", at,
+                        detail=f"graceful shutdown ({stop.reason}); "
+                               f"will resume on restart")
             return
         except Exception as exc:  # repro: allow-broad-except
             # The job boundary: any estimator failure becomes a durable
@@ -284,20 +347,24 @@ class ServiceDaemon:
                 rec.transition(JobState.FAILED, at)
                 rec.error = f"{type(exc).__name__}: {exc}"
 
-            self.store.update(job_id, fail)
-            self.store.append_event(job_id, "failed", at,
-                                    error=f"{type(exc).__name__}: {exc}")
+            if self._settle(job_id, fail) is not None:
+                self.store.append_event(
+                    job_id, "failed", at,
+                    error=f"{type(exc).__name__}: {exc}")
             return
 
+        # The result is published under the spec fingerprint even when
+        # a concurrent cancel wins the record: determinism makes it
+        # valid for every future job with the same fingerprint.
         self.store.store_result(record.fingerprint, estimate)
         done_at = now()
-        self.store.update(
-            job_id, lambda rec: self._apply_result(
-                rec, estimate, done_at, cached_hit=False))
-        self.store.append_event(
-            job_id, "done", done_at, pfail=float(estimate.pfail),
-            ci_halfwidth=float(estimate.ci_halfwidth),
-            n_simulations=int(estimate.n_simulations))
+        if self._settle(
+                job_id, lambda rec: self._apply_result(
+                    rec, estimate, done_at, cached_hit=False)) is not None:
+            self.store.append_event(
+                job_id, "done", done_at, pfail=float(estimate.pfail),
+                ci_halfwidth=float(estimate.ci_halfwidth),
+                n_simulations=int(estimate.n_simulations))
         if perf is not None:
             save_registered_caches()
 
@@ -437,7 +504,13 @@ def _make_handler(daemon: ServiceDaemon) -> type[BaseHTTPRequestHandler]:
 
         def _get_events(self, job_id: str, query: dict) -> None:
             daemon.store.load(job_id)  # 404 on unknown ids
-            since = int(query.get("since", ["0"])[0])
+            raw_since = query.get("since", ["0"])[0]
+            try:
+                since = int(raw_since)
+            except ValueError:
+                raise ServiceError(
+                    f"invalid 'since' value {raw_since!r}: expected an "
+                    f"integer event index") from None
             follow = query.get("follow", ["0"])[0] in ("1", "true")
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")

@@ -114,3 +114,45 @@ class TestStaleLocks:
         lock = FileLock(path, timeout_s=0.1, poll_s=0.01)
         with pytest.raises(LockTimeout):
             lock.acquire()
+
+    def test_stale_break_leaves_no_debris(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text(f"{self._dead_pid()}\n")
+        with FileLock(path, timeout_s=1.0, poll_s=0.01):
+            pass
+        # neither the broken lock nor its break-aside file survive
+        assert list(tmp_path.iterdir()) == []
+
+    def test_break_restores_live_lock_after_lost_race(self, tmp_path,
+                                                      monkeypatch):
+        # The TOCTOU: waiter B reads a dead owner, waiter A breaks the
+        # stale lock and a live owner re-acquires, and only then does B
+        # act on its stale read.  B must notice the lock is live again
+        # and restore it, not unlink it (which would let a third waiter
+        # acquire while the new owner still believes it holds the
+        # lock).
+        path = tmp_path / "x.lock"
+        path.write_text(f"{os.getpid()}\n")  # the re-acquired live lock
+        waiter = FileLock(path, timeout_s=0.1, poll_s=0.01)
+        dead = self._dead_pid()
+        # freeze B's view at the stale read
+        monkeypatch.setattr(FileLock, "_owner_pid", lambda self: dead)
+        waiter._break_if_stale()
+        assert path.exists()
+        assert int(path.read_text().strip()) == os.getpid()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_break_restores_mid_acquire_lock(self, tmp_path,
+                                             monkeypatch):
+        # Same race, but the file B renames aside is a torn mid-acquire
+        # lock (created, pid not yet written): restore it for its
+        # creator.
+        path = tmp_path / "x.lock"
+        path.write_text("")
+        waiter = FileLock(path, timeout_s=0.1, poll_s=0.01)
+        dead = self._dead_pid()
+        monkeypatch.setattr(FileLock, "_owner_pid", lambda self: dead)
+        waiter._break_if_stale()
+        assert path.exists()
+        assert path.read_text() == ""
+        assert list(tmp_path.iterdir()) == [path]

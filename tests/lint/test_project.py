@@ -238,3 +238,36 @@ class TestModuleName:
         # the repo's own tree: package membership from __init__.py files
         assert module_name("src/repro/lint/project.py") \
             == "repro.lint.project"
+
+    def test_full_keeps_every_component(self):
+        deep = "src/alpha/deep/pkg/sub/mod.py"
+        assert module_name(deep) == "deep.pkg.sub.mod"
+        assert module_name(deep, full=True) == "alpha.deep.pkg.sub.mod"
+
+
+class TestNameCollisions:
+    def test_colliding_suffixes_keep_both_modules(self):
+        # Two files whose truncated dotted names collide must not
+        # silently overwrite each other in the model (the earlier
+        # file's classes would vanish from project-rule checking).
+        model = ProjectModel(ProjectConfig())
+        first = model.add_module("src/alpha/deep/pkg/sub/mod.py",
+                                 "class A:\n    pass\n")
+        second = model.add_module("src/beta/deep/pkg/sub/mod.py",
+                                  "class B:\n    pass\n")
+        assert first.name != second.name
+        assert len(model.modules) == 2
+        assert {cls.name for cls in model.iter_classes()} == {"A", "B"}
+        assert model.module_for_path(
+            "src/alpha/deep/pkg/sub/mod.py") is first
+        assert model.module_for_path(
+            "src/beta/deep/pkg/sub/mod.py") is second
+
+    def test_re_adding_same_path_overwrites_in_place(self):
+        model = ProjectModel(ProjectConfig())
+        model.add_module("src/deep/pkg/sub/mod.py",
+                         "class A:\n    pass\n")
+        again = model.add_module("src/deep/pkg/sub/mod.py",
+                                 "class A2:\n    pass\n")
+        assert len(model.modules) == 1
+        assert "A2" in again.classes

@@ -1,6 +1,7 @@
 """Priority dispatch queue and quota clamping."""
 
 import threading
+import time
 
 import pytest
 
@@ -76,6 +77,44 @@ class TestScheduler:
         thread.start()
         scheduler.wake_all()
         thread.join(timeout=5.0)
+        assert got == [None]
+
+    def test_untimed_pop_outlives_spurious_wakeup(self):
+        # An untimed pop must block until an item actually arrives: a
+        # wake-up that finds the heap empty (raced consumer, spurious
+        # notify) goes back to waiting instead of returning None.
+        scheduler = Scheduler()
+        got = []
+
+        def waiter():
+            got.append(scheduler.pop())
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        with scheduler._cond:  # a bare notify, no item: spurious
+            scheduler._cond.notify_all()
+        time.sleep(0.05)
+        assert thread.is_alive() and got == []
+        scheduler.submit("late")
+        thread.join(timeout=5.0)
+        assert got == ["late"]
+
+    def test_wake_all_releases_untimed_pop(self):
+        # ... while wake_all (the shutdown drain) still releases it.
+        scheduler = Scheduler()
+        got = []
+
+        def waiter():
+            got.append(scheduler.pop())
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while thread.is_alive() and time.monotonic() < deadline:
+            scheduler.wake_all()
+            thread.join(timeout=0.05)
+        assert not thread.is_alive()
         assert got == [None]
 
 

@@ -1,5 +1,8 @@
 """Daemon behaviour: state machine under real jobs, HTTP surface."""
 
+import threading
+import time
+
 import pytest
 
 from repro.errors import ServiceError, ShutdownRequested
@@ -169,6 +172,88 @@ class TestDaemonCore:
         assert stats["queued"] == 1
         assert stats["jobs"] == {"queued": 1}
 
+    def test_cancel_commit_during_pickup_is_benign(self, daemon,
+                                                   monkeypatch):
+        # The race: cancel() loads the record while it is still queued,
+        # the worker wins the pickup (queued -> running), and cancel
+        # then commits running -> cancelled plus the flag.  The
+        # worker's own terminal transition (cancelled -> cancelled)
+        # must back off instead of unwinding with ServiceError -- that
+        # exception used to kill the worker thread.
+        record = daemon.submit(SPEC.as_dict())
+
+        def race(spec, checkpoint_dir, *, interrupt, **kwargs):
+            daemon.store.request_cancel(record.id)
+            daemon.store.update(
+                record.id,
+                lambda rec: rec.transition(JobState.CANCELLED, 0.0))
+            raise ShutdownRequested(interrupt())
+
+        monkeypatch.setattr("repro.service.server.execute", race)
+        daemon._run_job(record.id)  # must not raise
+        assert daemon.store.load(record.id).state is JobState.CANCELLED
+
+    def test_completion_lost_to_cancel_keeps_cancelled(self, daemon,
+                                                       monkeypatch):
+        import repro.service.server as server_module
+        record = daemon.submit(SPEC.as_dict())
+        real = server_module.execute
+
+        def cancel_then_finish(spec, checkpoint_dir, **kwargs):
+            estimate = real(spec, checkpoint_dir, **kwargs)
+            daemon.store.update(
+                record.id,
+                lambda rec: rec.transition(JobState.CANCELLED, 0.0))
+            return estimate
+
+        monkeypatch.setattr("repro.service.server.execute",
+                            cancel_then_finish)
+        daemon._run_job(record.id)
+        final = daemon.store.load(record.id)
+        # the cancel side wrote the authoritative terminal state ...
+        assert final.state is JobState.CANCELLED
+        kinds = [e["kind"]
+                 for e in daemon.store.read_events(record.id)]
+        assert "done" not in kinds
+        # ... but determinism makes the finished estimate valid for the
+        # fingerprint cache regardless of this record's fate
+        assert daemon.store.load_result(final.fingerprint) is not None
+
+    def test_worker_thread_survives_run_job_crash(self, daemon,
+                                                  monkeypatch, capsys):
+        original = ServiceDaemon._run_job
+        calls = []
+
+        def flaky(self, job_id):
+            calls.append(job_id)
+            if len(calls) == 1:
+                raise ServiceError("synthetic daemon bug")
+            return original(self, job_id)
+
+        monkeypatch.setattr(ServiceDaemon, "_run_job", flaky)
+        thread = threading.Thread(target=daemon._worker_loop,
+                                  daemon=True)
+        thread.start()
+        try:
+            daemon.submit(SPEC.as_dict())
+            second = daemon.submit(SPEC.as_dict())
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if daemon.store.load(second.id).state \
+                        is JobState.DONE:
+                    break
+                time.sleep(0.02)
+            # the crash on job one must not shrink the pool: the same
+            # worker thread goes on to finish job two
+            assert daemon.store.load(second.id).state is JobState.DONE
+            assert thread.is_alive()
+        finally:
+            daemon.coordinator.request("test-shutdown")
+            daemon.scheduler.wake_all()
+            thread.join(timeout=10)
+        assert len(calls) == 2
+        assert "worker error" in capsys.readouterr().err
+
 
 class TestHttpSurface:
     def test_full_job_lifecycle_over_http(self, live):
@@ -228,3 +313,10 @@ class TestHttpSurface:
         daemon, client = live
         with pytest.raises(ServiceError, match=r"\(404\)"):
             client._request("GET", "/nope")
+
+    def test_bad_since_is_400(self, live):
+        daemon, client = live
+        record = daemon.submit(SPEC.as_dict())
+        with pytest.raises(ServiceError, match=r"\(400\).*since"):
+            client._request(
+                "GET", f"/jobs/{record.id}/events?since=abc")
