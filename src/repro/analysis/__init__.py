@@ -17,11 +17,35 @@ from repro.analysis.tables import format_table
 from repro.analysis.array_yield import (
     CacheSpec,
     array_failure_probability,
+    array_failure_with_ecc,
+    array_failure_with_row_redundancy,
     expected_failures,
     failures_quantile,
     required_cell_pfail,
     yield_with_ecc,
     yield_with_row_redundancy,
+)
+from repro.analysis.ecc import (
+    ArrayConfig,
+    ArrayDecision,
+    ArrayReport,
+    EccScheme,
+    SchemeResult,
+    ScrubPoint,
+    analyze_array,
+    annual_error_count,
+    bit_upset_rate,
+    combined_bit_error_probability,
+    get_scheme,
+    log1mexp,
+    log_binom_sf,
+    max_capacity_under_fit,
+    parse_capacity,
+    raw_fit,
+    required_cell_pfail_for_policy,
+    residual_error_fraction,
+    residual_fit,
+    soft_error_probability,
 )
 from repro.analysis.sensitivity import (
     device_criticality,
@@ -51,11 +75,33 @@ __all__ = [
     "save_estimate",
     "CacheSpec",
     "array_failure_probability",
+    "array_failure_with_ecc",
+    "array_failure_with_row_redundancy",
     "expected_failures",
     "failures_quantile",
     "required_cell_pfail",
     "yield_with_ecc",
     "yield_with_row_redundancy",
+    "ArrayConfig",
+    "ArrayDecision",
+    "ArrayReport",
+    "EccScheme",
+    "SchemeResult",
+    "ScrubPoint",
+    "analyze_array",
+    "annual_error_count",
+    "bit_upset_rate",
+    "combined_bit_error_probability",
+    "get_scheme",
+    "log1mexp",
+    "log_binom_sf",
+    "max_capacity_under_fit",
+    "parse_capacity",
+    "raw_fit",
+    "required_cell_pfail_for_policy",
+    "residual_error_fraction",
+    "residual_fit",
+    "soft_error_probability",
     "device_criticality",
     "margin_gradient",
     "rank_devices",

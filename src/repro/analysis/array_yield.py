@@ -9,17 +9,22 @@ provides that last conversion step:
 * row-redundancy repair -- a handful of spare rows absorb the worst rows;
 * SECDED-style ECC -- each word tolerates one bad cell.
 
-Everything is exact binomial/Poisson arithmetic (scipy.stats), no
-sampling, so the functions are safe to call with the estimator outputs'
-confidence bounds to propagate uncertainty.
+Everything is exact binomial/Poisson arithmetic, no sampling, and the
+survival paths run in log space (``repro.analysis.ecc`` primitives),
+so the functions are safe to call with the estimator outputs'
+confidence bounds -- down to cell pfail ~ 1e-15 at gigabit geometries
+-- without the yield silently saturating to 1.0.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.stats import binom, poisson
+from scipy.stats import poisson
+
+from repro.analysis.ecc import log1mexp, log_binom_sf
 
 
 def _check_probability(p: float) -> float:
@@ -55,8 +60,31 @@ def yield_with_row_redundancy(cell_pfail: float, rows: int,
         raise ValueError("rows and cells_per_row must be >= 1")
     if spare_rows < 0:
         raise ValueError("spare_rows must be >= 0")
+    return float(-math.expm1(_log_redundancy_failure(
+        p, rows, cells_per_row, spare_rows)))
+
+
+def array_failure_with_row_redundancy(cell_pfail: float, rows: int,
+                                      cells_per_row: int,
+                                      spare_rows: int) -> float:
+    """``1 - yield_with_row_redundancy``, without the cancellation.
+
+    At small pfail the yield rounds to 1.0 and the failure information
+    is gone; this path keeps it (log-space binomial survival).
+    """
+    return float(math.exp(_log_redundancy_failure(
+        _check_probability(cell_pfail), rows, cells_per_row,
+        spare_rows)))
+
+
+def _log_redundancy_failure(p: float, rows: int, cells_per_row: int,
+                            spare_rows: int) -> float:
+    if rows < 1 or cells_per_row < 1:
+        raise ValueError("rows and cells_per_row must be >= 1")
+    if spare_rows < 0:
+        raise ValueError("spare_rows must be >= 0")
     row_fail = array_failure_probability(p, cells_per_row)
-    return float(binom.cdf(spare_rows, rows, row_fail))
+    return log_binom_sf(spare_rows, rows, row_fail)
 
 
 def yield_with_ecc(cell_pfail: float, words: int, bits_per_word: int,
@@ -71,8 +99,28 @@ def yield_with_ecc(cell_pfail: float, words: int, bits_per_word: int,
         raise ValueError("words and bits_per_word must be >= 1")
     if correctable_bits < 0:
         raise ValueError("correctable_bits must be >= 0")
-    word_fail = float(binom.sf(correctable_bits, bits_per_word, p))
-    return float(np.exp(words * np.log1p(-word_fail)))
+    return float(math.exp(_log_ecc_survival(p, words, bits_per_word,
+                                            correctable_bits)))
+
+
+def array_failure_with_ecc(cell_pfail: float, words: int,
+                           bits_per_word: int,
+                           correctable_bits: int = 1) -> float:
+    """``1 - yield_with_ecc``, computed failure-first so it stays
+    meaningful when the yield is within machine epsilon of 1.0."""
+    p = _check_probability(cell_pfail)
+    if words < 1 or bits_per_word < 1:
+        raise ValueError("words and bits_per_word must be >= 1")
+    if correctable_bits < 0:
+        raise ValueError("correctable_bits must be >= 0")
+    return float(-math.expm1(_log_ecc_survival(
+        p, words, bits_per_word, correctable_bits)))
+
+
+def _log_ecc_survival(p: float, words: int, bits_per_word: int,
+                      correctable_bits: int) -> float:
+    log_word_fail = log_binom_sf(correctable_bits, bits_per_word, p)
+    return words * log1mexp(log_word_fail)
 
 
 def required_cell_pfail(array_yield_target: float, n_cells: int) -> float:

@@ -7,6 +7,7 @@ Regenerates the paper's experiments from the shell::
     ecripse fig8            # failure probability vs duty ratio (Fig. 8)
     ecripse ablations       # A1/A3 ablation summaries
     ecripse estimate --vdd 0.7 --alpha 0.3   # one-off estimation
+    ecripse array --capacity 128Gb           # array ECC/scrub decision
     ecripse serve --root state/              # job-queue service daemon
 
 All experiments accept ``--quick`` to run with reduced budgets (useful for
@@ -189,7 +190,120 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="target relative error")
     _add_common_args(est)
     _add_checkpoint_args(est)
+
+    arr = sub.add_parser(
+        "array",
+        help="array-level reliability decision: which ECC scheme and "
+             "scrub period meet a FIT target at this cell pfail")
+    arr.add_argument("--pfail", type=float, default=None,
+                     help="cell failure probability; omit to chain a "
+                          "full estimator run (then --vdd/--alpha/"
+                          "--target apply)")
+    arr.add_argument("--vdd", type=float, default=None,
+                     help="supply voltage [V] for the chained "
+                          "estimator (default: 0.7)")
+    arr.add_argument("--alpha", type=float, default=None,
+                     help="duty ratio for the chained estimator; omit "
+                          "for RDF-only")
+    arr.add_argument("--target", type=float, default=0.05,
+                     help="target relative error for the chained "
+                          "estimator")
+    arr.add_argument("--capacity", default="128Gb",
+                     help="array data capacity, e.g. 128Gb, 64Mb "
+                          "(decimal units; default: 128Gb)")
+    arr.add_argument("--word-bits", type=_positive_int, default=64,
+                     help="data bits per ECC word (default: 64)")
+    arr.add_argument("--node", default="16nm",
+                     help="technology node for the soft-error "
+                          "baseline (default: 16nm)")
+    arr.add_argument("--environment", default="sea-level",
+                     help="operating environment flux multiplier "
+                          "(default: sea-level)")
+    arr.add_argument("--fit-target", type=float, default=10.0,
+                     help="uncorrectable-FIT budget (default: 10)")
+    arr.add_argument("--scrub-hours", default=None,
+                     help="comma-separated scrub periods in hours "
+                          "(default: 0.25,1,4,24,168,720)")
+    arr.add_argument("--schemes", default=None,
+                     help="comma-separated ECC schemes to compare "
+                          "(default: none,parity,secded,taec,dec)")
+    arr.add_argument("--json", default=None, metavar="FILE",
+                     help="write the full decision report as JSON "
+                          "('-' for stdout)")
+    _add_common_args(arr)
+    _add_checkpoint_args(arr)
     return parser
+
+
+def _array_config(args):
+    """Build an ``ArrayConfig`` from parsed ``array`` flags."""
+    from repro.analysis.ecc import (
+        DEFAULT_SCHEMES,
+        DEFAULT_SCRUB_HOURS,
+        ArrayConfig,
+        parse_capacity,
+    )
+
+    try:
+        scrub = DEFAULT_SCRUB_HOURS if args.scrub_hours is None else \
+            tuple(float(h) for h in args.scrub_hours.split(","))
+        schemes = DEFAULT_SCHEMES if args.schemes is None else \
+            tuple(s.strip() for s in args.schemes.split(","))
+        return ArrayConfig(
+            capacity_mbit=parse_capacity(args.capacity),
+            data_bits=args.word_bits,
+            node=args.node,
+            environment=args.environment,
+            fit_target=args.fit_target,
+            scrub_hours=scrub,
+            schemes=schemes)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _run_array(args, config: EcripseConfig,
+               checkpoint: CheckpointConfig | None,
+               perf: PerfConfig | None) -> tuple[int, object]:
+    """The ``array`` subcommand: decision tables from a pfail."""
+    import json
+
+    from repro.analysis.ecc import analyze_array
+
+    array_config = _array_config(args)
+    result: object = None
+    if args.pfail is not None:
+        if not 0.0 <= args.pfail <= 0.5:
+            raise SystemExit(
+                f"--pfail must lie in [0, 0.5], got {args.pfail}")
+        pfail, upper = args.pfail, None
+    else:
+        setup = paper_setup(vdd=args.vdd, alpha=args.alpha, perf=perf)
+        estimator = EcripseEstimator(setup.space, setup.indicator,
+                                     setup.rtn_model, config=config,
+                                     seed=args.seed)
+        result = run_checkpointed(
+            checkpoint, "array", estimator,
+            target_relative_error=args.target)
+        print(result.summary())
+        print()
+        pfail = min(result.pfail, 0.5)
+        upper = min(result.pfail + result.ci_halfwidth, 0.5)
+    report = analyze_array(array_config, pfail, cell_pfail_upper=upper)
+    if result is not None:
+        result.metadata["array"] = report.as_dict()
+    print(report.render_text())
+    if args.json is not None:
+        payload = json.dumps(report.as_dict(), indent=2,
+                             sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            from pathlib import Path
+
+            Path(args.json).write_text(payload + "\n",
+                                       encoding="utf-8")
+            print(f"\nJSON report written to {args.json}")
+    return 0, result if result is not None else report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -338,6 +452,8 @@ def _dispatch(args, config: EcripseConfig, execution: ExecutionConfig,
         if execution.is_parallel:
             print()
             print(estimator.executor.aggregate().report())
+    elif args.command == "array":
+        return _run_array(args, config, checkpoint, perf)
     return 0, result
 
 

@@ -172,10 +172,19 @@ FINGERPRINT_CONTRACTS: tuple[FingerprintContract, ...] = (
         identity=frozenset({
             "kind", "vdd", "alpha", "seed", "target_relative_error",
             "max_simulations", "n_samples", "quick", "grid_points",
-            "health_policy",
+            "health_policy", "pfail", "array",
         }),
         excluded=frozenset({"priority", "checkpoint_every"}),
         exclusion_constant="_SCHEDULING_FIELDS"),
+    # The array-reliability question: every field changes the decision
+    # tables, so everything is identity (result_fields() embeds the
+    # whole nested config).
+    FingerprintContract(
+        cls="repro.analysis.ecc.ArrayConfig",
+        identity=frozenset({
+            "capacity_mbit", "data_bits", "node", "environment",
+            "fit_target", "scrub_hours", "schemes",
+        })),
     # The estimator config is hashed wholesale into the checkpoint
     # fingerprint after neutralising the execution backend
     # (EcripseEstimator.fingerprint does with_(execution=...)).

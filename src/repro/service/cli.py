@@ -77,7 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     submit = sub.add_parser("submit", help="submit one estimation job")
     submit.add_argument("--url", default=DEFAULT_URL)
-    submit.add_argument("--kind", choices=("estimate", "naive"),
+    submit.add_argument("--kind", choices=("estimate", "naive", "array"),
                         default="estimate")
     submit.add_argument("--vdd", type=float, default=None)
     submit.add_argument("--alpha", type=float, default=None)
@@ -92,6 +92,24 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--grid-points", type=_positive_int, default=61)
     submit.add_argument("--health-policy", default="strict",
                         choices=("strict", "recover", "permissive"))
+    submit.add_argument("--pfail", type=float, default=None,
+                        help="array jobs: direct cell pfail (omit to "
+                             "chain a full estimator run)")
+    submit.add_argument("--capacity", default=None,
+                        help="array jobs: data capacity, e.g. 128Gb")
+    submit.add_argument("--word-bits", type=_positive_int, default=None,
+                        help="array jobs: data bits per ECC word")
+    submit.add_argument("--node", default=None,
+                        help="array jobs: technology node (e.g. 16nm)")
+    submit.add_argument("--environment", default=None,
+                        help="array jobs: operating environment")
+    submit.add_argument("--fit-target", type=float, default=None,
+                        help="array jobs: uncorrectable-FIT budget")
+    submit.add_argument("--scrub-hours", default=None,
+                        help="array jobs: comma-separated scrub "
+                             "periods in hours")
+    submit.add_argument("--schemes", default=None,
+                        help="array jobs: comma-separated ECC schemes")
     submit.add_argument("--priority", type=int, default=0)
     submit.add_argument("--checkpoint-every", type=_positive_int,
                         default=1000)
@@ -137,6 +155,29 @@ def _spec_from_args(args: argparse.Namespace) -> dict:
         spec["alpha"] = args.alpha
     if args.max_simulations is not None:
         spec["max_simulations"] = args.max_simulations
+    if args.kind == "array":
+        from repro.analysis.ecc import ArrayConfig, parse_capacity
+
+        overrides: dict = {}
+        if args.capacity is not None:
+            overrides["capacity_mbit"] = parse_capacity(args.capacity)
+        if args.word_bits is not None:
+            overrides["data_bits"] = args.word_bits
+        if args.node is not None:
+            overrides["node"] = args.node
+        if args.environment is not None:
+            overrides["environment"] = args.environment
+        if args.fit_target is not None:
+            overrides["fit_target"] = args.fit_target
+        if args.scrub_hours is not None:
+            overrides["scrub_hours"] = tuple(
+                float(h) for h in args.scrub_hours.split(","))
+        if args.schemes is not None:
+            overrides["schemes"] = tuple(
+                s.strip() for s in args.schemes.split(","))
+        spec["array"] = ArrayConfig(**overrides).as_dict()
+        if args.pfail is not None:
+            spec["pfail"] = args.pfail
     return spec
 
 

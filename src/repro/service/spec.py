@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields, replace
 
+from repro.analysis.ecc import ArrayConfig
 from repro.errors import ServiceError
 
 #: job kinds the worker knows how to build (see repro.service.worker).
-JOB_KINDS: tuple[str, ...] = ("estimate", "naive")
+JOB_KINDS: tuple[str, ...] = ("estimate", "naive", "array")
 
 #: bumped when the spec layout changes incompatibly.
 SPEC_SCHEMA = 1
@@ -37,7 +38,11 @@ class JobSpec:
     ----------
     kind:
         ``"estimate"`` runs the two-stage ECRIPSE estimator;
-        ``"naive"`` runs the chunked naive Monte-Carlo reference.
+        ``"naive"`` runs the chunked naive Monte-Carlo reference;
+        ``"array"`` answers the array-reliability decision question
+        (:func:`repro.analysis.ecc.analyze_array`), either from a
+        directly supplied ``pfail`` or by chaining a full estimator
+        run.
     vdd:
         Supply voltage [V]; ``None`` means the paper's nominal supply.
     alpha:
@@ -63,6 +68,15 @@ class JobSpec:
         ``strict`` / ``recover`` / ``permissive`` (see
         :mod:`repro.health`); part of the fingerprint because recovery
         paths may legitimately change the estimate.
+    pfail:
+        Direct cell failure probability for ``kind="array"``; ``None``
+        chains an estimator run first.  Part of the fingerprint: a
+        different pfail is a different decision question.
+    array:
+        The :class:`~repro.analysis.ecc.ArrayConfig` describing the
+        array-reliability question (``kind="array"`` only).  Submitted
+        as a nested JSON object; canonicalised to tuples so the wire
+        round trip cannot change the fingerprint.
     priority:
         Larger runs first (ties FIFO).  Scheduling-only.
     checkpoint_every:
@@ -81,6 +95,8 @@ class JobSpec:
     quick: bool = False
     grid_points: int = 61
     health_policy: str = "strict"
+    pfail: float | None = None
+    array: ArrayConfig | None = None
     priority: int = 0
     checkpoint_every: int = 1000
 
@@ -114,6 +130,29 @@ class JobSpec:
             raise ServiceError(
                 f"checkpoint_every must be >= 1, got "
                 f"{self.checkpoint_every}")
+        if isinstance(self.array, dict):
+            try:
+                object.__setattr__(
+                    self, "array", ArrayConfig.from_dict(self.array))
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(
+                    f"invalid array config: {exc}") from exc
+        if self.kind == "array":
+            if self.array is None:
+                # canonical default question, so the fingerprint of
+                # "array job with defaults" is unique
+                object.__setattr__(self, "array", ArrayConfig())
+            if self.pfail is not None \
+                    and not 0.0 <= float(self.pfail) <= 0.5:
+                raise ServiceError(
+                    f"pfail must lie in [0, 0.5], got {self.pfail}")
+        else:
+            if self.array is not None:
+                raise ServiceError(
+                    "array config is only valid for kind='array'")
+            if self.pfail is not None:
+                raise ServiceError(
+                    "pfail is only valid for kind='array'")
 
     # -- wire format ---------------------------------------------------
     def as_dict(self) -> dict:

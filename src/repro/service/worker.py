@@ -51,7 +51,7 @@ def build_estimator(spec: JobSpec, setup: ExperimentSetup,
                     execution: ExecutionConfig | None = None):
     """Construct the estimator for ``spec`` over ``setup``."""
     execution = ExecutionConfig() if execution is None else execution
-    if spec.kind == "estimate":
+    if spec.kind in ("estimate", "array"):
         health = HealthConfig(policy=spec.health_policy)
         config = (EcripseConfig.quick() if spec.quick
                   else EcripseConfig()).with_(execution=execution,
@@ -68,7 +68,7 @@ def build_estimator(spec: JobSpec, setup: ExperimentSetup,
 
 def run_kwargs(spec: JobSpec) -> dict:
     """The ``estimator.run`` arguments a spec implies."""
-    if spec.kind == "estimate":
+    if spec.kind in ("estimate", "array"):
         return {"target_relative_error": spec.target_relative_error,
                 "max_simulations": spec.max_simulations}
     return {"n_samples": spec.n_samples,
@@ -122,6 +122,10 @@ def execute_job(spec: JobSpec, checkpoint_dir, *, resume: bool,
     the newest snapshot and continues bit-identically, and the final
     estimator state is snapshotted before the result is published.
     """
+    if spec.kind == "array" and spec.pfail is not None:
+        # the decision question with a directly supplied pfail is pure
+        # arithmetic -- no simulations, nothing to checkpoint
+        return _direct_array_estimate(spec)
     setup = job_setup(spec, perf=perf)
     estimator = build_estimator(spec, setup, execution=execution)
     cp = CheckpointConfig(directory=checkpoint_dir,
@@ -137,6 +141,35 @@ def execute_job(spec: JobSpec, checkpoint_dir, *, resume: bool,
             return result
         manager.restore_into(estimator)
     estimate = estimator.run(checkpoint=manager, **run_kwargs(spec))
+    if spec.kind == "array":
+        _attach_array_report(spec, estimate)
     manager.save_final(estimator, estimate.n_simulations)
     manager.save_result(estimate)
+    return estimate
+
+
+def _attach_array_report(spec: JobSpec,
+                         estimate: FailureEstimate) -> None:
+    """Evaluate the decision chain on a finished estimate (robustness
+    is judged at the CI upper bound) and ride it on the metadata, so
+    the fingerprint-keyed result cache serves the full decision."""
+    from repro.analysis.ecc import analyze_array
+
+    assert spec.array is not None
+    pfail = min(float(estimate.pfail), 0.5)
+    upper = min(pfail + float(estimate.ci_halfwidth), 0.5)
+    report = analyze_array(spec.array, pfail, cell_pfail_upper=upper)
+    estimate.metadata["array"] = report.as_dict()
+
+
+def _direct_array_estimate(spec: JobSpec) -> FailureEstimate:
+    from repro.analysis.ecc import analyze_array
+
+    assert spec.array is not None and spec.pfail is not None
+    report = analyze_array(spec.array, float(spec.pfail))
+    estimate = FailureEstimate(
+        pfail=float(spec.pfail), ci_halfwidth=0.0, n_simulations=0,
+        n_statistical_samples=0, method="array-direct",
+        wall_time_s=0.0)
+    estimate.metadata["array"] = report.as_dict()
     return estimate

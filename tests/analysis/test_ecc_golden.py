@@ -1,0 +1,88 @@
+"""Golden-table regression against the SNIPPETS exemplar numbers.
+
+``tests/analysis/data/snippets_ecc.json`` freezes the exemplar's
+FIT-per-Mbit baselines, environment flux multipliers, upset pattern
+mix, per-scheme residual-error fractions, max-capacity-under-FIT-limit
+table and annual-error counts.  The engine must reproduce every number
+-- drifting a constant silently would invalidate all downstream
+decision tables.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.ecc import (
+    ENV_FLUX_MULTIPLIER,
+    ERROR_DISTRIBUTION,
+    FIT_PER_MBIT,
+    annual_error_count,
+    max_capacity_under_fit,
+    residual_error_fraction,
+    soft_error_probability,
+)
+
+EXEMPLAR = json.loads(
+    (Path(__file__).parent / "data" / "snippets_ecc.json").read_text())
+
+
+def test_fit_per_mbit_table_matches_exemplar():
+    assert FIT_PER_MBIT == EXEMPLAR["fit_per_mbit"]
+
+
+def test_env_multipliers_match_exemplar():
+    assert ENV_FLUX_MULTIPLIER == EXEMPLAR["env_multipliers"]
+
+
+def test_error_distribution_matches_exemplar_and_sums_to_one():
+    assert ERROR_DISTRIBUTION == EXEMPLAR["error_distribution"]
+    assert sum(ERROR_DISTRIBUTION.values()) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize(
+    "scheme", sorted(EXEMPLAR["residual_error_fraction"]))
+def test_residual_error_fraction_matches_exemplar(scheme):
+    assert residual_error_fraction(scheme) == pytest.approx(
+        EXEMPLAR["residual_error_fraction"][scheme], abs=1e-12)
+
+
+@pytest.mark.parametrize("environment",
+                         sorted(EXEMPLAR["max_capacity_mbit_at_10_fit"]))
+def test_max_capacity_under_10_fit_matches_exemplar(environment):
+    table = EXEMPLAR["max_capacity_mbit_at_10_fit"][environment]
+    for node, expected in table.items():
+        got = max_capacity_under_fit(10.0, node, environment)
+        assert got == pytest.approx(expected, rel=1e-12), \
+            f"{node} @ {environment}"
+
+
+def test_annual_error_counts_match_exemplar():
+    cases = {
+        "1000_mbit_28nm_sea-level": (1000.0, "28nm", "sea-level"),
+        "1000_mbit_16nm_avionics": (1000.0, "16nm", "avionics"),
+        "64_mbit_7nm_space": (64.0, "7nm", "space"),
+    }
+    for key, (mbit, node, env) in cases.items():
+        assert annual_error_count(mbit, node, env) == pytest.approx(
+            EXEMPLAR["annual_error_count"][key], rel=1e-9), key
+
+
+def test_capacity_limit_and_annual_count_are_consistent():
+    # at exactly the capacity limit the array runs at exactly the FIT
+    # limit, i.e. 10e-9 errors/hour
+    for env, table in EXEMPLAR["max_capacity_mbit_at_10_fit"].items():
+        for node, cap in table.items():
+            per_hour = annual_error_count(cap, node, env) / (365 * 24)
+            assert per_hour == pytest.approx(10.0 / 1e9, rel=1e-9)
+
+
+def test_soft_error_probability_consistent_with_annual_count():
+    # expected annual upsets ~ rate * bits * hours; for tiny rates the
+    # per-bit probability over a year times the bit count agrees
+    mbit, node, env = 64.0, "7nm", "space"
+    rate = (FIT_PER_MBIT[node] * ENV_FLUX_MULTIPLIER[env] / 1e9 / 1e6)
+    bits = mbit * 1e6
+    p_year = soft_error_probability(rate, 365.0 * 24.0)
+    assert p_year * bits == pytest.approx(
+        annual_error_count(mbit, node, env), rel=1e-3)

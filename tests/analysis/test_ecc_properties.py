@@ -1,0 +1,229 @@
+"""Property-based tests for the array-reliability engine.
+
+Derandomized (CI-stable) hypothesis suites asserting the structural
+facts the decision search relies on:
+
+* probabilities stay finite and in-range over the full supported
+  domain, cell pfail from 1e-15 to 0.5 on up-to-terabit geometries;
+* yield is monotone (down in capacity and pfail, up in correction
+  strength), and protection never hurts: plain <= redundancy,
+  plain <= ECC;
+* scheme nesting at equal word size: dec and taec strictly dominate
+  secded, secded dominates none/parity;
+* residual FIT is monotone in cell pfail and in the soft-upset rate
+  (the fact the inverse bisection requires), and -- for correcting
+  schemes with no static term, before tail saturation -- monotone
+  down in scrub frequency;
+* the inverse solver round-trips: its answer meets the target and is
+  maximal.
+
+Note what is deliberately *not* claimed: redundancy <= ECC is false in
+some regimes (a spare-row budget can beat word-level SECDED at high
+pfail and vice versa), and scrubbing faster is *harmful* once the
+static RTN term dominates -- see docs/ARRAY.md.
+"""
+
+import json
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.array_yield import (
+    array_failure_probability,
+    yield_with_ecc,
+    yield_with_row_redundancy,
+)
+from repro.analysis.ecc import (
+    ArrayConfig,
+    analyze_array,
+    get_scheme,
+    log_array_uncorrectable,
+    log_word_uncorrectable,
+    required_cell_pfail_for_policy,
+    residual_fit,
+)
+
+#: one float ulp of slack on monotonicity comparisons: the quantities
+#: travel through exp/log and may wiggle at the 1e-16 level.
+SLACK = 1e-12
+
+pfail = st.floats(min_value=1e-15, max_value=0.5)
+word_bits = st.integers(min_value=8, max_value=128)
+words = st.integers(min_value=1, max_value=2 ** 35)
+scheme_names = st.sampled_from(["none", "parity", "secded", "taec",
+                                "dec"])
+upset_rate = st.floats(min_value=1e-18, max_value=1e-6)
+scrub_hours = st.floats(min_value=0.1, max_value=1000.0)
+
+
+class TestDomainSafety:
+    @given(scheme_names, words, word_bits, pfail)
+    @settings(derandomize=True, max_examples=200, deadline=None)
+    def test_everything_finite_and_in_range(self, name, n_words, n, p):
+        scheme = get_scheme(name)
+        log_word = log_word_uncorrectable(scheme, n, p)
+        assert log_word <= 0.0
+        assert not math.isnan(log_word)
+        log_arr = log_array_uncorrectable(scheme, n_words, n, p)
+        # SLACK: at words=1 the round trip through log1mexp twice can
+        # land an ulp below log_word
+        assert log_word <= log_arr + SLACK or log_arr == -math.inf
+        assert log_arr <= 0.0
+        fail = math.exp(log_arr)
+        assert 0.0 <= fail <= 1.0
+
+    @given(scheme_names, words, word_bits, pfail, upset_rate,
+           scrub_hours)
+    @settings(derandomize=True, max_examples=200, deadline=None)
+    def test_residual_fit_finite_nonnegative(self, name, n_words, n, p,
+                                             rate, hours):
+        fit = residual_fit(get_scheme(name), n_words, n, p, rate, hours)
+        assert math.isfinite(fit)
+        assert fit >= 0.0
+
+
+class TestYieldMonotonicity:
+    @given(pfail, word_bits, st.integers(1, 2 ** 20),
+           st.integers(1, 2 ** 20))
+    @settings(derandomize=True, max_examples=150, deadline=None)
+    def test_monotone_down_in_capacity(self, p, n, w1, w2):
+        small, large = sorted((w1, w2))
+        y_small = yield_with_ecc(p, small, n, 1)
+        y_large = yield_with_ecc(p, large, n, 1)
+        assert y_large <= y_small + SLACK
+
+    @given(word_bits, st.integers(1, 2 ** 20), pfail, pfail)
+    @settings(derandomize=True, max_examples=150, deadline=None)
+    def test_monotone_down_in_pfail(self, n, w, p1, p2):
+        lo, hi = sorted((p1, p2))
+        assert yield_with_ecc(hi, w, n, 1) \
+            <= yield_with_ecc(lo, w, n, 1) + SLACK
+
+    @given(pfail, word_bits, st.integers(1, 2 ** 20),
+           st.integers(0, 3))
+    @settings(derandomize=True, max_examples=150, deadline=None)
+    def test_monotone_up_in_correctable_bits(self, p, n, w, t):
+        assert yield_with_ecc(p, w, n, t + 1) \
+            >= yield_with_ecc(p, w, n, t) - SLACK
+
+    @given(pfail, st.integers(1, 512), st.integers(1, 512),
+           st.integers(0, 8))
+    @settings(derandomize=True, max_examples=150, deadline=None)
+    def test_plain_never_beats_redundancy(self, p, rows, cells, spare):
+        plain = 1.0 - array_failure_probability(p, rows * cells)
+        repaired = yield_with_row_redundancy(p, rows, cells, spare)
+        assert repaired >= plain - SLACK
+
+    @given(pfail, st.integers(1, 2 ** 16), word_bits,
+           st.integers(0, 3))
+    @settings(derandomize=True, max_examples=150, deadline=None)
+    def test_plain_never_beats_ecc(self, p, w, n, t):
+        plain = 1.0 - array_failure_probability(p, w * n)
+        protected = yield_with_ecc(p, w, n, t)
+        assert protected >= plain - SLACK
+
+
+class TestSchemeNesting:
+    @given(word_bits, pfail)
+    @settings(derandomize=True, max_examples=200, deadline=None)
+    def test_stronger_schemes_lose_less(self, n, p):
+        unc = {name: log_word_uncorrectable(get_scheme(name), n, p)
+               for name in ("none", "parity", "secded", "taec", "dec")}
+        assert unc["parity"] == unc["none"]
+        assert unc["secded"] <= unc["none"] + SLACK
+        assert unc["taec"] <= unc["secded"] + SLACK
+        assert unc["dec"] <= unc["secded"] + SLACK
+
+
+class TestResidualFitMonotonicity:
+    @given(scheme_names, st.integers(1, 2 ** 30), word_bits,
+           pfail, pfail, upset_rate, scrub_hours)
+    @settings(derandomize=True, max_examples=150, deadline=None)
+    def test_monotone_in_cell_pfail(self, name, w, n, p1, p2, rate,
+                                    hours):
+        """The fact the inverse bisection is built on."""
+        lo, hi = sorted((p1, p2))
+        scheme = get_scheme(name)
+        fit_lo = residual_fit(scheme, w, n, lo, rate, hours)
+        fit_hi = residual_fit(scheme, w, n, hi, rate, hours)
+        assert fit_hi >= fit_lo * (1.0 - 1e-9)
+
+    @given(scheme_names, st.integers(1, 2 ** 30), word_bits, pfail,
+           upset_rate, upset_rate, scrub_hours)
+    @settings(derandomize=True, max_examples=150, deadline=None)
+    def test_monotone_in_soft_rate(self, name, w, n, p, r1, r2, hours):
+        lo, hi = sorted((r1, r2))
+        scheme = get_scheme(name)
+        fit_lo = residual_fit(scheme, w, n, p, lo, hours)
+        fit_hi = residual_fit(scheme, w, n, p, hi, hours)
+        assert fit_hi >= fit_lo * (1.0 - 1e-9)
+
+    @given(st.sampled_from(["secded", "taec", "dec"]),
+           st.integers(1, 2 ** 30), word_bits,
+           st.floats(min_value=1e-12, max_value=1e-4))
+    @settings(derandomize=True, max_examples=150, deadline=None)
+    def test_scrubbing_faster_helps_soft_dominated(self, name, w, n,
+                                                   rate):
+        """With no static term and the tail far from saturation
+        (n * q(4T) <= ~0.05 by construction), halving the scrub period
+        cannot raise the residual FIT of a correcting scheme."""
+        scheme = get_scheme(name)
+        fast = residual_fit(scheme, w, n, 0.0, rate, 1.0)
+        slow = residual_fit(scheme, w, n, 0.0, rate, 4.0)
+        assert fast <= slow * (1.0 + 1e-9)
+
+
+class TestInverseSolverRoundTrip:
+    @given(st.sampled_from(["secded", "taec", "dec"]),
+           st.integers(1, 10 ** 7), word_bits, upset_rate,
+           st.floats(min_value=0.25, max_value=720.0),
+           st.floats(min_value=1e-6, max_value=1e4))
+    @settings(derandomize=True, max_examples=100, deadline=None)
+    def test_answer_meets_target_and_is_maximal(self, name, w, n, rate,
+                                                hours, target):
+        scheme = get_scheme(name)
+        p_req = required_cell_pfail_for_policy(
+            scheme, w, n, rate, hours, target)
+        assert 0.0 <= p_req <= 0.5
+        # 0.0 is the solver's exact "infeasible" sentinel
+        if p_req == 0.0:  # repro: allow-float-eq
+            # soft-error floor alone busts the target
+            assert residual_fit(scheme, w, n, 1e-18, rate, hours) \
+                > target
+            return
+        assert residual_fit(scheme, w, n, p_req, rate, hours) \
+            <= target * (1.0 + 1e-9)
+        if p_req < 0.5:
+            busted = residual_fit(scheme, w, n, min(2.0 * p_req, 0.5),
+                                  rate, hours)
+            assert busted > target
+
+
+class TestReportProperties:
+    configs = st.builds(
+        ArrayConfig,
+        capacity_mbit=st.floats(min_value=1.0, max_value=1e6),
+        data_bits=st.sampled_from([16, 32, 64, 128]),
+        node=st.sampled_from(["28nm", "16nm", "7nm"]),
+        environment=st.sampled_from(["sea-level", "avionics", "space"]),
+        fit_target=st.floats(min_value=1e-3, max_value=1e4),
+        scrub_hours=st.just((1.0, 24.0)),
+        schemes=st.just(("none", "secded", "dec")),
+    )
+
+    @given(configs, pfail)
+    @settings(derandomize=True, max_examples=30, deadline=None)
+    def test_report_is_serializable_and_consistent(self, cfg, p):
+        report = analyze_array(cfg, p)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["schema_version"] == 1
+        assert ArrayConfig.from_dict(payload["config"]) == cfg
+        d = report.decision
+        assert 0.0 <= d.required_cell_pfail <= 0.5
+        if d.feasible:
+            assert d.scheme in cfg.schemes
+            assert d.scrub_hours in cfg.scrub_hours
+            assert d.residual_fit <= cfg.fit_target
+        else:
+            assert d.scheme is None

@@ -1,0 +1,251 @@
+"""Monte-Carlo cross-validation of the analytic ECC/scrub formulas.
+
+Same discipline as ``tests/rtn/test_statistics.py``: every analytic
+result class is checked against a seeded brute-force simulation that
+shares *no* formulas with the library path -- bits are literally
+flipped and patterns literally decoded.  Tolerance is |Z| < 3.5 on the
+event count (a ~0.05% two-sided false-alarm rate per assertion at the
+pinned seed), and each comparison is paired with a power check showing
+the same harness *rejects* a 25%-miscalibrated model, so the agreement
+assertions are non-vacuous.
+
+Cell probabilities are scaled up (1e-2-ish) so the MC sees thousands of
+events; the log-space regression tests (test_array_stability.py) cover
+the deep-tail regime the MC cannot reach.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.array_yield import (
+    array_failure_with_ecc,
+    array_failure_with_row_redundancy,
+)
+from repro.analysis.ecc import (
+    combined_bit_error_probability,
+    get_scheme,
+    log_array_uncorrectable,
+    log_word_uncorrectable,
+    residual_fit,
+)
+
+#: reject when the observed event count sits further than this many
+#: standard errors from the analytic prediction.
+Z_LIMIT = 3.5
+
+#: a power check must push the perturbed model at least this far out.
+Z_POWER = 5.0
+
+
+def _z_score(successes: int, trials: int, p: float) -> float:
+    """Standard score of a binomial count against a model ``p``."""
+    se = math.sqrt(p * (1.0 - p) / trials)
+    return (successes / trials - p) / se
+
+
+def _word_draws(rng: np.random.Generator, trials: int, word_bits: int,
+                p: float) -> np.ndarray:
+    """(trials, word_bits) boolean matrix of per-bit errors."""
+    return rng.random((trials, word_bits)) < p
+
+
+def _run_lengths(errors: np.ndarray) -> np.ndarray:
+    """Span (last - first + 1) of the error positions in each row;
+    rows without errors report 0."""
+    any_err = errors.any(axis=1)
+    first = errors.argmax(axis=1)
+    last = errors.shape[1] - 1 - errors[:, ::-1].argmax(axis=1)
+    span = last - first + 1
+    span[~any_err] = 0
+    return span
+
+
+def _taec_uncorrectable_mask(errors: np.ndarray) -> np.ndarray:
+    """Literal TAEC decode: single errors and adjacent runs of <= 3
+    are corrected; everything else is lost."""
+    counts = errors.sum(axis=1)
+    span = _run_lengths(errors)
+    is_short_run = (counts <= 3) & (span == counts)
+    return (counts > 0) & ~((counts == 1) | is_short_run)
+
+
+class TestWordUncorrectableMC:
+    WORD_BITS = 16
+    P = 0.02
+    TRIALS = 200_000
+    SEED = 20260808
+
+    @pytest.fixture(scope="class")
+    def draws(self):
+        rng = np.random.default_rng(self.SEED)
+        return _word_draws(rng, self.TRIALS, self.WORD_BITS, self.P)
+
+    @pytest.mark.parametrize("name,t", [("none", 0), ("parity", 0),
+                                        ("secded", 1), ("dec", 2)])
+    def test_counting_schemes_agree(self, draws, name, t):
+        observed = int((draws.sum(axis=1) > t).sum())
+        model = math.exp(log_word_uncorrectable(
+            get_scheme(name), self.WORD_BITS, self.P))
+        assert abs(_z_score(observed, self.TRIALS, model)) < Z_LIMIT
+
+    def test_taec_agrees(self, draws):
+        observed = int(_taec_uncorrectable_mask(draws).sum())
+        model = math.exp(log_word_uncorrectable(
+            get_scheme("taec"), self.WORD_BITS, self.P))
+        assert abs(_z_score(observed, self.TRIALS, model)) < Z_LIMIT
+
+    def test_taec_strictly_beats_secded_in_the_sample(self, draws):
+        taec_lost = int(_taec_uncorrectable_mask(draws).sum())
+        secded_lost = int((draws.sum(axis=1) > 1).sum())
+        assert taec_lost < secded_lost
+
+    @pytest.mark.parametrize("name", ["secded", "taec"])
+    def test_power_rejects_miscalibrated_model(self, draws, name):
+        """The same harness must reject a model 25% off -- otherwise
+        the agreement above would be vacuously loose."""
+        if name == "taec":
+            observed = int(_taec_uncorrectable_mask(draws).sum())
+        else:
+            observed = int((draws.sum(axis=1) > 1).sum())
+        model = math.exp(log_word_uncorrectable(
+            get_scheme(name), self.WORD_BITS, self.P))
+        assert abs(_z_score(observed, self.TRIALS, 1.25 * model)) \
+            > Z_POWER
+        assert abs(_z_score(observed, self.TRIALS, 0.75 * model)) \
+            > Z_POWER
+
+
+class TestArrayFailureMC:
+    WORDS = 64
+    WORD_BITS = 16
+    P = 0.005
+    TRIALS = 20_000
+    SEED = 7
+
+    @pytest.fixture(scope="class")
+    def failures(self):
+        rng = np.random.default_rng(self.SEED)
+        errors = rng.random(
+            (self.TRIALS, self.WORDS, self.WORD_BITS)) < self.P
+        word_lost = errors.sum(axis=2) > 1  # secded decode
+        return word_lost.any(axis=1)
+
+    def test_array_failure_agrees(self, failures):
+        observed = int(failures.sum())
+        model = math.exp(log_array_uncorrectable(
+            get_scheme("secded"), self.WORDS, self.WORD_BITS, self.P))
+        assert abs(_z_score(observed, self.TRIALS, model)) < Z_LIMIT
+
+    def test_yield_api_is_the_same_model(self, failures):
+        # array_failure_with_ecc must be the identical quantity the MC
+        # just validated (same decode, t = 1)
+        via_api = array_failure_with_ecc(
+            self.P, self.WORDS, self.WORD_BITS, 1)
+        model = math.exp(log_array_uncorrectable(
+            get_scheme("secded"), self.WORDS, self.WORD_BITS, self.P))
+        assert via_api == pytest.approx(model, rel=1e-12)
+
+    def test_power_rejects_miscalibrated_model(self, failures):
+        observed = int(failures.sum())
+        model = math.exp(log_array_uncorrectable(
+            get_scheme("secded"), self.WORDS, self.WORD_BITS, self.P))
+        assert abs(_z_score(observed, self.TRIALS, 1.25 * model)) \
+            > Z_POWER
+
+
+class TestRowRedundancyMC:
+    ROWS = 32
+    CELLS_PER_ROW = 64
+    SPARE = 2
+    P = 0.0008
+    TRIALS = 30_000
+    SEED = 404
+
+    def test_redundancy_failure_agrees_with_power_check(self):
+        rng = np.random.default_rng(self.SEED)
+        cells = rng.random(
+            (self.TRIALS, self.ROWS, self.CELLS_PER_ROW)) < self.P
+        defective_rows = cells.any(axis=2).sum(axis=1)
+        observed = int((defective_rows > self.SPARE).sum())
+        model = array_failure_with_row_redundancy(
+            self.P, self.ROWS, self.CELLS_PER_ROW, self.SPARE)
+        assert abs(_z_score(observed, self.TRIALS, model)) < Z_LIMIT
+        assert abs(_z_score(observed, self.TRIALS, 1.25 * model)) \
+            > Z_POWER
+
+
+class TestScrubDiscreteEventSimulation:
+    """Discrete-event check of the scrub accumulation model: per
+    window, re-draw the static (RTN) state of every bit and overlay
+    Poisson soft upsets; a word is lost in a window when its combined
+    error pattern defeats the decoder.  The analytic loss *rate* is
+    P_unc(q(T)) / T per word; over N words and W windows the expected
+    loss count is N * W * P_unc(q(T))."""
+
+    N_WORDS = 4_000
+    WORD_BITS = 16
+    WINDOWS = 50
+    P_CELL = 0.01
+    RATE = 0.002          # soft upsets per bit-hour
+    HOURS = 5.0           # scrub period -> lambda * T = 0.01
+    SEED = 31337
+
+    @pytest.fixture(scope="class")
+    def loss_count(self):
+        rng = np.random.default_rng(self.SEED)
+        shape = (self.N_WORDS, self.WORD_BITS)
+        lost = 0
+        for _ in range(self.WINDOWS):
+            static = rng.random(shape) < self.P_CELL
+            soft = rng.poisson(self.RATE * self.HOURS, shape) > 0
+            bad = static | soft
+            lost += int((bad.sum(axis=1) > 1).sum())  # secded decode
+        return lost
+
+    @property
+    def _trials(self):
+        return self.N_WORDS * self.WINDOWS
+
+    def _model(self, rate):
+        q = combined_bit_error_probability(self.P_CELL, rate,
+                                           self.HOURS)
+        return math.exp(log_word_uncorrectable(
+            get_scheme("secded"), self.WORD_BITS, q))
+
+    def test_des_agrees_with_analytic_window_probability(
+            self, loss_count):
+        z = _z_score(loss_count, self._trials, self._model(self.RATE))
+        assert abs(z) < Z_LIMIT
+
+    def test_des_agrees_with_residual_fit(self, loss_count):
+        """Route the same comparison through residual_fit: the
+        empirical FIT over the simulated device-hours must match."""
+        device_hours = self.WINDOWS * self.HOURS
+        empirical_fit = 1e9 * loss_count / device_hours
+        analytic = residual_fit(
+            get_scheme("secded"), self.N_WORDS, self.WORD_BITS,
+            self.P_CELL, self.RATE, self.HOURS)
+        # same Z < 3.5 tolerance, expressed on the FIT scale:
+        # sd(count) = sqrt(trials p q), and fit = 1e9 count / hours
+        p = self._model(self.RATE)
+        se_fit = 1e9 * math.sqrt(self._trials * p * (1 - p)) \
+            / device_hours
+        assert abs(empirical_fit - analytic) < Z_LIMIT * se_fit
+
+    def test_power_rejects_wrong_soft_rate(self, loss_count):
+        """A soft-upset rate 25% off shifts q enough for the harness
+        to reject it decisively."""
+        z_hi = _z_score(loss_count, self._trials,
+                        self._model(1.25 * self.RATE))
+        z_lo = _z_score(loss_count, self._trials,
+                        self._model(0.75 * self.RATE))
+        assert abs(z_hi) > Z_POWER
+        assert abs(z_lo) > Z_POWER
+
+    def test_power_rejects_static_only_model(self, loss_count):
+        """Dropping the soft term entirely (rate = 0) must also be
+        rejected -- the DES genuinely exercises both terms."""
+        z = _z_score(loss_count, self._trials, self._model(0.0))
+        assert abs(z) > Z_POWER

@@ -6,13 +6,20 @@ separate knobs that provably cannot (scheduling hints, execution
 backend).  One false collision silently returns the wrong physics.
 """
 
+import json
+
 import pytest
 
+from repro.analysis.ecc import ArrayConfig
 from repro.service.spec import JobSpec
 from repro.service.worker import spec_fingerprint
 
 BASE = JobSpec(kind="estimate", quick=True, seed=5,
                target_relative_error=0.2, max_simulations=50_000)
+
+ARRAY_BASE = JobSpec(kind="array", quick=True, seed=5,
+                     target_relative_error=0.2, max_simulations=50_000,
+                     pfail=1e-9, array=ArrayConfig())
 
 
 class TestStability:
@@ -54,6 +61,43 @@ class TestDiscrimination:
             != spec_fingerprint(BASE.with_(alpha=0.0))
 
 
+class TestArrayDiscrimination:
+    """Every ArrayConfig knob changes the decision tables, so every
+    one must change the fingerprint -- plus the pfail input itself."""
+
+    def test_array_kind_is_distinct_from_estimate(self):
+        assert spec_fingerprint(ARRAY_BASE) != spec_fingerprint(BASE)
+
+    def test_pfail_changes_the_fingerprint(self):
+        assert spec_fingerprint(ARRAY_BASE.with_(pfail=2e-9)) \
+            != spec_fingerprint(ARRAY_BASE)
+
+    def test_direct_vs_chained_are_distinct(self):
+        assert spec_fingerprint(ARRAY_BASE.with_(pfail=None)) \
+            != spec_fingerprint(ARRAY_BASE)
+
+    @pytest.mark.parametrize("changes", [
+        {"capacity_mbit": 64_000.0},
+        {"data_bits": 32},
+        {"node": "7nm"},
+        {"environment": "space"},
+        {"fit_target": 100.0},
+        {"scrub_hours": (1.0, 24.0)},
+        {"schemes": ("secded", "dec")},
+    ], ids=lambda c: next(iter(c)))
+    def test_every_array_config_knob_discriminates(self, changes):
+        varied = ARRAY_BASE.with_(
+            array=ARRAY_BASE.array.with_(**changes))
+        assert spec_fingerprint(varied) != spec_fingerprint(ARRAY_BASE)
+
+    def test_json_round_trip_is_invariant(self):
+        # tuples become lists on the wire; canonicalisation must keep
+        # the fingerprint identical or the cache would never hit
+        wire = json.loads(json.dumps(ARRAY_BASE.as_dict()))
+        assert spec_fingerprint(JobSpec.from_dict(wire)) \
+            == spec_fingerprint(ARRAY_BASE)
+
+
 class TestInvariance:
     @pytest.mark.parametrize("changes", [
         {"priority": 9},
@@ -66,6 +110,10 @@ class TestInvariance:
         # computes (the kill/resume bit-identity guarantee)
         assert spec_fingerprint(BASE.with_(**changes)) \
             == spec_fingerprint(BASE)
+
+    def test_array_jobs_share_the_scheduling_invariance(self):
+        assert spec_fingerprint(ARRAY_BASE.with_(priority=9)) \
+            == spec_fingerprint(ARRAY_BASE)
 
     def test_spec_fingerprint_method_agrees(self):
         assert BASE.fingerprint() == spec_fingerprint(BASE)
