@@ -1,0 +1,32 @@
+"""Deterministic fault injection and resilience for the service stack.
+
+PR 4 gave the numerical core a chaos layer (:mod:`repro.health`); this
+package extends the same discipline to storage and serving:
+
+- :mod:`repro.chaos.fsops` -- the injectable filesystem fault plane
+  (fail / tear / delay / kill the Nth matching durable operation);
+- :mod:`repro.chaos.config` -- the daemon's resilience knobs (leases,
+  attempt budgets, fault schedules), all fingerprint-excluded;
+- :mod:`repro.chaos.harness` -- the crash-consistency harness that
+  enumerates every durable write point in a job lifecycle and proves
+  each one safe to die at;
+- :mod:`repro.chaos.clock` -- the package's one sanctioned wall-clock
+  seam (REP002 scope excludes exactly that file).
+"""
+
+from repro.chaos.config import ChaosConfig
+from repro.chaos.fsops import (ChaosFsOps, ChaosKill, FaultClause, FsOps,
+                               default_fs, fs_installed, install_fs,
+                               parse_fault_schedule)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosFsOps",
+    "ChaosKill",
+    "FaultClause",
+    "FsOps",
+    "default_fs",
+    "fs_installed",
+    "install_fs",
+    "parse_fault_schedule",
+]

@@ -1,0 +1,30 @@
+"""The chaos layer's sanctioned wall clock.
+
+This module is the only file in :mod:`repro.chaos` allowed to touch the
+wall clock (the REP002 lint scope excludes exactly this file, mirroring
+``repro/checkpoint/trigger.py`` and ``repro/service/scheduler.py``):
+fault *delays*, harness timeouts and case timings are operational
+telemetry -- nothing downstream of an estimate may ever depend on them.
+Keeping the reads behind one seam also lets tests substitute a fake
+clock without monkeypatching :mod:`time` process-wide.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Unix timestamp for harness reports -- never for estimator logic."""
+    return time.time()
+
+
+def monotonic() -> float:
+    """Monotonic seconds for measuring case durations and timeouts."""
+    return time.monotonic()
+
+
+def sleep(seconds: float) -> None:
+    """Block for ``seconds`` (fault-injection ``delay`` mode)."""
+    if seconds > 0:
+        time.sleep(seconds)

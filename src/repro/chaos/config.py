@@ -1,0 +1,81 @@
+"""Resilience configuration for the service daemon.
+
+:class:`ChaosConfig` bundles everything the daemon needs to survive a
+hostile environment: the (optional) filesystem fault schedule, the job
+lease the watchdog enforces, and the poison-job attempt budget.  None
+of these fields may influence an estimate -- a job retried under a
+shorter lease must still hit the result cache written under a longer
+one -- so every field is *excluded* from fingerprint identity, and the
+REP009 fingerprint-drift lint pins that classification to the
+:data:`_RESILIENCE_FIELDS` constant below (the same contract shape as
+``JobSpec._SCHEDULING_FIELDS``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: every ChaosConfig field, by construction resilience-only: the REP009
+#: contract asserts this literal equals the excluded-field set, so a
+#: new field cannot silently become identity-bearing.
+_RESILIENCE_FIELDS = frozenset({
+    "inject_fs", "lease_s", "watchdog_interval_s", "max_attempts",
+    "heartbeat_s",
+})
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Operational resilience knobs (never identity-bearing).
+
+    Parameters
+    ----------
+    inject_fs:
+        Fault schedule for the filesystem plane (see
+        :mod:`repro.chaos.fsops`); ``None`` runs on the real
+        filesystem.  Test/CI only -- a production daemon never sets it.
+    lease_s:
+        How long a worker owns a ``running`` job before the watchdog
+        may reclaim it.  Workers renew at every checkpoint boundary,
+        so the lease only expires when a worker hangs or dies.
+    watchdog_interval_s:
+        Sweep cadence; ``None`` derives ``lease_s / 4`` (a hung worker
+        is reclaimed well within one lease interval).
+    max_attempts:
+        Attempt budget per job: once a job has started this many times
+        and still not finished, the next failure or lease expiry
+        dead-letters it instead of re-queueing.  A per-job
+        ``JobSpec.max_attempts`` overrides this default.
+    heartbeat_s:
+        Idle interval after which a ``follow`` event stream emits a
+        heartbeat line so clients can keep a read timeout armed.
+    """
+
+    inject_fs: str | None = None
+    lease_s: float = 60.0
+    watchdog_interval_s: float | None = None
+    max_attempts: int = 3
+    heartbeat_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.lease_s <= 0:
+            raise ValueError(
+                f"lease_s must be > 0, got {self.lease_s}")
+        if (self.watchdog_interval_s is not None
+                and self.watchdog_interval_s <= 0):
+            raise ValueError(
+                f"watchdog_interval_s must be > 0, got "
+                f"{self.watchdog_interval_s}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.heartbeat_s <= 0:
+            raise ValueError(
+                f"heartbeat_s must be > 0, got {self.heartbeat_s}")
+
+    @property
+    def sweep_interval_s(self) -> float:
+        """The effective watchdog cadence."""
+        if self.watchdog_interval_s is not None:
+            return self.watchdog_interval_s
+        return self.lease_s / 4.0

@@ -1,0 +1,385 @@
+"""The injectable filesystem fault plane.
+
+Every durable write the checkpoint and service layers perform goes
+through an :class:`FsOps` instance -- a thin seam over the dozen
+filesystem calls that matter for crash consistency (atomic publishes,
+staging writes, event-log appends, lock files).  The default plane is
+the real filesystem; :class:`ChaosFsOps` wraps the same calls with a
+deterministic fault schedule so a test (or ``ecripse serve
+--inject-fs``) can fail, tear, delay or "kill -9" the process at
+exactly the Nth matching operation.
+
+Schedule grammar (clauses joined by ``,``)::
+
+    op[@substr]:index[:mode]
+
+``op`` is one operation name (``replace``, ``rename``, ``write``,
+``append``, ``create``, ``touch``, ``link``, ``unlink``, ``fsync``,
+``fsync_dir``, ``mkdir``, ``rmdir``) or a group alias (``durable`` =
+replace|rename|append, ``any``); ``@substr`` filters by target path;
+``index`` is the 1-based ordinal of the matching call that faults; and
+``mode`` is one of:
+
+=============  =======================================================
+``fail``       raise ``OSError`` instead of performing the operation
+``torn``       write operations only: persist a prefix of the data and
+               *succeed* (the classic torn write; other ops degrade to
+               ``fail``)
+``kill``       raise :class:`ChaosKill` (a ``BaseException``) *before*
+               the operation -- the simulated ``kill -9``: nothing
+               downstream runs, but ``with`` blocks unwind exactly the
+               way dying mid-syscall leaves the disk
+``torn-kill``  persist a prefix, then raise :class:`ChaosKill` -- a
+               torn write cut short by a crash
+``delay``      sleep ``delay_s``, then perform the operation normally
+=============  =======================================================
+
+Example: ``rename:3:fail`` fails the third rename;
+``write@manifest:1:torn`` tears the first manifest write.
+
+Firing is a pure function of each clause's private call counter, so the
+same workload sees the same fault sequence on every run -- the property
+the crash-consistency harness (:mod:`repro.chaos.harness`) builds on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.chaos import clock
+
+#: every operation the seam routes (the full vocabulary of ``op``).
+FS_OPS: tuple[str, ...] = (
+    "replace", "rename", "link", "unlink", "write", "append",
+    "create", "touch", "fsync", "fsync_dir", "mkdir", "rmdir",
+)
+
+#: operations that publish durable, reader-visible state -- the write
+#: points the crash-consistency harness enumerates.
+DURABLE_OPS: tuple[str, ...] = ("replace", "rename", "append")
+
+#: group aliases usable as the ``op`` of a clause.
+OP_GROUPS: dict[str, frozenset[str]] = {
+    "durable": frozenset(DURABLE_OPS),
+    "any": frozenset(FS_OPS),
+}
+
+#: fault modes (see module docstring).
+FAULT_MODES: tuple[str, ...] = (
+    "fail", "torn", "kill", "torn-kill", "delay")
+
+#: operations where ``torn`` keeps its partial-data meaning.
+_TEARABLE_OPS = frozenset({"write", "append"})
+
+
+class ChaosKill(BaseException):
+    """The simulated ``kill -9``.
+
+    Deliberately a ``BaseException``: the service worker's broad
+    ``except Exception`` job boundary must *not* convert a simulated
+    process death into a tidy ``failed`` record -- a real ``kill -9``
+    never gets that courtesy.  Only the harness (or a test) catches it.
+    """
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed schedule clause: fault the Nth matching operation."""
+
+    op: str
+    index: int
+    mode: str = "fail"
+    match: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in FS_OPS and self.op not in OP_GROUPS:
+            known = ", ".join(sorted((*FS_OPS, *OP_GROUPS)))
+            raise ValueError(
+                f"unknown fs operation {self.op!r}; expected one of "
+                f"{known}")
+        if self.index < 1:
+            raise ValueError(
+                f"fault index must be >= 1, got {self.index}")
+        if self.mode not in FAULT_MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; expected one of "
+                f"{', '.join(FAULT_MODES)}")
+
+    def matches(self, op: str, path: str) -> bool:
+        """Does an ``op`` call on ``path`` count against this clause?"""
+        group = OP_GROUPS.get(self.op)
+        if group is not None:
+            if op not in group:
+                return False
+        elif op != self.op:
+            return False
+        return self.match in path
+
+    def spec(self) -> str:
+        """The clause back in schedule-grammar form."""
+        target = f"{self.op}@{self.match}" if self.match else self.op
+        return f"{target}:{self.index}:{self.mode}"
+
+
+def parse_fault_schedule(spec: str) -> tuple[FaultClause, ...]:
+    """Parse a comma-joined schedule string into clauses."""
+    clauses = []
+    for raw in spec.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        parts = raw.split(":")
+        if not 2 <= len(parts) <= 3:
+            raise ValueError(
+                f"malformed fault clause {raw!r}; use "
+                f"op[@substr]:index[:mode]")
+        target, match = parts[0], ""
+        if "@" in target:
+            target, match = target.split("@", 1)
+        try:
+            index = int(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"malformed fault clause {raw!r}: index {parts[1]!r} "
+                f"is not an integer") from None
+        mode = parts[2] if len(parts) == 3 else "fail"
+        clauses.append(FaultClause(op=target, index=index, mode=mode,
+                                   match=match))
+    if not clauses:
+        raise ValueError(f"empty fault schedule {spec!r}")
+    return tuple(clauses)
+
+
+class FsOps:
+    """The real filesystem plane (and the seam's interface).
+
+    Subclasses interpose by overriding :meth:`_before` (called with the
+    operation name and target path before every call; may raise, or
+    return a torn-mode marker that the write operations honour).
+    """
+
+    # -- interposition hook -------------------------------------------
+    def _before(self, op: str, path: str | Path) -> str | None:
+        return None
+
+    # -- atomic publishes ---------------------------------------------
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        self._before("replace", dst)
+        os.replace(src, dst)
+
+    def rename(self, src: str | Path, dst: str | Path) -> None:
+        self._before("rename", dst)
+        os.rename(src, dst)
+
+    def link(self, src: str | Path, dst: str | Path) -> None:
+        self._before("link", dst)
+        os.link(src, dst)
+
+    def unlink(self, path: str | Path, missing_ok: bool = False) -> None:
+        self._before("unlink", path)
+        Path(path).unlink(missing_ok=missing_ok)
+
+    # -- data writes ---------------------------------------------------
+    def write_bytes(self, path: str | Path, data: bytes) -> None:
+        """Plain (non-atomic) write -- staging files only."""
+        action = self._before("write", path)
+        if action in ("torn", "torn-kill"):
+            data = data[:max(1, len(data) // 2)]
+        with open(path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+        if action == "torn-kill":
+            raise ChaosKill(f"chaos: killed after torn write of {path}")
+
+    def write_text(self, path: str | Path, text: str) -> None:
+        self.write_bytes(path, text.encode("utf-8"))
+
+    def append_text(self, path: str | Path, text: str) -> None:
+        action = self._before("append", path)
+        if action in ("torn", "torn-kill"):
+            text = text[:max(1, len(text) // 2)]
+        with open(path, "a") as handle:
+            handle.write(text)
+        if action == "torn-kill":
+            raise ChaosKill(f"chaos: killed after torn append to {path}")
+
+    # -- creation / flags ---------------------------------------------
+    def create_exclusive(self, path: str | Path, data: bytes) -> bool:
+        """``O_CREAT | O_EXCL`` create; False when the file exists."""
+        self._before("create", path)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+        return True
+
+    def touch(self, path: str | Path) -> None:
+        self._before("touch", path)
+        Path(path).touch()
+
+    def mkdir(self, path: str | Path, parents: bool = False,
+              exist_ok: bool = False) -> None:
+        self._before("mkdir", path)
+        Path(path).mkdir(parents=parents, exist_ok=exist_ok)
+
+    def rmdir(self, path: str | Path) -> None:
+        self._before("rmdir", path)
+        Path(path).rmdir()
+
+    # -- durability ----------------------------------------------------
+    def fsync(self, path: str | Path) -> None:
+        self._before("fsync", path)
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def fsync_dir(self, path: str | Path) -> None:
+        """Best-effort directory fsync (platform dependent)."""
+        self._before("fsync_dir", path)
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        finally:
+            os.close(fd)
+
+
+class ChaosFsOps(FsOps):
+    """A fault-scheduled :class:`FsOps` (see module docstring).
+
+    Parameters
+    ----------
+    schedule:
+        Schedule string, pre-parsed clauses, or ``None`` for a purely
+        observing plane (useful with ``record=True``).
+    delay_s:
+        Sleep applied by ``delay``-mode clauses.
+    record:
+        Keep an ordered log of every operation (``(op, path)``) --
+        the harness's write-point enumeration pass.
+    sleep:
+        Injectable sleeper (tests pass a stub; the default is the
+        chaos clock seam).
+    """
+
+    def __init__(self, schedule: str | tuple[FaultClause, ...] | None
+                 = None, *, delay_s: float = 0.02, record: bool = False,
+                 sleep: Callable[[float], None] = clock.sleep) -> None:
+        if isinstance(schedule, str):
+            self.clauses = parse_fault_schedule(schedule)
+        else:
+            self.clauses = tuple(schedule or ())
+        self.delay_s = float(delay_s)
+        self.record = bool(record)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._seen = [0] * len(self.clauses)
+        self._log: list[tuple[str, str]] = []
+        self._injected: list[dict] = []
+
+    # -- introspection -------------------------------------------------
+    @property
+    def log(self) -> list[tuple[str, str]]:
+        """Copy of the recorded ``(op, path)`` stream."""
+        with self._lock:
+            return list(self._log)
+
+    @property
+    def injected(self) -> list[dict]:
+        """Copy of the faults actually fired, in order."""
+        with self._lock:
+            return list(self._injected)
+
+    def op_counts(self, ops: tuple[str, ...] = DURABLE_OPS
+                  ) -> dict[str, int]:
+        """How many recorded calls each operation in ``ops`` saw."""
+        counts = dict.fromkeys(ops, 0)
+        for op, _ in self.log:
+            if op in counts:
+                counts[op] += 1
+        return counts
+
+    # -- the interposition ---------------------------------------------
+    def _before(self, op: str, path: str | Path) -> str | None:
+        target = str(path)
+        with self._lock:
+            if self.record:
+                self._log.append((op, target))
+            mode = self._decide(op, target)
+        if mode is None:
+            return None
+        if mode == "delay":
+            self._sleep(self.delay_s)
+            return None
+        if mode in ("torn", "torn-kill") and op not in _TEARABLE_OPS:
+            # tearing is a data-write concept; degrade gracefully
+            mode = "fail" if mode == "torn" else "kill"
+        if mode == "kill":
+            raise ChaosKill(
+                f"chaos: simulated kill -9 at {op} of {target}")
+        if mode == "fail":
+            raise OSError(
+                f"chaos: injected {op} failure on {target}")
+        return mode  # torn / torn-kill, honoured by the write ops
+
+    def _decide(self, op: str, target: str) -> str | None:
+        """Which mode (if any) fires for this call; counters advance
+        for every matching clause.  Callers hold the lock."""
+        fired: str | None = None
+        for slot, clause in enumerate(self.clauses):
+            if not clause.matches(op, target):
+                continue
+            self._seen[slot] += 1
+            if fired is None and self._seen[slot] == clause.index:
+                fired = clause.mode
+                self._injected.append({
+                    "clause": clause.spec(), "op": op, "path": target,
+                    "mode": clause.mode})
+        return fired
+
+
+# ---------------------------------------------------------------------
+# The process-wide default plane.
+# ---------------------------------------------------------------------
+_default_fs: FsOps = FsOps()
+_install_lock = threading.Lock()
+
+
+def default_fs() -> FsOps:
+    """The currently installed filesystem plane."""
+    return _default_fs
+
+
+def install_fs(fs: FsOps | None) -> FsOps:
+    """Install ``fs`` process-wide (``None`` restores the real plane);
+    returns the previously installed plane."""
+    global _default_fs
+    with _install_lock:
+        previous = _default_fs
+        _default_fs = fs if fs is not None else FsOps()
+        return previous
+
+
+@contextmanager
+def fs_installed(fs: FsOps) -> Iterator[FsOps]:
+    """Temporarily install ``fs`` as the process-wide plane."""
+    previous = install_fs(fs)
+    try:
+        yield fs
+    finally:
+        install_fs(previous)

@@ -6,6 +6,13 @@ temporary sibling, flushed and fsynced, then published with a single
 ``os.replace``/``os.rename`` -- so a reader never observes a partially
 written file, and a crash mid-write leaves only a ``.tmp`` orphan that
 is ignored (and cleaned up) by the next run.
+
+Every filesystem touch routes through an :class:`~repro.chaos.fsops`
+plane: callers may pass an explicit ``fs`` (tests), or install one
+process-wide (``repro.chaos.fsops.install_fs``) to drive the whole
+stack -- result cache included -- through a deterministic fault
+schedule.  The default plane is the real filesystem and adds no
+overhead beyond one attribute lookup.
 """
 
 from __future__ import annotations
@@ -13,69 +20,52 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro.chaos.fsops import FsOps, default_fs
+
 #: suffix marking unpublished temporaries; readers must skip these.
 TMP_PREFIX = ".tmp-"
 
 
-def _fsync_dir(directory: Path) -> None:
-    """Flush a directory entry so a rename survives power loss.
-
-    Best effort: some filesystems (and platforms) refuse to open
-    directories; losing the fsync only weakens crash durability, never
-    atomicity, so those errors are ignored.
-    """
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform dependent
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - platform dependent
-        pass
-    finally:
-        os.close(fd)
-
-
-def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+def atomic_write_bytes(path: str | Path, data: bytes,
+                       fs: FsOps | None = None) -> None:
     """Write ``data`` to ``path`` atomically (write-temp-then-rename).
 
     An existing file at ``path`` is replaced in one step; concurrent
     readers see either the old content or the new, never a mixture.
     """
+    plane = fs if fs is not None else default_fs()
     path = Path(path)
     tmp = path.parent / f"{TMP_PREFIX}{path.name}.{os.getpid()}"
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
+    plane.write_bytes(tmp, data)
+    plane.fsync(tmp)
     try:
-        os.replace(tmp, path)
+        plane.replace(tmp, path)
     except OSError:
         tmp.unlink(missing_ok=True)
         raise
-    _fsync_dir(path.parent)
+    plane.fsync_dir(path.parent)
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
+def atomic_write_text(path: str | Path, text: str,
+                      fs: FsOps | None = None) -> None:
     """Atomic UTF-8 text variant of :func:`atomic_write_bytes`."""
-    atomic_write_bytes(path, text.encode("utf-8"))
+    atomic_write_bytes(path, text.encode("utf-8"), fs=fs)
 
 
-def publish_dir(tmp_dir: str | Path, final_dir: str | Path) -> None:
+def publish_dir(tmp_dir: str | Path, final_dir: str | Path,
+                fs: FsOps | None = None) -> None:
     """Atomically publish a fully-written staging directory.
 
     ``tmp_dir`` must be a sibling of ``final_dir`` (same filesystem);
     the rename either installs the complete directory or nothing.
     """
+    plane = fs if fs is not None else default_fs()
     tmp_dir, final_dir = Path(tmp_dir), Path(final_dir)
-    os.rename(tmp_dir, final_dir)
-    _fsync_dir(final_dir.parent)
+    plane.rename(tmp_dir, final_dir)
+    plane.fsync_dir(final_dir.parent)
 
 
-def fsync_file(path: str | Path) -> None:
+def fsync_file(path: str | Path, fs: FsOps | None = None) -> None:
     """fsync an already-written file (staging-directory contents)."""
-    fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+    plane = fs if fs is not None else default_fs()
+    plane.fsync(path)

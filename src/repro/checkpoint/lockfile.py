@@ -24,6 +24,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.chaos.fsops import FsOps, default_fs
 from repro.errors import CheckpointError
 
 #: per-process uniquifier for break-aside file names (pid + counter is
@@ -47,19 +48,29 @@ class FileLock:
         :class:`LockTimeout`.
     poll_s:
         Sleep between acquisition attempts.
+    fs:
+        Filesystem plane for every mutation (create, break-aside
+        rename/link, release unlink); ``None`` resolves the
+        process-wide default at each call, so an installed chaos plane
+        reaches locks constructed earlier.
 
     Re-entrant within one instance (a held lock counts acquisitions),
     so a locked compound operation may call another locked helper.
     """
 
     def __init__(self, path: str | Path, timeout_s: float = 30.0,
-                 poll_s: float = 0.02) -> None:
+                 poll_s: float = 0.02, fs: FsOps | None = None) -> None:
         if timeout_s <= 0:
             raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
         self.path = Path(path)
         self.timeout_s = float(timeout_s)
         self.poll_s = float(poll_s)
+        self._fs = fs
         self._depth = 0
+
+    @property
+    def fs(self) -> FsOps:
+        return self._fs if self._fs is not None else default_fs()
 
     # -- acquisition ---------------------------------------------------
     def acquire(self) -> "FileLock":
@@ -88,7 +99,7 @@ class FileLock:
         self._depth -= 1
         if self._depth == 0:
             try:
-                self.path.unlink()
+                self.fs.unlink(self.path)
             except FileNotFoundError:  # broken as stale; nothing to do
                 pass
 
@@ -105,15 +116,8 @@ class FileLock:
     # -- internals -----------------------------------------------------
     def _try_create(self) -> bool:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        try:
-            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            return False
-        try:
-            os.write(fd, str(os.getpid()).encode())
-        finally:
-            os.close(fd)
-        return True
+        return self.fs.create_exclusive(
+            self.path, str(os.getpid()).encode())
 
     def _owner_pid(self) -> int | None:
         try:
@@ -144,9 +148,9 @@ class FileLock:
         aside = self.path.with_name(
             f"{self.path.name}.break-{os.getpid()}-{next(_BREAK_SEQ)}")
         try:
-            os.rename(self.path, aside)
-        except OSError:  # gone: another waiter broke it first
-            return
+            self.fs.rename(self.path, aside)
+        except OSError:  # gone: another waiter broke it first, or the
+            return       # fault plane vetoed the break -- retry later
         try:
             owner = int(aside.read_text().strip())
         except (OSError, ValueError):
@@ -164,7 +168,7 @@ class FileLock:
         # dropped (best effort -- the window requires two back-to-back
         # lost races and is vanishingly small).
         try:
-            os.link(aside, self.path)
+            self.fs.link(aside, self.path)
         except OSError:
             pass
         aside.unlink(missing_ok=True)

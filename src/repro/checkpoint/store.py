@@ -27,8 +27,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.checkpoint.atomic import (TMP_PREFIX, atomic_write_text,
-                                     fsync_file, publish_dir)
+from repro.chaos.fsops import FsOps, default_fs
+from repro.checkpoint.atomic import TMP_PREFIX, fsync_file, publish_dir
 from repro.checkpoint.lockfile import FileLock
 from repro.checkpoint.trigger import wall_clock_time
 from repro.errors import CheckpointError
@@ -50,14 +50,21 @@ def _npz_bytes(arrays: dict[str, np.ndarray]) -> bytes:
 class CheckpointStore:
     """Owns one checkpoint directory tree (see module docstring)."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path,
+                 fs: FsOps | None = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._fs = fs
         # Serialises compound operations (index allocation + publish,
         # retention pruning) against other *processes* sharing this
         # directory; single-process writes were always ordered.
-        self._lock = FileLock(self.root / ".store.lock")
+        self._lock = FileLock(self.root / ".store.lock", fs=fs)
         self._clean_stale_tmp()
+
+    @property
+    def fs(self) -> FsOps:
+        """The filesystem plane every durable write routes through."""
+        return self._fs if self._fs is not None else default_fs()
 
     # -- write ---------------------------------------------------------
     def save(self, payload: object, arrays: dict[str, np.ndarray],
@@ -75,7 +82,7 @@ class CheckpointStore:
             index = self._next_index()
             final_dir = self.root / f"ckpt-{index:08d}"
             tmp_dir = self.root / f"{TMP_PREFIX}ckpt-{index:08d}"
-            tmp_dir.mkdir()
+            self.fs.mkdir(tmp_dir)
 
             npz = _npz_bytes(arrays)
             manifest = {
@@ -87,14 +94,15 @@ class CheckpointStore:
                 "arrays_sha256": hashlib.sha256(npz).hexdigest(),
                 "payload": payload,
             }
-            (tmp_dir / _ARRAYS).write_bytes(npz)
-            fsync_file(tmp_dir / _ARRAYS)
+            self.fs.write_bytes(tmp_dir / _ARRAYS, npz)
+            fsync_file(tmp_dir / _ARRAYS, fs=self.fs)
             # Inside the unpublished staging dir a plain write is fine;
             # the rename below is the atomicity barrier.
-            (tmp_dir / _MANIFEST).write_text(
+            self.fs.write_text(
+                tmp_dir / _MANIFEST,
                 json.dumps(manifest, indent=1, sort_keys=True))
-            fsync_file(tmp_dir / _MANIFEST)
-            publish_dir(tmp_dir, final_dir)
+            fsync_file(tmp_dir / _MANIFEST, fs=self.fs)
+            publish_dir(tmp_dir, final_dir, fs=self.fs)
             return final_dir
 
     # -- read ----------------------------------------------------------

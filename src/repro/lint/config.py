@@ -40,15 +40,18 @@ RULE_SCOPES: dict[str, RuleScope] = {
     # of (inputs, seed).  repro/perf is in scope with the same
     # perf_counter-only carve-out: its profiling spans are telemetry,
     # but a time.time() there could leak wall-clock state into cached
-    # results.  trigger.py and service/scheduler.py host the two
-    # sanctioned wall-clock reads (manifest timestamps / job-record
-    # timestamps; neither ever feeds an estimate).
+    # results.  trigger.py, service/scheduler.py and chaos/clock.py
+    # host the three sanctioned wall-clock seams (manifest timestamps /
+    # job-record timestamps / fault-harness telemetry; none ever feeds
+    # an estimate).
     "REP002": RuleScope(
         include=("*repro/core/*", "*repro/runtime/*", "*repro/rtn/*",
                  "*repro/ml/*", "*repro/checkpoint/*", "*repro/health/*",
-                 "*repro/perf/*", "*repro/service/*"),
+                 "*repro/perf/*", "*repro/service/*",
+                 "*repro/chaos/*"),
         exclude=("*repro/checkpoint/trigger.py",
-                 "*repro/service/scheduler.py")),
+                 "*repro/service/scheduler.py",
+                 "*repro/chaos/clock.py")),
     # The runtime retry layer's job is catching everything: any chunk
     # failure must be retried or demoted to the serial fallback.
     "REP006": RuleScope(exclude=("*repro/runtime/executor.py",)),
@@ -174,8 +177,20 @@ FINGERPRINT_CONTRACTS: tuple[FingerprintContract, ...] = (
             "max_simulations", "n_samples", "quick", "grid_points",
             "health_policy", "pfail", "array",
         }),
-        excluded=frozenset({"priority", "checkpoint_every"}),
+        excluded=frozenset({"priority", "checkpoint_every",
+                            "max_attempts"}),
         exclusion_constant="_SCHEDULING_FIELDS"),
+    # Resilience knobs (fault schedules, leases, attempt budgets) may
+    # change how often a job runs, never what it computes: a job
+    # retried under a different lease must still hit the result cache,
+    # so every field is excluded and the constant pins the set.
+    FingerprintContract(
+        cls="repro.chaos.config.ChaosConfig",
+        excluded=frozenset({
+            "inject_fs", "lease_s", "watchdog_interval_s",
+            "max_attempts", "heartbeat_s",
+        }),
+        exclusion_constant="_RESILIENCE_FIELDS"),
     # The array-reliability question: every field changes the decision
     # tables, so everything is identity (result_fields() embeds the
     # whole nested config).

@@ -74,6 +74,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=QuotaPolicy.max_simulations,
                        help="hard per-job simulation ceiling (larger "
                             "requests are clamped)")
+    serve.add_argument("--lease", type=float, default=60.0,
+                       metavar="SECONDS", dest="lease_s",
+                       help="worker lease on a running job; the "
+                            "watchdog re-queues jobs whose lease "
+                            "expired (default: 60)")
+    serve.add_argument("--watchdog-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="lease sweep cadence (default: lease/4)")
+    serve.add_argument("--max-attempts", type=_positive_int, default=3,
+                       help="attempt budget before a repeatedly "
+                            "failing job is dead-lettered "
+                            "(default: 3)")
+    # test/CI only: deterministic filesystem fault schedule, e.g.
+    # 'rename:3:fail' (see docs/ROBUSTNESS.md, service chaos)
+    serve.add_argument("--inject-fs", default=None,
+                       help=argparse.SUPPRESS)
 
     submit = sub.add_parser("submit", help="submit one estimation job")
     submit.add_argument("--url", default=DEFAULT_URL)
@@ -113,6 +129,10 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--priority", type=int, default=0)
     submit.add_argument("--checkpoint-every", type=_positive_int,
                         default=1000)
+    submit.add_argument("--max-attempts", type=_positive_int,
+                        default=None,
+                        help="per-job attempt budget before "
+                             "dead-lettering (default: the daemon's)")
     submit.add_argument("--wait", action="store_true",
                         help="block until the job is terminal and "
                              "print its final record")
@@ -123,6 +143,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     jobs = sub.add_parser("jobs", help="list all jobs")
     jobs.add_argument("--url", default=DEFAULT_URL)
+    jobs.add_argument("--table", action="store_true",
+                      help="render an aligned summary table (id, "
+                           "state, attempts, pfail, error) instead "
+                           "of JSON")
 
     job = sub.add_parser("job", help="inspect or act on one job")
     job.add_argument("id")
@@ -134,6 +158,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print the event feed")
     action.add_argument("--cancel", action="store_true",
                         help="request cancellation")
+    action.add_argument("--requeue", action="store_true",
+                        help="revive a dead-lettered job (resets its "
+                             "attempt budget)")
     job.add_argument("--since", type=int, default=0,
                      help="--events: skip the first N events")
     job.add_argument("--follow", action="store_true",
@@ -155,6 +182,8 @@ def _spec_from_args(args: argparse.Namespace) -> dict:
         spec["alpha"] = args.alpha
     if args.max_simulations is not None:
         spec["max_simulations"] = args.max_simulations
+    if args.max_attempts is not None:
+        spec["max_attempts"] = args.max_attempts
     if args.kind == "array":
         from repro.analysis.ecc import ArrayConfig, parse_capacity
 
@@ -185,10 +214,34 @@ def _emit(payload: object) -> None:
     print(json.dumps(payload, indent=1, sort_keys=True))
 
 
+def _jobs_table(records: list[dict]) -> str:
+    """Aligned operator summary of ``ecripse jobs`` output."""
+    headers = ("ID", "STATE", "ATTEMPTS", "PFAIL", "ERROR")
+    rows = [headers]
+    for record in records:
+        pfail = record.get("pfail")
+        error = record.get("error") or ""
+        if len(error) > 40:
+            error = error[:37] + "..."
+        rows.append((
+            str(record.get("id", "?")),
+            str(record.get("state", "?")),
+            str(record.get("attempts", 0)),
+            f"{pfail:.3e}" if pfail is not None else "-",
+            error or "-"))
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(headers))]
+    lines = ["  ".join(cell.ljust(width)
+                       for cell, width in zip(row, widths)).rstrip()
+             for row in rows]
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "serve":
+            from repro.chaos.config import ChaosConfig
             from repro.service.scheduler import QuotaPolicy as Quota
             from repro.service.server import ServeConfig, ServiceDaemon
 
@@ -199,7 +252,12 @@ def main(argv: list[str] | None = None) -> int:
                 quota=Quota(default_simulations=args.quota_default,
                             max_simulations=args.quota_max),
                 checkpoint_keep=args.checkpoint_keep,
-                solve_cache=args.solve_cache)
+                solve_cache=args.solve_cache,
+                chaos=ChaosConfig(
+                    inject_fs=args.inject_fs,
+                    lease_s=args.lease_s,
+                    watchdog_interval_s=args.watchdog_interval,
+                    max_attempts=args.max_attempts))
             return ServiceDaemon(config).run()
 
         client = ServiceClient(args.url)
@@ -215,11 +273,17 @@ def main(argv: list[str] | None = None) -> int:
                 return 0 if final["state"] == "done" else 1
             return 0
         if args.command == "jobs":
-            _emit(client.jobs())
+            records = client.jobs()
+            if args.table:
+                print(_jobs_table(records))
+            else:
+                _emit(records)
             return 0
         if args.command == "job":
             if args.cancel:
                 _emit(client.cancel(args.id))
+            elif args.requeue:
+                _emit(client.requeue(args.id))
             elif args.result:
                 _emit(client.result(args.id))
             elif args.events:

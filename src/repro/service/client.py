@@ -5,33 +5,137 @@ Wraps ``urllib`` -- no dependencies, usable from tests, the CLI
 return the server's parsed JSON; protocol-level failures (HTTP error
 codes, unreachable daemon) raise :class:`~repro.errors.ServiceError`
 with the server's message when one was provided.
+
+Resilience: *idempotent* requests -- every GET, plus ``POST /jobs``,
+which is idempotent by result fingerprint -- are retried on transport
+failures and 503s with capped exponential backoff and full jitter
+(the AWS-style decorrelated sleep that avoids thundering herds when a
+fleet of clients hits one recovering daemon).  A 503-while-draining
+carrying ``Retry-After`` is honoured as the backoff floor.  Event
+streams carry a read timeout and the server's idle heartbeats keep a
+healthy-but-quiet stream alive, so a dead server can no longer block a
+client forever; :meth:`ServiceClient.wait` polls with growing backoff
+instead of a tight loop.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Callable, Iterator
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
 from repro.errors import ServiceError
 
-#: default per-request timeout [s].
+#: default per-request timeout [s]; also the stream read timeout, so
+#: it must comfortably exceed the server's heartbeat interval.
 DEFAULT_TIMEOUT_S = 30.0
+
+#: HTTP status codes worth retrying (the request never ran, or the
+#: server explicitly said "come back later").
+_RETRYABLE_CODES = frozenset({503})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with full jitter.
+
+    Attempt ``n`` (0-based) sleeps ``uniform(0, min(cap_s, base_s *
+    2**n))`` before retrying -- the full-jitter variant spreads a fleet
+    of synchronised clients across the whole window instead of
+    re-colliding them at fixed multiples.  ``attempts`` counts tries
+    including the first; ``attempts=1`` disables retrying.
+    """
+
+    attempts: int = 4
+    base_s: float = 0.2
+    cap_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(
+                f"attempts must be >= 1, got {self.attempts}")
+        if self.base_s <= 0 or self.cap_s < self.base_s:
+            raise ValueError(
+                f"need 0 < base_s <= cap_s, got base_s={self.base_s}, "
+                f"cap_s={self.cap_s}")
+
+    def backoff_s(self, attempt: int, rng: random.Random,
+                  floor_s: float = 0.0) -> float:
+        """Sleep before retry ``attempt`` (0-based), >= ``floor_s``."""
+        window = min(self.cap_s, self.base_s * (2.0 ** attempt))
+        return max(floor_s, rng.uniform(0.0, window))
+
+
+class _Retryable(Exception):
+    """Internal: transport failure worth another attempt."""
+
+    def __init__(self, wrapped: ServiceError,
+                 retry_after_s: float = 0.0) -> None:
+        super().__init__(str(wrapped))
+        self.wrapped = wrapped
+        self.retry_after_s = retry_after_s
+
+
+def _retry_after_s(exc: HTTPError) -> float:
+    """The server's Retry-After hint in seconds (0 when absent)."""
+    value = exc.headers.get("Retry-After") if exc.headers else None
+    try:
+        return max(0.0, float(value)) if value is not None else 0.0
+    except ValueError:
+        return 0.0
 
 
 class ServiceClient:
-    """Client bound to one daemon base URL (e.g. ``http://127.0.0.1:8765``)."""
+    """Client bound to one daemon base URL (e.g. ``http://127.0.0.1:8765``).
+
+    ``retry`` tunes the idempotent-request retry policy
+    (``RetryPolicy(attempts=1)`` disables it); ``sleep`` and ``rng``
+    are injectable for tests -- the jitter source is operational
+    randomness that never touches an estimate.
+    """
 
     def __init__(self, base_url: str,
-                 timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 retry: RetryPolicy | None = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: random.Random | None = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._rng = rng if rng is not None \
+            else random.Random()  # repro: allow-global-rng
 
     # -- raw transport -------------------------------------------------
     def _request(self, method: str, path: str,
-                 payload: object | None = None) -> dict:
+                 payload: object | None = None,
+                 idempotent: bool | None = None) -> dict:
+        """One JSON request; idempotent ones retried per the policy.
+
+        ``idempotent`` defaults to ``method == "GET"``; ``POST /jobs``
+        passes ``True`` explicitly (safe to repeat: the fingerprint
+        dedupes on the server, a duplicate is a pure cache hit).
+        """
+        if idempotent is None:
+            idempotent = method == "GET"
+        attempts = self.retry.attempts if idempotent else 1
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, payload)
+            except _Retryable as failure:
+                if attempt + 1 >= attempts:
+                    raise failure.wrapped from failure
+                self._sleep(self.retry.backoff_s(
+                    attempt, self._rng,
+                    floor_s=failure.retry_after_s))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, method: str, path: str,
+                      payload: object | None = None) -> dict:
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -48,20 +152,31 @@ class ServiceClient:
                 detail = json.loads(detail).get("error", detail)
             except json.JSONDecodeError:
                 pass
-            raise ServiceError(
-                f"{method} {path} failed ({exc.code}): {detail}") from exc
-        except URLError as exc:
-            raise ServiceError(
+            error = ServiceError(
+                f"{method} {path} failed ({exc.code}): {detail}")
+            if exc.code in _RETRYABLE_CODES:
+                raise _Retryable(
+                    error, retry_after_s=_retry_after_s(exc)) from exc
+            raise error from exc
+        except (URLError, TimeoutError) as exc:
+            reason = getattr(exc, "reason", exc)
+            raise _Retryable(ServiceError(
                 f"cannot reach service at {self.base_url}: "
-                f"{exc.reason}") from exc
+                f"{reason}")) from exc
 
     # -- endpoints -----------------------------------------------------
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 
     def submit(self, spec: dict) -> dict:
-        """Submit one job spec; returns the created job record."""
-        return self._request("POST", "/jobs", payload=spec)
+        """Submit one job spec; returns the created job record.
+
+        Retried like a GET: submission is idempotent by fingerprint,
+        so re-sending after an ambiguous transport failure either
+        creates the job or lands a zero-cost duplicate.
+        """
+        return self._request("POST", "/jobs", payload=spec,
+                             idempotent=True)
 
     def jobs(self) -> list[dict]:
         return self._request("GET", "/jobs")["jobs"]
@@ -76,10 +191,25 @@ class ServiceClient:
     def cancel(self, job_id: str) -> dict:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
+    def requeue(self, job_id: str) -> dict:
+        """Revive a dead-lettered job (``dead/failed -> queued``).
+
+        Not retried: after an ambiguous failure the job may already be
+        queued again, and the second attempt's 409 must surface rather
+        than be papered over.
+        """
+        return self._request("POST", f"/jobs/{job_id}/requeue")
+
     def events(self, job_id: str, since: int = 0) -> list[dict]:
         """The event feed so far (non-streaming snapshot)."""
+        return self._events_once(job_id, since, follow=False)
+
+    def _events_once(self, job_id: str, since: int,
+                     follow: bool) -> list[dict]:
+        suffix = "&follow=1" if follow else ""
         request = Request(
-            f"{self.base_url}/jobs/{job_id}/events?since={int(since)}")
+            f"{self.base_url}/jobs/{job_id}/events"
+            f"?since={int(since)}{suffix}")
         try:
             with urlopen(request, timeout=self.timeout_s) as response:
                 return [json.loads(line)
@@ -94,31 +224,62 @@ class ServiceClient:
 
         Uses the server's ``follow`` mode: one long-lived response,
         newline-delimited JSON, closed by the server once the job is
-        terminal (or the daemon drains).
+        terminal (or the daemon drains).  The socket carries a read
+        timeout; the server's idle heartbeats (filtered out here) keep
+        a healthy stream inside it, so a timeout means the server is
+        actually gone -- the stream then reconnects from its cursor
+        under the retry policy before giving up.
         """
-        request = Request(f"{self.base_url}/jobs/{job_id}/events"
-                          f"?since={int(since)}&follow=1")
-        try:
-            with urlopen(request, timeout=None) as response:
-                for line in response:
-                    line = line.strip()
-                    if line:
-                        yield json.loads(line)
-        except (HTTPError, URLError) as exc:
-            raise ServiceError(
-                f"event stream for {job_id} failed: {exc}") from exc
+        cursor = int(since)
+        failures = 0
+        while True:
+            request = Request(f"{self.base_url}/jobs/{job_id}/events"
+                              f"?since={cursor}&follow=1")
+            try:
+                with urlopen(request,
+                             timeout=self.timeout_s) as response:
+                    for line in response:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        event = json.loads(line)
+                        if event.get("kind") == "heartbeat":
+                            # server keep-alive, not a stored event:
+                            # resets the read timeout, never the cursor
+                            continue
+                        cursor += 1
+                        failures = 0
+                        yield event
+                return  # server closed the stream: job is terminal
+            except (HTTPError, URLError, TimeoutError) as exc:
+                failures += 1
+                if failures >= self.retry.attempts:
+                    raise ServiceError(
+                        f"event stream for {job_id} failed: "
+                        f"{exc}") from exc
+                self._sleep(self.retry.backoff_s(failures - 1,
+                                                 self._rng))
 
     # -- conveniences --------------------------------------------------
     def wait(self, job_id: str, timeout_s: float = 600.0,
-             poll_s: float = 0.2) -> dict:
-        """Poll until the job is terminal; returns its final record."""
+             poll_s: float = 0.2, max_poll_s: float = 2.0) -> dict:
+        """Poll until the job is terminal; returns its final record.
+
+        The poll interval grows 1.5x per round up to ``max_poll_s`` --
+        long jobs no longer see a tight 5 Hz poll loop -- and each
+        ``GET`` inherits the transport retry policy, so a daemon
+        restart mid-wait is survived transparently.
+        """
         deadline = time.monotonic() + timeout_s
+        interval = poll_s
         while True:
             record = self.job(job_id)
-            if record["state"] in ("done", "failed", "cancelled"):
+            if record["state"] in ("done", "failed", "cancelled",
+                                   "dead"):
                 return record
             if time.monotonic() >= deadline:
                 raise ServiceError(
                     f"job {job_id} still {record['state']} after "
                     f"{timeout_s:.0f}s")
-            time.sleep(poll_s)
+            self._sleep(interval)
+            interval = min(max_poll_s, interval * 1.5)

@@ -3,19 +3,29 @@
 States::
 
     queued ------> running ------> done
-      |             |  ^  \\-----> failed
-      |             v  |   \\----> cancelled
-      |      checkpointed
-      |             |
-      +-------------+----------> cancelled
+      ^  |          |  ^  \\-----> failed ----> dead
+      |  |          v  |                \\----> queued (retry)
+      |  |   checkpointed ------> dead
+      |  |          |
+      |  +----------+----------> cancelled
+      +--- dead (requeue)
 
 ``checkpointed`` is the resumable-pause state: a job lands there when
 the daemon shuts down gracefully mid-run (snapshot force-saved at a safe
-boundary) or when a restarted daemon finds a job that was ``running``
-when the previous process was killed (the snapshot on disk is whatever
+boundary), when a restarted daemon finds a job that was ``running``
+when the previous process was killed, or when the watchdog reclaims a
+lease-expired job from a hung worker (the snapshot on disk is whatever
 the periodic cadence last published).  Either way the scheduler feeds
 it back to a worker, which restores the snapshot and continues to a
 bit-identical result.
+
+``dead`` is the dead-letter state: a job whose attempt budget is spent
+(repeated failures or lease expiries) parks there with its last error
+and full attempt history intact, instead of looping through the queue
+forever.  An operator may revive it (``dead -> queued`` via the
+requeue endpoint); nothing else leaves ``dead``.  ``failed`` likewise
+gained exits -- the daemon retries a failed job (``failed -> queued``)
+while budget remains, and buries it (``failed -> dead``) once spent.
 
 Transitions are validated centrally in :meth:`JobRecord.transition`;
 an illegal edge raises :class:`~repro.errors.ServiceError`, which is
@@ -43,25 +53,32 @@ class JobState(str, Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    DEAD = "dead"
 
 
 #: legal state-machine edges.
 TRANSITIONS: dict[JobState, frozenset[JobState]] = {
     JobState.QUEUED: frozenset(
-        {JobState.RUNNING, JobState.CANCELLED}),
+        {JobState.RUNNING, JobState.CANCELLED, JobState.DEAD}),
     JobState.RUNNING: frozenset(
         {JobState.CHECKPOINTED, JobState.DONE, JobState.FAILED,
          JobState.CANCELLED}),
     JobState.CHECKPOINTED: frozenset(
-        {JobState.RUNNING, JobState.CANCELLED}),
+        {JobState.RUNNING, JobState.CANCELLED, JobState.DEAD}),
     JobState.DONE: frozenset(),
-    JobState.FAILED: frozenset(),
+    # retry while the attempt budget lasts; dead-letter once it is spent
+    JobState.FAILED: frozenset({JobState.QUEUED, JobState.DEAD}),
     JobState.CANCELLED: frozenset(),
+    # operator revival via POST /jobs/<id>/requeue
+    JobState.DEAD: frozenset({JobState.QUEUED}),
 }
 
-#: states a job never leaves.
+#: states the daemon itself never moves a job out of.  ``failed`` and
+#: ``dead`` keep *operator* exits (retry/requeue) in TRANSITIONS, but a
+#: job resting in any of these states is finished as far as waiting
+#: clients are concerned.
 TERMINAL_STATES = frozenset(
-    {JobState.DONE, JobState.FAILED, JobState.CANCELLED})
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.DEAD})
 
 
 @dataclass
@@ -72,6 +89,14 @@ class JobRecord:
     result's headline numbers, denormalised into the record so listing
     jobs does not re-read result files; the full estimate lives in the
     result store keyed by :attr:`fingerprint`.
+
+    ``lease_owner``/``lease_expires_at`` describe the worker currently
+    charged with the job: set when a worker starts an attempt, renewed
+    at checkpoint boundaries, cleared whenever the job leaves
+    ``running``.  A ``running`` record whose lease has expired is the
+    watchdog's signal that its worker hung or died.  Additive fields --
+    records written before they existed load with both ``None``, so
+    the record schema is unchanged.
     """
 
     id: str
@@ -86,11 +111,24 @@ class JobRecord:
     pfail: float | None = None
     ci_halfwidth: float | None = None
     n_simulations: int | None = None
+    lease_owner: str | None = None
+    lease_expires_at: float | None = None
     history: list[list] = field(default_factory=list)
 
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    def lease_expired(self, at: float) -> bool:
+        """True when a ``running`` job's worker lease has lapsed."""
+        return (self.state is JobState.RUNNING
+                and self.lease_expires_at is not None
+                and at >= self.lease_expires_at)
+
+    def clear_lease(self) -> None:
+        """Drop the worker lease (job is leaving ``running``)."""
+        self.lease_owner = None
+        self.lease_expires_at = None
 
     def transition(self, to_state: JobState, at: float) -> None:
         """Apply one validated state-machine edge in place."""
@@ -119,6 +157,8 @@ class JobRecord:
             "pfail": self.pfail,
             "ci_halfwidth": self.ci_halfwidth,
             "n_simulations": self.n_simulations,
+            "lease_owner": self.lease_owner,
+            "lease_expires_at": self.lease_expires_at,
             "history": [list(entry) for entry in self.history],
         }
 
@@ -146,6 +186,8 @@ class JobRecord:
                 pfail=data.get("pfail"),
                 ci_halfwidth=data.get("ci_halfwidth"),
                 n_simulations=data.get("n_simulations"),
+                lease_owner=data.get("lease_owner"),
+                lease_expires_at=data.get("lease_expires_at"),
                 history=[list(entry) for entry in data.get("history", [])],
             )
         except (KeyError, TypeError, ValueError) as exc:

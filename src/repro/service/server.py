@@ -19,6 +19,17 @@ resumes from its last snapshot to a bit-identical result.  Graceful
 shutdown (SIGTERM/SIGINT) is cheaper: workers drain their jobs to the
 next checkpoint-safe boundary, force-save, and exit with everything
 ``checkpointed``.
+
+Resilience model (:class:`~repro.chaos.config.ChaosConfig`): every
+``running`` job carries a worker *lease* that the worker renews at
+checkpoint boundaries; the :class:`Watchdog` thread reclaims jobs whose
+lease expired (hung or died worker) back to ``checkpointed`` and
+re-queues them.  A failing job is retried until its attempt budget is
+spent, then *dead-lettered* (terminal ``dead`` state, last error and
+history preserved) instead of looping forever; ``POST
+/jobs/<id>/requeue`` revives it.  For crash-consistency testing the
+daemon can route every durable write through a deterministic fault
+schedule (``--inject-fs``, see :mod:`repro.chaos.fsops`).
 """
 
 from __future__ import annotations
@@ -34,6 +45,8 @@ from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
 from repro.analysis.persistence import estimate_to_dict
+from repro.chaos.config import ChaosConfig
+from repro.chaos.fsops import ChaosFsOps, install_fs
 from repro.core.estimate import FailureEstimate
 from repro.errors import ServiceError, ShutdownRequested
 from repro.perf import PerfConfig, save_registered_caches
@@ -66,11 +79,46 @@ class ServeConfig:
     quota: QuotaPolicy = field(default_factory=QuotaPolicy)
     checkpoint_keep: int = 3
     solve_cache: str | None = None
+    chaos: ChaosConfig = field(default_factory=ChaosConfig)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+class Watchdog:
+    """Background lease sweeper.
+
+    Periodically calls :meth:`ServiceDaemon.sweep_leases`, reclaiming
+    ``running`` jobs whose worker lease expired: back to
+    ``checkpointed`` and re-queued while attempt budget remains,
+    dead-lettered once it is spent.  The sweep interval defaults to a
+    quarter of the lease, so a hung worker's job is back in the queue
+    well within one lease interval of the expiry.
+    """
+
+    def __init__(self, daemon: "ServiceDaemon",
+                 interval_s: float) -> None:
+        self._daemon = daemon
+        self.interval_s = float(interval_s)
+        self.thread = threading.Thread(target=self._loop,
+                                       name="service-watchdog",
+                                       daemon=True)
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def _loop(self) -> None:
+        coordinator = self._daemon.coordinator
+        while not coordinator.requested:
+            slept = 0.0
+            while slept < self.interval_s and not coordinator.requested:
+                time.sleep(min(_POLL_S, self.interval_s - slept))
+                slept += _POLL_S
+            if coordinator.requested:
+                return
+            self._daemon.sweep_leases(now())
 
 
 class ServiceDaemon:
@@ -85,10 +133,24 @@ class ServiceDaemon:
                                          workers=config.backend_workers)
         self._httpd: ThreadingHTTPServer | None = None
         self._threads: list[threading.Thread] = []
+        self._chaos_fs: ChaosFsOps | None = None
+        self.watchdog: Watchdog | None = None
+        # watchdog/lease telemetry for /healthz, guarded by its own
+        # lock (written by the watchdog thread, read by HTTP handlers)
+        self._stats_lock = threading.Lock()
+        with self._stats_lock:
+            self._expired_requeued_total = 0
+            self._dead_lettered_total = 0
+            self._watchdog_sweeps = 0
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> str:
         """Recover state, spawn workers, bind HTTP; returns base URL."""
+        if self.config.chaos.inject_fs:
+            # test/CI only: route every durable write through the
+            # deterministic fault schedule until shutdown
+            self._chaos_fs = ChaosFsOps(self.config.chaos.inject_fs)
+            install_fs(self._chaos_fs)
         for job_id in self.store.recover(now()):
             record = self.store.load(job_id)
             self.scheduler.submit(job_id, record.spec.priority)
@@ -107,6 +169,10 @@ class ServiceDaemon:
                                       daemon=True)
             worker.start()
             self._threads.append(worker)
+        self.watchdog = Watchdog(self,
+                                 self.config.chaos.sweep_interval_s)
+        self.watchdog.start()
+        self._threads.append(self.watchdog.thread)
         return self.address
 
     @property
@@ -124,6 +190,9 @@ class ServiceDaemon:
         for thread in self._threads:
             thread.join(timeout=60)
         save_registered_caches()
+        if self._chaos_fs is not None:
+            install_fs(None)
+            self._chaos_fs = None
 
     def run(self) -> int:
         """Blocking entry point: serve until SIGTERM/SIGINT, drain,
@@ -219,16 +288,8 @@ class ServiceDaemon:
     def _note_worker_error(self, job_id: str, exc: Exception) -> None:
         """Best-effort durable trace of an unexpected worker failure."""
         detail = f"unexpected worker error: {type(exc).__name__}: {exc}"
-        at = now()
-
-        def fail(rec: JobRecord) -> None:
-            rec.transition(JobState.FAILED, at)
-            rec.error = detail
-
         try:
-            if self._settle(job_id, fail) is not None:
-                self.store.append_event(job_id, "failed", at,
-                                        error=detail)
+            self._settle_failure(job_id, detail, now())
         except Exception:  # repro: allow-broad-except
             # The record may already be terminal (or unreadable); the
             # stderr line below is then the only trace.
@@ -237,25 +298,171 @@ class ServiceDaemon:
               f"{detail}", file=sys.stderr, flush=True)
 
     def _settle(self, job_id: str,
-                mutate: Callable[[JobRecord], None]) -> JobRecord | None:
-        """Apply a worker-side record update, tolerating a lost cancel
-        race.
+                mutate: Callable[[JobRecord], None],
+                token: str | None = None) -> JobRecord | None:
+        """Apply a worker-side record update, tolerating lost races.
 
         :meth:`cancel` may commit ``queued/running -> cancelled`` after
         the worker loaded the record; the worker's next transition then
         hits an illegal ``cancelled -> X`` edge.  The cancel side
         already wrote the authoritative terminal state, so the worker
         backs off and leaves the record alone (returns ``None``).
+
+        With a ``token``, the update additionally requires that the
+        worker still owns the job's lease: a watchdog reclaim (or a
+        competing attempt) that reassigned the lease wins, and the
+        stale worker backs off the same way.  Any mutation that takes
+        the record out of ``running`` drops the lease centrally, so no
+        caller can forget it.
         """
         def guarded(rec: JobRecord) -> None:
             if rec.state is JobState.CANCELLED:
                 raise _LostRace
+            if token is not None and rec.lease_owner != token:
+                raise _LostRace
             mutate(rec)
+            if rec.state is not JobState.RUNNING:
+                rec.clear_lease()
 
         try:
             return self.store.update(job_id, guarded)
         except _LostRace:
             return None
+
+    def _attempt_budget(self, spec: JobSpec) -> int:
+        """The job's attempt budget (per-job override, else daemon)."""
+        if spec.max_attempts is not None:
+            return spec.max_attempts
+        return self.config.chaos.max_attempts
+
+    def _settle_failure(self, job_id: str, error: str, at: float,
+                        token: str | None = None) -> JobRecord | None:
+        """Record one failed attempt: retry or dead-letter, atomically.
+
+        The record passes through ``failed`` (so the history shows the
+        failure) and lands on ``queued`` while attempt budget remains,
+        or on ``dead`` once it is spent -- both edges inside one
+        durable update, so a crash between them is impossible.
+        """
+        def fail(rec: JobRecord) -> None:
+            rec.transition(JobState.FAILED, at)
+            rec.error = error
+            if rec.attempts >= self._attempt_budget(rec.spec):
+                rec.transition(JobState.DEAD, at)
+            else:
+                rec.transition(JobState.QUEUED, at)
+
+        record = self._settle(job_id, fail, token=token)
+        if record is None:
+            return None
+        if record.state is JobState.DEAD:
+            self.store.append_event(
+                job_id, "dead", at, error=error,
+                attempts=record.attempts,
+                detail=f"attempt budget "
+                       f"{self._attempt_budget(record.spec)} spent; "
+                       f"dead-lettered (requeue to revive)")
+            with self._stats_lock:
+                self._dead_lettered_total += 1
+        else:
+            self.store.append_event(
+                job_id, "failed", at, error=error,
+                attempt=record.attempts,
+                detail="re-queued for retry")
+            self.scheduler.submit(job_id, record.spec.priority)
+        return record
+
+    def _renew_lease(self, job_id: str, token: str) -> bool:
+        """Extend the worker's lease; ``False`` means it was lost.
+
+        Renewal is throttled to the back half of the lease so hot
+        checkpoint cadences do not turn every boundary into a record
+        write; the read that checks ownership is cheap.
+        """
+        at = now()
+        try:
+            record = self.store.load(job_id)
+        except ServiceError:
+            return False
+        if record.lease_owner != token:
+            return False
+        expires = record.lease_expires_at
+        if (expires is not None
+                and expires - at > self.config.chaos.lease_s / 2):
+            return True
+
+        def extend(rec: JobRecord) -> None:
+            rec.lease_expires_at = at + self.config.chaos.lease_s
+
+        return self._settle(job_id, extend, token=token) is not None
+
+    def sweep_leases(self, at: float) -> list[str]:
+        """Reclaim every lease-expired ``running`` job (the watchdog
+        body; callable directly from tests).  Returns the ids swept."""
+        swept: list[str] = []
+        for record in self.store.list_jobs():
+            if not record.lease_expired(at):
+                continue
+            owner = record.lease_owner
+
+            def reclaim(rec: JobRecord, owner: str | None = owner) -> None:
+                if not rec.lease_expired(at):  # re-check under lock
+                    raise _LostRace
+                rec.transition(JobState.CHECKPOINTED, at)
+                rec.clear_lease()
+                if rec.attempts >= self._attempt_budget(rec.spec):
+                    rec.error = (f"worker lease expired (owner "
+                                 f"{owner}) with attempt budget spent")
+                    rec.transition(JobState.DEAD, at)
+
+            try:
+                updated = self.store.update(record.id, reclaim)
+            except (_LostRace, ServiceError):
+                continue  # worker settled (or cancel won) in between
+            swept.append(record.id)
+            if updated.state is JobState.DEAD:
+                self.store.append_event(
+                    record.id, "dead", at, error=updated.error,
+                    attempts=updated.attempts,
+                    detail="lease expired; dead-lettered")
+                with self._stats_lock:
+                    self._dead_lettered_total += 1
+            else:
+                self.store.append_event(
+                    record.id, "lease-expired", at, owner=owner,
+                    attempt=updated.attempts,
+                    detail="watchdog reclaimed hung/killed worker's "
+                           "job; re-queued from last checkpoint")
+                self.scheduler.submit(record.id,
+                                      updated.spec.priority)
+                with self._stats_lock:
+                    self._expired_requeued_total += 1
+        with self._stats_lock:
+            self._watchdog_sweeps += 1
+        return swept
+
+    def requeue(self, job_id: str) -> JobRecord:
+        """Revive a dead-lettered (or legacy ``failed``) job.
+
+        Resets the attempt budget and drops stale error/lease/cancel
+        state; any other starting state raises the usual illegal-
+        transition :class:`~repro.errors.ServiceError` (HTTP 409).
+        """
+        at = now()
+
+        def revive(rec: JobRecord) -> None:
+            rec.transition(JobState.QUEUED, at)
+            rec.error = None
+            rec.attempts = 0
+            rec.clear_lease()
+
+        record = self.store.update(job_id, revive)
+        self.store.clear_cancel(job_id)
+        self.store.append_event(job_id, "requeued", at,
+                                detail="operator requeue; attempt "
+                                       "budget reset")
+        self.scheduler.submit(job_id, record.spec.priority)
+        return record
 
     def _run_job(self, job_id: str) -> None:
         try:
@@ -274,19 +481,30 @@ class ServiceDaemon:
                                         detail="cancelled before running")
             return
 
-        resume = record.state is JobState.CHECKPOINTED
+        # A retried job resumes too: its checkpoint directory holds
+        # whatever the failed/reclaimed attempt last published (or a
+        # completed result whose record settle lost a race), and the
+        # bit-identity guarantee makes restoring it equivalent to --
+        # and much cheaper than -- starting over.
+        resume = (record.state is JobState.CHECKPOINTED
+                  or record.attempts > 0)
         at = now()
+        worker_name = threading.current_thread().name
 
         def start(rec: JobRecord) -> None:
             rec.transition(JobState.RUNNING, at)
             rec.attempts += 1
             rec.error = None
+            rec.lease_owner = f"{worker_name}:{job_id}:a{rec.attempts}"
+            rec.lease_expires_at = at + self.config.chaos.lease_s
 
         record = self._settle(job_id, start)
         if record is None:  # cancel committed between load and start
             return
+        token = record.lease_owner
         self.store.append_event(job_id, "started", at,
                                 attempt=record.attempts, resume=resume,
+                                lease_owner=token,
                                 backend=self.execution.backend)
 
         cached = self._cached_result(record.fingerprint)
@@ -294,8 +512,8 @@ class ServiceDaemon:
             finish_at = now()
             if self._settle(
                     job_id, lambda rec: self._apply_result(
-                        rec, cached, finish_at,
-                        cached_hit=True)) is not None:
+                        rec, cached, finish_at, cached_hit=True),
+                    token=token) is not None:
                 self.store.append_event(job_id, "cache-hit", finish_at,
                                         fingerprint=record.fingerprint,
                                         new_simulations=0)
@@ -307,8 +525,15 @@ class ServiceDaemon:
                                     save_kind=kind)
 
         def interrupt() -> str | None:
-            return ("cancel" if self.store.cancel_requested(job_id)
-                    else None)
+            if self.store.cancel_requested(job_id):
+                return "cancel"
+            if token is not None and not self._renew_lease(job_id,
+                                                           token):
+                # the watchdog reclaimed this job (renewals starved
+                # past the lease); its new owner is authoritative --
+                # drain without touching the record
+                return "lease-lost"
+            return None
 
         perf = (PerfConfig(cache_path=self.config.solve_cache)
                 if self.config.solve_cache is not None else None)
@@ -320,11 +545,16 @@ class ServiceDaemon:
                                interrupt=interrupt, listener=listener)
         except ShutdownRequested as stop:
             at = now()
+            if stop.reason == "lease-lost":
+                # The watchdog already re-queued (or buried) the job;
+                # this worker is a zombie and must not touch it.
+                return
             if stop.reason == "cancel":
                 if self._settle(
                         job_id,
                         lambda rec: rec.transition(JobState.CANCELLED,
-                                                   at)) is not None:
+                                                   at),
+                        token=token) is not None:
                     self.store.append_event(
                         job_id, "cancelled", at,
                         detail="cancelled mid-run; final snapshot kept")
@@ -332,7 +562,8 @@ class ServiceDaemon:
                 if self._settle(
                         job_id,
                         lambda rec: rec.transition(JobState.CHECKPOINTED,
-                                                   at)) is not None:
+                                                   at),
+                        token=token) is not None:
                     self.store.append_event(
                         job_id, "checkpointed", at,
                         detail=f"graceful shutdown ({stop.reason}); "
@@ -340,17 +571,11 @@ class ServiceDaemon:
             return
         except Exception as exc:  # repro: allow-broad-except
             # The job boundary: any estimator failure becomes a durable
-            # ``failed`` record instead of killing the worker thread.
-            at = now()
-
-            def fail(rec: JobRecord) -> None:
-                rec.transition(JobState.FAILED, at)
-                rec.error = f"{type(exc).__name__}: {exc}"
-
-            if self._settle(job_id, fail) is not None:
-                self.store.append_event(
-                    job_id, "failed", at,
-                    error=f"{type(exc).__name__}: {exc}")
+            # record instead of killing the worker thread -- re-queued
+            # while attempt budget remains, dead-lettered after.
+            self._settle_failure(job_id,
+                                 f"{type(exc).__name__}: {exc}",
+                                 now(), token=token)
             return
 
         # The result is published under the spec fingerprint even when
@@ -360,7 +585,8 @@ class ServiceDaemon:
         done_at = now()
         if self._settle(
                 job_id, lambda rec: self._apply_result(
-                    rec, estimate, done_at, cached_hit=False)) is not None:
+                    rec, estimate, done_at, cached_hit=False),
+                token=token) is not None:
             self.store.append_event(
                 job_id, "done", done_at, pfail=float(estimate.pfail),
                 ci_halfwidth=float(estimate.ci_halfwidth),
@@ -387,13 +613,31 @@ class ServiceDaemon:
     def stats(self) -> dict:
         """Health snapshot for ``GET /healthz``."""
         counts: dict[str, int] = {}
+        active_leases = 0
         for record in self.store.list_jobs():
             counts[record.state.value] = counts.get(
                 record.state.value, 0) + 1
+            if (record.state is JobState.RUNNING
+                    and record.lease_owner is not None):
+                active_leases += 1
+        with self._stats_lock:
+            expired_requeued = self._expired_requeued_total
+            dead_lettered = self._dead_lettered_total
+            sweeps = self._watchdog_sweeps
         return {"status": "ok", "queued": len(self.scheduler),
                 "workers": self.config.workers,
                 "backend": self.execution.backend,
-                "jobs": counts}
+                "jobs": counts,
+                "leases": {"active": active_leases,
+                           "lease_s": self.config.chaos.lease_s,
+                           "expired_requeued_total": expired_requeued},
+                "dead_letter": {
+                    "dead_jobs": counts.get(JobState.DEAD.value, 0),
+                    "dead_lettered_total": dead_lettered,
+                    "max_attempts": self.config.chaos.max_attempts},
+                "watchdog": {
+                    "interval_s": self.config.chaos.sweep_interval_s,
+                    "sweeps": sweeps}}
 
 
 def execute(spec, checkpoint_dir, **kwargs):
@@ -416,17 +660,32 @@ def _make_handler(daemon: ServiceDaemon) -> type[BaseHTTPRequestHandler]:
             pass
 
         # -- plumbing --------------------------------------------------
-        def _send_json(self, code: int, payload: object) -> None:
+        def _send_json(self, code: int, payload: object,
+                       headers: dict[str, str] | None = None) -> None:
             body = (json.dumps(payload, indent=1, sort_keys=True)
                     + "\n").encode()
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
-        def _error(self, code: int, message: str) -> None:
-            self._send_json(code, {"error": message})
+        def _error(self, code: int, message: str,
+                   headers: dict[str, str] | None = None) -> None:
+            self._send_json(code, {"error": message}, headers=headers)
+
+        @staticmethod
+        def _error_code(exc: ServiceError) -> int:
+            text = str(exc)
+            if "unknown job" in text:
+                return 404
+            if "illegal transition" in text:
+                # the job exists but is in the wrong state for the
+                # requested action (e.g. requeue of a running job)
+                return 409
+            return 400
 
         def _read_body(self) -> object:
             length = int(self.headers.get("Content-Length", 0))
@@ -459,8 +718,7 @@ def _make_handler(daemon: ServiceDaemon) -> type[BaseHTTPRequestHandler]:
                 else:
                     self._error(404, f"no route for GET {url.path}")
             except ServiceError as exc:
-                code = 404 if "unknown job" in str(exc) else 400
-                self._error(code, str(exc))
+                self._error(self._error_code(exc), str(exc))
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib API)
             url = urlparse(self.path)
@@ -468,18 +726,25 @@ def _make_handler(daemon: ServiceDaemon) -> type[BaseHTTPRequestHandler]:
             try:
                 if parts == ["jobs"]:
                     if daemon.coordinator.requested:
-                        self._error(503, "service is draining")
+                        # Retry-After tells resilient clients this is a
+                        # drain, not a death: another daemon instance
+                        # (or a restart) may accept the job shortly.
+                        self._error(503, "service is draining",
+                                    headers={"Retry-After": "1"})
                         return
                     record = daemon.submit(self._read_body())
                     self._send_json(201, record.as_dict())
                 elif (len(parts) == 3 and parts[0] == "jobs"
                         and parts[2] == "cancel"):
                     self._send_json(200, daemon.cancel(parts[1]).as_dict())
+                elif (len(parts) == 3 and parts[0] == "jobs"
+                        and parts[2] == "requeue"):
+                    self._send_json(200,
+                                    daemon.requeue(parts[1]).as_dict())
                 else:
                     self._error(404, f"no route for POST {url.path}")
             except ServiceError as exc:
-                code = 404 if "unknown job" in str(exc) else 400
-                self._error(code, str(exc))
+                self._error(self._error_code(exc), str(exc))
 
         # -- endpoints -------------------------------------------------
         def _get_result(self, job_id: str) -> None:
@@ -517,6 +782,7 @@ def _make_handler(daemon: ServiceDaemon) -> type[BaseHTTPRequestHandler]:
             self.send_header("Cache-Control", "no-store")
             self.end_headers()
             cursor = max(0, since)
+            idle_s = 0.0
             while True:
                 events = daemon.store.read_events(job_id, since=cursor)
                 for event in events:
@@ -524,6 +790,17 @@ def _make_handler(daemon: ServiceDaemon) -> type[BaseHTTPRequestHandler]:
                         (json.dumps(event, sort_keys=True)
                          + "\n").encode())
                 cursor += len(events)
+                if events:
+                    idle_s = 0.0
+                elif idle_s >= daemon.config.chaos.heartbeat_s:
+                    # Keep-alive for clients with read timeouts: not a
+                    # stored event (the cursor does not advance), just
+                    # proof of life on a quiet stream.  Clients drop
+                    # lines with kind == "heartbeat".
+                    idle_s = 0.0
+                    self.wfile.write(
+                        (json.dumps({"at": now(), "kind": "heartbeat"},
+                                    sort_keys=True) + "\n").encode())
                 self.wfile.flush()
                 if not follow:
                     return
@@ -534,5 +811,6 @@ def _make_handler(daemon: ServiceDaemon) -> type[BaseHTTPRequestHandler]:
                 if daemon.coordinator.requested:
                     return
                 time.sleep(_POLL_S)
+                idle_s += _POLL_S
 
     return Handler

@@ -7,10 +7,11 @@ hints.  The result-determining fields (problem + budget + seed) feed
 two submissions with equal fingerprints are *the same job* and the
 second is served from the result store with zero new simulations.
 
-Scheduling hints (``priority``, ``checkpoint_every``) deliberately stay
-out of the fingerprint, exactly like the execution backend stays out of
-the estimator fingerprints: they change *how* a job runs, never what it
-computes.
+Scheduling hints (``priority``, ``checkpoint_every``, ``max_attempts``)
+deliberately stay out of the fingerprint, exactly like the execution
+backend stays out of the estimator fingerprints: they change *how* (or
+how often) a job runs, never what it computes -- a job retried under a
+different attempt budget must still hit the same result-cache entry.
 """
 
 from __future__ import annotations
@@ -27,7 +28,8 @@ JOB_KINDS: tuple[str, ...] = ("estimate", "naive", "array")
 SPEC_SCHEMA = 1
 
 #: fields that do not participate in the result fingerprint.
-_SCHEDULING_FIELDS = frozenset({"priority", "checkpoint_every"})
+_SCHEDULING_FIELDS = frozenset(
+    {"priority", "checkpoint_every", "max_attempts"})
 
 
 @dataclass(frozen=True)
@@ -83,6 +85,11 @@ class JobSpec:
         Snapshot cadence in simulations.  Scheduling-only: cadence
         never changes the result (the kill/resume bit-identity
         guarantee), so jobs differing only here share a cache entry.
+    max_attempts:
+        Per-job attempt budget before the daemon dead-letters the job;
+        ``None`` uses the daemon's configured default
+        (:attr:`repro.chaos.config.ChaosConfig.max_attempts`).
+        Resilience-only, excluded from the fingerprint.
     """
 
     kind: str = "estimate"
@@ -99,6 +106,7 @@ class JobSpec:
     array: ArrayConfig | None = None
     priority: int = 0
     checkpoint_every: int = 1000
+    max_attempts: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -130,6 +138,9 @@ class JobSpec:
             raise ServiceError(
                 f"checkpoint_every must be >= 1, got "
                 f"{self.checkpoint_every}")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
         if isinstance(self.array, dict):
             try:
                 object.__setattr__(

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.analysis.persistence import load_estimate, save_estimate
+from repro.chaos.fsops import FsOps, default_fs
 from repro.checkpoint.atomic import atomic_write_text
 from repro.checkpoint.lockfile import FileLock
 from repro.core.estimate import FailureEstimate
@@ -58,15 +59,22 @@ class JobStore:
     (from :func:`repro.service.scheduler.now`) in.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path,
+                 fs: FsOps | None = None) -> None:
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
         self.results_dir = self.root / "results"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self.results_dir.mkdir(parents=True, exist_ok=True)
+        self._fs = fs
         self._seq_path = self.root / ".seq"
-        self._seq_lock = FileLock(self.root / ".seq.lock")
+        self._seq_lock = FileLock(self.root / ".seq.lock", fs=fs)
         self._lock = threading.RLock()
+
+    @property
+    def fs(self) -> FsOps:
+        """The filesystem plane every durable write routes through."""
+        return self._fs if self._fs is not None else default_fs()
 
     # -- job records ---------------------------------------------------
     def create_job(self, spec: JobSpec, fingerprint: str,
@@ -87,7 +95,8 @@ class JobStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         atomic_write_text(
             path,
-            json.dumps(record.as_dict(), indent=1, sort_keys=True) + "\n")
+            json.dumps(record.as_dict(), indent=1, sort_keys=True) + "\n",
+            fs=self.fs)
 
     def load(self, job_id: str) -> JobRecord:
         """Read one record; unknown ids raise :class:`ServiceError`."""
@@ -147,7 +156,7 @@ class JobStore:
             except (FileNotFoundError, ValueError):
                 last = 0
             nxt = last + 1
-            atomic_write_text(self._seq_path, f"{nxt}\n")
+            atomic_write_text(self._seq_path, f"{nxt}\n", fs=self.fs)
             return f"job-{nxt:06d}"
 
     # -- event feed ----------------------------------------------------
@@ -157,8 +166,8 @@ class JobStore:
         event = {"kind": str(kind), "at": float(at), **payload}
         path = self.job_dir(job_id) / _EVENTS_FILE
         with self._lock:
-            with path.open("a") as handle:
-                handle.write(json.dumps(event, sort_keys=True) + "\n")
+            self.fs.append_text(
+                path, json.dumps(event, sort_keys=True) + "\n")
 
     def read_events(self, job_id: str, since: int = 0) -> list[dict]:
         """Events from index ``since`` onward (torn tail dropped)."""
@@ -178,10 +187,16 @@ class JobStore:
     # -- cancellation --------------------------------------------------
     def request_cancel(self, job_id: str) -> None:
         """Raise the cancel flag (workers poll it at safe boundaries)."""
-        (self.job_dir(job_id) / _CANCEL_FILE).touch()
+        self.fs.touch(self.job_dir(job_id) / _CANCEL_FILE)
 
     def cancel_requested(self, job_id: str) -> bool:
         return (self.job_dir(job_id) / _CANCEL_FILE).exists()
+
+    def clear_cancel(self, job_id: str) -> None:
+        """Drop a stale cancel flag (an operator requeue must not be
+        instantly re-cancelled by the flag of a previous life)."""
+        self.fs.unlink(self.job_dir(job_id) / _CANCEL_FILE,
+                       missing_ok=True)
 
     # -- result cache --------------------------------------------------
     def result_path(self, fingerprint: str) -> Path:
@@ -221,12 +236,14 @@ class JobStore:
         id that should be re-queued (``queued`` + ``checkpointed``),
         oldest first.
         """
+        def park(rec: JobRecord) -> None:
+            rec.transition(JobState.CHECKPOINTED, at)
+            rec.clear_lease()
+
         requeue: list[str] = []
         for record in self.list_jobs():
             if record.state is JobState.RUNNING:
-                self.update(
-                    record.id,
-                    lambda rec: rec.transition(JobState.CHECKPOINTED, at))
+                self.update(record.id, park)
                 self.append_event(record.id, "recovered", at,
                                   detail="daemon restart found job "
                                          "running; resuming from last "

@@ -1,0 +1,101 @@
+"""Checkpoint primitives under injected filesystem faults.
+
+The two satellite cases the ISSUE names explicitly: the store's
+corrupt-newest fallback when a manifest write tears, and the lock's
+stale-break when the fault plane vetoes its rename-aside.
+"""
+
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosFsOps, ChaosKill
+from repro.checkpoint import CheckpointStore
+from repro.checkpoint.atomic import TMP_PREFIX
+from repro.checkpoint.lockfile import FileLock, LockTimeout
+
+PAYLOAD = {"phase": "stage2"}
+ARRAYS = {"a0": np.linspace(0.0, 1.0, 7)}
+
+
+def _dead_pid() -> int:
+    proc = subprocess.Popen(["true"])
+    proc.wait()
+    return proc.pid
+
+
+class TestStoreTornManifest:
+    def test_torn_manifest_falls_back_to_previous(self, tmp_path):
+        # Checkpoint 1 publishes cleanly; checkpoint 2's manifest write
+        # tears in staging but the publish still lands (the worst
+        # case: a corrupt checkpoint that *looks* newest).  load_latest
+        # must skip it and resume from checkpoint 1.
+        store = CheckpointStore(tmp_path)
+        store.save(PAYLOAD, ARRAYS, fingerprint="f" * 16, step=100)
+        chaos = CheckpointStore(
+            tmp_path, fs=ChaosFsOps("write@manifest:1:torn"))
+        chaos.save(PAYLOAD, ARRAYS, fingerprint="f" * 16, step=200)
+        assert len(store.list_checkpoints()) == 2
+        manifest, _, _ = store.load_latest()
+        assert manifest["step"] == 100
+
+    def test_kill_during_staging_publishes_nothing(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(PAYLOAD, ARRAYS, fingerprint="f" * 16, step=100)
+        chaos = CheckpointStore(tmp_path,
+                                fs=ChaosFsOps("write@manifest:1:kill"))
+        with pytest.raises(ChaosKill):
+            chaos.save(PAYLOAD, ARRAYS, fingerprint="f" * 16, step=200)
+        assert len(store.list_checkpoints()) == 1
+        manifest, _, _ = store.load_latest()
+        assert manifest["step"] == 100
+        # the torn staging directory is swept by the next store init
+        CheckpointStore(tmp_path)
+        stale = [p for p in tmp_path.iterdir()
+                 if p.name.startswith(TMP_PREFIX)]
+        assert stale == []
+
+    def test_failed_publish_leaves_store_consistent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(PAYLOAD, ARRAYS, fingerprint="f" * 16, step=100)
+        chaos = CheckpointStore(tmp_path, fs=ChaosFsOps("rename:1:fail"))
+        with pytest.raises(OSError, match="injected rename"):
+            chaos.save(PAYLOAD, ARRAYS, fingerprint="f" * 16, step=200)
+        assert len(store.list_checkpoints()) == 1
+        # a fresh store sweeps the orphaned staging dir and a retry
+        # publishes cleanly
+        retry = CheckpointStore(tmp_path)
+        retry.save(PAYLOAD, ARRAYS, fingerprint="f" * 16, step=200)
+        manifest, _, _ = retry.load_latest()
+        assert manifest["step"] == 200
+
+
+class TestLockBreakUnderFaults:
+    def test_stale_break_survives_vetoed_rename(self, tmp_path):
+        # The break-aside rename is the vulnerable step: waiter renames
+        # the stale lock, re-checks, discards.  A vetoed rename must
+        # leave the (stale) lock intact and the waiter simply retries
+        # on its next poll -- fault clause exhausted, break succeeds.
+        path = tmp_path / "x.lock"
+        path.write_text(f"{_dead_pid()}\n")
+        lock = FileLock(path, timeout_s=2.0, poll_s=0.01,
+                        fs=ChaosFsOps("rename:1:fail"))
+        with lock:
+            assert path.read_text().strip().isdigit()
+        assert list(tmp_path.iterdir()) == []  # no break-aside debris
+
+    def test_persistently_vetoed_break_times_out_cleanly(self, tmp_path):
+        # If the fault plane vetoes *every* break attempt, acquisition
+        # fails with LockTimeout -- but the stale lock file is never
+        # corrupted or half-deleted.
+        path = tmp_path / "x.lock"
+        dead = _dead_pid()
+        path.write_text(f"{dead}\n")
+        schedule = ",".join(f"rename:{n}:fail" for n in range(1, 200))
+        lock = FileLock(path, timeout_s=0.2, poll_s=0.01,
+                        fs=ChaosFsOps(schedule))
+        with pytest.raises(LockTimeout):
+            lock.acquire()
+        assert path.read_text().strip() == str(dead)
+        assert list(tmp_path.iterdir()) == [path]

@@ -1,0 +1,153 @@
+"""The fault plane itself: grammar, counters, fault semantics."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosFsOps,
+    ChaosKill,
+    FaultClause,
+    default_fs,
+    fs_installed,
+    parse_fault_schedule,
+)
+from repro.chaos.fsops import FsOps
+
+
+class TestScheduleGrammar:
+    def test_minimal_clause(self):
+        [clause] = parse_fault_schedule("rename:3")
+        assert clause == FaultClause(op="rename", index=3, mode="fail")
+
+    def test_full_clause_with_path_filter(self):
+        [clause] = parse_fault_schedule("write@manifest:1:torn")
+        assert clause.op == "write"
+        assert clause.match == "manifest"
+        assert clause.mode == "torn"
+
+    def test_multiple_clauses(self):
+        clauses = parse_fault_schedule("rename:1:kill, append:2:torn")
+        assert [c.op for c in clauses] == ["rename", "append"]
+
+    def test_spec_round_trips(self):
+        for spec in ("rename:3:fail", "write@manifest:1:torn",
+                     "durable:5:kill"):
+            [clause] = parse_fault_schedule(spec)
+            assert clause.spec() == spec
+
+    @pytest.mark.parametrize("bad, message", [
+        ("rename", "malformed"),
+        ("rename:x", "not an integer"),
+        ("rename:1:2:3", "malformed"),
+        ("chmod:1", "unknown fs operation"),
+        ("rename:0", "index must be >= 1"),
+        ("rename:1:explode", "unknown fault mode"),
+        ("", "empty fault schedule"),
+        (" , ", "empty fault schedule"),
+    ])
+    def test_malformed_schedules_rejected(self, bad, message):
+        with pytest.raises(ValueError, match=message):
+            parse_fault_schedule(bad)
+
+
+class TestClauseMatching:
+    def test_group_alias_durable(self):
+        clause = FaultClause(op="durable", index=1)
+        assert clause.matches("rename", "/x")
+        assert clause.matches("append", "/x")
+        assert not clause.matches("unlink", "/x")
+
+    def test_path_substring_filter(self):
+        clause = FaultClause(op="write", index=1, match="manifest")
+        assert clause.matches("write", "/store/manifest.json")
+        assert not clause.matches("write", "/store/arrays.npz")
+
+
+class TestFaultSemantics:
+    def test_nth_matching_call_fails(self, tmp_path):
+        fs = ChaosFsOps("rename:2:fail")
+        for n in (1, 2, 3):
+            (tmp_path / f"src{n}").write_text("x")
+        fs.rename(tmp_path / "src1", tmp_path / "dst1")  # 1st: clean
+        with pytest.raises(OSError, match="injected rename"):
+            fs.rename(tmp_path / "src2", tmp_path / "dst2")
+        fs.rename(tmp_path / "src3", tmp_path / "dst3")  # fires once
+        assert (tmp_path / "dst1").exists()
+        assert (tmp_path / "src2").exists()  # the op never ran
+        assert (tmp_path / "dst3").exists()
+        assert [f["clause"] for f in fs.injected] == ["rename:2:fail"]
+
+    def test_torn_write_persists_prefix_and_succeeds(self, tmp_path):
+        fs = ChaosFsOps("write:1:torn")
+        fs.write_bytes(tmp_path / "f", b"0123456789")
+        assert (tmp_path / "f").read_bytes() == b"01234"
+
+    def test_torn_kill_append_persists_prefix_then_dies(self, tmp_path):
+        fs = ChaosFsOps("append:1:torn-kill")
+        path = tmp_path / "events"
+        path.write_text("line-1\n")
+        with pytest.raises(ChaosKill):
+            fs.append_text(path, "line-2\n")
+        assert path.read_text() == "line-1\nlin"  # half of "line-2\n"
+
+    def test_kill_fires_before_the_operation(self, tmp_path):
+        fs = ChaosFsOps("replace:1:kill")
+        (tmp_path / "src").write_text("x")
+        with pytest.raises(ChaosKill):
+            fs.replace(tmp_path / "src", tmp_path / "dst")
+        assert (tmp_path / "src").exists()
+        assert not (tmp_path / "dst").exists()
+
+    def test_kill_is_not_an_exception_subclass(self):
+        # the worker's broad ``except Exception`` must not swallow a
+        # simulated process death
+        assert not issubclass(ChaosKill, Exception)
+        assert issubclass(ChaosKill, BaseException)
+
+    def test_torn_degrades_to_fail_on_non_tearable_op(self, tmp_path):
+        fs = ChaosFsOps("rename:1:torn")
+        (tmp_path / "src").write_text("x")
+        with pytest.raises(OSError):
+            fs.rename(tmp_path / "src", tmp_path / "dst")
+        assert (tmp_path / "src").exists()
+
+    def test_delay_sleeps_then_succeeds(self, tmp_path):
+        slept = []
+        fs = ChaosFsOps("write:1:delay", delay_s=0.5,
+                        sleep=slept.append)
+        fs.write_bytes(tmp_path / "f", b"data")
+        assert slept == [0.5]
+        assert (tmp_path / "f").read_bytes() == b"data"
+
+    def test_same_schedule_same_firing(self, tmp_path):
+        # determinism: an identical op stream fires identically
+        logs = []
+        for run in ("a", "b"):
+            fs = ChaosFsOps("append:2:fail")
+            path = tmp_path / f"log-{run}"
+            fired = []
+            for n in range(4):
+                try:
+                    fs.append_text(path, f"{n}\n")
+                    fired.append(False)
+                except OSError:
+                    fired.append(True)
+            logs.append(fired)
+        assert logs[0] == logs[1] == [False, True, False, False]
+
+
+class TestRecordingAndInstall:
+    def test_recording_logs_op_and_path(self, tmp_path):
+        fs = ChaosFsOps(record=True)
+        fs.write_bytes(tmp_path / "a", b"x")
+        fs.append_text(tmp_path / "b", "y")
+        assert [op for op, _ in fs.log] == ["write", "append"]
+        assert fs.op_counts() == {"replace": 0, "rename": 0,
+                                  "append": 1}
+
+    def test_fs_installed_scopes_the_plane(self):
+        plane = ChaosFsOps(record=True)
+        before = default_fs()
+        with fs_installed(plane):
+            assert default_fs() is plane
+        assert default_fs() is before
+        assert isinstance(default_fs(), FsOps)

@@ -164,6 +164,26 @@ class TestRep002WallClock:
         path = "src/repro/service/scheduler.py"
         assert findings_for(source, path=path) == []
 
+    def test_fires_in_chaos_package(self):
+        # the fault plane is deterministic machinery: wall clock there
+        # would make fault schedules time-dependent
+        source = (
+            "import time\n"
+            "def fired_at():\n"
+            "    return time.time()\n"
+        )
+        path = "src/repro/chaos/harness.py"
+        assert rules_of(findings_for(source, path=path)) == ["REP002"]
+
+    def test_chaos_clock_hosts_sanctioned_wall_clock(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        path = "src/repro/chaos/clock.py"
+        assert findings_for(source, path=path) == []
+
 
 class TestRep003ExecutorPickling:
     def test_fires_on_lambda(self):

@@ -1,0 +1,193 @@
+"""Client-side resilience: backoff math, retry routing, streams."""
+
+import json
+from urllib.error import URLError
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.client import RetryPolicy, ServiceClient, _Retryable
+
+
+class StubRng:
+    """``uniform(0, w)`` returns ``w`` -- the worst-case jitter."""
+
+    def uniform(self, low, high):
+        return high
+
+
+def make_client(**kwargs) -> tuple[ServiceClient, list]:
+    sleeps: list[float] = []
+    client = ServiceClient("http://127.0.0.1:1", sleep=sleeps.append,
+                           rng=StubRng(), **kwargs)
+    return client, sleeps
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_then_caps(self):
+        policy = RetryPolicy(attempts=8, base_s=0.2, cap_s=1.0)
+        windows = [policy.backoff_s(n, StubRng()) for n in range(5)]
+        assert windows == [0.2, 0.4, 0.8, 1.0, 1.0]
+
+    def test_floor_wins_over_jitter(self):
+        policy = RetryPolicy(base_s=0.2, cap_s=5.0)
+        assert policy.backoff_s(0, StubRng(), floor_s=3.0) == 3.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"attempts": 0},
+        {"base_s": 0.0},
+        {"base_s": 2.0, "cap_s": 1.0},
+    ])
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRequestRetries:
+    def _failing_transport(self, client, failures, retry_after_s=0.0):
+        """Fail the first ``failures`` calls, then succeed."""
+        calls = []
+
+        def fake(method, path, payload=None):
+            calls.append((method, path))
+            if len(calls) <= failures:
+                raise _Retryable(ServiceError("boom"),
+                                 retry_after_s=retry_after_s)
+            return {"ok": True}
+
+        client._request_once = fake
+        return calls
+
+    def test_get_retried_until_success(self):
+        client, sleeps = make_client(
+            retry=RetryPolicy(attempts=4, base_s=0.2, cap_s=5.0))
+        calls = self._failing_transport(client, failures=2)
+        assert client._request("GET", "/healthz") == {"ok": True}
+        assert len(calls) == 3
+        assert sleeps == [0.2, 0.4]
+
+    def test_retry_after_floors_the_backoff(self):
+        client, sleeps = make_client()
+        self._failing_transport(client, failures=1, retry_after_s=3.0)
+        client._request("GET", "/healthz")
+        assert sleeps == [3.0]
+
+    def test_exhaustion_surfaces_the_wrapped_error(self):
+        client, sleeps = make_client(retry=RetryPolicy(attempts=3))
+        calls = self._failing_transport(client, failures=99)
+        with pytest.raises(ServiceError, match="boom"):
+            client._request("GET", "/healthz")
+        assert len(calls) == 3
+        assert len(sleeps) == 2  # no sleep after the final failure
+
+    def test_non_idempotent_post_never_retried(self):
+        client, sleeps = make_client()
+        calls = self._failing_transport(client, failures=99)
+        with pytest.raises(ServiceError, match="boom"):
+            client._request("POST", "/jobs/x/cancel")
+        assert len(calls) == 1
+        assert sleeps == []
+
+    def test_submit_is_retried_like_a_get(self):
+        # POST /jobs is fingerprint-idempotent, so it opts in
+        client, _ = make_client()
+        calls = self._failing_transport(client, failures=1)
+        assert client.submit({"kind": "naive"}) == {"ok": True}
+        assert len(calls) == 2
+
+    def test_requeue_is_not_retried(self):
+        client, _ = make_client()
+        calls = self._failing_transport(client, failures=99)
+        with pytest.raises(ServiceError):
+            client.requeue("job-000001")
+        assert len(calls) == 1
+
+
+class FakeStream:
+    """One follow-mode response: yields lines, then ends or breaks."""
+
+    def __init__(self, lines, error=None):
+        self._lines = iter([json.dumps(line).encode() + b"\n"
+                            for line in lines])
+        self._error = error
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        try:
+            return next(self._lines)
+        except StopIteration:
+            if self._error is not None:
+                raise self._error from None
+            raise
+
+
+class TestStreamEvents:
+    def test_heartbeats_filtered_and_cursor_preserved(self,
+                                                      monkeypatch):
+        urls = []
+        streams = iter([
+            # connection 1: one real event, a heartbeat, then the
+            # socket times out mid-stream
+            FakeStream([{"kind": "started", "at": 1.0},
+                        {"kind": "heartbeat", "at": 2.0}],
+                       error=TimeoutError("read timed out")),
+            # connection 2 resumes after the *real* event only
+            FakeStream([{"kind": "done", "at": 3.0}]),
+        ])
+
+        def fake_urlopen(request, timeout=None):
+            urls.append(request.full_url)
+            assert timeout is not None  # streams must carry a timeout
+            return next(streams)
+
+        monkeypatch.setattr("repro.service.client.urlopen",
+                            fake_urlopen)
+        client, sleeps = make_client()
+        events = list(client.stream_events("job-000001"))
+        assert [e["kind"] for e in events] == ["started", "done"]
+        assert "since=0" in urls[0]
+        assert "since=1" in urls[1]  # heartbeat did not advance it
+        assert len(sleeps) == 1  # one reconnect backoff
+
+    def test_persistent_stream_failure_gives_up(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.service.client.urlopen",
+            lambda request, timeout=None: (_ for _ in ()).throw(
+                URLError("refused")))
+        client, sleeps = make_client(retry=RetryPolicy(attempts=3))
+        with pytest.raises(ServiceError, match="event stream"):
+            list(client.stream_events("job-000001"))
+        assert len(sleeps) == 2
+
+
+class TestWait:
+    def _client_with_states(self, states):
+        client, sleeps = make_client()
+        feed = iter(states)
+        client.job = lambda job_id: {"state": next(feed)}
+        return client, sleeps
+
+    def test_poll_interval_grows_and_caps(self):
+        client, sleeps = self._client_with_states(
+            ["queued"] * 6 + ["done"])
+        record = client.wait("job-000001", timeout_s=60.0,
+                             poll_s=0.2, max_poll_s=0.5)
+        assert record == {"state": "done"}
+        assert sleeps == pytest.approx(
+            [0.2, 0.3, 0.45, 0.5, 0.5, 0.5])
+
+    @pytest.mark.parametrize("terminal", ["done", "failed",
+                                          "cancelled", "dead"])
+    def test_terminal_states_end_the_wait(self, terminal):
+        client, sleeps = self._client_with_states(["running", terminal])
+        record = client.wait("job-000001", timeout_s=60.0)
+        assert record["state"] == terminal
+        assert len(sleeps) == 1

@@ -102,7 +102,9 @@ class TestInvariance:
     @pytest.mark.parametrize("changes", [
         {"priority": 9},
         {"checkpoint_every": 17},
-        {"priority": 3, "checkpoint_every": 250},
+        {"max_attempts": 1},
+        {"max_attempts": 7},
+        {"priority": 3, "checkpoint_every": 250, "max_attempts": 2},
     ], ids=lambda c: "+".join(c))
     def test_scheduling_hints_do_not_change_the_fingerprint(self,
                                                             changes):

@@ -31,6 +31,14 @@ class TestStateMachine:
         [JobState.RUNNING, JobState.CHECKPOINTED, JobState.RUNNING,
          JobState.DONE],
         [JobState.RUNNING, JobState.CHECKPOINTED, JobState.CANCELLED],
+        # retry: failure re-queues while attempt budget remains
+        [JobState.RUNNING, JobState.FAILED, JobState.QUEUED,
+         JobState.RUNNING, JobState.DONE],
+        # dead-letter: budget spent, then an operator requeue revives
+        [JobState.RUNNING, JobState.FAILED, JobState.DEAD,
+         JobState.QUEUED, JobState.RUNNING, JobState.DONE],
+        # watchdog: lease expiry parks the job, burial once spent
+        [JobState.RUNNING, JobState.CHECKPOINTED, JobState.DEAD],
     ])
     def test_legal_paths(self, path):
         record = make_record()
@@ -47,15 +55,27 @@ class TestStateMachine:
         (JobState.FAILED, JobState.RUNNING),
         (JobState.CANCELLED, JobState.RUNNING),
         (JobState.CHECKPOINTED, JobState.DONE),
+        (JobState.DEAD, JobState.RUNNING),
+        (JobState.DEAD, JobState.DEAD),
+        (JobState.DONE, JobState.DEAD),
+        (JobState.CANCELLED, JobState.QUEUED),
+        (JobState.RUNNING, JobState.DEAD),
     ])
     def test_illegal_edges_raise(self, start, to):
         record = make_record(state=start)
         with pytest.raises(ServiceError, match="illegal transition"):
             record.transition(to, at=1.0)
 
-    def test_terminal_states_have_no_exits(self):
-        for state in TERMINAL_STATES:
+    def test_terminal_states_daemon_never_advances(self):
+        # ``done`` and ``cancelled`` have no exits at all; ``failed``
+        # and ``dead`` keep only the operator/daemon *revival* edges
+        # (retry and requeue) -- never a direct path back to running.
+        for state in (JobState.DONE, JobState.CANCELLED):
             assert not TRANSITIONS[state]
+        for state in (JobState.FAILED, JobState.DEAD):
+            assert state in TERMINAL_STATES
+            assert TRANSITIONS[state] <= {JobState.QUEUED,
+                                          JobState.DEAD}
 
     def test_terminal_property(self):
         assert not make_record().terminal

@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro.errors import ServiceError, ShutdownRequested
-from repro.service.client import ServiceClient
+from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.model import JobState
 from repro.service.scheduler import QuotaPolicy
 from repro.service.server import ServeConfig, ServiceDaemon
@@ -120,7 +120,8 @@ class TestDaemonCore:
         assert flagged == ["cancel"]
         assert daemon.store.load(record.id).state is JobState.CANCELLED
 
-    def test_failed_job_records_error(self, daemon, monkeypatch):
+    def test_failed_job_is_requeued_with_error(self, daemon,
+                                               monkeypatch):
         def boom(spec, checkpoint_dir, **kwargs):
             raise RuntimeError("solver exploded")
 
@@ -128,8 +129,15 @@ class TestDaemonCore:
         record = daemon.submit(SPEC.as_dict())
         daemon._run_job(record.id)
         failed = daemon.store.load(record.id)
-        assert failed.state is JobState.FAILED
+        # attempt budget remains, so the failure re-queues for retry
+        # (dead-lettering after the budget is spent is covered in
+        # test_leases.py); the error and the failed edge survive
+        assert failed.state is JobState.QUEUED
+        assert failed.attempts == 1
         assert "solver exploded" in failed.error
+        assert record.id in daemon.scheduler
+        assert [s for s, _ in failed.history] \
+            == ["queued", "running", "failed", "queued"]
         assert "failed" in [e["kind"]
                             for e in daemon.store.read_events(record.id)]
 
@@ -320,3 +328,47 @@ class TestHttpSurface:
         with pytest.raises(ServiceError, match=r"\(400\).*since"):
             client._request(
                 "GET", f"/jobs/{record.id}/events?since=abc")
+
+    def test_requeue_endpoint_revives_dead_job(self, live):
+        daemon, client = live
+        record = daemon.store.create_job(JobSpec(), "fp-dead", 0.0)
+        daemon.store.update(record.id, lambda rec: (
+            rec.transition(JobState.RUNNING, 1.0),
+            rec.transition(JobState.FAILED, 2.0),
+            rec.transition(JobState.DEAD, 2.0)))
+        revived = client.requeue(record.id)
+        assert revived["state"] == "queued"
+        assert revived["attempts"] == 0
+
+    def test_requeue_of_queued_job_is_409(self, live):
+        daemon, client = live
+        record = daemon.store.create_job(JobSpec(), "fp-q", 0.0)
+        with pytest.raises(ServiceError, match=r"\(409\)"):
+            client.requeue(record.id)
+
+    def test_healthz_reports_resilience_sections(self, live):
+        daemon, client = live
+        health = client.healthz()
+        assert health["leases"]["lease_s"] == 60.0
+        assert health["dead_letter"]["max_attempts"] == 3
+        assert health["watchdog"]["interval_s"] == 15.0
+
+    def test_draining_503_carries_retry_after(self, live):
+        daemon, client = live
+        daemon.coordinator.request("drain-test")
+        try:
+            with pytest.raises(ServiceError, match=r"\(503\)"):
+                # attempts=1 surfaces the 503 instead of retrying it
+                ServiceClient(daemon.address,
+                              retry=RetryPolicy(attempts=1)
+                              ).submit(SPEC.as_dict())
+            import urllib.error
+            import urllib.request
+            request = urllib.request.Request(
+                f"{daemon.address}/jobs", data=b"{}", method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "1"
+        finally:
+            daemon.coordinator.reset()
