@@ -16,6 +16,12 @@ Also micro-benchmarks the butterfly solver's in-place bisection against
 an inline reimplementation of the old ``np.where`` formulation (the
 before/after note for the PR) and asserts bit-identity there too.
 
+The batched-core gate (PR 10) A/Bs the fused ``(2B, G)`` bisection
+against the per-side solve on raw batches, checks deep-solve lane
+compaction, and passes when the fused solve is >= 1.5x faster on wall
+time OR the sweep-level eval reduction holds >= 2x -- outputs
+bit-identical in every case.
+
 Numbers land in root-level ``BENCH_hotpath.json``: the ``latest`` block
 plus an appended ``runs`` trajectory.  ``--quick`` shrinks budgets for
 CI; set ``ECRIPSE_BENCH_FULL=1`` semantics via no flag for the paper
@@ -268,6 +274,80 @@ def bench_butterfly(quick: bool) -> dict:
                     "outputs bit-identical"}
 
 
+def bench_batched(quick: bool, sweep: dict) -> dict:
+    """PR gate: fused (2B, G) bisection + lane compaction vs per-side.
+
+    Fusion halves the fixed per-step cost (one Python-level bisection
+    loop instead of two), so its wall win lives where that cost
+    dominates: the single-sample solves of the adaptive refinement
+    path.  Large batches are array-bound and roughly wall-neutral --
+    they are still checked for bit-identity and their ratio reported.
+    """
+    print("== batched solver: fused (2B, G) vs per-side ==")
+    cell = SramCell()
+    rng = np.random.default_rng(SEED)
+    fused = ReadButterflySolver(cell, grid_points=101)
+    per_side = ReadButterflySolver(cell, grid_points=101, batched=False)
+
+    def time_solve(solver, shifts, repeats):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            curves = solver.solve(shifts)
+            best = min(best, time.perf_counter() - t0)
+        return curves, best
+
+    # the hot-path shape: one sample per solve (adaptive refinement)
+    single = rng.normal(scale=0.05, size=(1, 6))
+    _, side_1_s = time_solve(per_side, single, 20 if quick else 50)
+    _, fused_1_s = time_solve(fused, single, 20 if quick else 50)
+    raw_speedup = side_1_s / fused_1_s
+
+    delta_vth = rng.normal(scale=0.05, size=(512 if quick else 2048, 6))
+    side_curves, side_s = time_solve(per_side, delta_vth,
+                                     3 if quick else 5)
+    fused_curves, fused_s = time_solve(fused, delta_vth,
+                                       3 if quick else 5)
+    assert np.array_equal(side_curves.vtc_a, fused_curves.vtc_a) \
+        and np.array_equal(side_curves.vtc_b, fused_curves.vtc_b), \
+        "fused solve is not bit-identical to the per-side solve"
+    print(f"  single sample: per-side {side_1_s * 1e3:6.2f} ms  "
+          f"fused {fused_1_s * 1e3:6.2f} ms  ({raw_speedup:.2f}x)")
+    print(f"  batch {delta_vth.shape[0]}: per-side {side_s * 1e3:7.1f} ms  "
+          f"fused {fused_s * 1e3:7.1f} ms  ({side_s / fused_s:.2f}x)")
+
+    # deep-solve compaction: past the float64 bracket-collapse depth
+    # (~53 steps) retired lanes stop paying device evals
+    deep = {"grid_points": 61, "bisection_iterations": 96}
+    compacting = ReadButterflySolver(cell, **deep)
+    plain = ReadButterflySolver(cell, **deep, compaction_depth=10**6)
+    compacted_curves = compacting.solve(delta_vth)
+    plain_curves = plain.solve(delta_vth)
+    assert np.array_equal(compacted_curves.vtc_a, plain_curves.vtc_a) \
+        and np.array_equal(compacted_curves.vtc_b, plain_curves.vtc_b), \
+        "compacting deep solve diverged from the full-lane solve"
+    assert compacting.evals_saved > 0, "96-step solve never compacted"
+    assert compacting.model_evals + compacting.evals_saved \
+        == plain.model_evals
+    saved_fraction = compacting.evals_saved / plain.model_evals
+    print(f"  96-step solve: {saved_fraction:.1%} of device evals "
+          f"compacted away, outputs bit-identical")
+
+    assert raw_speedup >= 1.5 or sweep["eval_reduction"] >= 2.0, (
+        f"batched gate failed: fused speedup {raw_speedup:.2f}x < 1.5x "
+        f"and sweep eval reduction {sweep['eval_reduction']:.2f}x < 2x")
+    return {"single_per_side_best_s": side_1_s,
+            "single_fused_best_s": fused_1_s,
+            "single_speedup": raw_speedup,
+            "batch_per_side_best_s": side_s,
+            "batch_fused_best_s": fused_s,
+            "batch_speedup": side_s / fused_s,
+            "deep_evals_saved_fraction": saved_fraction,
+            "sweep_eval_reduction": sweep["eval_reduction"],
+            "note": "fused (2B, G) bisection + active-lane compaction; "
+                    "outputs bit-identical"}
+
+
 # ----------------------------------------------------------------------
 def save_record(record: dict) -> None:
     data = (json.loads(JSON_PATH.read_text()) if JSON_PATH.exists()
@@ -285,9 +365,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     scale = QUICK if args.quick else FULL
 
+    sweep = bench_sweep(scale)
     record = {
         "mode": "quick" if args.quick else "full",
-        "sweep": bench_sweep(scale),
+        "sweep": sweep,
+        "batched": bench_batched(args.quick, sweep),
         "warm_cache": bench_warm_cache(scale),
         "backends": bench_backends(scale),
         "resume": bench_resume(scale),

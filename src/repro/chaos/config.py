@@ -8,7 +8,7 @@ shorter lease must still hit the result cache written under a longer
 one -- so every field is *excluded* from fingerprint identity, and the
 REP009 fingerprint-drift lint pins that classification to the
 :data:`_RESILIENCE_FIELDS` constant below (the same contract shape as
-``JobSpec._SCHEDULING_FIELDS``).
+``JobSpec._NONRESULT_FIELDS``).
 """
 
 from __future__ import annotations

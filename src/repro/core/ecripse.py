@@ -55,7 +55,11 @@ from repro.rng import (
     spawn,
     stable_seed,
 )
-from repro.runtime import ExecutionConfig, Executor, evaluate_indicator
+from repro.runtime import (
+    ExecutionConfig,
+    Executor,
+    evaluate_indicator_stats,
+)
 from repro.variability.space import VariabilitySpace
 
 
@@ -439,6 +443,20 @@ class EcripseEstimator:
         total = self.rtn_model.mirror(x[:, None, :] + shifts, states)
         return total.reshape(x.shape[0] * m, self.space.dim)
 
+    def _absorb_worker_stats(self, stats: dict, where: str) -> None:
+        """Merge one chunk's evaluator-counter delta into the parent.
+
+        Only process-pool chunks carry counts the parent's evaluator
+        never saw (the worker labelled on its own unpickled copy);
+        serial / thread / fallback chunks ran on the parent's evaluator
+        object, so merging them would double count.
+        """
+        if where != "process" or not stats:
+            return
+        absorb = getattr(self._evaluator(), "absorb_stats", None)
+        if callable(absorb):
+            absorb(stats)
+
     def _simulate_labels(self, total: np.ndarray) -> np.ndarray:
         """Transistor-level labels for ``total``, chunk-parallel.
 
@@ -447,13 +465,17 @@ class EcripseEstimator:
         :class:`~repro.core.indicator.CountingIndicator`) and labels the
         chunks through the executor.  Labelling is pure per row, so the
         result is independent of both the chunking and the backend.
+        The stats task + sink keep the parent's perf counters honest on
+        the process backend, and the declared bool result dtype lets
+        large blocks ride the zero-copy shared-memory transport.
         """
         total = np.atleast_2d(np.asarray(total, dtype=float))
 
         def dispatch() -> np.ndarray:
             return self.executor.map_chunks(
-                evaluate_indicator, total, self.indicator.indicator,
-                simulations=total.shape[0], label="simulate-labels")
+                evaluate_indicator_stats, total, self.indicator.indicator,
+                simulations=total.shape[0], label="simulate-labels",
+                stats_sink=self._absorb_worker_stats, result_dtype=bool)
 
         # The health guard retries ConvergenceError batches (and is the
         # solver fault-injection seam); injection raises *before*

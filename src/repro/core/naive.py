@@ -37,7 +37,12 @@ from repro.rng import (
     spawn,
     stable_seed,
 )
-from repro.runtime import ExecutionConfig, Executor
+from repro.runtime import (
+    ExecutionConfig,
+    Executor,
+    indicator_perf_stats,
+    perf_stats_delta,
+)
 from repro.runtime.chunking import chunk_sizes
 from repro.variability.space import VariabilitySpace
 
@@ -54,6 +59,23 @@ def sample_and_label_chunk(n: int, rng: np.random.Generator,
     shifts, states = rtn_model.sample(n, rng)
     total = rtn_model.mirror(x + shifts, states)
     return int(np.sum(indicator.evaluate(total))), n
+
+
+def sample_and_label_chunk_stats(n: int, rng: np.random.Generator,
+                                 space, indicator, rtn_model
+                                 ) -> tuple[tuple[int, int], dict]:
+    """:func:`sample_and_label_chunk` plus the evaluator-counter delta.
+
+    On the process backend the worker labels on its own unpickled copy
+    of the evaluator, so its perf counters (device-model evals, cache
+    traffic) never reach the parent; the delta measured here -- inside
+    the task, against whatever counts the copy started with -- is
+    exactly this chunk's contribution, merged back by the parent for
+    process-pool chunks only.
+    """
+    before = indicator_perf_stats(indicator)
+    result = sample_and_label_chunk(n, rng, space, indicator, rtn_model)
+    return result, perf_stats_delta(before, indicator_perf_stats(indicator))
 
 
 class NaiveMonteCarlo:
@@ -214,10 +236,12 @@ class NaiveMonteCarlo:
         try:
             if not self._stopped and self._cursor < len(sizes):
                 results = self.executor.iter_tasks(
-                    sample_and_label_chunk, tasks[self._cursor:],
-                    sizes=sizes[self._cursor:], label="naive-mc")
+                    sample_and_label_chunk_stats, tasks[self._cursor:],
+                    sizes=sizes[self._cursor:], label="naive-mc",
+                    with_records=True)
                 try:
-                    for n_fail, n in results:
+                    for ((n_fail, n), stats), record in results:
+                        self._absorb_worker_stats(stats, record.where)
                         self.counter.add(n)
                         self._fails += n_fail
                         self._drawn += n
@@ -262,6 +286,21 @@ class NaiveMonteCarlo:
         evaluator = getattr(self.indicator.indicator, "evaluator", None)
         stats = getattr(evaluator, "perf_stats", None)
         return stats() if callable(stats) else {}
+
+    def _absorb_worker_stats(self, stats: dict, where: str) -> None:
+        """Merge a process-pool chunk's evaluator-counter delta.
+
+        Serial / thread / fallback chunks ran on the parent's own
+        evaluator object, so their counts are already in; only the
+        process backend's unpickled worker copies do work the parent
+        never sees.
+        """
+        if where != "process" or not stats:
+            return
+        evaluator = getattr(self.indicator.indicator, "evaluator", None)
+        absorb = getattr(evaluator, "absorb_stats", None)
+        if callable(absorb):
+            absorb(stats)
 
     def _perf_metadata(self) -> dict:
         perf: dict = {"spans": self.profiler.as_dict()}

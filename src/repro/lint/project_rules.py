@@ -256,7 +256,7 @@ class FingerprintDriftRule(ProjectRule):
     which are excluded.  The rule fires when a field exists in code but
     not in the table (the moment someone adds one), when the table
     names a field the code no longer has, and when a declared
-    exclusion constant (``_SCHEDULING_FIELDS``) drifts from the
+    exclusion constant (``_NONRESULT_FIELDS``) drifts from the
     table's exclusion set.  This is the static form of the
     discrimination matrix ``tests/service/test_fingerprints.py``
     probes dynamically.

@@ -96,16 +96,21 @@ class AdaptiveMarginEvaluator(CellEvaluator):
                  vdd: float | None = None, grid_points: int = 61,
                  margin_levels: int = 64, max_batch: int = 4096,
                  cache: SolveCache | None = None,
-                 coarse_iterations: int = 12, guard_safety: float = 2.0):
+                 coarse_iterations: int = 12, guard_safety: float = 2.0,
+                 batched: bool = True, array_backend=None, planner=None):
         super().__init__(cell, space, vdd=vdd, grid_points=grid_points,
                          margin_levels=margin_levels, max_batch=max_batch,
-                         cache=cache)
+                         cache=cache, batched=batched,
+                         array_backend=array_backend, planner=planner)
         # Same grid and margin levels as the exact solver: the guard
         # band only bounds the bisection-depth error, so the screening
         # pass must not introduce any other discretisation difference.
+        # The resolved array backend is shared so a fallback is decided
+        # once per evaluator.
         self.coarse_solver = ReadButterflySolver(
             cell, vdd=vdd, grid_points=grid_points,
-            bisection_iterations=coarse_iterations)
+            bisection_iterations=coarse_iterations,
+            batched=batched, array_backend=self.solver.backend)
         self.guard_band = margin_guard_band(
             self.vdd, coarse_iterations,
             self.solver.bisection_iterations, guard_safety)
@@ -128,8 +133,8 @@ class AdaptiveMarginEvaluator(CellEvaluator):
         if x.shape[1] != 6:
             raise ValueError(f"x must have shape (B, 6), got {x.shape}")
         labels = np.empty(x.shape[0], dtype=bool)
-        for start in range(0, x.shape[0], self.max_batch):
-            stop = min(start + self.max_batch, x.shape[0])
+        for start, stop in self.planner.plan(x.shape[0],
+                                             self.solve_row_bytes):
             labels[start:stop] = self._label_chunk(x[start:stop], which)
         return labels
 
@@ -203,8 +208,8 @@ class AdaptiveMarginEvaluator(CellEvaluator):
             m1[pending] = out1
         return m0, m1
 
-    def perf_stats(self) -> dict:
-        stats = super().perf_stats()
+    def _local_perf_stats(self) -> dict:
+        stats = super()._local_perf_stats()
         stats["screened"] = self.screened
         stats["refined"] = self.refined
         return stats
@@ -219,3 +224,7 @@ class AdaptiveMarginEvaluator(CellEvaluator):
     @property
     def device_model_evals(self) -> int:
         return super().device_model_evals + self.coarse_solver.model_evals
+
+    @property
+    def evals_saved(self) -> int:
+        return super().evals_saved + self.coarse_solver.evals_saved

@@ -19,12 +19,18 @@ from repro.runtime.chunking import chunk_sizes, plan_chunks
 from repro.runtime.config import BACKENDS, ExecutionConfig
 from repro.runtime.executor import Executor
 from repro.runtime.metrics import ChunkRecord, RunMetrics
+from repro.runtime.shm import ShmArraySpec, ShmTransport, shm_map_task
 from repro.runtime.signals import (
     GracefulShutdown,
     default_coordinator,
     shutdown_requested,
 )
-from repro.runtime.tasks import evaluate_indicator
+from repro.runtime.tasks import (
+    evaluate_indicator,
+    evaluate_indicator_stats,
+    indicator_perf_stats,
+    perf_stats_delta,
+)
 
 __all__ = [
     "BACKENDS",
@@ -34,11 +40,17 @@ __all__ = [
     "GracefulShutdown",
     "ProcessBackend",
     "RunMetrics",
+    "ShmArraySpec",
+    "ShmTransport",
     "ThreadBackend",
     "chunk_sizes",
     "default_coordinator",
     "evaluate_indicator",
+    "evaluate_indicator_stats",
+    "indicator_perf_stats",
     "make_backend",
+    "perf_stats_delta",
     "plan_chunks",
+    "shm_map_task",
     "shutdown_requested",
 ]

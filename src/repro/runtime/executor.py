@@ -38,6 +38,7 @@ from repro.runtime.signals import shutdown_requested
 from repro.runtime.chunking import plan_chunks
 from repro.runtime.config import ExecutionConfig
 from repro.runtime.metrics import ChunkRecord, RunMetrics
+from repro.runtime.shm import ShmTransport, shm_map_task
 
 if TYPE_CHECKING:  # avoid a runtime repro.core <-> repro.runtime cycle
     from repro.core.indicator import SimulationCounter
@@ -79,7 +80,9 @@ class Executor:
     def map_chunks(self, fn, block: np.ndarray, *extra, rng=None,
                    chunk_size: int | None = None,
                    simulations: int | None = None,
-                   label: str = "map_chunks") -> np.ndarray:
+                   label: str = "map_chunks",
+                   stats_sink=None,
+                   result_dtype=None) -> np.ndarray:
         """Apply ``fn`` to row-chunks of ``block``, concatenated in order.
 
         ``fn`` is called as ``fn(chunk, *extra)``, or
@@ -95,6 +98,21 @@ class Executor:
         :class:`~repro.core.indicator.SimulationCounter` *before* any
         work is dispatched -- so a budget circuit-breaker trips before
         spending compute -- and recorded in the run's metrics.
+
+        ``stats_sink`` marks ``fn`` as a stats-reporting task returning
+        ``(result, stats_dict)`` pairs: the sink is called as
+        ``stats_sink(stats, where)`` per chunk -- ``where`` being the
+        :class:`~repro.runtime.metrics.ChunkRecord` location -- so
+        callers can merge worker-side perf counters that only
+        process-pool chunks accumulate out of the parent's sight.
+
+        ``result_dtype`` declares that ``fn`` returns one scalar of
+        that dtype per row, which enables the zero-copy shared-memory
+        transport (:mod:`repro.runtime.shm`) on the ``process`` backend
+        for RNG-free float blocks above
+        :attr:`~repro.runtime.config.ExecutionConfig.shm_threshold_bytes`.
+        The transport never changes results -- tasks see the same rows
+        either way -- so callers declare it unconditionally.
         """
         block = np.asarray(block)
         n = block.shape[0]
@@ -108,20 +126,74 @@ class Executor:
             args = ((block, child) + extra if child is not None
                     else (block,) + extra)
             result, _ = _timed(fn, *args)
+            result = self._apply_stats(result, "serial", stats_sink)
             self._record(label, [], n_items=0, n_simulations=pre)
             return np.asarray(result)
-        rngs = spawn(rng, len(slices)) if rng is not None else None
-        tasks = []
-        for i, sl in enumerate(slices):
-            chunk = block[sl]
-            if rngs is not None:
-                tasks.append((chunk, rngs[i]) + extra)
-            else:
-                tasks.append((chunk,) + extra)
         sizes = [sl.stop - sl.start for sl in slices]
-        results = self.map_tasks(fn, tasks, sizes=sizes, label=label,
-                                 simulations=simulations)
-        return np.concatenate([np.asarray(r) for r in results])
+        transport = self._open_transport(block, rng, result_dtype)
+        try:
+            if transport is not None:
+                task_fn = shm_map_task
+                tasks = [(fn, transport.in_spec, transport.out_spec,
+                          sl.start, sl.stop) + extra for sl in slices]
+            else:
+                task_fn = fn
+                rngs = spawn(rng, len(slices)) if rng is not None else None
+                tasks = []
+                for i, sl in enumerate(slices):
+                    chunk = block[sl]
+                    if rngs is not None:
+                        tasks.append((chunk, rngs[i]) + extra)
+                    else:
+                        tasks.append((chunk,) + extra)
+            outputs = []
+            for result, record in self.iter_tasks(
+                    task_fn, tasks, sizes=sizes, label=label,
+                    simulations=simulations, with_records=True):
+                outputs.append(self._apply_stats(result, record.where,
+                                                 stats_sink))
+            if transport is not None:
+                if self.history:
+                    self.history[-1].shm_bytes += transport.bytes_shipped
+                return transport.result()
+            return np.concatenate([np.asarray(r) for r in outputs])
+        finally:
+            if transport is not None:
+                transport.close()
+
+    def _open_transport(self, block, rng, result_dtype
+                        ) -> ShmTransport | None:
+        """Shared-memory transport for this call, or ``None`` (pickles).
+
+        Engaged only when it can pay off: process backend (a healthy
+        one -- a broken pool runs serially in-parent where views are
+        free anyway), RNG-free workload (child generators do not ride
+        segments), caller-declared per-row result dtype, and a
+        contiguous float block at or above the configured threshold.
+        A segment-creation failure degrades to the pickle path.
+        """
+        cfg = self.config
+        if (result_dtype is None or rng is not None
+                or cfg.backend != "process"
+                or cfg.shm_threshold_bytes is None
+                or self._backend is None or self._broken
+                or block.dtype.kind != "f"
+                or not block.flags["C_CONTIGUOUS"]
+                or block.nbytes < cfg.shm_threshold_bytes):
+            return None
+        try:
+            return ShmTransport(block, result_dtype)
+        except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+            return None
+
+    @staticmethod
+    def _apply_stats(result, where: str, stats_sink):
+        """Unpack a stats task's ``(payload, stats)`` pair into the sink."""
+        if stats_sink is None:
+            return result
+        payload, stats = result
+        stats_sink(stats if isinstance(stats, dict) else {}, where)
+        return payload
 
     def map_tasks(self, fn, tasks: list[tuple], sizes=None,
                   simulations: int | None = None,
@@ -132,7 +204,8 @@ class Executor:
 
     def iter_tasks(self, fn, tasks: list[tuple], sizes=None,
                    simulations: int | None = None,
-                   label: str = "iter_tasks") -> Iterator[Any]:
+                   label: str = "iter_tasks",
+                   with_records: bool = False) -> Iterator[Any]:
         """Yield results of ``fn(*args)`` in task order, lazily.
 
         Stopping the iteration early abandons the remaining tasks (on the
@@ -141,12 +214,18 @@ class Executor:
         and are discarded, so early stopping never changes the consumed
         prefix).  Telemetry is finalised when the generator exhausts or
         is closed.
+
+        ``with_records=True`` yields ``(result, ChunkRecord)`` pairs
+        instead, exposing per-chunk provenance (``record.where``) to
+        callers that must know whether a result was produced in the
+        parent process or on a pool worker.
         """
         tasks = list(tasks)
         if sizes is None:
             sizes = [1] * len(tasks)
         pre = self._pre_count(simulations)
-        return self._run_ordered(fn, tasks, list(sizes), label, pre)
+        return self._run_ordered(fn, tasks, list(sizes), label, pre,
+                                 with_records)
 
     def aggregate(self, label: str = "aggregate") -> RunMetrics:
         """All runs of this executor merged into one metrics object."""
@@ -183,23 +262,29 @@ class Executor:
         return int(simulations)
 
     def _run_ordered(self, fn, tasks, sizes, label,
-                     pre_simulations: int = 0) -> Iterator[Any]:
+                     pre_simulations: int = 0,
+                     with_records: bool = False) -> Iterator[Any]:
         start = time.perf_counter()
         count0 = self.counter.count if self.counter is not None else 0
         records: list[ChunkRecord] = []
         futures: list[Future | None] = []
+
+        def emit(result):
+            # the helper that produced `result` appended its record
+            return (result, records[-1]) if with_records else result
+
         try:
             if self._backend is None or self._broken:
                 for index, args in enumerate(tasks):
-                    yield self._run_serial(fn, index, args, sizes[index],
-                                           records)
+                    yield emit(self._run_serial(fn, index, args,
+                                                sizes[index], records))
                 return
             for args in tasks:
                 futures.append(self._submit_safe(fn, args))
             for index, (args, future) in enumerate(zip(tasks, futures)):
                 futures[index] = None  # consumed; no cancel on close
-                yield self._collect(fn, index, args, sizes[index], future,
-                                    records)
+                yield emit(self._collect(fn, index, args, sizes[index],
+                                         future, records))
         finally:
             for future in futures:
                 if future is not None:

@@ -1,0 +1,140 @@
+"""Zero-copy chunk transport over POSIX shared memory.
+
+The process backend normally pickles every chunk of the sample block
+into the task tuple and pickles the result array back -- for the
+labelling hot path that is two full copies of the ``delta_vth`` block
+per run plus per-chunk deserialisation in the workers.  This module
+ships both directions through :mod:`multiprocessing.shared_memory`
+instead:
+
+* the parent copies the block **once** into a named input segment and
+  pre-creates an output segment sized one result scalar per row;
+* each task tuple carries only a tiny picklable :class:`ShmArraySpec`
+  pair plus ``(start, stop)`` row bounds;
+* the worker attaches both segments, evaluates the user task on a
+  zero-copy view of its rows and writes the result into the matching
+  output rows.
+
+Writes are idempotent (a retried chunk rewrites exactly its own rows),
+workers never overlap rows, and the serial fallback works unchanged --
+attaching by name succeeds in the parent process too.  The parent owns
+both segments and unlinks them when the call finishes; workers
+deregister their attachments from the resource tracker so a worker
+exit cannot reap a segment the parent is still using.
+
+The transport is an implementation detail of
+:meth:`repro.runtime.executor.Executor.map_chunks`: callers opt in by
+declaring a ``result_dtype`` and the executor engages it only when the
+backend is ``process``, the workload is RNG-free and the block clears
+:attr:`~repro.runtime.config.ExecutionConfig.shm_threshold_bytes`.
+Results are bit-identical either way -- the task body sees the same
+float64 rows whether they arrived through a pickle or a segment view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ShmArraySpec", "ShmTransport", "shm_map_task"]
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Picklable descriptor of an ndarray living in a named segment."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+
+def _attach(spec: ShmArraySpec):
+    """Attach to a parent-owned segment; returns ``(shm, array_view)``.
+
+    Attaching re-registers the name with the resource tracker (Python
+    gained an opt-out ``track=`` flag only in 3.13).  Pool workers
+    share the parent's tracker, whose cache is a *set*, so the extra
+    registration collapses into the parent's own and the segment still
+    has exactly one owner: deliberately no per-attach ``unregister``
+    here -- firing one per chunk would strip the parent's registration
+    and make the parent's later ``unlink`` race the tracker.
+    """
+    shm = shared_memory.SharedMemory(name=spec.name)
+    array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                       buffer=shm.buf)
+    return shm, array
+
+
+def shm_map_task(fn, in_spec: ShmArraySpec, out_spec: ShmArraySpec,
+                 start: int, stop: int, *extra):
+    """Module-level wrapper task executed on the worker.
+
+    Applies ``fn`` to rows ``[start, stop)`` of the input segment (a
+    zero-copy view) and writes the result into the same rows of the
+    output segment.  ``fn`` may return either a plain result array or a
+    ``(result, stats_dict)`` pair; the stats ride back through the
+    normal (tiny) pickled return value as ``(None, stats)`` -- the
+    result rows themselves never leave shared memory.
+    """
+    in_shm, in_array = _attach(in_spec)
+    out_shm, out_array = _attach(out_spec)
+    try:
+        ret = fn(in_array[start:stop], *extra)
+        stats = None
+        if (isinstance(ret, tuple) and len(ret) == 2
+                and isinstance(ret[1], dict)):
+            ret, stats = ret
+        out_array[start:stop] = np.asarray(ret, dtype=out_array.dtype)
+        return None, stats
+    finally:
+        in_shm.close()
+        out_shm.close()
+
+
+class ShmTransport:
+    """Parent-side segment pair for one ``map_chunks`` call.
+
+    Creating the transport copies ``block`` into the input segment and
+    zero-fills an output segment of one ``result_dtype`` scalar per
+    row.  The parent must call :meth:`close` (unlink) when the call
+    finishes, successful or not -- segments are not garbage collected
+    with the object.
+    """
+
+    def __init__(self, block: np.ndarray, result_dtype) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        out_dtype = np.dtype(result_dtype)
+        self.in_spec = self._create(block.shape, block.dtype, init=block)
+        self.out_spec = self._create((block.shape[0],), out_dtype)
+        #: bytes moved through shared memory instead of pickles
+        #: (telemetry; see ``RunMetrics.shm_bytes``).
+        self.bytes_shipped = int(block.nbytes
+                                 + block.shape[0] * out_dtype.itemsize)
+
+    def _create(self, shape, dtype, init=None) -> ShmArraySpec:
+        size = max(1, int(np.prod(shape)) * dtype.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        self._segments.append(shm)
+        array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        array[...] = 0 if init is None else init
+        return ShmArraySpec(shm.name, tuple(shape), dtype.str)
+
+    def result(self) -> np.ndarray:
+        """Copy of the filled output array (call after all chunks)."""
+        shm = self._segments[1]
+        array = np.ndarray(self.out_spec.shape,
+                           dtype=np.dtype(self.out_spec.dtype),
+                           buffer=shm.buf)
+        return array.copy()
+
+    def close(self) -> None:
+        """Release and unlink both segments (idempotent)."""
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+        self._segments = []

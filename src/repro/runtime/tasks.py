@@ -20,3 +20,46 @@ def evaluate_indicator(chunk: np.ndarray, indicator) -> np.ndarray:
     :class:`~repro.core.indicator.CountingIndicator`.
     """
     return np.asarray(indicator.evaluate(chunk), dtype=bool)
+
+
+def indicator_perf_stats(indicator) -> dict:
+    """The perf counters of the evaluator behind ``indicator`` (or {}).
+
+    Test-double indicators without an ``evaluator`` attribute degrade
+    to an empty dict, which makes every stats delta empty too.
+    """
+    evaluator = getattr(indicator, "evaluator", None)
+    stats = getattr(evaluator, "perf_stats", None)
+    return stats() if callable(stats) else {}
+
+
+def perf_stats_delta(before: dict, after: dict) -> dict:
+    """Additive-counter delta between two perf snapshots.
+
+    ``cache_entries`` is a gauge (current cache size), not a counter,
+    so it is dropped rather than differenced; non-integer entries
+    (spans, rates) are dropped for the same reason.
+    """
+    return {key: int(value) - int(before.get(key, 0))
+            for key, value in after.items()
+            if key != "cache_entries"
+            and isinstance(value, (int, np.integer))
+            and not isinstance(value, bool)}
+
+
+def evaluate_indicator_stats(chunk: np.ndarray, indicator
+                             ) -> tuple[np.ndarray, dict]:
+    """:func:`evaluate_indicator` plus the evaluator-counter delta.
+
+    On the process backend the worker labels the chunk on its *own*
+    unpickled copy of the evaluator, so the parent's perf counters
+    (device-model evals, cache hits, screen/refine splits) never see
+    that work.  Measuring the delta inside the task -- against whatever
+    counter values the copy started with -- captures exactly this
+    chunk's contribution; the parent merges it back for process-pool
+    chunks only (serial / thread / fallback chunks already ran on the
+    parent's evaluator object and would double count).
+    """
+    before = indicator_perf_stats(indicator)
+    labels = evaluate_indicator(chunk, indicator)
+    return labels, perf_stats_delta(before, indicator_perf_stats(indicator))

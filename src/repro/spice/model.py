@@ -50,17 +50,95 @@ import numpy as np
 from repro.constants import thermal_voltage
 
 
+def exp_neg_abs(x, out=None):
+    """``exp(-|x|)``, the intermediate shared by softplus and sigmoid.
+
+    With ``out`` the value is built in place (abs, negate, exp) with no
+    temporaries; the op sequence reproduces ``np.exp(-np.abs(x))``
+    bit-for-bit (negation and abs are exact, exp sees the same input).
+    """
+    if out is None:
+        x = np.asarray(x, dtype=float)
+        return np.exp(-np.abs(x))
+    np.abs(x, out=out)
+    np.negative(out, out=out)
+    np.exp(out, out=out)
+    return out
+
+
 def softplus(x):
     """Overflow-safe ``log(1 + exp(x))`` for scalars or arrays."""
     x = np.asarray(x, dtype=float)
-    return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+    return np.maximum(x, 0.0) + np.log1p(exp_neg_abs(x))
+
+
+def softplus_into(x, out, scratch, kernels=None):
+    """Buffered :func:`softplus`: result into ``out``, no temporaries.
+
+    ``scratch`` must be a float buffer of ``x``'s shape; ``x`` may alias
+    ``out`` (the shared intermediate is finished in ``scratch`` before
+    ``out`` is touched).  When a verified numba kernel set is supplied
+    (see :mod:`repro.xp.numba_kernels`) and the arrays are contiguous,
+    the whole chain runs as one compiled pass instead of six ufunc
+    passes -- bit-identical by the kernel set's build-time probe.
+    """
+    if (kernels is not None and x.shape == out.shape
+            and x.flags.c_contiguous and out.flags.c_contiguous):
+        kernels.softplus_into(x.reshape(-1), out.reshape(-1))
+        return out
+    exp_neg_abs(x, out=scratch)
+    np.log1p(scratch, out=scratch)
+    np.maximum(x, 0.0, out=out)
+    np.add(out, scratch, out=out)
+    return out
 
 
 def sigmoid(x):
     """Overflow-safe logistic function for scalars or arrays."""
     x = np.asarray(x, dtype=float)
-    t = np.exp(-np.abs(x))
+    t = exp_neg_abs(x)
     return np.where(x >= 0, 1.0 / (1.0 + t), t / (1.0 + t))
+
+
+class IdsWorkspace:
+    """Reusable scratch buffers for :meth:`MosfetModel.ids_into`.
+
+    A linear pool of float ``shape`` buffers plus one bool buffer,
+    reset at the start of every ``ids_into`` call and grown on demand
+    (the high-water mark is ~10 buffers, reached on the general
+    source/drain-swap path).  :meth:`shrink` narrows every handed-out
+    buffer to a row prefix so the bisection loop can keep one workspace
+    across active-lane compaction events.
+    """
+
+    def __init__(self, shape: tuple[int, ...]):
+        self.shape = tuple(int(s) for s in shape)
+        self._pool: list[np.ndarray] = []
+        self._next = 0
+        self._rows = self.shape[0]
+        self._bool = np.empty(self.shape, dtype=bool)
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def shrink(self, rows: int) -> None:
+        """Restrict subsequently handed-out buffers to ``rows`` rows."""
+        if not 0 <= rows <= self.shape[0]:
+            raise ValueError(f"rows must be in [0, {self.shape[0]}]")
+        self._rows = rows
+
+    def _narrow(self, buf: np.ndarray) -> np.ndarray:
+        return buf if self._rows == self.shape[0] else buf[:self._rows]
+
+    def take(self) -> np.ndarray:
+        if self._next == len(self._pool):
+            self._pool.append(np.empty(self.shape))
+        buf = self._pool[self._next]
+        self._next += 1
+        return self._narrow(buf)
+
+    def bool_buffer(self) -> np.ndarray:
+        return self._narrow(self._bool)
 
 
 @dataclass(frozen=True)
@@ -203,6 +281,154 @@ class MosfetModel:
 
         current = np.where(swap, -current, current)
         return sign * current
+
+    # ------------------------------------------------------------------
+    def ids_into(self, vg, vd, vs, delta_vth, out, workspace,
+                 assume_ordered=False, kernels=None):
+        """Buffered :meth:`ids`: bit-identical, written into ``out``.
+
+        This is the batched-solver hot path: every ufunc lands in a
+        preallocated buffer (``out`` or a :class:`IdsWorkspace` slot),
+        eliminating the ~15 temporaries the plain path allocates per
+        call.  Each operation applies the same ufunc to the same values
+        in the same order as :meth:`ids`, so the result is bit-identical
+        -- asserted by ``tests/spice/test_model_buffered.py`` and the
+        ``bench_butterfly`` gate.
+
+        Parameters
+        ----------
+        out:
+            Float buffer receiving the current; its shape is the
+            broadcast shape of the inputs.
+        workspace:
+            :class:`IdsWorkspace` of ``out``'s shape.
+        assume_ordered:
+            Caller guarantees ``vd >= vs`` *after* polarity mirroring,
+            i.e. the source/drain swap mask is provably all-False (true
+            for every device of the read/hold butterfly solve, where the
+            node bracket stays inside ``[0, vdd]``).  Skips the swap
+            machinery; bit-identical because ``where(False, a, b) == b``
+            and a nowhere-applied masked negation is a no-op.
+        kernels:
+            Optional verified numba kernel set (``ArrayBackend.kernels``)
+            accelerating the softplus chain.
+
+        Scalar inputs may be Python floats; array inputs must broadcast
+        against ``out`` and are never written to.
+        """
+        p = self.params
+        ws = workspace
+        ws.reset()
+        sign = float(p.polarity)
+        # Mirror to nMOS convention.  sign == +1 keeps the inputs as-is
+        # (multiplying by 1.0 is the IEEE identity); sign == -1 mirrors
+        # scalars in Python and arrays into small fresh buffers --
+        # sub-(B, G) operands such as the (1, G) input-voltage row stay
+        # small so later ufuncs broadcast them, exactly like the plain
+        # path.
+        shape = out.shape
+        mvg = self._mirror(vg, sign, ws, shape)
+        mvd = self._mirror(vd, sign, ws, shape)
+        mvs = self._mirror(vs, sign, ws, shape)
+
+        swap = None
+        if assume_ordered:
+            vlo, vhi = mvs, mvd
+            vds = ws.take()
+            np.subtract(vhi, vlo, out=vds)
+        else:
+            swap = ws.bool_buffer()
+            np.less(mvd, mvs, out=swap)
+            # copy-then-masked-copy is np.where(swap, x, y) without the
+            # temporary (np.where has no out= parameter)
+            vlo = ws.take()
+            np.copyto(vlo, mvs)
+            np.copyto(vlo, mvd, where=swap)
+            vhi = ws.take()
+            np.copyto(vhi, mvd)
+            np.copyto(vhi, mvs, where=swap)
+            vds = ws.take()
+            np.subtract(vhi, vlo, out=vds)
+
+        vt = self._vt
+        n = p.n
+        # vth = (vth0 + dvth) - dibl * vds; the (B, 1) shift column stays
+        # narrow, as in the plain path.
+        base_vth = p.vth0 + np.asarray(delta_vth, dtype=float)
+        vth = ws.take()
+        np.multiply(vds, p.dibl, out=vth)
+        np.subtract(base_vth, vth, out=vth)
+
+        vp = ws.take()
+        np.subtract(mvg, vth, out=vp)
+        np.divide(vp, n, out=vp)
+
+        scratch = ws.take()
+        two_vt = 2.0 * vt
+        forward = ws.take()
+        np.subtract(vp, vlo, out=forward)
+        np.divide(forward, two_vt, out=forward)
+        softplus_into(forward, forward, scratch, kernels)
+        np.square(forward, out=forward)
+
+        reverse = ws.take()
+        np.subtract(vp, vhi, out=reverse)
+        np.divide(reverse, two_vt, out=reverse)
+        softplus_into(reverse, reverse, scratch, kernels)
+        np.square(reverse, out=reverse)
+
+        # vov = (vt * 2.0) * softplus((vg - vlo - vth) / (2 vt)); reuse
+        # the vp buffer, which is dead from here on.
+        vov = vp
+        if isinstance(vlo, np.ndarray) and vlo.shape == shape:
+            inner = ws.take()
+            np.subtract(mvg, vlo, out=inner)
+        else:
+            # sub-batch operand ((1, G) row or scalar) stays narrow so
+            # the next subtract broadcasts it, exactly like the plain
+            # path
+            inner = np.subtract(mvg, vlo)
+        np.subtract(inner, vth, out=vov)
+        np.divide(vov, two_vt, out=vov)
+        softplus_into(vov, vov, scratch, kernels)
+        np.multiply(vov, vt * 2.0, out=vov)
+
+        gain = vov
+        np.multiply(gain, p.theta, out=gain)
+        np.add(gain, 1.0, out=gain)
+        np.divide(p.beta, gain, out=gain)
+
+        ispec = gain
+        np.multiply(ispec, 2.0 * n, out=ispec)
+        np.multiply(ispec, vt, out=ispec)
+        np.multiply(ispec, vt, out=ispec)
+        np.multiply(ispec, self._aspect, out=ispec)
+
+        np.subtract(forward, reverse, out=out)
+        np.multiply(ispec, out, out=out)
+        clm = vth  # dead buffer
+        np.multiply(vds, p.lambda_clm, out=clm)
+        np.add(clm, 1.0, out=clm)
+        np.multiply(out, clm, out=out)
+
+        if swap is not None:
+            np.negative(out, out=out, where=swap)
+        # sign is the exact +/-1.0 polarity flag, never a computed float
+        if sign != 1.0:  # repro: allow-float-eq
+            np.multiply(out, sign, out=out)
+        return out
+
+    @staticmethod
+    def _mirror(v, sign, ws=None, shape=None):
+        if isinstance(v, np.ndarray):
+            if sign == 1.0:  # repro: allow-float-eq (exact polarity flag)
+                return v
+            if ws is not None and v.shape == shape:
+                out = ws.take()
+                np.multiply(v, sign, out=out)
+                return out
+            return np.multiply(v, sign)
+        return sign * float(v)
 
     # ------------------------------------------------------------------
     def conductances(self, vg, vd, vs, delta_vth=0.0, step: float = 1e-6):

@@ -1,0 +1,192 @@
+"""repro.xp -- pluggable array-namespace resolution for the hot path.
+
+The butterfly solver is written against plain numpy, but the unit of
+work is a large ``(batch, grid)`` array program, so any namespace that
+implements the small elementwise subset the solver needs can run it:
+numpy itself (the default and the bit-exact reference), a numba-jitted
+kernel set (same arrays, compiled inner loops), or an Array-API
+namespace such as CuPy (device arrays, converted at the solver
+boundary).
+
+:func:`resolve_backend` maps the :attr:`PerfConfig.array_backend` knob
+to an :class:`ArrayBackend`.  Resolution **never fails**: an optional
+backend that is missing, or that fails the capability probe, silently
+falls back to numpy with the reason recorded on the returned backend --
+the estimate must not depend on which accelerators happen to be
+installed, and by the neutrality contract it cannot: the numpy and
+numba paths are bit-identical by construction, and Array-API paths are
+tolerance-checked by the probe before they are accepted (see
+``docs/PERFORMANCE.md``, "Array backends & batching").
+
+Test doubles register factories via :func:`register_backend`; the
+bundled ``"numpy-generic"`` backend routes numpy arrays through the
+generic Array-API solver path, which is how the generic path is proven
+bit-identical without a GPU in CI.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "probe_namespace",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+]
+
+#: names resolve_backend understands natively (anything else is treated
+#: as an importable Array-API namespace).
+BUILTIN_BACKENDS: tuple[str, ...] = ("numpy", "numba")
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """A resolved array namespace plus its provenance.
+
+    Attributes
+    ----------
+    requested:
+        The name the user asked for (the ``array_backend`` knob).
+    name:
+        The backend actually in effect after probing/fallback.
+    xp:
+        The array namespace module (numpy unless an Array-API namespace
+        was resolved).
+    fallback_reason:
+        Why the requested backend degraded to numpy; ``None`` when the
+        request was honoured.
+    kernels:
+        Optional compiled kernel set (the numba backend); ``None`` for
+        pure-namespace backends.
+    """
+
+    requested: str
+    name: str
+    xp: Any
+    fallback_reason: str | None = None
+    kernels: Any = None
+
+    @property
+    def native_numpy(self) -> bool:
+        """Whether the solver may run its in-place numpy fast path."""
+        return self.xp is np
+
+    def __reduce__(self):
+        # Modules and compiled kernel sets do not pickle, so a backend
+        # crossing a process boundary re-resolves by requested name in
+        # the worker.  The probe re-runs there -- the fallback decision
+        # is per-process -- and by the neutrality contract every
+        # outcome labels identically, so this is safe for the process
+        # executor backend.
+        return (resolve_backend, (self.requested,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        note = (f", fallback: {self.fallback_reason}"
+                if self.fallback_reason else "")
+        return f"ArrayBackend({self.name!r}{note})"
+
+
+def _numpy_backend(requested: str, reason: str | None = None
+                   ) -> ArrayBackend:
+    return ArrayBackend(requested=requested, name="numpy", xp=np,
+                        fallback_reason=reason)
+
+
+#: test-double / extension factories, keyed by backend name.
+_REGISTRY: dict[str, Callable[[str], ArrayBackend]] = {}
+
+
+def register_backend(name: str,
+                     factory: Callable[[str], ArrayBackend]) -> None:
+    """Register a backend factory (``factory(requested) -> ArrayBackend``).
+
+    Registered names shadow the built-in resolution; tests use this to
+    prove the plumbing (and the generic Array-API solver path) without
+    optional dependencies installed.
+    """
+    _REGISTRY[name] = factory
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Names currently registered via :func:`register_backend`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def probe_namespace(xp: Any) -> str | None:
+    """Capability-probe an array namespace; ``None`` means usable.
+
+    Checks the elementwise subset the generic solver path needs and
+    smoke-computes a softplus against numpy: a namespace that cannot
+    reproduce it to 1e-12 relative would silently corrupt margins, so
+    it is rejected (the caller falls back to numpy).
+    """
+    required = ("asarray", "abs", "add", "subtract", "multiply",
+                "divide", "exp", "log1p", "maximum", "square", "where",
+                "less", "greater", "logical_not", "full", "zeros")
+    missing = [name for name in required
+               if not callable(getattr(xp, name, None))]
+    if missing:
+        return f"namespace lacks {', '.join(missing)}"
+    try:
+        ref = np.linspace(-8.0, 8.0, 33)
+        x = xp.asarray(ref)
+        soft = xp.add(xp.maximum(x, xp.asarray(0.0)),
+                      xp.log1p(xp.exp(-xp.abs(x))))
+        got = np.asarray(soft, dtype=float)
+        want = np.maximum(ref, 0.0) + np.log1p(np.exp(-np.abs(ref)))
+        if got.shape != want.shape:
+            return "smoke computation returned a wrong shape"
+        err = float(np.max(np.abs(got - want)))
+        if not err <= 1e-12:
+            return f"smoke computation off by {err:.2e} (> 1e-12)"
+    # any third-party namespace failure must demote to numpy, not crash
+    except Exception as exc:  # repro: allow-broad-except
+        return f"smoke computation failed: {exc!r}"  # pragma: no cover
+    return None
+
+
+def _resolve_numba(requested: str) -> ArrayBackend:
+    try:
+        from repro.xp import numba_kernels
+    except ImportError as exc:  # pragma: no cover - numba installed
+        return _numpy_backend(requested, f"numba import failed: {exc}")
+    kernels = numba_kernels.build_kernels()
+    if kernels is None:
+        return _numpy_backend(
+            requested, numba_kernels.unavailable_reason())
+    return ArrayBackend(requested=requested, name="numba", xp=np,
+                        kernels=kernels)
+
+
+def _resolve_namespace(requested: str) -> ArrayBackend:
+    try:
+        xp = importlib.import_module(requested)
+    except ImportError as exc:
+        return _numpy_backend(requested, f"import failed: {exc}")
+    reason = probe_namespace(xp)
+    if reason is not None:
+        return _numpy_backend(requested, reason)
+    return ArrayBackend(requested=requested, name=requested, xp=xp)
+
+
+def resolve_backend(name: str | None = None) -> ArrayBackend:
+    """Resolve an ``array_backend`` knob value to a usable backend.
+
+    ``None``/``"numpy"`` is the identity.  ``"numba"`` compiles the
+    kernel set when numba is importable.  Any other name is imported as
+    an Array-API namespace and capability-probed.  Every failure path
+    degrades to numpy and records why -- never raises.
+    """
+    if name is None or name == "numpy":
+        return _numpy_backend("numpy")
+    if name in _REGISTRY:
+        return _REGISTRY[name](name)
+    if name == "numba":
+        return _resolve_numba(name)
+    return _resolve_namespace(name)

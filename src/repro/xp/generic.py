@@ -1,0 +1,94 @@
+"""Array-API-generic device model and bisection kernels.
+
+These functions mirror :meth:`repro.spice.model.MosfetModel.ids` and the
+butterfly bisection loop operation-for-operation, but written against an
+arbitrary array namespace ``xp`` instead of numpy, so the same program
+runs on CuPy (or any probed Array-API namespace) without a numpy round
+trip per step.  Run with ``xp = numpy`` the program is bit-identical to
+the native solver -- that equivalence is what
+``tests/xp/test_backends.py`` pins with the registered
+``"numpy-generic"`` test backend, and it is the basis for the documented
+tolerance of real device backends (identical op order, so any deviation
+comes from the namespace's elementwise kernels alone; see
+``docs/PERFORMANCE.md``).
+
+Device parameters are read from the :class:`MosfetModel` instances
+through their public surface (``params``, ``w_nm``, ``l_nm``), keeping
+this module free of solver state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.constants import thermal_voltage
+
+__all__ = ["ids", "node_current", "bisect"]
+
+
+def _softplus(xp: Any, x: Any) -> Any:
+    return xp.maximum(x, xp.asarray(0.0)) + xp.log1p(xp.exp(-xp.abs(x)))
+
+
+def ids(xp: Any, model: Any, vg: Any, vd: Any, vs: Any,
+        delta_vth: Any) -> Any:
+    """Drain current; same op order as ``MosfetModel.ids``."""
+    p = model.params
+    sign = float(p.polarity)
+    vg = sign * xp.asarray(vg)
+    vd = sign * xp.asarray(vd)
+    vs = sign * xp.asarray(vs)
+    dvth = xp.asarray(delta_vth)
+
+    swap = vd < vs
+    vlo = xp.where(swap, vd, vs)
+    vhi = xp.where(swap, vs, vd)
+    vds = vhi - vlo
+
+    vth = p.vth0 + dvth - p.dibl * vds
+    vt = thermal_voltage(p.temperature)
+    n = p.n
+
+    vp = (vg - vth) / n
+    forward = xp.square(_softplus(xp, (vp - vlo) / (2.0 * vt)))
+    reverse = xp.square(_softplus(xp, (vp - vhi) / (2.0 * vt)))
+
+    vov = vt * 2.0 * _softplus(xp, (vg - vlo - vth) / (2.0 * vt))
+    gain = p.beta / (1.0 + p.theta * vov)
+
+    aspect = model.w_nm / model.l_nm
+    ispec = 2.0 * n * gain * vt * vt * aspect
+    current = ispec * (forward - reverse) * (1.0 + p.lambda_clm * vds)
+
+    current = xp.where(swap, -current, current)
+    return sign * current
+
+
+def node_current(xp: Any, models: Any, vin: Any, vout: Any, dv_load: Any,
+                 dv_driver: Any, dv_access: Any, vdd: float, bl: float,
+                 wl: float) -> Any:
+    """Net current into the half-cell node (see the native solver)."""
+    load, driver, access = models
+    i_load = -ids(xp, load, vin, vout, vdd, dv_load)
+    i_driver = -ids(xp, driver, vin, vout, 0.0, dv_driver)
+    i_access = ids(xp, access, wl, bl, vout, dv_access)
+    return i_load + i_driver + i_access
+
+
+def bisect(xp: Any, models: Any, vin: Any, lo: Any, hi: Any,
+           dv_load: Any, dv_driver: Any, dv_access: Any, vdd: float,
+           bl: float, wl: float, steps: int
+           ) -> tuple[Any, Any, Any]:
+    """``steps`` bisection refinements; returns ``(mid, lo, hi)``.
+
+    ``lo = where(above, mid, lo)`` is the functional twin of the native
+    loop's ``copyto(lo, mid, where=above)`` -- same values elementwise.
+    """
+    for _ in range(steps):
+        mid = (lo + hi) * 0.5
+        f = node_current(xp, models, vin, mid, dv_load, dv_driver,
+                         dv_access, vdd, bl, wl)
+        above = f > 0.0
+        lo = xp.where(above, mid, lo)
+        hi = xp.where(above, hi, mid)
+    return (lo + hi) * 0.5, lo, hi

@@ -1,0 +1,90 @@
+"""Optional numba-jitted kernels for the batched solver hot path.
+
+The numba backend keeps numpy arrays end to end -- it only swaps the
+softplus transcendental (the single most expensive elementwise op in
+:meth:`MosfetModel.ids`) for a compiled loop.  Because jitted ``exp``/
+``log1p`` may come from a different libm than numpy's SIMD kernels,
+:func:`build_kernels` *verifies* bit-identity against numpy on a probe
+grid before handing the kernels out; any mismatch (or numba being
+absent) makes the backend unavailable and :func:`repro.xp.resolve_backend`
+silently falls back to plain numpy.  The neutrality contract is thus
+enforced at resolve time, not merely asserted in documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["NumbaKernels", "build_kernels", "unavailable_reason"]
+
+_REASON = "numba kernels not built yet"
+
+
+@dataclass(frozen=True)
+class NumbaKernels:
+    """Compiled kernels, all operating on 1-D contiguous float64 views."""
+
+    softplus_into: Callable[[np.ndarray, np.ndarray], None]
+    exp_neg_abs_into: Callable[[np.ndarray, np.ndarray], None]
+
+
+def _compile() -> Any:
+    import numba  # noqa: F401  - gated optional dependency
+
+    @numba.njit(cache=True)
+    def softplus_into(x: np.ndarray, out: np.ndarray) -> None:
+        for i in range(x.size):
+            v = x[i]
+            hinge = v if v > 0.0 else 0.0
+            out[i] = hinge + np.log1p(np.exp(-abs(v)))
+
+    @numba.njit(cache=True)
+    def exp_neg_abs_into(x: np.ndarray, out: np.ndarray) -> None:
+        for i in range(x.size):
+            out[i] = np.exp(-abs(x[i]))
+
+    return NumbaKernels(softplus_into=softplus_into,
+                        exp_neg_abs_into=exp_neg_abs_into)
+
+
+def _probe_bit_identity(kernels: NumbaKernels) -> bool:
+    # cover both softplus branches, denormal-adjacent magnitudes, and
+    # the saturated tails actually reached by (vp - v) / (2 vt)
+    x = np.concatenate([
+        np.linspace(-60.0, 60.0, 4001),
+        np.array([0.0, -0.0, 1e-300, -1e-300, 745.0, -745.0]),
+    ])
+    got = np.empty_like(x)
+    kernels.softplus_into(x, got)
+    want = np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+    if got.tobytes() != want.tobytes():
+        return False
+    kernels.exp_neg_abs_into(x, got)
+    return got.tobytes() == np.exp(-np.abs(x)).tobytes()
+
+
+def build_kernels() -> NumbaKernels | None:
+    """Compile and verify the kernel set; ``None`` when unusable."""
+    global _REASON
+    try:
+        kernels = _compile()
+    except ImportError as exc:
+        _REASON = f"numba not installed: {exc}"
+        return None
+    # a broken numba install must demote to numpy, not crash the run
+    except Exception as exc:  # repro: allow-broad-except
+        _REASON = f"numba compilation failed: {exc!r}"  # pragma: no cover
+        return None
+    if not _probe_bit_identity(kernels):  # pragma: no cover - libm drift
+        _REASON = ("numba transcendentals are not bit-identical with "
+                   "this numpy build")
+        return None
+    return kernels
+
+
+def unavailable_reason() -> str:
+    """Why the last :func:`build_kernels` call returned ``None``."""
+    return _REASON

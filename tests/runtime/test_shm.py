@@ -1,0 +1,195 @@
+"""Zero-copy shared-memory chunk transport: bit-identity against the
+pickle path, engagement guards, stats plumbing and telemetry."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime import (ExecutionConfig, Executor, ShmArraySpec,
+                           ShmTransport, shm_map_task)
+
+
+def _cfg(backend, **kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("max_retries", 1)
+    kw.setdefault("retry_backoff_s", 0.0)
+    return ExecutionConfig(backend=backend, **kw)
+
+
+# module-level task bodies so the process backend can pickle them
+def row_sums(chunk):
+    return chunk.sum(axis=1)
+
+
+def row_sums_with_stats(chunk):
+    return chunk.sum(axis=1), {"rows": int(chunk.shape[0])}
+
+
+def negative_labels(chunk):
+    return chunk.sum(axis=1) < 0.0
+
+
+def noisy_rows(chunk, rng):
+    return chunk.sum(axis=1) + rng.standard_normal(chunk.shape[0])
+
+
+@pytest.fixture()
+def block(rng):
+    return rng.normal(size=(40, 6))
+
+
+class TestTransportUnit:
+    def test_spec_is_picklable(self):
+        spec = ShmArraySpec("name", (3, 2), "<f8")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_task_writes_exactly_its_rows(self, block):
+        transport = ShmTransport(block, float)
+        try:
+            payload, stats = shm_map_task(
+                row_sums, transport.in_spec, transport.out_spec, 5, 12)
+            assert payload is None
+            assert stats is None
+            out = transport.result()
+            assert np.array_equal(out[5:12], row_sums(block[5:12]))
+            assert not out[:5].any()
+            assert not out[12:].any()
+        finally:
+            transport.close()
+
+    def test_task_unpacks_stats_pairs(self, block):
+        transport = ShmTransport(block, float)
+        try:
+            _, stats = shm_map_task(
+                row_sums_with_stats, transport.in_spec,
+                transport.out_spec, 0, 7)
+            assert stats == {"rows": 7}
+        finally:
+            transport.close()
+
+    def test_bytes_shipped_counts_both_directions(self, block):
+        transport = ShmTransport(block, np.dtype(bool))
+        try:
+            assert transport.bytes_shipped == \
+                block.nbytes + block.shape[0]
+        finally:
+            transport.close()
+
+    def test_close_is_idempotent(self, block):
+        transport = ShmTransport(block, float)
+        transport.close()
+        transport.close()
+
+
+class TestExecutorTransport:
+    def test_process_results_bit_identical_to_serial(self, block):
+        with Executor(ExecutionConfig()) as ex:
+            want = ex.map_chunks(row_sums, block, result_dtype=float)
+        cfg = _cfg("process", chunk_size=8, shm_threshold_bytes=64)
+        with Executor(cfg) as ex:
+            got = ex.map_chunks(row_sums, block, result_dtype=float)
+            metrics = ex.last_metrics
+        assert np.array_equal(got, want)
+        assert metrics.shm_bytes == block.nbytes + block.shape[0] * 8
+        assert all(r.where == "process" for r in metrics.records)
+
+    def test_bool_result_dtype(self, block):
+        cfg = _cfg("process", chunk_size=8, shm_threshold_bytes=64)
+        with Executor(cfg) as ex:
+            got = ex.map_chunks(negative_labels, block,
+                                result_dtype=bool)
+        assert got.dtype == np.dtype(bool)
+        assert np.array_equal(got, negative_labels(block))
+
+    def test_below_threshold_ships_pickles(self, block):
+        cfg = _cfg("process", chunk_size=8,
+                   shm_threshold_bytes=10 * block.nbytes)
+        with Executor(cfg) as ex:
+            got = ex.map_chunks(row_sums, block, result_dtype=float)
+            assert ex.last_metrics.shm_bytes == 0
+        assert np.array_equal(got, row_sums(block))
+
+    def test_none_threshold_disables_the_transport(self, block):
+        cfg = _cfg("process", chunk_size=8, shm_threshold_bytes=None)
+        with Executor(cfg) as ex:
+            got = ex.map_chunks(row_sums, block, result_dtype=float)
+            assert ex.last_metrics.shm_bytes == 0
+        assert np.array_equal(got, row_sums(block))
+
+    def test_rng_workloads_never_use_segments(self, block, rng):
+        cfg = _cfg("process", chunk_size=8, shm_threshold_bytes=64)
+        with Executor(cfg) as ex:
+            ex.map_chunks(noisy_rows, block, rng=rng,
+                          result_dtype=float)
+            assert ex.last_metrics.shm_bytes == 0
+
+    def test_integer_blocks_excluded(self):
+        block = np.arange(240).reshape(40, 6)
+        cfg = _cfg("process", chunk_size=8, shm_threshold_bytes=64)
+        with Executor(cfg) as ex:
+            got = ex.map_chunks(row_sums, block, result_dtype=float)
+            assert ex.last_metrics.shm_bytes == 0
+        assert np.array_equal(got, row_sums(block))
+
+    def test_serial_backend_ignores_the_declaration(self, block):
+        with Executor(ExecutionConfig()) as ex:
+            got = ex.map_chunks(row_sums, block, result_dtype=float)
+            assert ex.last_metrics.shm_bytes == 0
+        assert np.array_equal(got, row_sums(block))
+
+    def test_unpicklable_task_falls_back_through_segments(self, block):
+        """A broken pool demotes chunks to the in-parent fallback; the
+        fallback attaches to the same segments by name, so the result
+        survives unchanged."""
+        cfg = _cfg("process", chunk_size=8, shm_threshold_bytes=64)
+        with Executor(cfg) as ex:
+            got = ex.map_chunks(lambda c: c.sum(axis=1),  # repro: allow-exec-lambda
+                                block, result_dtype=float)
+            assert ex.last_metrics.n_fallbacks == 5
+        assert np.array_equal(got, row_sums(block))
+
+
+class TestStatsSink:
+    @pytest.mark.parametrize("backend,where", [
+        ("serial", "serial"), ("process", "process")])
+    def test_sink_sees_every_chunk_with_provenance(self, block,
+                                                   backend, where):
+        seen = []
+
+        def sink(stats, origin):
+            seen.append((stats, origin))
+
+        cfg = _cfg(backend, chunk_size=10, shm_threshold_bytes=64)
+        with Executor(cfg) as ex:
+            got = ex.map_chunks(row_sums_with_stats, block,
+                                stats_sink=sink, result_dtype=float)
+        assert np.array_equal(got, row_sums(block))
+        assert len(seen) == 4
+        assert all(origin == where for _, origin in seen)
+        assert sum(stats["rows"] for stats, _ in seen) == block.shape[0]
+
+    def test_empty_block_reports_through_the_sink(self):
+        seen = []
+
+        def sink(stats, origin):
+            seen.append((stats, origin))
+
+        with Executor(ExecutionConfig()) as ex:
+            got = ex.map_chunks(row_sums_with_stats,
+                                np.empty((0, 6)), stats_sink=sink)
+        assert got.shape == (0,)
+        assert seen == [({"rows": 0}, "serial")]
+
+
+class TestWithRecords:
+    def test_iter_tasks_yields_provenance(self):
+        with Executor(ExecutionConfig()) as ex:
+            pairs = list(ex.iter_tasks(
+                row_sums, [(np.ones((2, 3)),), (np.ones((4, 3)),)],
+                sizes=[2, 4], with_records=True))
+        assert [record.size for _, record in pairs] == [2, 4]
+        assert all(record.where == "serial" for _, record in pairs)
+        assert np.array_equal(pairs[0][0], np.full(2, 3.0))

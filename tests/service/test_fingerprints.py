@@ -104,7 +104,10 @@ class TestInvariance:
         {"checkpoint_every": 17},
         {"max_attempts": 1},
         {"max_attempts": 7},
-        {"priority": 3, "checkpoint_every": 250, "max_attempts": 2},
+        {"array_backend": "numba"},
+        {"array_backend": "no.such.namespace"},
+        {"priority": 3, "checkpoint_every": 250, "max_attempts": 2,
+         "array_backend": "numba"},
     ], ids=lambda c: "+".join(c))
     def test_scheduling_hints_do_not_change_the_fingerprint(self,
                                                             changes):

@@ -1,0 +1,173 @@
+"""Backend resolution, capability probing, fallback and the generic
+Array-API solver path's bit-identity (via the registered
+``"numpy-generic"`` test backend)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.xp as xpmod
+from repro.sram.butterfly import ReadButterflySolver
+from repro.xp import (ArrayBackend, probe_namespace, register_backend,
+                      registered_backends, resolve_backend)
+
+
+class NumpyShim:
+    """A namespace delegating to numpy while being distinct from it,
+    which forces the solver onto the generic Array-API path."""
+
+    def __getattr__(self, name):
+        return getattr(np, name)
+
+
+class BrokenExpShim(NumpyShim):
+    """Numpy with a subtly wrong ``exp`` -- must fail the probe."""
+
+    @staticmethod
+    def exp(x):
+        return np.exp(x) * (1.0 + 1e-6)
+
+
+def numpy_generic_factory(requested: str) -> ArrayBackend:
+    return ArrayBackend(requested=requested, name="numpy-generic",
+                        xp=NumpyShim())
+
+
+@pytest.fixture()
+def registry():
+    before = dict(xpmod._REGISTRY)
+    yield xpmod._REGISTRY
+    xpmod._REGISTRY.clear()
+    xpmod._REGISTRY.update(before)
+
+
+class TestResolve:
+    @pytest.mark.parametrize("name", [None, "numpy"])
+    def test_default_is_native_numpy(self, name):
+        backend = resolve_backend(name)
+        assert backend.name == "numpy"
+        assert backend.xp is np
+        assert backend.fallback_reason is None
+        assert backend.native_numpy
+        assert backend.kernels is None
+
+    def test_unknown_module_falls_back_silently(self):
+        backend = resolve_backend("no.such.namespace")
+        assert backend.name == "numpy"
+        assert backend.requested == "no.such.namespace"
+        assert "import failed" in backend.fallback_reason
+        assert backend.native_numpy
+
+    def test_unusable_module_falls_back_with_probe_reason(self):
+        # ``math`` imports fine but lacks the array surface
+        backend = resolve_backend("math")
+        assert backend.name == "numpy"
+        assert "namespace lacks" in backend.fallback_reason
+
+    def test_numba_resolution_is_coherent(self):
+        # with numba installed this honours the request; without, it
+        # degrades to numpy -- either way the arrays are numpy's and the
+        # outcome is internally consistent
+        backend = resolve_backend("numba")
+        assert backend.xp is np
+        assert (backend.name == "numba") == (backend.kernels is not None)
+        if backend.name != "numba":
+            assert backend.fallback_reason is not None
+
+    def test_numba_backend_when_installed(self):
+        pytest.importorskip("numba")
+        backend = resolve_backend("numba")
+        assert backend.name == "numba"
+        assert backend.kernels is not None
+        assert backend.fallback_reason is None
+
+
+class TestProbe:
+    def test_numpy_is_usable(self):
+        assert probe_namespace(np) is None
+
+    def test_delegating_shim_is_usable(self):
+        assert probe_namespace(NumpyShim()) is None
+
+    def test_missing_surface_rejected(self):
+        import math
+
+        reason = probe_namespace(math)
+        assert reason is not None
+        assert "namespace lacks" in reason
+
+    def test_inaccurate_kernels_rejected(self):
+        reason = probe_namespace(BrokenExpShim())
+        assert reason is not None
+        assert "off by" in reason
+
+
+class TestRegistry:
+    def test_registered_factory_shadows_resolution(self, registry):
+        register_backend("test-generic", numpy_generic_factory)
+        assert "test-generic" in registered_backends()
+        backend = resolve_backend("test-generic")
+        assert backend.name == "numpy-generic"
+        assert backend.requested == "test-generic"
+        assert not backend.native_numpy
+
+
+class TestPickle:
+    def test_round_trip_restores_namespace(self):
+        backend = resolve_backend("numpy")
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.xp is np
+        assert clone.name == "numpy"
+        assert clone.requested == backend.requested
+
+    def test_fallback_decision_is_re_resolved(self):
+        backend = resolve_backend("no.such.namespace")
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.requested == "no.such.namespace"
+        assert clone.name == "numpy"
+        assert clone.fallback_reason is not None
+
+
+class TestGenericPathBitIdentity:
+    @pytest.fixture()
+    def solvers(self, paper_cell, registry):
+        register_backend("numpy-generic", numpy_generic_factory)
+        native = ReadButterflySolver(paper_cell, grid_points=31)
+        generic = ReadButterflySolver(paper_cell, grid_points=31,
+                                      array_backend="numpy-generic")
+        return native, generic
+
+    def test_solve_matches_native_bitwise(self, solvers, rng):
+        native, generic = solvers
+        dvth = rng.normal(scale=0.05, size=(48, 6))
+        a = native.solve(dvth)
+        b = generic.solve(dvth)
+        assert np.array_equal(a.vtc_a, b.vtc_a)
+        assert np.array_equal(a.vtc_b, b.vtc_b)
+
+    def test_resume_from_generic_state_matches_full_solve(
+            self, paper_cell, registry, rng):
+        register_backend("numpy-generic", numpy_generic_factory)
+        dvth = rng.normal(scale=0.05, size=(16, 6))
+        coarse = ReadButterflySolver(paper_cell, grid_points=21,
+                                     bisection_iterations=12,
+                                     array_backend="numpy-generic")
+        exact = ReadButterflySolver(paper_cell, grid_points=21,
+                                    array_backend="numpy-generic")
+        _, state = coarse.solve_with_state(dvth)
+        resumed = exact.resume(dvth, state)
+        fresh = ReadButterflySolver(paper_cell, grid_points=21)
+        full = fresh.solve(dvth)
+        assert np.array_equal(resumed.vtc_a, full.vtc_a)
+        assert np.array_equal(resumed.vtc_b, full.vtc_b)
+
+    def test_generic_path_counts_model_evals(self, solvers, rng):
+        _, generic = solvers
+        dvth = rng.normal(scale=0.05, size=(8, 6))
+        generic.solve(dvth)
+        # fused program: both sides in one (2B, G) block
+        assert generic.model_evals == \
+            generic.bisection_iterations * 16 * generic.grid.size
